@@ -1,0 +1,36 @@
+"""Ablations of the model's documented design choices (DESIGN.md).
+
+Prints the effect of each choice (footprint truncation, DSM sharing
+term, throttled saturation handling, peer-cache level, cache
+associativity) on one representative validation cell, and benchmarks the
+full ablation sweep's model-side evaluations.
+"""
+
+import math
+
+from conftest import report
+
+from repro.experiments.ablations import run_ablations
+
+
+def test_ablations(benchmark, runner):
+    result = run_ablations(runner)
+    report("Ablations of documented design choices", result.describe())
+
+    # Each extension must improve (or at least not break) agreement on
+    # its target cell.
+    trunc = result.of("footprint truncation")
+    assert trunc[0].error < trunc[1].error  # truncated beats raw power law
+
+    sharing = result.of("DSM sharing term")
+    assert sharing[0].error < sharing[1].error  # sharing on beats off
+
+    saturation = result.of("saturation handling")
+    assert math.isfinite(saturation[0].e_instr_seconds)  # throttled finite
+    assert not math.isfinite(saturation[1].e_instr_seconds)  # open saturates
+
+    def model_side_only():
+        # re-run everything; sims are cached in the shared runner
+        return run_ablations(runner)
+
+    benchmark(model_side_only)

@@ -1,0 +1,22 @@
+"""Section 5.2's data-set-size claim: locality scale grows with the data.
+
+Prints the fitted (alpha, beta) ladder per application and checks the
+operational form of the claim (a fixed cache misses more as the data
+set grows); benchmarks one full ladder characterization for FFT.
+"""
+
+from conftest import report
+
+from repro.experiments.beta_scaling import run_beta_scaling
+
+
+def test_beta_scaling(benchmark):
+    results = run_beta_scaling()
+    body = "\n\n".join(r.describe() for r in results)
+    report("Section 5.2: locality scale vs problem size", body)
+    assert all(r.scale_grows for r in results)
+    assert all(r.footprint_grows for r in results)
+
+    benchmark.pedantic(
+        run_beta_scaling, kwargs={"applications": ("EDGE",)}, rounds=1, iterations=1
+    )

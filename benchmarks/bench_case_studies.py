@@ -1,0 +1,25 @@
+"""Section 6 case studies: budgets, upgrades and the FFT network claim.
+
+Prints the three case studies' outcomes and the FFT Ethernet-vs-ATM
+comparison next to the paper's statements; benchmarks one full budget
+optimization (Eq. 6 by exact enumeration), the operation the paper's
+whole methodology exists to make cheap.
+"""
+
+from conftest import report
+
+from repro.cost.optimizer import optimize_cluster
+from repro.experiments.casestudies import run_case_studies
+from repro.workloads.params import PAPER_RADIX
+
+
+def test_case_studies(benchmark):
+    result = run_case_studies()
+    report("Section 6 case studies", result.describe())
+    assert not result.smp_fits_5k  # paper: $5,000 buys workstations only
+    assert not result.smp_cluster_fits_5k
+    for res in result.budget_5k.values():
+        assert res.best.spec.n == 1 and res.best.spec.N >= 2
+    assert result.fft_claim.ratio > 2.0  # ATM wins decisively (paper: 4x)
+
+    benchmark(optimize_cluster, PAPER_RADIX, 20_000.0)

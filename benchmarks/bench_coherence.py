@@ -1,0 +1,21 @@
+"""Section 5.3.1: coherence share of SMP bus traffic.
+
+Prints the measured protocol-traffic share per application next to the
+paper's 6.3/4.7/7.2/2.1% and checks the paper's conclusion (small
+enough to omit from the model); benchmarks the statistic extraction.
+"""
+
+from conftest import report
+
+from repro.experiments.coherence import run_coherence_traffic
+
+
+def test_coherence_traffic(benchmark, runner):
+    result = run_coherence_traffic(runner)
+    report("Section 5.3.1: coherence share of SMP bus traffic", result.describe())
+    assert result.all_single_digit
+
+    benchmark.pedantic(
+        run_coherence_traffic, kwargs={"runner": runner, "applications": ("EDGE",)},
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,27 @@
+"""Figure 3: modeled vs simulated E(Instr) on clusters of workstations.
+
+The paper reaches < 10% after scaling the remote access rate by 12.4%;
+our reproduction self-calibrates the analogous global constants (the
+achieved adjustment is printed) and reports the error and ordering
+agreement.  Benchmarked: the model sweep over all 20 cells.
+"""
+
+from conftest import report
+
+from repro.experiments.configs import TABLE4_COWS, scaled
+from repro.experiments.figures import run_figure3
+from repro.experiments.table2 import TABLE2_APPS
+
+
+def test_figure3(benchmark, runner):
+    result = run_figure3(runner)
+    report("Figure 3: modeled vs simulated E(Instr) on clusters of workstations", result.describe())
+    assert result.ordering_agreement() >= 0.8
+
+    specs = [scaled(s) for s in TABLE4_COWS]
+    cal = result.calibration
+
+    def model_sweep():
+        return [runner.model(app, s, cal) for app in TABLE2_APPS for s in specs]
+
+    benchmark(model_sweep)

@@ -1,0 +1,19 @@
+"""Section 6 principles: workload classification against the paper.
+
+Prints the six principles with each example program's assignment and
+benchmarks the classification pipeline.
+"""
+
+from conftest import report
+
+from repro.cost.recommend import classify_workload
+from repro.experiments.recommendations import run_recommendations
+from repro.workloads.params import PAPER_WORKLOADS
+
+
+def test_recommendations(benchmark):
+    result = run_recommendations()
+    report("Section 6 principles (rule engine vs the paper's examples)", result.describe())
+    assert result.all_match_paper
+
+    benchmark(lambda: [classify_workload(w) for w in PAPER_WORKLOADS])

@@ -1,0 +1,21 @@
+"""The paper's central claim: hierarchy length is the most sensitive factor.
+
+Prints the one-axis-at-a-time sensitivity of E(Instr) for every paper
+workload and checks that the hierarchy-length axis dominates the
+capacity axes; benchmarks one full sensitivity sweep (pure model, the
+kind of what-if scan the closed form makes instantaneous).
+"""
+
+from conftest import report
+
+from repro.experiments.sensitivity import run_sensitivity
+from repro.workloads.params import PAPER_RADIX
+
+
+def test_sensitivity(benchmark):
+    results = run_sensitivity()
+    body = "\n\n".join(r.describe() for r in results)
+    report("Central claim: sensitivity of E(Instr) per design axis", body)
+    assert all(r.claim_holds for r in results)
+
+    benchmark(run_sensitivity, [PAPER_RADIX])

@@ -1,0 +1,49 @@
+"""Table 1: classifying the three parallel systems by memory hierarchy.
+
+Reproduces the paper's classification (which gray blocks of Figure 1
+each platform adds) from the hierarchy builders, and benchmarks hierarchy
+construction -- the operation the optimizer performs for every candidate.
+"""
+
+from conftest import report
+
+from repro.core.hierarchy import PlatformKind, additional_levels
+from repro.core.platform import PlatformSpec
+from repro.sim.latencies import NetworkKind
+
+KB, MB = 1024, 1024 * 1024
+
+SPECS = {
+    PlatformKind.SMP: PlatformSpec(
+        name="an SMP", n=4, N=1, cache_bytes=256 * KB, memory_bytes=64 * MB
+    ),
+    PlatformKind.COW: PlatformSpec(
+        name="a COW", n=1, N=4, cache_bytes=256 * KB, memory_bytes=64 * MB,
+        network=NetworkKind.ETHERNET_100,
+    ),
+    PlatformKind.CLUMP: PlatformSpec(
+        name="a CLUMP", n=2, N=2, cache_bytes=256 * KB, memory_bytes=64 * MB,
+        network=NetworkKind.ATM_155,
+    ),
+}
+
+#: The paper's Table 1, verbatim.
+PAPER_TABLE1 = {
+    PlatformKind.SMP: ("A",),
+    PlatformKind.COW: ("B", "C"),
+    PlatformKind.CLUMP: ("A", "B", "C"),
+}
+
+
+def test_table1(benchmark):
+    rows = []
+    for kind, spec in SPECS.items():
+        blocks = additional_levels(spec.kind)
+        assert blocks == PAPER_TABLE1[kind]
+        rows.append(f"{kind.value:<28s} gray blocks {' + '.join(blocks)}")
+        rows.append(spec.hierarchy().describe())
+        rows.append("")
+    report("Table 1: platform classification by cluster memory hierarchy", "\n".join(rows))
+
+    clump = SPECS[PlatformKind.CLUMP]
+    benchmark(clump.hierarchy)

@@ -1,0 +1,21 @@
+"""Table 2: characteristics of the four programs.
+
+Reproduces the (alpha, beta, gamma) characterization of FFT, LU, Radix
+and EDGE from real traces and benchmarks the trace-analysis tool (the
+paper's supporting tool (2)) on one full application trace.
+"""
+
+from conftest import report
+
+from repro.experiments.table2 import run_table2
+from repro.trace.analysis import analyze_trace
+
+
+def test_table2(benchmark, runner):
+    result = run_table2(runner)
+    report("Table 2: program characteristics (paper-vs-measured)", result.describe())
+    assert result.gamma_ordering_matches()
+    assert result.locality_extremes_match()
+
+    trace = runner.application_run("EDGE", 1).traces[0]
+    benchmark(analyze_trace, trace, "EDGE")

@@ -1,0 +1,28 @@
+"""Table 5: the selected clusters of SMPs C12-C15."""
+
+from conftest import report
+
+from repro.experiments.configs import TABLE5_CLUMPS, scaled
+from repro.experiments.runner import Calibration
+
+
+def test_table5(benchmark, runner):
+    lines = [f"{'name':<5s} {'n':>2s} {'N':>2s} {'cache':>7s} {'memory':>8s} {'network':<14s}"]
+    for s in TABLE5_CLUMPS:
+        lines.append(
+            f"{s.name:<5s} {s.n:>2d} {s.N:>2d} {s.cache_bytes // 1024:>6d}K "
+            f"{s.memory_bytes // (1024*1024):>7d}M {s.network.value:<14s}"
+        )
+    report("Table 5: configurations of selected clusters of SMPs (200 MHz)", "\n".join(lines))
+
+    specs = [scaled(s) for s in TABLE5_CLUMPS]
+    cal = Calibration(remote_rate_adjustment=0.124)
+    runner.characterization("FFT")
+    for s in specs:
+        runner.sharing("FFT", s)
+
+    def model_all():
+        return [runner.model("FFT", s, cal) for s in specs]
+
+    estimates = benchmark(model_all)
+    assert all(e.feasible for e in estimates)

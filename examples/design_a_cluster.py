@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Design a cost-effective cluster for a budget (the paper's question 1).
+
+"What is an optimal or a nearly optimal cluster platform for
+cost-effective parallel computing under a given budget and a given type
+of workload?"  Enumerates every configuration the 1999 catalog can
+assemble under the budget, predicts each with the analytical model, and
+prints the ranking -- then checks the answer against the paper's
+Section 6 rule of thumb for that workload class.
+
+Run:  python examples/design_a_cluster.py [budget_dollars]
+"""
+
+import sys
+
+from repro.cost import optimize_cluster, recommend
+from repro.workloads import PAPER_WORKLOADS, PAPER_TPCC
+
+
+def main() -> None:
+    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 8_000.0
+    print(f"designing clusters for a ${budget:,.0f} budget\n")
+
+    for workload in PAPER_WORKLOADS + (PAPER_TPCC,):
+        result = optimize_cluster(workload, budget)
+        rule = recommend(workload)
+        print(result.describe(top=3))
+        print(f"  Section 6 rule for this class: {rule.platform}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Scalability study: where does adding hardware stop paying?
+
+The paper frames clusters as scaling "from desktop to teraflop"; its
+model makes the whole scaling curve computable in milliseconds.  This
+example sweeps each Table 2 workload over machine counts on the three
+network options, prints speedup/efficiency curves with the knee marked,
+and closes with the one-axis-at-a-time sensitivity table behind the
+paper's central claim (hierarchy length beats the capacity axes).
+
+Run:  python examples/scalability_study.py
+"""
+
+import repro
+from repro.core.scalability import speedup_curve
+from repro.experiments.sensitivity import run_sensitivity
+
+KB, MB = 1024, 1024 * 1024
+
+
+def main() -> None:
+    counts = [2, 4, 8, 16]
+    for workload in (repro.PAPER_LU, repro.PAPER_RADIX):
+        print(f"##### {workload.name} #####")
+        for net in (repro.NetworkKind.ETHERNET_100, repro.NetworkKind.ATM_155):
+            base = repro.PlatformSpec(
+                name=f"COW/{net.value}", n=1, N=2,
+                cache_bytes=256 * KB, memory_bytes=64 * MB, network=net,
+            )
+            print(speedup_curve(workload, base, counts).describe())
+            print()
+        print(
+            "(super-linear jumps are real: once the per-process working set\n"
+            " fits the cache -- the paper's n-processor rescaling crossing the\n"
+            " cache boundary -- capacity misses vanish entirely)\n"
+        )
+
+    print("##### the paper's central claim, quantified #####")
+    for res in run_sensitivity([repro.PAPER_RADIX]):
+        print(res.describe())
+
+
+if __name__ == "__main__":
+    main()

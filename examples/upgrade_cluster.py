@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Upgrade an existing cluster for a budget increase (question 2).
+
+"What is a cost-effective way to upgrade or scale an existing cluster
+platform for a given budget increase and a given type of workload?"
+Starts from a 4-node 10 Mb Ethernet cluster, tries several budget
+increases, and shows how the best upgrade path shifts between adding
+memory, adding nodes and replacing the network -- the trade-off the
+paper's final Section 6 principle describes.  Ends with the paper's
+FFT Ethernet-vs-ATM comparison.
+
+Run:  python examples/upgrade_cluster.py
+"""
+
+from repro.core.platform import PlatformSpec
+from repro.cost import optimize_upgrade
+from repro.cost.recommend import upgrade_advice
+from repro.experiments.casestudies import run_fft_claim
+from repro.sim.latencies import NetworkKind
+from repro.workloads import PAPER_EDGE, PAPER_FFT
+
+KB, MB = 1024, 1024 * 1024
+
+
+def main() -> None:
+    existing = PlatformSpec(
+        name="existing 4x(10Mb Ethernet, 256KB, 32MB)",
+        n=1, N=4, cache_bytes=256 * KB, memory_bytes=32 * MB,
+        network=NetworkKind.ETHERNET_10,
+    )
+
+    for workload in (PAPER_FFT, PAPER_EDGE):
+        print(f"### upgrading for {workload.name} ###")
+        for increase in (500.0, 2_000.0, 6_000.0):
+            result = optimize_upgrade(workload, existing, increase)
+            best = result.best
+            print(
+                f"  +${increase:>6,.0f}: {best.spec.name:<44s} "
+                f"({result.speedup:.2f}x faster)"
+            )
+        # Is this workload's cluster traffic capacity-reducible?
+        network_bound = workload.sharing_fresh_fraction > 0.1
+        print(f"  paper's heuristic: {upgrade_advice(network_bound)}")
+        print()
+
+    print("### the paper's FFT network claim ###")
+    print(run_fft_claim().describe())
+
+
+if __name__ == "__main__":
+    main()

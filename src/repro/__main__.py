@@ -1,0 +1,14 @@
+"""``python -m repro`` entry point (see :mod:`repro.cli`)."""
+
+import signal
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    # Die quietly when the consumer closes the pipe (e.g. `| head`).
+    try:
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    except (AttributeError, ValueError):  # pragma: no cover - non-POSIX
+        pass
+    sys.exit(main())

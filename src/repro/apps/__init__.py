@@ -1,0 +1,34 @@
+"""SPMD application kernels (the paper's benchmark programs).
+
+The paper drives its validation with three SPLASH-2 computational
+kernels -- FFT, LU and Radix -- plus a real parallel edge-detection code
+(EDGE), and discusses a TPC-C commercial workload.  Each module here
+implements the same algorithm, computes real results (verified against
+numpy/scipy oracles in the test suite), and emits the per-process
+memory-reference traces that drive both the trace-analysis pipeline and
+the memory-hierarchy simulators.
+"""
+
+from repro.apps.base import AddressSpace, ApplicationRun, SharedArray
+from repro.apps.cg import CgApplication
+from repro.apps.fft import FftApplication
+from repro.apps.lu import LuApplication
+from repro.apps.radix import RadixApplication
+from repro.apps.edge import EdgeApplication
+from repro.apps.tpcc import TpccApplication
+from repro.apps.registry import APPLICATIONS, default_applications, make_application
+
+__all__ = [
+    "APPLICATIONS",
+    "AddressSpace",
+    "CgApplication",
+    "ApplicationRun",
+    "EdgeApplication",
+    "FftApplication",
+    "LuApplication",
+    "RadixApplication",
+    "SharedArray",
+    "TpccApplication",
+    "default_applications",
+    "make_application",
+]

@@ -1,0 +1,247 @@
+"""Shared address space and the SPMD application protocol.
+
+The applications emit memory references into one *global* item-granular
+address space so that traces from different processes are mutually
+consistent (the same array element has the same address everywhere) and
+so the cluster simulators can assign every block a *home* machine, as a
+home-based software DSM does.
+
+:class:`AddressSpace` is a bump allocator of :class:`SharedArray`
+regions.  Arrays are distributed block-wise along their first axis over
+the SPMD processes (the owner-computes layout every one of the paper's
+applications uses) or replicated (owned by process 0; read-mostly
+tables such as FFT twiddle factors).  ``SharedArray.addr`` converts
+numpy index arrays into item addresses fully vectorized -- one call per
+loop nest, never per element.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.sim.latencies import ITEM_BYTES
+from repro.trace.events import Trace
+
+__all__ = ["SharedArray", "AddressSpace", "SpmdApplication", "ApplicationRun"]
+
+
+@dataclass(frozen=True)
+class SharedArray:
+    """A named region of the global shared address space.
+
+    Attributes
+    ----------
+    name:
+        Label for diagnostics.
+    shape:
+        Logical element shape.
+    element_bytes:
+        Bytes per element (8 for float64/int64, 16 for complex128...).
+    base_item:
+        First item (64-byte unit) of the region; regions are
+        item-aligned so distinct arrays never share an item.
+    distribution:
+        ``"block"`` -- rows (first axis) block-partitioned over the
+        processes; ``"replicated"`` -- logically present everywhere,
+        homed on process 0; ``"custom"`` -- ``home_fn`` maps flat element
+        indices to owning processes (e.g. LU's 2-D block scatter).
+    num_procs:
+        Process count the distribution is defined over.
+    home_fn:
+        Only for ``"custom"``: vectorized ``flat_elements -> process``.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    element_bytes: int
+    base_item: int
+    distribution: Literal["block", "replicated", "custom"]
+    num_procs: int
+    home_fn: object | None = None
+
+    @property
+    def elements(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def items(self) -> int:
+        """Region size in items (rounded up)."""
+        return -(-self.elements * self.element_bytes // ITEM_BYTES)
+
+    def addr(self, *index_arrays) -> np.ndarray:
+        """Item addresses of elements at the given (broadcastable) indices.
+
+        Multi-axis indices are row-major flattened, matching C layout.
+        """
+        if len(index_arrays) != len(self.shape):
+            raise ValueError(
+                f"{self.name}: expected {len(self.shape)} index arrays, got {len(index_arrays)}"
+            )
+        idx = [np.asarray(ix, dtype=np.int64) for ix in index_arrays]
+        flat = np.ravel_multi_index(idx, self.shape)
+        return self.base_item + (flat * self.element_bytes) // ITEM_BYTES
+
+    def addr_flat(self, flat_index) -> np.ndarray:
+        """Item addresses from already-flattened element indices."""
+        flat = np.asarray(flat_index, dtype=np.int64)
+        if flat.size and (flat.min() < 0 or flat.max() >= self.elements):
+            raise IndexError(f"{self.name}: flat index out of range")
+        return self.base_item + (flat * self.element_bytes) // ITEM_BYTES
+
+    # ------------------------------------------------------------------
+    def row_range(self, proc: int) -> tuple[int, int]:
+        """[start, stop) rows of the first axis owned by ``proc``."""
+        rows = self.shape[0]
+        per = -(-rows // self.num_procs)
+        start = min(proc * per, rows)
+        return start, min(start + per, rows)
+
+    def home_of_items(self) -> np.ndarray:
+        """Home process of every item of the region, as an int32 array."""
+        if self.distribution == "replicated":
+            return np.zeros(self.items, dtype=np.int32)
+        if self.distribution == "custom":
+            if self.home_fn is None:
+                raise ValueError(f"{self.name}: custom distribution needs home_fn")
+            item_idx = np.arange(self.items, dtype=np.int64)
+            first_elem = np.minimum(
+                item_idx * ITEM_BYTES // self.element_bytes, self.elements - 1
+            )
+            return np.asarray(self.home_fn(first_elem), dtype=np.int32)
+        rows = self.shape[0]
+        row_elems = self.elements // rows if rows else 0
+        per = -(-rows // self.num_procs)
+        item_idx = np.arange(self.items, dtype=np.int64)
+        first_elem = item_idx * ITEM_BYTES // self.element_bytes
+        row = np.minimum(first_elem // max(row_elems, 1), rows - 1)
+        return (row // per).astype(np.int32)
+
+
+class AddressSpace:
+    """Bump allocator of shared regions plus the item -> home-process map."""
+
+    def __init__(self, num_procs: int) -> None:
+        if num_procs < 1:
+            raise ValueError("num_procs must be >= 1")
+        self.num_procs = num_procs
+        self._arrays: list[SharedArray] = []
+        self._next_item = 0
+
+    def alloc(
+        self,
+        name: str,
+        shape: Sequence[int] | int,
+        element_bytes: int = 8,
+        distribution: Literal["block", "replicated", "custom"] = "block",
+        home_fn=None,
+    ) -> SharedArray:
+        """Allocate a new region and return its handle."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"{name}: shape must be positive, got {shape}")
+        if element_bytes <= 0:
+            raise ValueError("element_bytes must be positive")
+        if (distribution == "custom") != (home_fn is not None):
+            raise ValueError(f"{name}: home_fn goes with (and only with) the custom distribution")
+        arr = SharedArray(
+            name=name,
+            shape=shape,
+            element_bytes=element_bytes,
+            base_item=self._next_item,
+            distribution=distribution,
+            num_procs=self.num_procs,
+            home_fn=home_fn,
+        )
+        self._next_item += arr.items
+        self._arrays.append(arr)
+        return arr
+
+    @property
+    def total_items(self) -> int:
+        return self._next_item
+
+    @property
+    def arrays(self) -> tuple[SharedArray, ...]:
+        return tuple(self._arrays)
+
+    def home_map(self) -> np.ndarray:
+        """int32 array: home process of every item in the space."""
+        if self._next_item == 0:
+            return np.zeros(0, dtype=np.int32)
+        out = np.empty(self._next_item, dtype=np.int32)
+        for arr in self._arrays:
+            out[arr.base_item : arr.base_item + arr.items] = arr.home_of_items()
+        return out
+
+
+@dataclass(frozen=True)
+class ApplicationRun:
+    """The output of one SPMD application execution.
+
+    Holds the per-process traces (equal barrier counts guaranteed), the
+    address space they were emitted into, and app-reported metadata.
+    """
+
+    name: str
+    problem_size: str
+    num_procs: int
+    traces: tuple[Trace, ...]
+    address_space: AddressSpace
+    verified: bool  #: True when the numeric result matched its oracle
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.traces) != self.num_procs:
+            raise ValueError("one trace per process required")
+        counts = {int(t.barriers.size) for t in self.traces}
+        if len(counts) > 1:
+            raise ValueError(f"barrier counts differ across processes: {sorted(counts)}")
+
+    @property
+    def total_references(self) -> int:
+        return sum(t.memory_instructions for t in self.traces)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.total_instructions for t in self.traces)
+
+    @property
+    def gamma(self) -> float:
+        total = self.total_instructions
+        return self.total_references / total if total else 0.0
+
+
+class SpmdApplication(ABC):
+    """Base class: a bulk-synchronous SPMD program that can trace itself.
+
+    Subclasses implement :meth:`run`, which executes the real algorithm
+    (producing verifiable numeric output) while emitting every process's
+    reference stream.  The paper's program structure -- phases of local
+    computation alternating with communication and barriers -- maps to
+    emitting one block of references per process per phase, with a
+    barrier marker between phases.
+    """
+
+    #: Short canonical name, e.g. "FFT".
+    name: str = "app"
+
+    def __init__(self, num_procs: int = 1, seed: int = 0) -> None:
+        if num_procs < 1:
+            raise ValueError("num_procs must be >= 1")
+        self.num_procs = num_procs
+        self.seed = seed
+
+    @abstractmethod
+    def run(self) -> ApplicationRun:
+        """Execute the algorithm, verify its output, return run + traces."""
+
+    @property
+    @abstractmethod
+    def problem_size(self) -> str:
+        """Human-readable problem-size description (Table 2 style)."""

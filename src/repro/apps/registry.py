@@ -1,0 +1,62 @@
+"""Application registry: canonical constructors for the paper's benchmarks.
+
+The experiment harness and benchmarks refer to applications by name;
+this registry maps names to laptop-scale default instances (DESIGN.md
+substitution 2 explains the size scaling relative to the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import SpmdApplication
+from repro.apps.cg import CgApplication
+from repro.apps.edge import EdgeApplication
+from repro.apps.fft import FftApplication
+from repro.apps.lu import LuApplication
+from repro.apps.radix import RadixApplication
+from repro.apps.tpcc import TpccApplication
+
+__all__ = ["APPLICATIONS", "make_application", "default_applications"]
+
+#: name -> factory(num_procs, seed) for the paper's four validation
+#: benchmarks plus the TPC-C stand-in, at default laptop-scale sizes.
+APPLICATIONS: dict[str, Callable[..., SpmdApplication]] = {
+    "FFT": lambda num_procs=1, seed=0, **kw: FftApplication(
+        points=kw.pop("points", 4096), num_procs=num_procs, seed=seed, **kw
+    ),
+    "LU": lambda num_procs=1, seed=0, **kw: LuApplication(
+        order=kw.pop("order", 128), num_procs=num_procs, seed=seed, **kw
+    ),
+    "Radix": lambda num_procs=1, seed=0, **kw: RadixApplication(
+        num_keys=kw.pop("num_keys", 65_536), num_procs=num_procs, seed=seed, **kw
+    ),
+    "EDGE": lambda num_procs=1, seed=0, **kw: EdgeApplication(
+        height=kw.pop("height", 64), width=kw.pop("width", 64), num_procs=num_procs, seed=seed, **kw
+    ),
+    "TPC-C": lambda num_procs=1, seed=0, **kw: TpccApplication(
+        transactions=kw.pop("transactions", 20_000), num_procs=num_procs, seed=seed, **kw
+    ),
+    # extension application (not in the paper's Table 2): iterative
+    # solver mixing halo exchange with global reductions
+    "CG": lambda num_procs=1, seed=0, **kw: CgApplication(
+        grid=kw.pop("grid", 48), num_procs=num_procs, seed=seed, **kw
+    ),
+}
+
+#: The four programs of the paper's Table 2, in its order.
+TABLE2_NAMES = ("FFT", "LU", "Radix", "EDGE")
+
+
+def make_application(name: str, num_procs: int = 1, seed: int = 0, **kwargs) -> SpmdApplication:
+    """Instantiate a registered application by name."""
+    try:
+        factory = APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}; known: {sorted(APPLICATIONS)}") from None
+    return factory(num_procs=num_procs, seed=seed, **kwargs)
+
+
+def default_applications(num_procs: int = 1, seed: int = 0) -> list[SpmdApplication]:
+    """The paper's four validation benchmarks (Table 2 order)."""
+    return [make_application(n, num_procs=num_procs, seed=seed) for n in TABLE2_NAMES]

@@ -1,0 +1,216 @@
+"""Command-line interface: the integrated tool the paper's conclusion plans.
+
+"We believe software that integrates these tools will provide a timely
+and effective vehicle to support the design of cost effective parallel
+cluster computing."  This module is that vehicle:
+
+.. code-block:: bash
+
+    python -m repro design --workload Radix --budget 20000
+    python -m repro upgrade --workload FFT --budget-increase 3000 \\
+        --machines 4 --network ethernet100 --memory-mb 32
+    python -m repro characterize --app EDGE --procs 4
+    python -m repro predict --workload FFT --machines 4 --network atm
+    python -m repro recommend --alpha 1.3 --beta 90 --gamma 0.31
+
+Workloads can be the paper's Table 2 names (FFT, LU, Radix, EDGE,
+TPC-C) or explicit ``--alpha/--beta/--gamma`` triples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.execution import evaluate
+from repro.core.platform import PlatformSpec
+from repro.cost.optimizer import optimize_cluster, optimize_upgrade
+from repro.cost.recommend import recommend
+from repro.sim.latencies import NetworkKind
+from repro.workloads.params import (
+    PAPER_EDGE,
+    PAPER_FFT,
+    PAPER_LU,
+    PAPER_RADIX,
+    PAPER_TPCC,
+    WorkloadParams,
+)
+
+__all__ = ["main", "build_parser"]
+
+KB, MB = 1024, 1024 * 1024
+
+_WORKLOADS = {
+    "FFT": PAPER_FFT,
+    "LU": PAPER_LU,
+    "Radix": PAPER_RADIX,
+    "EDGE": PAPER_EDGE,
+    "TPC-C": PAPER_TPCC,
+}
+
+_NETWORKS = {
+    "ethernet10": NetworkKind.ETHERNET_10,
+    "ethernet100": NetworkKind.ETHERNET_100,
+    "atm": NetworkKind.ATM_155,
+}
+
+
+def _workload_from(args: argparse.Namespace) -> WorkloadParams:
+    if args.workload:
+        try:
+            return _WORKLOADS[args.workload]
+        except KeyError:
+            raise SystemExit(
+                f"unknown workload {args.workload!r}; known: {', '.join(_WORKLOADS)}"
+            ) from None
+    if args.alpha is None or args.beta is None or args.gamma is None:
+        raise SystemExit("provide --workload NAME or all of --alpha/--beta/--gamma")
+    return WorkloadParams("custom", alpha=args.alpha, beta=args.beta, gamma=args.gamma)
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", help="a Table 2 name: " + ", ".join(_WORKLOADS))
+    p.add_argument("--alpha", type=float, help="locality tail exponent (> 1)")
+    p.add_argument("--beta", type=float, help="locality scale in 64-byte items")
+    p.add_argument("--gamma", type=float, help="memory-referencing instruction fraction")
+
+
+def _add_platform_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--machines", type=int, default=4, help="machine count N")
+    p.add_argument("--procs-per-machine", type=int, default=1, help="processors per machine n")
+    p.add_argument("--cache-kb", type=int, default=256, help="per-processor cache (KB)")
+    p.add_argument("--memory-mb", type=int, default=64, help="per-machine memory (MB)")
+    p.add_argument(
+        "--network", choices=sorted(_NETWORKS), default="ethernet100",
+        help="cluster network (ignored for a single machine)",
+    )
+    p.add_argument(
+        "--l2-kb", type=int, default=None,
+        help="optional per-machine shared L2 (KB; hierarchy-length extension)",
+    )
+
+
+def _platform_from(args: argparse.Namespace, name: str = "platform") -> PlatformSpec:
+    return PlatformSpec(
+        name=name,
+        n=args.procs_per_machine,
+        N=args.machines,
+        cache_bytes=args.cache_kb * KB,
+        memory_bytes=args.memory_mb * MB,
+        network=_NETWORKS[args.network] if args.machines > 1 else None,
+        l2_bytes=args.l2_kb * KB if getattr(args, "l2_kb", None) else None,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-effective cluster design with the Du & Zhang (IPPS 1999) model.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("design", help="optimal platform for a budget (paper Eq. 6)")
+    _add_workload_args(p)
+    p.add_argument("--budget", type=float, required=True, help="dollars")
+    p.add_argument("--top", type=int, default=5, help="ranking entries to print")
+
+    p = sub.add_parser("upgrade", help="best way to spend a budget increase")
+    _add_workload_args(p)
+    _add_platform_args(p)
+    p.add_argument("--budget-increase", type=float, required=True, help="dollars")
+    p.add_argument("--top", type=int, default=5)
+
+    p = sub.add_parser("predict", help="E(Instr) of a workload on a platform")
+    _add_workload_args(p)
+    _add_platform_args(p)
+    p.add_argument(
+        "--mode", choices=("open", "throttled", "mva"), default="throttled",
+        help="contention treatment (open = the paper's formula, mva = exact "
+        "closed-network MVA on SMPs)",
+    )
+
+    p = sub.add_parser("recommend", help="the Section 6 design rule for a workload")
+    _add_workload_args(p)
+
+    p = sub.add_parser(
+        "characterize", help="run a benchmark and fit (alpha, beta, gamma) from its trace"
+    )
+    p.add_argument("--app", required=True, help="FFT, LU, Radix, EDGE or TPC-C")
+    p.add_argument("--procs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("report", help="run the full paper reproduction (slow)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "design":
+        workload = _workload_from(args)
+        result = optimize_cluster(workload, args.budget)
+        print(result.describe(top=args.top))
+        print(f"\nSection 6 rule: {recommend(workload).platform}")
+        return 0
+
+    if args.command == "upgrade":
+        workload = _workload_from(args)
+        current = _platform_from(args, name="current cluster")
+        result = optimize_upgrade(workload, current, args.budget_increase)
+        print(result.describe(top=args.top))
+        return 0
+
+    if args.command == "predict":
+        workload = _workload_from(args)
+        spec = _platform_from(args)
+        est = evaluate(
+            spec,
+            workload.locality,
+            workload.gamma,
+            remote_rate_adjustment=0.124 if spec.N > 1 else 0.0,
+            mode=args.mode,
+            on_saturation="inf",
+            sharing_fraction=workload.sharing_at(spec.N),
+            sharing_fresh_fraction=workload.sharing_fresh_fraction,
+        )
+        print(spec.describe())
+        print(est.amat.describe())
+        print(f"E(Instr) = {est.e_instr_seconds:.3e} s/instruction")
+        return 0
+
+    if args.command == "recommend":
+        workload = _workload_from(args)
+        print(recommend(workload).describe())
+        return 0
+
+    if args.command == "characterize":
+        from repro.apps.registry import make_application
+        from repro.trace.analysis import characterize_run
+
+        app = make_application(args.app, num_procs=args.procs, seed=args.seed)
+        run = app.run()
+        ch = characterize_run(run)
+        print(
+            f"ran {run.name} ({run.problem_size}) on {run.num_procs} process(es): "
+            f"verified={run.verified}, {run.total_references:,} references"
+        )
+        print(ch.describe())
+        p = ch.params
+        print(
+            f"sharing: {100 * p.sharing_fraction:.1f}% remote-partition references, "
+            f"{100 * p.sharing_fresh_fraction:.1f}% coherence-fresh"
+        )
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.reporting import generate_report
+
+        print(generate_report())
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

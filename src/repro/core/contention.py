@@ -1,0 +1,176 @@
+"""Contention models: M/D/1 queueing and barrier order statistics.
+
+The paper models simultaneous accesses to a shared resource (SMP memory
+bus, cluster network, shared disk) as a memoryless-arrival, general-
+service, one-server (M/G/1) queue with *deterministic* service time
+``tau`` -- i.e. M/D/1.  A request issued by one processor competes with
+the traffic of the other ``c - 1`` agents sharing the resource, each
+contributing Poisson traffic at rate ``lam``, so the interfering arrival
+rate is ``(c - 1) * lam`` and the mean response time is
+
+    t = tau + W = (2 tau - (c-1) lam tau^2) / (2 (1 - (c-1) lam tau)).
+
+At ``c = 1`` this reduces to ``tau`` (no contention), recovering the
+uniprocessor model of Jacob et al. that the paper cites as its base.
+
+Barrier synchronization is modeled with order statistics: with ``c``
+processes each reaching the barrier after an Exp(lam_b) interval, the
+barrier cycle is the maximum of ``c`` exponentials, whose expectation is
+``H_c / lam_b`` with ``H_c`` the c-th harmonic number; the mean *waiting*
+time of a process is therefore ``(H_c - 1) / lam_b``.
+
+All rates are per cycle and all times in cycles throughout this library
+(one instruction per cycle at the paper's 200 MHz clock), which makes
+``lam * tau`` the dimensionless utilization directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "QueueSaturationError",
+    "harmonic_number",
+    "mg1_utilization",
+    "mg1_waiting_time",
+    "mg1_response_time",
+    "queued_contribution",
+    "barrier_cycle_time",
+    "barrier_wait_time",
+]
+
+
+class QueueSaturationError(ValueError):
+    """Raised when offered load meets or exceeds service capacity (rho >= 1).
+
+    The open-queue approximation is meaningless at or beyond saturation;
+    the optimizer treats configurations that saturate as infeasible.
+    """
+
+    def __init__(self, rho: float, message: str | None = None) -> None:
+        self.rho = rho
+        super().__init__(message or f"M/D/1 queue saturated: utilization rho={rho:.4g} >= 1")
+
+
+def harmonic_number(c: int | np.ndarray):
+    """H_c = sum_{i=1..c} 1/i, exactly for integer c >= 0 (H_0 = 0).
+
+    Vectorized over numpy integer arrays; exact summation is used rather
+    than the digamma approximation because the paper's ``c`` values are
+    tiny (2-32 processors).
+    """
+    arr = np.asarray(c)
+    if arr.ndim == 0:
+        cv = int(arr)
+        if cv < 0:
+            raise ValueError(f"harmonic_number requires c >= 0, got {cv}")
+        return float(np.sum(1.0 / np.arange(1, cv + 1))) if cv else 0.0
+    if np.any(arr < 0):
+        raise ValueError("harmonic_number requires c >= 0")
+    top = int(arr.max()) if arr.size else 0
+    cum = np.concatenate([[0.0], np.cumsum(1.0 / np.arange(1, top + 1))])
+    return cum[arr]
+
+
+def mg1_utilization(lam: float, tau: float, population: int) -> float:
+    """Utilization rho = (population - 1) * lam * tau of the shared server.
+
+    ``lam`` is the per-agent request rate, ``tau`` the deterministic
+    service time, and ``population`` the number of agents sharing the
+    resource.  Following the paper, an agent's own other requests are not
+    counted as interference (hence ``population - 1``).
+    """
+    if lam < 0 or tau < 0:
+        raise ValueError("rate and service time must be non-negative")
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    return (population - 1) * lam * tau
+
+
+def mg1_waiting_time(lam: float, tau: float, population: int) -> float:
+    """Mean queueing delay W = rho * tau / (2 (1 - rho)) for M/D/1.
+
+    Raises :class:`QueueSaturationError` when rho >= 1.
+    """
+    rho = mg1_utilization(lam, tau, population)
+    if rho >= 1.0:
+        raise QueueSaturationError(rho)
+    return rho * tau / (2.0 * (1.0 - rho))
+
+
+def mg1_response_time(lam: float, tau: float, population: int) -> float:
+    """Mean response time t = tau + W; the paper's t_i(o) closed form.
+
+    Equals ``(2 tau - (c-1) lam tau^2) / (2 (1 - (c-1) lam tau))`` and
+    reduces to ``tau`` when ``population == 1``.
+    """
+    return tau + mg1_waiting_time(lam, tau, population)
+
+
+def queued_contribution(lam: float, tau: float, population: int) -> float:
+    """Q(lam, tau, c) = lam * t(o): rate-weighted response-time contribution.
+
+    This is the term the paper's Eq. 11 sums per memory level:
+
+        Q = (lam tau - 1/2 (c-1) lam^2 tau^2) / (1 - (c-1) lam tau).
+
+    Dividing the sum of Q terms by the reference rate ``gamma * S``
+    converts them back into per-reference time.
+    """
+    return lam * mg1_response_time(lam, tau, population)
+
+
+def barrier_cycle_time(lam_b: float, population: int) -> float:
+    """E[X] = H_c / lam_b: expected barrier cycle (max of c exponentials)."""
+    if lam_b <= 0:
+        raise ValueError(f"barrier access rate must be positive, got {lam_b!r}")
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    return harmonic_number(population) / lam_b
+
+
+def barrier_wait_time(lam_b: float, population: int) -> float:
+    """Mean barrier waiting time t(b) = (H_c - 1) / lam_b; zero for c = 1.
+
+    The average process arrives 1/lam_b before the cycle completes, so
+    its wait is the cycle minus its own inter-arrival time.
+    """
+    if population == 1:
+        return 0.0
+    return barrier_cycle_time(lam_b, population) - 1.0 / lam_b
+
+
+def barrier_term(population: int) -> float:
+    """The rate-independent barrier summand of Eq. 11: H_c - 1.
+
+    The barrier-variable access rate cancels when the barrier wait is
+    folded into the average memory access time (the paper's Eq. 9 -> 11
+    step), leaving the pure harmonic term 1/2 + 1/3 + ... + 1/c.
+    """
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    return harmonic_number(population) - 1.0 if population > 1 else 0.0
+
+
+def is_math_stable(lam: float, tau: float, population: int) -> bool:
+    """True when the M/D/1 term is below saturation (rho < 1)."""
+    return mg1_utilization(lam, tau, population) < 1.0
+
+
+def saturating_population(lam: float, tau: float) -> float:
+    """Largest population c with rho < 1, i.e. floor(1/(lam tau)) + 1.
+
+    Returns ``math.inf`` when a single agent generates no load
+    (``lam * tau == 0``).  Useful for the optimizer's pruning.
+    """
+    if lam < 0 or tau < 0:
+        raise ValueError("rate and service time must be non-negative")
+    per_agent = lam * tau
+    if per_agent == 0.0:
+        return math.inf
+    # rho = (c - 1) lam tau < 1  <=>  c < 1 + 1/(lam tau)
+    limit = 1.0 + 1.0 / per_agent
+    ceil = math.ceil(limit) - 1  # strictly below the bound
+    return float(ceil if ceil < limit else ceil)

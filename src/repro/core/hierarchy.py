@@ -1,0 +1,454 @@
+"""Memory-hierarchy abstraction (paper Figure 1 and Table 1).
+
+The paper views every platform through a single five-level hierarchy seen
+from one processor: own cache, own/SMP memory, remote memory, own disk,
+remote disk.  Each platform *adds* levels to a uniprocessor baseline:
+
+* a single SMP adds peer-memory access over the memory bus (gray block A);
+* a cluster of workstations adds remote memory and remote disks over the
+  cluster network (gray blocks B and C);
+* a cluster of SMPs adds all three (A, B and C).
+
+For the analytical model a hierarchy is a base access cost ``tau_1`` plus
+an ordered list of levels, each carrying the *stack-distance boundary*
+beyond which a reference reaches it, the additional uncontended cost of
+doing so, and the number of agents contending for the resource that
+serves it.  :func:`repro.core.amat.average_memory_access_time` folds this
+structure with a workload's locality model into the paper's Eq. 7/11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.sim.latencies import LatencyTable, NetworkKind
+
+__all__ = [
+    "LevelKind",
+    "MemoryLevel",
+    "MemoryHierarchy",
+    "PlatformKind",
+    "additional_levels",
+    "smp_hierarchy",
+    "cow_hierarchy",
+    "clump_hierarchy",
+]
+
+
+class PlatformKind(str, Enum):
+    """The three platform classes the paper models (Table 1)."""
+
+    SMP = "a single SMP"
+    COW = "a cluster of workstations"
+    CLUMP = "a cluster of SMPs"
+
+
+def additional_levels(kind: PlatformKind) -> tuple[str, ...]:
+    """Paper Table 1: the gray blocks each platform adds to Figure 1."""
+    return {
+        PlatformKind.SMP: ("A",),
+        PlatformKind.COW: ("B", "C"),
+        PlatformKind.CLUMP: ("A", "B", "C"),
+    }[kind]
+
+
+class LevelKind(str, Enum):
+    """Which of Figure 1's five access classes a level belongs to."""
+
+    CACHE = "cache"
+    L2_CACHE = "L2 cache"
+    PEER_CACHE = "peer cache"
+    LOCAL_MEMORY = "local memory"
+    REMOTE_MEMORY = "remote memory"
+    LOCAL_DISK = "local disk"
+    REMOTE_DISK = "remote disk"
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the modeled hierarchy.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in reports.
+    kind:
+        Structural classification (Figure 1 access class).
+    boundary_items:
+        Stack distance (in 64-byte items) beyond which a reference
+        reaches this level.  The additive AMAT model charges this level's
+        cost to every reference whose distance exceeds the boundary.
+    tau_cycles:
+        Additional uncontended access cost in cycles.
+    population:
+        Number of agents whose traffic contends for the resource serving
+        this level (M/D/1 population; 1 means contention-free).
+    rate_fraction:
+        Fraction of the past-boundary traffic actually served here --
+        used to split one boundary between local and remote disks.
+    """
+
+    name: str
+    kind: LevelKind
+    boundary_items: float
+    tau_cycles: float
+    population: int
+    rate_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.boundary_items < 0:
+            raise ValueError(f"boundary must be non-negative, got {self.boundary_items!r}")
+        if self.tau_cycles < 0:
+            raise ValueError(f"tau must be non-negative, got {self.tau_cycles!r}")
+        if self.population < 1:
+            raise ValueError(f"population must be >= 1, got {self.population!r}")
+        if not (0.0 <= self.rate_fraction <= 1.0):
+            raise ValueError(f"rate_fraction must be in [0, 1], got {self.rate_fraction!r}")
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """A platform's memory hierarchy as seen by one processor."""
+
+    platform: PlatformKind
+    base_cycles: float
+    levels: tuple[MemoryLevel, ...]
+    barrier_population: int
+    total_processes: int
+
+    def __post_init__(self) -> None:
+        if self.base_cycles < 0:
+            raise ValueError("base access time must be non-negative")
+        if self.barrier_population < 1:
+            raise ValueError("barrier population must be >= 1")
+        if self.total_processes < 1:
+            raise ValueError("total process count must be >= 1")
+        boundaries = [lv.boundary_items for lv in self.levels]
+        if any(b2 < b1 for b1, b2 in zip(boundaries, boundaries[1:])):
+            raise ValueError("level boundaries must be non-decreasing")
+
+    @property
+    def length(self) -> int:
+        """The paper's k: number of distinct access levels incl. the cache."""
+        return 1 + len(self.levels)
+
+    def describe(self) -> str:
+        """Render the hierarchy as text (the reproducible content of Fig. 1)."""
+        lines = [
+            f"{self.platform.value} -- {self.total_processes} process(es), "
+            f"hierarchy length k={self.length}",
+            f"  level 1: cache hit                      tau={self.base_cycles:g} cycles",
+        ]
+        for i, lv in enumerate(self.levels, start=2):
+            frac = "" if lv.rate_fraction == 1.0 else f" x{lv.rate_fraction:.3g} of traffic"
+            lines.append(
+                f"  level {i}: {lv.name:<28s} beyond {lv.boundary_items:,.0f} items, "
+                f"+{lv.tau_cycles:g} cycles, {lv.population} sharer(s){frac}"
+            )
+        lines.append(f"  barriers: max over {self.barrier_population} process(es)")
+        return "\n".join(lines)
+
+
+def _effective_cache(cache_items: float, factor: float) -> float:
+    """Associativity-derated cache capacity the stack model should use.
+
+    The analytical model assumes fully-associative LRU; the simulated
+    (and the paper's) caches are two-way set-associative and suffer
+    conflict misses a stack model cannot see.  A factor below 1 shrinks
+    the modeled cache to its conflict-equivalent capacity (a classic
+    rule of thumb is ~0.5 for two-way); 1.0 is the paper's raw model.
+    """
+    if not (0.0 < factor <= 1.0):
+        raise ValueError(f"cache_capacity_factor must be in (0, 1], got {factor!r}")
+    return max(1.0, cache_items * factor)
+
+
+def _switch_population(n_per_node: int) -> int:
+    """Effective M/D/1 population at one node of a switched network.
+
+    A switch provides contention-free pairwise paths, so queueing happens
+    at the destination memory module.  With uniform remote traffic the
+    aggregate rate arriving at one node equals the rate one node emits
+    (n_per_node processor streams), i.e. the interference seen by a
+    request equals ``n_per_node`` extra streams -> population n+1.
+    """
+    return n_per_node + 1
+
+
+def _l2_level(l2_items: float, boundary: float, sharers: int, latencies: LatencyTable) -> MemoryLevel:
+    """Shared second-level cache (extension; see LatencyTable.l2_hit)."""
+    return MemoryLevel(
+        name="shared L2 cache",
+        kind=LevelKind.L2_CACHE,
+        boundary_items=boundary,
+        tau_cycles=latencies.l2_hit,
+        population=sharers,
+    )
+
+
+def smp_hierarchy(
+    n: int,
+    cache_items: float,
+    memory_items: float,
+    latencies: LatencyTable,
+    include_peer_cache: bool = False,
+    cache_capacity_factor: float = 1.0,
+    l2_items: float | None = None,
+) -> MemoryHierarchy:
+    """Hierarchy of a single bus-based SMP (paper Eq. 11 structure).
+
+    Levels: cache -> [optional peer caches] -> shared memory (bus, n
+    sharers) -> disk (I/O bus, n sharers).  ``include_peer_cache`` adds
+    the 15-cycle cache-to-cache level the simulator has but the paper's
+    analytical formula omits; it is off by default for fidelity.
+    """
+    if n < 1:
+        raise ValueError(f"SMP needs n >= 1 processors, got {n}")
+    if memory_items <= cache_items:
+        raise ValueError("memory must be larger than the cache")
+    cache_items = _effective_cache(cache_items, cache_capacity_factor)
+    levels: list[MemoryLevel] = []
+    memory_boundary = cache_items
+    if include_peer_cache and n > 1:
+        levels.append(
+            MemoryLevel(
+                name="peer caches (bus snoop)",
+                kind=LevelKind.PEER_CACHE,
+                boundary_items=cache_items,
+                tau_cycles=latencies.remote_cache_smp,
+                population=n,
+            )
+        )
+        memory_boundary = n * cache_items
+    if l2_items is not None:
+        if l2_items <= memory_boundary or l2_items >= memory_items:
+            raise ValueError("L2 must sit strictly between the caches and memory")
+        levels.append(_l2_level(l2_items, memory_boundary, n, latencies))
+        memory_boundary = l2_items
+    levels.append(
+        MemoryLevel(
+            name="shared memory (memory bus)",
+            kind=LevelKind.LOCAL_MEMORY,
+            boundary_items=memory_boundary,
+            tau_cycles=latencies.cache_to_memory,
+            population=n,
+        )
+    )
+    levels.append(
+        MemoryLevel(
+            name="local disk (I/O bus)",
+            kind=LevelKind.LOCAL_DISK,
+            boundary_items=memory_items,
+            tau_cycles=latencies.memory_to_disk,
+            population=n,
+        )
+    )
+    return MemoryHierarchy(
+        platform=PlatformKind.SMP,
+        base_cycles=latencies.cache_hit,
+        levels=tuple(levels),
+        barrier_population=n,
+        total_processes=n,
+    )
+
+
+def cow_hierarchy(
+    N: int,
+    cache_items: float,
+    memory_items: float,
+    network: NetworkKind,
+    latencies: LatencyTable,
+    remote_cached_fraction: float = 0.0,
+    cache_capacity_factor: float = 1.0,
+    l2_items: float | None = None,
+) -> MemoryHierarchy:
+    """Hierarchy of a cluster of N uniprocessor workstations.
+
+    Levels: cache -> local memory (contention-free) -> remote memory
+    (cluster network) -> disks (local/remote split).  On a bus network
+    every processor's remote traffic crosses one shared medium
+    (population N); on a switch, contention is only at the destination
+    module (population 2).  ``remote_cached_fraction`` routes that share
+    of remote traffic to the dearer remotely-cached-data cost.
+    """
+    if N < 2:
+        raise ValueError(f"a cluster needs N >= 2 machines, got {N}")
+    if memory_items <= cache_items:
+        raise ValueError("memory must be larger than the cache")
+    cache_items = _effective_cache(cache_items, cache_capacity_factor)
+    lat = latencies.with_network(network, clump=False)
+    net_population = N if network.is_bus else _switch_population(1)
+    remote_fraction = 1.0 - remote_cached_fraction
+    local_boundary = cache_items
+    levels = []
+    if l2_items is not None:
+        if l2_items <= cache_items or l2_items >= memory_items:
+            raise ValueError("L2 must sit strictly between the cache and memory")
+        levels.append(_l2_level(l2_items, cache_items, 1, lat))
+        local_boundary = l2_items
+    levels += [
+        MemoryLevel(
+            name="local memory",
+            kind=LevelKind.LOCAL_MEMORY,
+            boundary_items=local_boundary,
+            tau_cycles=lat.cache_to_memory,
+            population=1,
+        ),
+        MemoryLevel(
+            name=f"remote memory ({network.value})",
+            kind=LevelKind.REMOTE_MEMORY,
+            boundary_items=memory_items,
+            tau_cycles=lat.remote_node,
+            population=net_population,
+            rate_fraction=remote_fraction,
+        ),
+    ]
+    if remote_cached_fraction > 0.0:
+        levels.append(
+            MemoryLevel(
+                name=f"remotely cached data ({network.value})",
+                kind=LevelKind.REMOTE_MEMORY,
+                boundary_items=memory_items,
+                tau_cycles=lat.remote_cached,
+                population=net_population,
+                rate_fraction=remote_cached_fraction,
+            )
+        )
+    aggregate_memory = N * memory_items
+    levels.append(
+        MemoryLevel(
+            name="local disk",
+            kind=LevelKind.LOCAL_DISK,
+            boundary_items=aggregate_memory,
+            tau_cycles=lat.memory_to_disk,
+            population=1,
+            rate_fraction=1.0 / N,
+        )
+    )
+    levels.append(
+        MemoryLevel(
+            name=f"remote disks ({network.value})",
+            kind=LevelKind.REMOTE_DISK,
+            boundary_items=aggregate_memory,
+            tau_cycles=lat.memory_to_disk + lat.remote_disk_extra,
+            population=net_population,
+            rate_fraction=(N - 1) / N,
+        )
+    )
+    return MemoryHierarchy(
+        platform=PlatformKind.COW,
+        base_cycles=lat.cache_hit,
+        levels=tuple(levels),
+        barrier_population=N,
+        total_processes=N,
+    )
+
+
+def clump_hierarchy(
+    n: int,
+    N: int,
+    cache_items: float,
+    memory_items: float,
+    network: NetworkKind,
+    latencies: LatencyTable,
+    include_peer_cache: bool = False,
+    remote_cached_fraction: float = 0.0,
+    cache_capacity_factor: float = 1.0,
+    l2_items: float | None = None,
+) -> MemoryHierarchy:
+    """Hierarchy of a cluster of N SMPs with n processors each.
+
+    Combines the SMP's intra-node levels (shared memory bus, optional
+    peer caches) with the COW's inter-node levels (remote memory over the
+    cluster network, disk split).  Bus networks are shared by all n*N
+    processors; a switch queues only at the destination SMP (population
+    n + 1).
+    """
+    if n < 2:
+        raise ValueError(f"a cluster of SMPs needs n >= 2 per node, got {n}")
+    if N < 2:
+        raise ValueError(f"a cluster needs N >= 2 machines, got {N}")
+    if memory_items <= cache_items:
+        raise ValueError("memory must be larger than the cache")
+    cache_items = _effective_cache(cache_items, cache_capacity_factor)
+    lat = latencies.with_network(network, clump=True)
+    total = n * N
+    net_population = total if network.is_bus else _switch_population(n)
+    levels: list[MemoryLevel] = []
+    memory_boundary = cache_items
+    if include_peer_cache:
+        levels.append(
+            MemoryLevel(
+                name="peer caches (SMP snoop)",
+                kind=LevelKind.PEER_CACHE,
+                boundary_items=cache_items,
+                tau_cycles=lat.remote_cache_smp,
+                population=n,
+            )
+        )
+        memory_boundary = n * cache_items
+    if l2_items is not None:
+        if l2_items <= memory_boundary or l2_items >= memory_items:
+            raise ValueError("L2 must sit strictly between the caches and memory")
+        levels.append(_l2_level(l2_items, memory_boundary, n, lat))
+        memory_boundary = l2_items
+    levels.append(
+        MemoryLevel(
+            name="SMP shared memory (memory bus)",
+            kind=LevelKind.LOCAL_MEMORY,
+            boundary_items=memory_boundary,
+            tau_cycles=lat.cache_to_memory,
+            population=n,
+        )
+    )
+    remote_fraction = 1.0 - remote_cached_fraction
+    levels.append(
+        MemoryLevel(
+            name=f"remote SMP memory ({network.value})",
+            kind=LevelKind.REMOTE_MEMORY,
+            boundary_items=memory_items,
+            tau_cycles=lat.remote_node,
+            population=net_population,
+            rate_fraction=remote_fraction,
+        )
+    )
+    if remote_cached_fraction > 0.0:
+        levels.append(
+            MemoryLevel(
+                name=f"remotely cached data ({network.value})",
+                kind=LevelKind.REMOTE_MEMORY,
+                boundary_items=memory_items,
+                tau_cycles=lat.remote_cached,
+                population=net_population,
+                rate_fraction=remote_cached_fraction,
+            )
+        )
+    aggregate_memory = N * memory_items
+    levels.append(
+        MemoryLevel(
+            name="local disk (I/O bus)",
+            kind=LevelKind.LOCAL_DISK,
+            boundary_items=aggregate_memory,
+            tau_cycles=lat.memory_to_disk,
+            population=n,
+            rate_fraction=1.0 / N,
+        )
+    )
+    levels.append(
+        MemoryLevel(
+            name=f"remote disks ({network.value})",
+            kind=LevelKind.REMOTE_DISK,
+            boundary_items=aggregate_memory,
+            tau_cycles=lat.memory_to_disk + lat.remote_disk_extra,
+            population=net_population,
+            rate_fraction=(N - 1) / N,
+        )
+    )
+    return MemoryHierarchy(
+        platform=PlatformKind.CLUMP,
+        base_cycles=lat.cache_hit,
+        levels=tuple(levels),
+        barrier_population=total,
+        total_processes=total,
+    )

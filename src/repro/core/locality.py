@@ -1,0 +1,163 @@
+"""Stack-distance locality model (paper Eqs. 1-2 and the n-processor rescaling).
+
+The paper characterizes a program's temporal locality by the distribution
+of *LRU stack distances*: the stack distance of a reference is the number
+of unique data items touched since the previous reference to the same
+item.  The cumulative distribution is modeled as the power law
+
+    P(x) = 1 - (x / beta + 1)^(1 - alpha),        alpha > 1, beta > 0,
+
+so the density is  p(x) = ((alpha - 1) / beta) * (x / beta + 1)^(-alpha).
+
+``P(s)`` is exactly the hit ratio of a fully-associative LRU cache of
+capacity ``s`` items, which is how the model converts memory-level sizes
+into per-level access probabilities.  Locality improves as ``alpha``
+grows or ``beta`` shrinks.
+
+When the same program runs SPMD on ``n`` processors, the paper observes
+that each process touches roughly ``1/n`` of the data, so the maximum
+stack distance contracts by ``n`` at unchanged cumulative probability:
+
+    P_n(x) = 1 - (n * x / beta + 1)^(1 - alpha),
+
+which is the same law with ``beta' = beta / n`` -- see
+:meth:`StackDistanceModel.rescaled`.
+
+Distances are dimensionless "unique items"; this library consistently
+uses one 64-byte cache line per item (see :data:`repro.sim.latencies.ITEM_BYTES`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["StackDistanceModel"]
+
+
+@dataclass(frozen=True)
+class StackDistanceModel:
+    """Power-law LRU stack-distance distribution with parameters (alpha, beta).
+
+    Parameters
+    ----------
+    alpha:
+        Tail exponent, must exceed 1.  Larger ``alpha`` means lighter
+        tails, i.e. better locality.
+    beta:
+        Scale parameter in items, must be positive.  Smaller ``beta``
+        means better locality.  The paper requires ``beta > 1`` for
+        fitted workloads; rescaled models (``beta / n``) may legally drop
+        below 1, so only positivity is enforced here.
+    max_distance:
+        Optional truncation point: the largest stack distance the
+        program actually exhibits (its per-process footprint).  A real
+        trace has no reuse beyond its footprint, so ``tail(s)`` is
+        clamped to zero for ``s >= max_distance`` -- without this, the
+        fitted power law extrapolates phantom traffic to arbitrarily
+        slow hierarchy levels (disks) that the program never touches.
+        ``None`` (the paper's raw Eq. 1) disables truncation.
+    """
+
+    alpha: float
+    beta: float
+    max_distance: float | None = None
+
+    def __post_init__(self) -> None:
+        if not (self.alpha > 1.0):
+            raise ValueError(f"alpha must be > 1, got {self.alpha!r}")
+        if not (self.beta > 0.0):
+            raise ValueError(f"beta must be > 0, got {self.beta!r}")
+        if not (math.isfinite(self.alpha) and math.isfinite(self.beta)):
+            raise ValueError("alpha and beta must be finite")
+        if self.max_distance is not None and not (self.max_distance > 0.0):
+            raise ValueError(f"max_distance must be positive, got {self.max_distance!r}")
+
+    # ------------------------------------------------------------------
+    # Distribution functions
+    # ------------------------------------------------------------------
+    def cdf(self, x):
+        """P(x): probability that a reference has stack distance <= x.
+
+        Equals the hit ratio of a fully-associative LRU cache holding
+        ``x`` items.  Accepts scalars or numpy arrays; negative ``x``
+        yields 0.  Beyond ``max_distance`` the CDF is 1.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        out = 1.0 - np.power(np.maximum(x, 0.0) / self.beta + 1.0, 1.0 - self.alpha)
+        if self.max_distance is not None:
+            out = np.where(x >= self.max_distance, 1.0, out)
+        return out if out.ndim else float(out)
+
+    def pdf(self, x):
+        """p(x): density of references at stack distance x (0 for x < 0)."""
+        x = np.asarray(x, dtype=np.float64)
+        base = np.power(np.maximum(x, 0.0) / self.beta + 1.0, -self.alpha)
+        out = np.where(x < 0.0, 0.0, (self.alpha - 1.0) / self.beta * base)
+        return out if out.ndim else float(out)
+
+    def tail(self, s):
+        """Survival function: fraction of references with distance > s.
+
+        This is the *miss ratio* of an ``s``-item LRU cache and the key
+        quantity the execution model needs: the probability that a
+        reference travels past a memory level of capacity ``s``.  Zero
+        beyond ``max_distance`` (a level big enough for the whole
+        footprint sees no capacity traffic).
+        """
+        s = np.asarray(s, dtype=np.float64)
+        out = np.power(np.maximum(s, 0.0) / self.beta + 1.0, 1.0 - self.alpha)
+        if self.max_distance is not None:
+            out = np.where(s >= self.max_distance, 0.0, out)
+        return out if out.ndim else float(out)
+
+    def quantile(self, q):
+        """Inverse CDF: the stack distance not exceeded with probability q."""
+        q = np.asarray(q, dtype=np.float64)
+        if np.any((q < 0.0) | (q >= 1.0)):
+            raise ValueError("quantile requires 0 <= q < 1")
+        out = self.beta * (np.power(1.0 - q, 1.0 / (1.0 - self.alpha)) - 1.0)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        """Mean stack distance; finite only when alpha > 2.
+
+        Integrating the tail: E[X] = beta / (alpha - 2) for alpha > 2,
+        infinite otherwise (the paper's fitted workloads all have
+        alpha < 2, i.e. infinite-mean heavy tails).
+        """
+        if self.alpha <= 2.0:
+            return math.inf
+        return self.beta / (self.alpha - 2.0)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def rescaled(self, n: int) -> "StackDistanceModel":
+        """Return the distribution seen by each of ``n`` SPMD processes.
+
+        Implements the paper's approximation P_n(x) = 1 - (n x / beta + 1)^(1-alpha):
+        partitioning the data over ``n`` processes contracts stack
+        distances by ``n``, leaving cumulative probabilities unchanged.
+        """
+        if n < 1 or n != int(n):
+            raise ValueError(f"process count must be a positive integer, got {n!r}")
+        if n == 1:
+            return self
+        max_d = self.max_distance / int(n) if self.max_distance is not None else None
+        return replace(self, beta=self.beta / int(n), max_distance=max_d)
+
+    # ------------------------------------------------------------------
+    # Sampling (used by the synthetic workload generator)
+    # ------------------------------------------------------------------
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` stack distances by inverse-transform sampling."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        u = rng.random(size)
+        return self.beta * (np.power(1.0 - u, 1.0 / (1.0 - self.alpha)) - 1.0)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StackDistanceModel(alpha={self.alpha:.4g}, beta={self.beta:.4g})"

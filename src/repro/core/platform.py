@@ -1,0 +1,216 @@
+"""Platform specification: the architecture-parameter bundle of the model.
+
+A :class:`PlatformSpec` captures everything the paper calls "architecture
+parameters": machine count ``N``, processors per machine ``n``, CPU
+speed, per-level capacities, and the cluster network.  It knows how to
+build its :class:`~repro.core.hierarchy.MemoryHierarchy` and its own
+classification (Table 1), and is the unit the cost optimizer enumerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.core.hierarchy import (
+    MemoryHierarchy,
+    PlatformKind,
+    clump_hierarchy,
+    cow_hierarchy,
+    smp_hierarchy,
+)
+from repro.sim.latencies import CPU_HZ, ITEM_BYTES, LatencyTable, NetworkKind, PAPER_LATENCIES
+
+__all__ = ["NetworkTopology", "NetworkSpec", "PlatformSpec"]
+
+
+class NetworkTopology(str, Enum):
+    """Shared-medium bus versus switched point-to-point fabric."""
+
+    BUS = "bus"
+    SWITCH = "switch"
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A cluster network choice with its derived properties."""
+
+    kind: NetworkKind
+
+    @property
+    def topology(self) -> NetworkTopology:
+        return NetworkTopology.BUS if self.kind.is_bus else NetworkTopology.SWITCH
+
+    @property
+    def bandwidth_mbps(self) -> int:
+        return self.kind.bandwidth_mbps
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A concrete parallel platform (one row of the paper's Tables 3-5).
+
+    Parameters
+    ----------
+    name:
+        Label, e.g. ``"C7"``.
+    n:
+        Processors per machine (1 for a workstation).
+    N:
+        Machines in the cluster (1 for a single SMP).
+    cache_bytes:
+        Per-processor cache capacity.
+    memory_bytes:
+        Per-machine main-memory capacity.
+    network:
+        Cluster interconnect; required when ``N > 1``, must be ``None``
+        for a single machine.
+    cpu_hz:
+        Clock rate; instructions execute at one per cycle (paper 5.1).
+    latencies:
+        Uncontended per-edge costs; defaults to the paper's Section 5.1
+        table.
+    """
+
+    name: str
+    n: int
+    N: int
+    cache_bytes: int
+    memory_bytes: int
+    network: NetworkKind | None = None
+    cpu_hz: float = CPU_HZ
+    latencies: LatencyTable = field(default=PAPER_LATENCIES)
+    #: Cache associativity used by the simulator (the paper's caches are
+    #: two-way); the analytical model is associativity-blind and exposes
+    #: ``cache_capacity_factor`` instead.
+    cache_ways: int = 2
+    #: Optional per-machine shared L2 capacity (extension: lengthens the
+    #: hierarchy by one level; the paper's 1999 platforms have none).
+    l2_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if self.N < 1:
+            raise ValueError(f"N must be >= 1, got {self.N}")
+        if self.n == 1 and self.N == 1:
+            raise ValueError("a 1x1 platform is a plain uniprocessor; the paper's platforms are parallel (use n>1 or N>1)")
+        if self.cache_bytes < ITEM_BYTES:
+            raise ValueError(f"cache must hold at least one {ITEM_BYTES}-byte line")
+        if self.memory_bytes <= self.cache_bytes:
+            raise ValueError("memory must be larger than the cache")
+        if self.N > 1 and self.network is None:
+            raise ValueError("a multi-machine cluster needs a network")
+        if self.N == 1 and self.network is not None:
+            raise ValueError("a single SMP has no cluster network")
+        if self.cpu_hz <= 0:
+            raise ValueError("cpu_hz must be positive")
+        if self.cache_ways < 1:
+            raise ValueError("cache_ways must be >= 1")
+        if self.l2_bytes is not None and not (
+            self.cache_bytes < self.l2_bytes < self.memory_bytes
+        ):
+            raise ValueError("l2_bytes must sit strictly between cache and memory")
+
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> PlatformKind:
+        """Table 1 classification from the (n, N) shape."""
+        if self.N == 1:
+            return PlatformKind.SMP
+        return PlatformKind.COW if self.n == 1 else PlatformKind.CLUMP
+
+    @property
+    def total_processors(self) -> int:
+        return self.n * self.N
+
+    @property
+    def cache_items(self) -> int:
+        """Cache capacity in 64-byte stack-distance items."""
+        return self.cache_bytes // ITEM_BYTES
+
+    @property
+    def memory_items(self) -> int:
+        """Per-machine memory capacity in items."""
+        return self.memory_bytes // ITEM_BYTES
+
+    @property
+    def l2_items(self) -> int | None:
+        """Shared-L2 capacity in items, if the platform has one."""
+        return self.l2_bytes // ITEM_BYTES if self.l2_bytes is not None else None
+
+    @property
+    def cycle_seconds(self) -> float:
+        return 1.0 / self.cpu_hz
+
+    # ------------------------------------------------------------------
+    def hierarchy(
+        self,
+        include_peer_cache: bool = False,
+        remote_cached_fraction: float = 0.0,
+        cache_capacity_factor: float = 1.0,
+    ) -> MemoryHierarchy:
+        """Build the modeled memory hierarchy for this platform."""
+        kind = self.kind
+        if kind is PlatformKind.SMP:
+            return smp_hierarchy(
+                n=self.n,
+                cache_items=self.cache_items,
+                memory_items=self.memory_items,
+                latencies=self.latencies,
+                include_peer_cache=include_peer_cache,
+                cache_capacity_factor=cache_capacity_factor,
+                l2_items=self.l2_items,
+            )
+        assert self.network is not None
+        if kind is PlatformKind.COW:
+            return cow_hierarchy(
+                N=self.N,
+                cache_items=self.cache_items,
+                memory_items=self.memory_items,
+                network=self.network,
+                latencies=self.latencies,
+                remote_cached_fraction=remote_cached_fraction,
+                cache_capacity_factor=cache_capacity_factor,
+                l2_items=self.l2_items,
+            )
+        return clump_hierarchy(
+            n=self.n,
+            N=self.N,
+            cache_items=self.cache_items,
+            memory_items=self.memory_items,
+            network=self.network,
+            latencies=self.latencies,
+            include_peer_cache=include_peer_cache,
+            remote_cached_fraction=remote_cached_fraction,
+            cache_capacity_factor=cache_capacity_factor,
+            l2_items=self.l2_items,
+        )
+
+    def scaled(self, size_divisor: int) -> "PlatformSpec":
+        """Return a copy with cache and memory shrunk by ``size_divisor``.
+
+        Used to run the paper's configurations against laptop-scale
+        application problem sizes while preserving all capacity ratios
+        (DESIGN.md substitution 2).
+        """
+        if size_divisor < 1:
+            raise ValueError("size_divisor must be >= 1")
+        return replace(
+            self,
+            name=f"{self.name}/{size_divisor}" if size_divisor > 1 else self.name,
+            cache_bytes=max(ITEM_BYTES, self.cache_bytes // size_divisor),
+            memory_bytes=max(2 * ITEM_BYTES, self.memory_bytes // size_divisor),
+        )
+
+    def describe(self) -> str:
+        """One-line summary in the style of the paper's config tables."""
+        net = f", {self.network.value}" if self.network else ""
+        return (
+            f"{self.name}: {self.kind.value}, n={self.n}, N={self.N}, "
+            f"cache {self.cache_bytes // 1024}KB, memory {self.memory_bytes // 1024}KB"
+            f"{net}, {self.cpu_hz / 1e6:.0f} MHz"
+        )

@@ -1,0 +1,111 @@
+"""Model-versus-simulation comparison utilities (Figures 2-4 methodology).
+
+The paper validates its model by running each application on each
+platform configuration twice -- once through the analytical model, once
+through the program-driven simulator -- and reporting the relative
+difference (< 5% on SMPs, < 10% on COWs, < 8% on CLUMPs).  This module
+provides the error metrics and a tabular comparison container used by
+the experiment harness and the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "relative_error",
+    "max_relative_error",
+    "mean_relative_error",
+    "ComparisonRow",
+    "compare",
+    "format_table",
+]
+
+
+def relative_error(modeled: float, simulated: float) -> float:
+    """|modeled - simulated| / simulated (the paper's difference metric)."""
+    if simulated <= 0:
+        raise ValueError(f"simulated value must be positive, got {simulated!r}")
+    return abs(modeled - simulated) / simulated
+
+
+def max_relative_error(modeled: Sequence[float], simulated: Sequence[float]) -> float:
+    """Worst-case relative error over paired observations."""
+    m = np.asarray(modeled, dtype=np.float64)
+    s = np.asarray(simulated, dtype=np.float64)
+    if m.shape != s.shape or m.size == 0:
+        raise ValueError("need equal-length, non-empty sequences")
+    if np.any(s <= 0):
+        raise ValueError("simulated values must be positive")
+    return float(np.max(np.abs(m - s) / s))
+
+
+def mean_relative_error(modeled: Sequence[float], simulated: Sequence[float]) -> float:
+    """Average relative error over paired observations."""
+    m = np.asarray(modeled, dtype=np.float64)
+    s = np.asarray(simulated, dtype=np.float64)
+    if m.shape != s.shape or m.size == 0:
+        raise ValueError("need equal-length, non-empty sequences")
+    if np.any(s <= 0):
+        raise ValueError("simulated values must be positive")
+    return float(np.mean(np.abs(m - s) / s))
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One (application, configuration) cell of a Figure 2/3/4 series."""
+
+    application: str
+    configuration: str
+    modeled: float  #: E(Instr), seconds
+    simulated: float  #: E(Instr), seconds
+
+    @property
+    def error(self) -> float:
+        return relative_error(self.modeled, self.simulated)
+
+
+def compare(
+    applications: Iterable[str],
+    configurations: Iterable[str],
+    modeled: dict[tuple[str, str], float],
+    simulated: dict[tuple[str, str], float],
+) -> list[ComparisonRow]:
+    """Zip model and simulator results into comparison rows.
+
+    Missing (application, configuration) pairs raise ``KeyError`` --
+    a validation figure with holes is a bug, not a result.
+    """
+    rows = []
+    for app in applications:
+        for cfg in configurations:
+            key = (app, cfg)
+            rows.append(
+                ComparisonRow(
+                    application=app,
+                    configuration=cfg,
+                    modeled=modeled[key],
+                    simulated=simulated[key],
+                )
+            )
+    return rows
+
+
+def format_table(rows: Sequence[ComparisonRow], time_unit: float = 1e-9, unit_label: str = "ns") -> str:
+    """Render comparison rows the way the paper's figures tabulate them."""
+    if not rows:
+        return "(no rows)"
+    header = f"{'application':<12s} {'config':<10s} {'model':>12s} {'simulated':>12s} {'diff':>8s}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.application:<12s} {r.configuration:<10s} "
+            f"{r.modeled / time_unit:>10.3f}{unit_label} {r.simulated / time_unit:>10.3f}{unit_label} "
+            f"{100 * r.error:>7.2f}%"
+        )
+    worst = max(r.error for r in rows)
+    lines.append(f"worst-case difference: {100 * worst:.2f}%")
+    return "\n".join(lines)

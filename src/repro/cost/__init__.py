@@ -1,0 +1,40 @@
+"""Cost model and cluster-design optimization (paper Eqs. 5-6, Section 6).
+
+Turns the performance model into the paper's two design tools: pick the
+cluster configuration minimizing E(Instr) under a budget, and pick the
+best way to spend a budget *increase* on an existing cluster.  Prices
+come from a synthetic 1999 catalog (the paper never prints its price
+table -- DESIGN.md substitution 4); every price is plain data the user
+can override.
+"""
+
+from repro.cost.catalog import PriceCatalog, DEFAULT_CATALOG
+from repro.cost.model import cluster_cost, machine_cost, network_cost
+from repro.cost.configspace import CandidateSpace, enumerate_configurations
+from repro.cost.optimizer import (
+    DesignResult,
+    RankedConfiguration,
+    UpgradeResult,
+    optimize_cluster,
+    optimize_upgrade,
+)
+from repro.cost.recommend import Recommendation, WorkloadClass, classify_workload, recommend
+
+__all__ = [
+    "CandidateSpace",
+    "DEFAULT_CATALOG",
+    "DesignResult",
+    "PriceCatalog",
+    "RankedConfiguration",
+    "Recommendation",
+    "UpgradeResult",
+    "WorkloadClass",
+    "classify_workload",
+    "cluster_cost",
+    "enumerate_configurations",
+    "machine_cost",
+    "network_cost",
+    "optimize_cluster",
+    "optimize_upgrade",
+    "recommend",
+]

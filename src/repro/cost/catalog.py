@@ -1,0 +1,99 @@
+"""Synthetic circa-1999 price catalog (DESIGN.md substitution 4).
+
+The paper's case studies assume "current market prices" it never
+tabulates.  This catalog encodes plausible early-1999 street prices,
+chosen so the paper's qualitative outcomes are expressible:
+
+* a $5,000 budget "can only financially cover a cluster of workstations
+  rather than SMPs" -- so a 2-way SMP node lands above $5,000;
+* ATM adapters+ports are drastically dearer than Ethernet, yet a
+  3-node ATM cluster must fit where a 4-node Ethernet cluster fits
+  (the FFT case: 4 x (200 MHz, 64 MB) Ethernet ~= 3 x (200 MHz, 32 MB)
+  ATM in price);
+* memory is roughly $1/MB and dominates generously-sized nodes.
+
+Everything here is data: pass your own :class:`PriceCatalog` to the
+optimizer to model a different market or era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.latencies import NetworkKind
+
+__all__ = ["PriceCatalog", "DEFAULT_CATALOG"]
+
+
+@dataclass(frozen=True)
+class PriceCatalog:
+    """Component prices in dollars."""
+
+    #: Uniprocessor workstation base (200 MHz CPU, chassis, disk, no RAM).
+    workstation_base: float = 1_000.0
+    #: Extra per additional CPU in an SMP node (CPU + board share).
+    smp_cpu: float = 1_500.0
+    #: SMP chassis premium over a workstation (multiprocessor board,
+    #: bus, bigger PSU) -- grows with socket count.  Sized so a 2-way
+    #: SMP node (~$5,900) sits above the paper's $5,000 Case-1 budget.
+    smp_chassis_per_socket: float = 1_600.0
+    #: Main memory, per megabyte.
+    memory_per_mb: float = 1.0
+    #: Cache options: per-processor price by cache size in KB.
+    cache_prices: dict = field(
+        default_factory=lambda: {256: 80.0, 512: 200.0}
+    )
+    #: Optional per-machine shared-L2 modules: price by size in KB
+    #: (1999-era SRAM COAST modules; the hierarchy-length extension).
+    l2_prices: dict = field(
+        default_factory=lambda: {1024: 180.0, 2048: 340.0}
+    )
+    #: Per-machine network cost (adapter + hub/switch-port share).
+    network_prices: dict = field(
+        default_factory=lambda: {
+            NetworkKind.ETHERNET_10: 45.0,
+            NetworkKind.ETHERNET_100: 140.0,
+            NetworkKind.ATM_155: 475.0,
+        }
+    )
+
+    def cache_price(self, cache_kb: int) -> float:
+        """Price of one processor's cache module."""
+        try:
+            return self.cache_prices[cache_kb]
+        except KeyError:
+            raise KeyError(
+                f"no cache option of {cache_kb}KB in the catalog; "
+                f"available: {sorted(self.cache_prices)}"
+            ) from None
+
+    def l2_price(self, l2_kb: int | None) -> float:
+        """Price of a shared-L2 module; zero when the platform has none."""
+        if l2_kb is None:
+            return 0.0
+        try:
+            return self.l2_prices[l2_kb]
+        except KeyError:
+            raise KeyError(
+                f"no L2 option of {l2_kb}KB in the catalog; "
+                f"available: {sorted(self.l2_prices)}"
+            ) from None
+
+    def network_price(self, network: NetworkKind) -> float:
+        """Per-machine price of connecting to the given network."""
+        try:
+            return self.network_prices[network]
+        except KeyError:
+            raise KeyError(f"no price for network {network!r}") from None
+
+    @property
+    def cache_options_kb(self) -> tuple[int, ...]:
+        return tuple(sorted(self.cache_prices))
+
+    @property
+    def network_options(self) -> tuple[NetworkKind, ...]:
+        return tuple(self.network_prices)
+
+
+#: The library's default 1999 market.
+DEFAULT_CATALOG = PriceCatalog()

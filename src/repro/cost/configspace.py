@@ -1,0 +1,119 @@
+"""Configuration-space generation (the paper's supporting tool (3)).
+
+"A tool to support the generation of all possible cluster
+configurations meeting the budget requirements."  The space is the
+cross product of machine counts, processors per machine, cache options,
+memory sizes and networks; the paper notes the integer domain is small
+in practice (n <= 4, modest N), so plain enumeration is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.platform import PlatformSpec
+from repro.cost.catalog import PriceCatalog
+from repro.cost.model import cluster_cost
+from repro.sim.latencies import CPU_HZ, NetworkKind
+
+__all__ = ["CandidateSpace", "enumerate_configurations"]
+
+
+@dataclass(frozen=True)
+class CandidateSpace:
+    """Bounds of the enumeration (defaults follow the paper's market)."""
+
+    max_machines: int = 16
+    processor_counts: tuple[int, ...] = (1, 2, 4)
+    cache_kb_options: tuple[int, ...] = (256, 512)
+    memory_mb_options: tuple[int, ...] = (32, 64, 128)
+    networks: tuple[NetworkKind, ...] = (
+        NetworkKind.ETHERNET_10,
+        NetworkKind.ETHERNET_100,
+        NetworkKind.ATM_155,
+    )
+    #: Shared-L2 options in KB; ``None`` entries mean "no L2".  Empty
+    #: default keeps the paper's 1999 space (no L2 hardware).
+    l2_kb_options: tuple = (None,)
+    cpu_hz: float = CPU_HZ
+    #: Divide cache/memory capacities by this when building the specs --
+    #: lets the cost study run against scaled-down workloads (prices are
+    #: still quoted for the full-size parts).
+    size_scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_machines < 1:
+            raise ValueError("max_machines must be >= 1")
+        if not self.processor_counts or min(self.processor_counts) < 1:
+            raise ValueError("processor_counts must be positive")
+        if self.size_scale < 1:
+            raise ValueError("size_scale must be >= 1")
+
+
+def enumerate_configurations(
+    budget: float,
+    catalog: PriceCatalog | None = None,
+    space: CandidateSpace | None = None,
+) -> Iterator[tuple[PlatformSpec, float]]:
+    """Yield every (platform, price) with price <= budget.
+
+    Machine counts are pruned as soon as the cheapest machine variant no
+    longer fits; parallel platforms only (n*N >= 2), matching the
+    paper's setting.
+    """
+    from repro.cost.catalog import DEFAULT_CATALOG
+
+    catalog = catalog or DEFAULT_CATALOG
+    space = space or CandidateSpace()
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+
+    for n in space.processor_counts:
+        for cache_kb in space.cache_kb_options:
+            for memory_mb in space.memory_mb_options:
+                for l2_kb in space.l2_kb_options:
+                    for N in range(1, space.max_machines + 1):
+                        if n * N < 2:
+                            continue
+                        networks: tuple[NetworkKind | None, ...]
+                        networks = (None,) if N == 1 else space.networks
+                        for net in networks:
+                            spec = PlatformSpec(
+                                name=_config_name(n, N, cache_kb, memory_mb, net, l2_kb),
+                                n=n,
+                                N=N,
+                                cache_bytes=cache_kb * 1024 // space.size_scale,
+                                memory_bytes=memory_mb * 1024 * 1024 // space.size_scale,
+                                network=net,
+                                cpu_hz=space.cpu_hz,
+                                l2_bytes=(
+                                    l2_kb * 1024 // space.size_scale
+                                    if l2_kb is not None
+                                    else None
+                                ),
+                            )
+                            # Price the full-size parts regardless of scaling.
+                            price = cluster_cost(
+                                catalog,
+                                PlatformSpec(
+                                    name=spec.name,
+                                    n=n,
+                                    N=N,
+                                    cache_bytes=cache_kb * 1024,
+                                    memory_bytes=memory_mb * 1024 * 1024,
+                                    network=net,
+                                    cpu_hz=space.cpu_hz,
+                                    l2_bytes=l2_kb * 1024 if l2_kb is not None else None,
+                                ),
+                            )
+                            if price <= budget:
+                                yield spec, price
+
+
+def _config_name(
+    n: int, N: int, cache_kb: int, memory_mb: int, net: NetworkKind | None, l2_kb=None
+) -> str:
+    netpart = f", {net.value}" if net else ""
+    l2part = f"+{l2_kb}KB L2" if l2_kb is not None else ""
+    return f"{N}x(n={n}, {cache_kb}KB{l2part}, {memory_mb}MB{netpart})"

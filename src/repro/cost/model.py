@@ -1,0 +1,51 @@
+"""Cluster cost model (paper Eq. 5).
+
+``C_cluster = N * C_machine(n) + N * C_net``: the price of N identical
+machines plus N network attachments.  A single SMP pays no network cost
+(its memory bus is part of the chassis premium).
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import PlatformSpec
+from repro.cost.catalog import PriceCatalog
+
+__all__ = ["machine_cost", "network_cost", "cluster_cost"]
+
+
+def machine_cost(
+    catalog: PriceCatalog, n: int, cache_kb: int, memory_mb: int, l2_kb: int | None = None
+) -> float:
+    """C_machine(n): one node with n processors, caches, L2 and memory."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if memory_mb < 1:
+        raise ValueError("memory_mb must be >= 1")
+    base = catalog.workstation_base
+    if n > 1:
+        base += n * catalog.smp_chassis_per_socket + (n - 1) * catalog.smp_cpu
+    return (
+        base
+        + n * catalog.cache_price(cache_kb)
+        + catalog.l2_price(l2_kb)
+        + memory_mb * catalog.memory_per_mb
+    )
+
+
+def network_cost(catalog: PriceCatalog, spec: PlatformSpec) -> float:
+    """C_net per machine; zero for a single SMP (no cluster network)."""
+    if spec.network is None:
+        return 0.0
+    return catalog.network_price(spec.network)
+
+
+def cluster_cost(catalog: PriceCatalog, spec: PlatformSpec) -> float:
+    """Eq. 5: total platform price."""
+    per_machine = machine_cost(
+        catalog,
+        n=spec.n,
+        cache_kb=spec.cache_bytes // 1024,
+        memory_mb=max(1, spec.memory_bytes // (1024 * 1024)),
+        l2_kb=spec.l2_bytes // 1024 if spec.l2_bytes is not None else None,
+    )
+    return spec.N * (per_machine + network_cost(catalog, spec))

@@ -1,0 +1,232 @@
+"""Budget-constrained cluster design and upgrade (paper Eq. 6, Section 6).
+
+``optimize_cluster`` solves  minimize E(Instr) s.t. C_cluster <= B  by
+exact enumeration (the paper: "we can determine these integer variables
+and solve the optimization problem by enumerating solutions").
+``optimize_upgrade`` solves the paper's second question -- given an
+existing cluster and a budget increase B', choose the best upgraded
+configuration, constrained to *grow* the current one (same or larger
+n, N, cache, memory; network may be replaced), so the answer is an
+upgrade path rather than a forklift replacement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.execution import ExecutionEstimate, evaluate
+from repro.core.platform import PlatformSpec
+from repro.cost.catalog import DEFAULT_CATALOG, PriceCatalog
+from repro.cost.configspace import CandidateSpace, enumerate_configurations
+from repro.cost.model import cluster_cost
+from repro.workloads.params import WorkloadParams
+
+__all__ = [
+    "ModelOptions",
+    "RankedConfiguration",
+    "DesignResult",
+    "UpgradeResult",
+    "optimize_cluster",
+    "optimize_upgrade",
+]
+
+
+@dataclass(frozen=True)
+class ModelOptions:
+    """How the optimizer invokes the performance model."""
+
+    mode: str = "throttled"
+    remote_rate_adjustment: float = 0.124
+    barrier_scale: float = 1.0
+    cache_capacity_factor: float = 1.0
+    contention_boost: float = 1.0
+    use_sharing: bool = True  #: apply the workload's measured sharing term
+
+
+def _predict(
+    spec: PlatformSpec, workload: WorkloadParams, options: ModelOptions
+) -> ExecutionEstimate:
+    sharing = workload.sharing_at(spec.N) if options.use_sharing else 0.0
+    return evaluate(
+        spec,
+        workload.locality,
+        workload.gamma,
+        remote_rate_adjustment=options.remote_rate_adjustment if spec.N > 1 else 0.0,
+        barrier_scale=options.barrier_scale,
+        on_saturation="inf",
+        mode=options.mode,  # type: ignore[arg-type]
+        sharing_fraction=sharing,
+        sharing_fresh_fraction=workload.sharing_fresh_fraction,
+        cache_capacity_factor=options.cache_capacity_factor,
+        contention_boost=options.contention_boost,
+    )
+
+
+@dataclass(frozen=True)
+class RankedConfiguration:
+    """One feasible configuration with its price and predicted time."""
+
+    spec: PlatformSpec
+    price: float
+    e_instr_seconds: float
+    estimate: ExecutionEstimate
+
+    @property
+    def cost_performance(self) -> float:
+        """Price-time product: lower is more cost-effective."""
+        return self.price * self.e_instr_seconds
+
+
+@dataclass(frozen=True)
+class DesignResult:
+    """Outcome of a budget optimization."""
+
+    workload: WorkloadParams
+    budget: float
+    best: RankedConfiguration
+    ranking: tuple[RankedConfiguration, ...] = field(repr=False)
+    evaluated: int = 0
+
+    def describe(self, top: int = 5) -> str:
+        lines = [
+            f"optimal platform for {self.workload.name} under ${self.budget:,.0f} "
+            f"({self.evaluated} candidates):"
+        ]
+        for i, r in enumerate(self.ranking[:top], start=1):
+            mark = " <== best" if r is self.best else ""
+            lines.append(
+                f"  {i}. {r.spec.name:<44s} ${r.price:>8,.0f}  "
+                f"E(Instr)={r.e_instr_seconds:.3e}s{mark}"
+            )
+        return "\n".join(lines)
+
+
+def optimize_cluster(
+    workload: WorkloadParams,
+    budget: float,
+    catalog: PriceCatalog | None = None,
+    space: CandidateSpace | None = None,
+    options: ModelOptions | None = None,
+) -> DesignResult:
+    """Paper Eq. 6: the cheapest-to-run platform a budget can buy.
+
+    Raises ``ValueError`` when no parallel platform fits the budget.
+    """
+    catalog = catalog or DEFAULT_CATALOG
+    options = options or ModelOptions()
+    ranked: list[RankedConfiguration] = []
+    evaluated = 0
+    for spec, price in enumerate_configurations(budget, catalog=catalog, space=space):
+        evaluated += 1
+        est = _predict(spec, workload, options)
+        if not math.isfinite(est.e_instr_seconds):
+            continue  # saturated => infeasible
+        ranked.append(
+            RankedConfiguration(
+                spec=spec, price=price, e_instr_seconds=est.e_instr_seconds, estimate=est
+            )
+        )
+    if not ranked:
+        raise ValueError(
+            f"no feasible parallel platform fits ${budget:,.0f} "
+            f"(evaluated {evaluated} candidates)"
+        )
+    ranked.sort(key=lambda r: (r.e_instr_seconds, r.price))
+    return DesignResult(
+        workload=workload,
+        budget=budget,
+        best=ranked[0],
+        ranking=tuple(ranked),
+        evaluated=evaluated,
+    )
+
+
+@dataclass(frozen=True)
+class UpgradeResult:
+    """Outcome of an upgrade optimization."""
+
+    workload: WorkloadParams
+    current: RankedConfiguration
+    best: RankedConfiguration
+    budget_increase: float
+    ranking: tuple[RankedConfiguration, ...] = field(repr=False)
+
+    @property
+    def speedup(self) -> float:
+        return self.current.e_instr_seconds / self.best.e_instr_seconds
+
+    def describe(self, top: int = 5) -> str:
+        lines = [
+            f"upgrade for {self.workload.name}, +${self.budget_increase:,.0f} over "
+            f"'{self.current.spec.name}' (E(Instr)={self.current.e_instr_seconds:.3e}s):"
+        ]
+        for i, r in enumerate(self.ranking[:top], start=1):
+            gain = self.current.e_instr_seconds / r.e_instr_seconds
+            lines.append(
+                f"  {i}. {r.spec.name:<44s} +${r.price - self.current.price:>7,.0f}  "
+                f"E(Instr)={r.e_instr_seconds:.3e}s  ({gain:.2f}x)"
+            )
+        return "\n".join(lines)
+
+
+def _is_upgrade_of(candidate: PlatformSpec, current: PlatformSpec) -> bool:
+    """Candidate keeps (or grows) everything the owner already has."""
+    return (
+        candidate.n >= current.n
+        and candidate.N >= current.N
+        and candidate.cache_bytes >= current.cache_bytes
+        and candidate.memory_bytes >= current.memory_bytes
+    )
+
+
+def optimize_upgrade(
+    workload: WorkloadParams,
+    current: PlatformSpec,
+    budget_increase: float,
+    catalog: PriceCatalog | None = None,
+    space: CandidateSpace | None = None,
+    options: ModelOptions | None = None,
+) -> UpgradeResult:
+    """The paper's second question: the best way to spend B' more.
+
+    The candidate set is restricted to configurations that structurally
+    contain the current cluster; the spend limit is the current
+    platform's price plus ``budget_increase``.
+    """
+    catalog = catalog or DEFAULT_CATALOG
+    options = options or ModelOptions()
+    if budget_increase < 0:
+        raise ValueError("budget increase must be non-negative")
+    current_price = cluster_cost(catalog, current)
+    current_est = _predict(current, workload, options)
+    current_ranked = RankedConfiguration(
+        spec=current,
+        price=current_price,
+        e_instr_seconds=current_est.e_instr_seconds,
+        estimate=current_est,
+    )
+    total_budget = current_price + budget_increase
+    ranked: list[RankedConfiguration] = []
+    for spec, price in enumerate_configurations(total_budget, catalog=catalog, space=space):
+        if not _is_upgrade_of(spec, current):
+            continue
+        est = _predict(spec, workload, options)
+        if not math.isfinite(est.e_instr_seconds):
+            continue
+        ranked.append(
+            RankedConfiguration(
+                spec=spec, price=price, e_instr_seconds=est.e_instr_seconds, estimate=est
+            )
+        )
+    if not ranked:
+        ranked = [current_ranked]
+    ranked.sort(key=lambda r: (r.e_instr_seconds, r.price))
+    return UpgradeResult(
+        workload=workload,
+        current=current_ranked,
+        best=ranked[0],
+        budget_increase=budget_increase,
+        ranking=tuple(ranked),
+    )

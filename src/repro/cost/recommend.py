@@ -1,0 +1,131 @@
+"""Rule engine for the paper's Section 6 design principles.
+
+The paper distills its case studies into six rules keyed on two workload
+properties -- memory-boundedness (gamma) and program locality (beta) --
+plus an upgrade heuristic.  :func:`classify_workload` applies the
+paper's thresholds (gamma large/small around its examples, beta 100 for
+locality, very large beta for I/O-heavy commercial loads) and
+:func:`recommend` returns the corresponding platform guidance, quoting
+the paper's own example program for each class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.workloads.params import WorkloadParams
+
+__all__ = ["WorkloadClass", "Recommendation", "classify_workload", "recommend", "upgrade_advice"]
+
+
+class WorkloadClass(str, Enum):
+    """The five workload classes of the paper's Section 6."""
+
+    CPU_BOUND_GOOD_LOCALITY = "CPU bound, good locality"
+    CPU_BOUND_POOR_LOCALITY = "CPU bound, poor locality"
+    MEMORY_BOUND_GOOD_LOCALITY = "memory bound, good locality"
+    MEMORY_BOUND_POOR_LOCALITY = "memory bound, poor locality"
+    MEMORY_AND_IO_BOUND = "memory and I/O bound"
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One Section 6 principle."""
+
+    workload_class: WorkloadClass
+    platform: str
+    rationale: str
+    paper_example: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload_class.value}: {self.platform}\n"
+            f"  because {self.rationale}\n"
+            f"  (the paper's example: {self.paper_example})"
+        )
+
+
+_RULES: dict[WorkloadClass, Recommendation] = {
+    WorkloadClass.CPU_BOUND_GOOD_LOCALITY: Recommendation(
+        workload_class=WorkloadClass.CPU_BOUND_GOOD_LOCALITY,
+        platform="a slow network of a large number of high-speed workstations",
+        rationale="data accesses to higher levels of the memory hierarchy will be rare",
+        paper_example="LU",
+    ),
+    WorkloadClass.CPU_BOUND_POOR_LOCALITY: Recommendation(
+        workload_class=WorkloadClass.CPU_BOUND_POOR_LOCALITY,
+        platform="a fast network of a small number of high-speed workstations",
+        rationale="data accesses using the network will be frequent in a network of workstations",
+        paper_example="FFT",
+    ),
+    WorkloadClass.MEMORY_BOUND_GOOD_LOCALITY: Recommendation(
+        workload_class=WorkloadClass.MEMORY_BOUND_GOOD_LOCALITY,
+        platform="a slow network of workstations with a large capacity of memories",
+        rationale=(
+            "data accesses are likely kept within a computing node, exploiting parallel "
+            "computing among CPUs and parallel data accesses among memory modules"
+        ),
+        paper_example="EDGE",
+    ),
+    WorkloadClass.MEMORY_BOUND_POOR_LOCALITY: Recommendation(
+        workload_class=WorkloadClass.MEMORY_BOUND_POOR_LOCALITY,
+        platform="an SMP (even though the number of processors could be limited)",
+        rationale="data accesses to higher levels of the memory hierarchy will be frequent",
+        paper_example="Radix",
+    ),
+    WorkloadClass.MEMORY_AND_IO_BOUND: Recommendation(
+        workload_class=WorkloadClass.MEMORY_AND_IO_BOUND,
+        platform="an SMP or a fast cluster of SMPs",
+        rationale="the computation mainly depends on the performance of data transfer through a network",
+        paper_example="commercial workload TPC-C",
+    ),
+}
+
+
+def classify_workload(
+    params: WorkloadParams,
+    gamma_threshold: float = 1.0 / 3.0,
+    beta_threshold: float = 100.0,
+    io_beta_threshold: float = 1000.0,
+) -> WorkloadClass:
+    """Apply the paper's (gamma, beta) thresholds.
+
+    Defaults split exactly where the paper's examples fall: FFT (0.20)
+    and LU (0.31) are CPU bound, Radix (0.37) / EDGE (0.45) / TPC-C
+    (0.36) memory bound; beta > 100 is "relatively poor locality"
+    (FFT 103, Radix 121 vs LU 90, EDGE 85); TPC-C's beta of 1222 is
+    "very large" (I/O bound).
+    """
+    if params.beta > io_beta_threshold and params.gamma > gamma_threshold:
+        return WorkloadClass.MEMORY_AND_IO_BOUND
+    memory_bound = params.gamma > gamma_threshold
+    poor_locality = params.beta > beta_threshold
+    if memory_bound:
+        return (
+            WorkloadClass.MEMORY_BOUND_POOR_LOCALITY
+            if poor_locality
+            else WorkloadClass.MEMORY_BOUND_GOOD_LOCALITY
+        )
+    return (
+        WorkloadClass.CPU_BOUND_POOR_LOCALITY
+        if poor_locality
+        else WorkloadClass.CPU_BOUND_GOOD_LOCALITY
+    )
+
+
+def recommend(params: WorkloadParams, **thresholds) -> Recommendation:
+    """The Section 6 principle that applies to this workload."""
+    return _RULES[classify_workload(params, **thresholds)]
+
+
+def upgrade_advice(network_bound: bool) -> str:
+    """The paper's upgrade heuristic (Section 6, last principle)."""
+    if network_bound:
+        return (
+            "network activities are largely independent of cache/memory capacity: "
+            "upgrading the cluster network bandwidth should be the first priority"
+        )
+    return (
+        "spend first on increasing cache/memory capacity to reduce the network usage"
+    )

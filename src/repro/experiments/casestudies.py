@@ -1,0 +1,182 @@
+"""Section 6 case studies: cost-effective design, and the FFT 4x claim.
+
+The paper sketches three case studies (detailed in its unavailable
+technical report [3]) plus one quantitative claim:
+
+* **Case 1** -- a $5,000 budget "can only financially cover a cluster of
+  workstations rather than SMPs";
+* **Case 2** -- a $20,000 budget opens the full configuration space;
+* **Case 3** -- upgrading an existing cluster with extra money;
+* **FFT claim** -- FFT runs ~4x slower on a 4-node 10 Mb Ethernet
+  cluster (200 MHz, 64 MB nodes) than on a 3-node ATM cluster
+  (200 MHz, 32 MB nodes) of the same cost.
+
+All four are reproduced with the cost model, the synthetic 1999 catalog
+(DESIGN.md substitution 4) and the paper's Table 2 workload constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.platform import PlatformSpec
+from repro.cost.catalog import DEFAULT_CATALOG, PriceCatalog
+from repro.cost.configspace import CandidateSpace
+from repro.cost.model import cluster_cost
+from repro.cost.optimizer import (
+    DesignResult,
+    ModelOptions,
+    UpgradeResult,
+    _predict,
+    optimize_cluster,
+    optimize_upgrade,
+)
+from repro.sim.latencies import NetworkKind
+from repro.workloads.params import PAPER_TPCC, PAPER_WORKLOADS, WorkloadParams
+
+__all__ = ["FftClaimResult", "CaseStudyResult", "run_case_studies", "run_fft_claim"]
+
+
+@dataclass(frozen=True)
+class FftClaimResult:
+    """The paper's Ethernet-vs-ATM FFT comparison."""
+
+    ethernet: PlatformSpec
+    atm: PlatformSpec
+    ethernet_price: float
+    atm_price: float
+    ethernet_e_instr: float
+    atm_e_instr: float
+    paper_ratio: float = 4.0
+
+    @property
+    def ratio(self) -> float:
+        return self.ethernet_e_instr / self.atm_e_instr
+
+    def describe(self) -> str:
+        return (
+            "FFT on equal-cost clusters (paper: ~4x slower on slow Ethernet):\n"
+            f"  {self.ethernet.name:<34s} ${self.ethernet_price:>7,.0f}  "
+            f"E(Instr)={self.ethernet_e_instr:.3e}s\n"
+            f"  {self.atm.name:<34s} ${self.atm_price:>7,.0f}  "
+            f"E(Instr)={self.atm_e_instr:.3e}s\n"
+            f"  slowdown: {self.ratio:.2f}x (paper: {self.paper_ratio:.0f}x)"
+        )
+
+
+@dataclass(frozen=True)
+class CaseStudyResult:
+    budget_5k: dict[str, DesignResult]
+    budget_20k: dict[str, DesignResult]
+    upgrades: dict[str, UpgradeResult]
+    fft_claim: FftClaimResult
+    smp_fits_5k: bool  #: paper says it must not
+    smp_cluster_fits_5k: bool  #: paper says it must not
+
+    def describe(self) -> str:
+        parts = ["=== Case 1: $5,000 budget ==="]
+        parts.append(
+            f"an SMP fits the budget: {self.smp_fits_5k} (paper: no); "
+            f"a cluster of SMPs fits: {self.smp_cluster_fits_5k} (paper: no)"
+        )
+        for name, res in self.budget_5k.items():
+            parts.append(res.describe(top=3))
+        parts.append("\n=== Case 2: $20,000 budget ===")
+        for name, res in self.budget_20k.items():
+            parts.append(res.describe(top=3))
+        parts.append("\n=== Case 3: upgrading an existing 4-node cluster (+$3,000) ===")
+        for name, res in self.upgrades.items():
+            parts.append(res.describe(top=3))
+        parts.append("\n=== FFT network claim ===")
+        parts.append(self.fft_claim.describe())
+        return "\n".join(parts)
+
+
+def run_fft_claim(
+    fft: WorkloadParams | None = None,
+    catalog: PriceCatalog | None = None,
+    options: ModelOptions | None = None,
+) -> FftClaimResult:
+    """Evaluate the paper's two equal-cost FFT clusters with the model."""
+    from repro.workloads.params import PAPER_FFT
+
+    fft = fft or PAPER_FFT
+    catalog = catalog or DEFAULT_CATALOG
+    options = options or ModelOptions()
+    KB, MB = 1024, 1024 * 1024
+    ethernet = PlatformSpec(
+        name="4x(200MHz, 64MB, 10Mb Ethernet)",
+        n=1, N=4, cache_bytes=256 * KB, memory_bytes=64 * MB,
+        network=NetworkKind.ETHERNET_10,
+    )
+    atm = PlatformSpec(
+        name="3x(200MHz, 32MB, 155Mb ATM)",
+        n=1, N=3, cache_bytes=256 * KB, memory_bytes=32 * MB,
+        network=NetworkKind.ATM_155,
+    )
+    return FftClaimResult(
+        ethernet=ethernet,
+        atm=atm,
+        ethernet_price=cluster_cost(catalog, ethernet),
+        atm_price=cluster_cost(catalog, atm),
+        ethernet_e_instr=_predict(ethernet, fft, options).e_instr_seconds,
+        atm_e_instr=_predict(atm, fft, options).e_instr_seconds,
+    )
+
+
+def _smp_fits(budget: float, catalog: PriceCatalog, machines: int) -> bool:
+    """Can an SMP platform (n >= 2, ``machines`` nodes) be bought?"""
+    KB, MB = 1024, 1024 * 1024
+    prices = [
+        cluster_cost(
+            catalog,
+            PlatformSpec(
+                name="probe", n=n, N=machines,
+                cache_bytes=256 * KB, memory_bytes=32 * MB,
+                network=NetworkKind.ETHERNET_10 if machines > 1 else None,
+            ),
+        )
+        for n in (2, 4)
+    ]
+    return min(prices) <= budget
+
+
+def run_case_studies(
+    catalog: PriceCatalog | None = None,
+    space: CandidateSpace | None = None,
+    options: ModelOptions | None = None,
+    workloads: tuple[WorkloadParams, ...] | None = None,
+) -> CaseStudyResult:
+    """Reproduce the three case studies and the FFT claim."""
+    catalog = catalog or DEFAULT_CATALOG
+    options = options or ModelOptions()
+    workloads = workloads or (PAPER_WORKLOADS + (PAPER_TPCC,))
+    KB, MB = 1024, 1024 * 1024
+
+    budget_5k = {
+        w.name: optimize_cluster(w, 5_000.0, catalog=catalog, space=space, options=options)
+        for w in workloads
+    }
+    budget_20k = {
+        w.name: optimize_cluster(w, 20_000.0, catalog=catalog, space=space, options=options)
+        for w in workloads
+    }
+    existing = PlatformSpec(
+        name="existing 4x(100Mb Ethernet, 256KB, 32MB)",
+        n=1, N=4, cache_bytes=256 * KB, memory_bytes=32 * MB,
+        network=NetworkKind.ETHERNET_100,
+    )
+    upgrades = {
+        w.name: optimize_upgrade(
+            w, existing, 3_000.0, catalog=catalog, space=space, options=options
+        )
+        for w in workloads
+    }
+    return CaseStudyResult(
+        budget_5k=budget_5k,
+        budget_20k=budget_20k,
+        upgrades=upgrades,
+        fft_claim=run_fft_claim(catalog=catalog, options=options),
+        smp_fits_5k=_smp_fits(5_000.0, catalog, machines=1),
+        smp_cluster_fits_5k=_smp_fits(5_000.0, catalog, machines=2),
+    )

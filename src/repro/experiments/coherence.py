@@ -1,0 +1,106 @@
+"""Section 5.3.1's coherence-traffic measurement, reproduced.
+
+"In the simulation, we evaluated the memory bus traffic caused by the
+cache coherence protocol.  It is 6.3%, 4.7%, 7.2%, and 2.1% of the
+total traffic on the bus for applications FFT, LU, Radix, and EDGE,
+respectively.  It indicates that it only affects performance slightly."
+
+This is the paper's justification for leaving coherence out of the
+analytical model (and later absorbing it into the 12.4% adjustment).
+The experiment simulates each benchmark on the scaled C1 SMP and
+reports the same statistic from the snooping back-end: the share of bus
+transactions that are protocol-induced (invalidate broadcasts and
+cache-to-cache transfers) rather than plain fills and write-backs.
+
+Reproduction target: the paper's *conclusion* -- coherence traffic is
+a small, single-digit share of bus transactions, small enough to leave
+out of the analytical model.  The per-application mix differs at our
+1/64 scale (64-line caches evict shared lines before the conflicting
+write arrives, converting would-be invalidations into plain refills),
+so the absolute per-program ordering is reported but not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.configs import TABLE3_SMPS, scaled
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.backends.smp import SmpBackend
+from repro.sim.engine import SimulationEngine
+
+__all__ = ["CoherenceRow", "CoherenceResult", "run_coherence_traffic", "PAPER_FRACTIONS"]
+
+#: The paper's reported coherence shares of SMP bus traffic.
+PAPER_FRACTIONS: dict[str, float] = {
+    "FFT": 0.063,
+    "LU": 0.047,
+    "Radix": 0.072,
+    "EDGE": 0.021,
+}
+
+
+@dataclass(frozen=True)
+class CoherenceRow:
+    application: str
+    measured_fraction: float
+    paper_fraction: float
+    invalidations: int
+    cache_to_cache: int
+    writebacks: int
+
+
+@dataclass(frozen=True)
+class CoherenceResult:
+    configuration: str
+    rows: tuple[CoherenceRow, ...]
+
+    @property
+    def all_single_digit(self) -> bool:
+        """The paper's point: coherence is a small share of bus traffic."""
+        return all(r.measured_fraction < 0.10 for r in self.rows)
+
+    def describe(self) -> str:
+        lines = [
+            f"coherence share of SMP bus traffic on {self.configuration} "
+            "(paper Section 5.3.1):",
+            f"{'program':<8s} {'measured':>9s} {'paper':>7s} "
+            f"{'invalidations':>14s} {'cache-to-cache':>15s} {'writebacks':>11s}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.application:<8s} {100 * r.measured_fraction:>8.1f}% "
+                f"{100 * r.paper_fraction:>6.1f}% {r.invalidations:>14,d} "
+                f"{r.cache_to_cache:>15,d} {r.writebacks:>11,d}"
+            )
+        lines.append(
+            f"all shares small (paper's conclusion): {self.all_single_digit}"
+        )
+        return "\n".join(lines)
+
+
+def run_coherence_traffic(
+    runner: ExperimentRunner | None = None,
+    applications: tuple[str, ...] = ("FFT", "LU", "Radix", "EDGE"),
+) -> CoherenceResult:
+    """Measure the coherence share of bus traffic on the scaled C1 SMP."""
+    runner = runner or ExperimentRunner()
+    spec = scaled(TABLE3_SMPS[0])  # C1: the paper's first SMP
+    rows = []
+    for app in applications:
+        run = runner.application_run(app, spec.total_processors)
+        engine = SimulationEngine(spec, run, horizon=runner.horizon)
+        engine.execute()
+        backend = engine.backend
+        assert isinstance(backend, SmpBackend)
+        rows.append(
+            CoherenceRow(
+                application=app,
+                measured_fraction=backend.coherence_traffic_fraction(),
+                paper_fraction=PAPER_FRACTIONS.get(app, float("nan")),
+                invalidations=backend.stats.invalidations,
+                cache_to_cache=backend.stats.peer_cache,
+                writebacks=backend.stats.writebacks,
+            )
+        )
+    return CoherenceResult(configuration=spec.name, rows=tuple(rows))

@@ -1,0 +1,94 @@
+"""The paper's platform configurations (Tables 3, 4 and 5).
+
+C1-C6 are the SMPs of Table 3, C7-C11 the clusters of workstations of
+Table 4, C12-C15 the clusters of SMPs of Table 5 -- all at 200 MHz,
+quoted verbatim.  ``scaled`` shrinks cache and memory by :data:`SCALE`
+(64) to match the library's laptop-scale application problem sizes
+while preserving every capacity ratio (DESIGN.md substitution 2); both
+the analytical model and the simulator consume the same scaled spec, so
+the model-vs-simulation comparison is internally consistent.
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import PlatformSpec
+from repro.sim.latencies import NetworkKind
+
+__all__ = [
+    "SCALE",
+    "TABLE3_SMPS",
+    "TABLE4_COWS",
+    "TABLE5_CLUMPS",
+    "ALL_CONFIGS",
+    "paper_config",
+    "scaled",
+]
+
+#: Size divisor applied to caches and memories for the scaled runs.
+SCALE = 64
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _smp(name: str, n: int, cache_kb: int, memory_mb: int) -> PlatformSpec:
+    return PlatformSpec(
+        name=name, n=n, N=1, cache_bytes=cache_kb * KB, memory_bytes=memory_mb * MB
+    )
+
+
+def _cow(name: str, N: int, cache_kb: int, memory_mb: int, net: NetworkKind) -> PlatformSpec:
+    return PlatformSpec(
+        name=name, n=1, N=N, cache_bytes=cache_kb * KB, memory_bytes=memory_mb * MB, network=net
+    )
+
+
+def _clump(name: str, n: int, N: int, cache_kb: int, memory_mb: int, net: NetworkKind) -> PlatformSpec:
+    return PlatformSpec(
+        name=name, n=n, N=N, cache_bytes=cache_kb * KB, memory_bytes=memory_mb * MB, network=net
+    )
+
+
+#: Table 3: selected SMPs (CPU speed 200 MHz).
+TABLE3_SMPS: tuple[PlatformSpec, ...] = (
+    _smp("C1", 2, 256, 64),
+    _smp("C2", 2, 512, 64),
+    _smp("C3", 2, 256, 128),
+    _smp("C4", 2, 512, 128),
+    _smp("C5", 4, 256, 128),
+    _smp("C6", 4, 512, 128),
+)
+
+#: Table 4: selected clusters of workstations (CPU speed 200 MHz).
+TABLE4_COWS: tuple[PlatformSpec, ...] = (
+    _cow("C7", 2, 256, 32, NetworkKind.ETHERNET_10),
+    _cow("C8", 4, 256, 64, NetworkKind.ETHERNET_100),
+    _cow("C9", 4, 512, 64, NetworkKind.ETHERNET_100),
+    _cow("C10", 4, 256, 64, NetworkKind.ATM_155),
+    _cow("C11", 8, 512, 64, NetworkKind.ATM_155),
+)
+
+#: Table 5: selected clusters of SMPs (CPU speed 200 MHz).
+TABLE5_CLUMPS: tuple[PlatformSpec, ...] = (
+    _clump("C12", 2, 2, 256, 64, NetworkKind.ETHERNET_10),
+    _clump("C13", 2, 2, 256, 128, NetworkKind.ETHERNET_100),
+    _clump("C14", 4, 2, 256, 128, NetworkKind.ETHERNET_100),
+    _clump("C15", 4, 2, 256, 128, NetworkKind.ATM_155),
+)
+
+ALL_CONFIGS: dict[str, PlatformSpec] = {
+    s.name: s for s in TABLE3_SMPS + TABLE4_COWS + TABLE5_CLUMPS
+}
+
+
+def paper_config(name: str) -> PlatformSpec:
+    """Look up C1..C15 by name."""
+    try:
+        return ALL_CONFIGS[name]
+    except KeyError:
+        raise KeyError(f"unknown configuration {name!r}; known: C1..C15") from None
+
+
+def scaled(spec: PlatformSpec, scale: int = SCALE) -> PlatformSpec:
+    """The laptop-scale variant of a paper configuration."""
+    return spec.scaled(scale)

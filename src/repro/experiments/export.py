@@ -1,0 +1,96 @@
+"""Machine-readable result export: CSV/JSON next to the text report.
+
+Downstream users replotting the figures want data, not prose.  These
+writers dump the reproduction results in flat, columnar form:
+
+* ``figure_to_csv`` -- one row per (application, configuration) cell
+  with modeled, simulated and difference columns (Figures 2-4);
+* ``table2_to_csv`` -- measured vs paper (alpha, beta, gamma);
+* ``result_to_json`` -- any experiment result with a ``describe`` plus
+  dataclass fields, serialized losslessly enough to diff across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.table2 import Table2Result
+
+__all__ = ["figure_to_csv", "table2_to_csv", "result_to_json", "write_text"]
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """CSV of a Figure 2/3/4 reproduction (one row per cell)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["figure", "application", "configuration", "modeled_seconds",
+         "simulated_seconds", "relative_difference"]
+    )
+    for r in result.rows:
+        writer.writerow(
+            [result.figure, r.application, r.configuration,
+             f"{r.modeled:.6e}", f"{r.simulated:.6e}", f"{r.error:.6f}"]
+        )
+    return buf.getvalue()
+
+
+def table2_to_csv(result: Table2Result) -> str:
+    """CSV of the Table 2 reproduction (measured vs paper rows)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["program", "problem_size",
+         "alpha_measured", "beta_measured", "gamma_measured",
+         "alpha_paper", "beta_paper", "gamma_paper"]
+    )
+    for row in result.rows:
+        m, p = row.measured, row.paper
+        writer.writerow(
+            [m.name, m.problem_size,
+             f"{m.alpha:.4f}", f"{m.beta:.4f}", f"{m.gamma:.4f}",
+             f"{p.alpha:.4f}", f"{p.beta:.4f}", f"{p.gamma:.4f}"]
+        )
+    return buf.getvalue()
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort lossless conversion for experiment dataclasses."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float):
+        return None if not math.isfinite(value) else value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if hasattr(value, "tolist"):  # numpy scalars / small arrays
+        return _jsonable(value.tolist())
+    if hasattr(value, "value") and not callable(value.value):  # enums
+        return value.value
+    return str(value)
+
+
+def result_to_json(result: Any, indent: int = 2) -> str:
+    """Serialize any experiment result dataclass to JSON."""
+    return json.dumps(_jsonable(result), indent=indent, sort_keys=True)
+
+
+def write_text(path: str | Path, content: str) -> Path:
+    """Write an export to disk (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path

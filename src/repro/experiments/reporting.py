@@ -1,0 +1,106 @@
+"""Aggregate report generation: everything EXPERIMENTS.md records.
+
+``generate_report`` runs the complete reproduction -- Table 2, Figures
+2-4, the case studies, the Section 6 principles, the coherence / beta /
+sensitivity / ablation studies and the model-speed claim -- and renders
+one markdown document comparing paper-reported and measured results.
+``python -m repro.experiments.reporting [output-dir]`` writes it to
+stdout and, when a directory is given, drops machine-readable CSVs of
+every figure next to it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.casestudies import run_case_studies
+from repro.experiments.figures import run_figure2, run_figure3, run_figure4
+from repro.experiments.recommendations import run_recommendations
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sensitivity import run_sensitivity
+from repro.experiments.beta_scaling import run_beta_scaling
+from repro.experiments.ablations import run_ablations
+from repro.experiments.coherence import run_coherence_traffic
+from repro.experiments.speed import run_speed_comparison
+from repro.experiments.table2 import run_table2
+
+__all__ = ["generate_report"]
+
+
+def generate_report(
+    runner: ExperimentRunner | None = None,
+    verbose: bool = True,
+    data_dir: str | None = None,
+) -> str:
+    """Run every experiment and render the paper-vs-measured report.
+
+    ``data_dir`` additionally writes per-figure CSVs (and a Table 2 CSV)
+    for replotting.
+    """
+    runner = runner or ExperimentRunner()
+    sections: list[str] = []
+    exports: dict[str, object] = {}
+
+    def log(msg: str) -> None:
+        if verbose:
+            print(msg, file=sys.stderr, flush=True)
+
+    t0 = time.perf_counter()
+    log("running Table 2 ...")
+    t2 = run_table2(runner)
+    exports["table2"] = t2
+    sections.append("## Table 2 -- program characteristics\n\n```\n" + t2.describe() + "\n```")
+    log("running Figure 2 (SMPs) ...")
+    f2 = run_figure2(runner)
+    exports["figure2"] = f2
+    sections.append("## Figure 2 -- SMP validation\n\n```\n" + f2.describe() + "\n```")
+    log("running Figure 3 (COWs) ...")
+    f3 = run_figure3(runner)
+    exports["figure3"] = f3
+    sections.append("## Figure 3 -- cluster-of-workstations validation\n\n```\n" + f3.describe() + "\n```")
+    log("running Figure 4 (CLUMPs) ...")
+    f4 = run_figure4(runner)
+    exports["figure4"] = f4
+    sections.append("## Figure 4 -- cluster-of-SMPs validation\n\n```\n" + f4.describe() + "\n```")
+    log("running case studies ...")
+    sections.append("## Section 6 -- case studies\n\n```\n" + run_case_studies().describe() + "\n```")
+    log("running recommendations ...")
+    sections.append("## Section 6 -- principles\n\n```\n" + run_recommendations().describe() + "\n```")
+    log("running sensitivity study ...")
+    sens = "\n\n".join(r.describe() for r in run_sensitivity())
+    sections.append("## Central claim -- hierarchy-length sensitivity\n\n```\n" + sens + "\n```")
+    log("running coherence-traffic measurement ...")
+    sections.append(
+        "## Section 5.3.1 -- coherence share of bus traffic\n\n```\n"
+        + run_coherence_traffic(runner).describe() + "\n```"
+    )
+    log("running beta-scaling study ...")
+    beta = "\n\n".join(r.describe() for r in run_beta_scaling())
+    sections.append("## Section 5.2 -- locality scale vs data-set size\n\n```\n" + beta + "\n```")
+    log("running ablations ...")
+    sections.append("## Design-choice ablations\n\n```\n" + run_ablations(runner).describe() + "\n```")
+    log("running speed comparison ...")
+    sections.append("## Section 5.3 -- model vs simulation cost\n\n```\n" + run_speed_comparison(runner).describe() + "\n```")
+    if data_dir is not None:
+        from pathlib import Path
+
+        from repro.experiments.export import figure_to_csv, table2_to_csv, write_text
+
+        base = Path(data_dir)
+        write_text(base / "table2.csv", table2_to_csv(exports["table2"]))
+        for key in ("figure2", "figure3", "figure4"):
+            write_text(base / f"{key}.csv", figure_to_csv(exports[key]))
+        log(f"wrote CSV exports to {base}")
+    log(f"report complete in {time.perf_counter() - t0:.0f}s")
+
+    header = (
+        "# Experiment report (auto-generated)\n\n"
+        "Regenerate with `python -m repro.experiments.reporting > report.md`.\n"
+    )
+    return header + "\n\n" + "\n\n".join(sections) + "\n"
+
+
+if __name__ == "__main__":
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else None
+    print(generate_report(data_dir=out_dir))

@@ -1,0 +1,225 @@
+"""Experiment orchestration: run apps, characterize, simulate, model.
+
+The validation methodology (paper Section 5) needs, per application:
+one single-process run for the Table 2 characterization, one run at
+each processor count appearing in the platform tables, a simulation per
+(application, configuration) cell, and a model evaluation per cell.
+:class:`ExperimentRunner` memoizes every stage.
+
+:class:`Calibration` bundles the model's free constants.  The paper
+calibrates exactly one of them (the 12.4% remote-access-rate
+adjustment); our scaled-down reproduction exposes three more (cache
+associativity derating, burstiness boost, barrier scale -- see
+DESIGN.md) and :meth:`ExperimentRunner.calibrate` picks one global
+setting per figure by grid search against the simulator, precisely the
+procedure the authors describe for their adjustment.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.apps.base import ApplicationRun
+from repro.apps.registry import make_application
+from repro.core.execution import ExecutionEstimate, evaluate
+from repro.core.platform import PlatformSpec
+from repro.core.validation import ComparisonRow
+from repro.experiments.configs import SCALE
+from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.trace.analysis import analyze_trace, measure_sharing
+from repro.workloads.params import WorkloadParams
+
+__all__ = ["Calibration", "ExperimentRunner", "DEFAULT_CALIBRATION"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Global model constants used for one validation figure."""
+
+    mode: str = "throttled"
+    cache_capacity_factor: float = 0.5
+    contention_boost: float = 1.0
+    barrier_scale: float = 1.0
+    remote_rate_adjustment: float = 0.0
+    use_sharing: bool = True
+    #: Include same-phase multi-writer block contention in the measured
+    #: sharing inputs (see repro.trace.analysis.measure_sharing).
+    false_sharing: bool = True
+
+    def describe(self) -> str:
+        return (
+            f"mode={self.mode}, cache_capacity_factor={self.cache_capacity_factor:g}, "
+            f"contention_boost={self.contention_boost:g}, barrier_scale={self.barrier_scale:g}, "
+            f"remote_rate_adjustment={self.remote_rate_adjustment:g}, "
+            f"sharing={'on' if self.use_sharing else 'off'}"
+            f"{' (with false sharing)' if self.use_sharing and self.false_sharing else ''}"
+        )
+
+
+#: Used when an experiment is run without self-calibration.
+DEFAULT_CALIBRATION = Calibration()
+
+
+class ExperimentRunner:
+    """Memoizing pipeline behind every experiment module."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        horizon: float = 200.0,
+        app_kwargs: dict[str, dict] | None = None,
+    ) -> None:
+        """``app_kwargs`` overrides application constructor arguments per
+        name (e.g. smaller problem sizes in the test suite)."""
+        self.seed = seed
+        self.horizon = horizon
+        self.app_kwargs = app_kwargs or {}
+        self._runs: dict[tuple[str, int], ApplicationRun] = {}
+        self._chars: dict[str, WorkloadParams] = {}
+        self._sharing: dict[tuple[str, int, int], tuple[float, float]] = {}
+        self._sims: dict[tuple[str, str], SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    def application_run(self, name: str, procs: int) -> ApplicationRun:
+        key = (name, procs)
+        if key not in self._runs:
+            app = make_application(
+                name, num_procs=procs, seed=self.seed, **self.app_kwargs.get(name, {})
+            )
+            run = app.run()
+            if not run.verified:
+                raise RuntimeError(f"{name} at {procs} processes failed its numeric oracle")
+            self._runs[key] = run
+        return self._runs[key]
+
+    def characterization(self, name: str) -> WorkloadParams:
+        """Table 2 methodology: fit (alpha, beta, gamma) on one processor."""
+        if name not in self._chars:
+            run = self.application_run(name, 1)
+            ch = analyze_trace(run.traces[0], name=name, problem_size=run.problem_size)
+            self._chars[name] = ch.params
+        return self._chars[name]
+
+    def sharing(
+        self, name: str, spec: PlatformSpec, include_false_sharing: bool = True
+    ) -> tuple[float, float]:
+        """Measured (sharing, fresh) of the app at this platform shape."""
+        if spec.N < 2:
+            return 0.0, 1.0
+        key = (name, spec.total_processors, spec.N, include_false_sharing)
+        if key not in self._sharing:
+            run = self.application_run(name, spec.total_processors)
+            self._sharing[key] = measure_sharing(
+                run, machines=spec.N, include_false_sharing=include_false_sharing
+            )
+        return self._sharing[key]
+
+    def simulate(self, name: str, spec: PlatformSpec) -> SimulationResult:
+        key = (name, spec.name)
+        if key not in self._sims:
+            run = self.application_run(name, spec.total_processors)
+            engine = SimulationEngine(spec, run, horizon=self.horizon)
+            self._sims[key] = engine.execute()
+        return self._sims[key]
+
+    def model(
+        self, name: str, spec: PlatformSpec, calibration: Calibration
+    ) -> ExecutionEstimate:
+        params = self.characterization(name)
+        sigma, fresh = (
+            self.sharing(name, spec, include_false_sharing=calibration.false_sharing)
+            if calibration.use_sharing
+            else (0.0, 1.0)
+        )
+        return evaluate(
+            spec,
+            params.locality,
+            params.gamma,
+            remote_rate_adjustment=(
+                calibration.remote_rate_adjustment if spec.N > 1 else 0.0
+            ),
+            barrier_scale=calibration.barrier_scale,
+            on_saturation="inf",
+            mode=calibration.mode,  # type: ignore[arg-type]
+            sharing_fraction=sigma,
+            sharing_fresh_fraction=fresh,
+            cache_capacity_factor=calibration.cache_capacity_factor,
+            contention_boost=calibration.contention_boost,
+        )
+
+    # ------------------------------------------------------------------
+    def compare(
+        self,
+        apps: Sequence[str],
+        specs: Sequence[PlatformSpec],
+        calibration: Calibration,
+    ) -> list[ComparisonRow]:
+        """Model and simulate every (app, config) cell of a figure."""
+        rows = []
+        for app in apps:
+            for spec in specs:
+                sim = self.simulate(app, spec)
+                est = self.model(app, spec, calibration)
+                rows.append(
+                    ComparisonRow(
+                        application=app,
+                        configuration=spec.name,
+                        modeled=est.e_instr_seconds,
+                        simulated=sim.e_instr_seconds,
+                    )
+                )
+        return rows
+
+    def calibrate(
+        self,
+        apps: Sequence[str],
+        specs: Sequence[PlatformSpec],
+        cache_factors: Iterable[float] = (1.0, 0.7, 0.5, 0.35),
+        boosts: Iterable[float] = (1.0, 2.0, 4.0, 8.0),
+        barrier_scales: Iterable[float] = (0.0, 0.25, 1.0),
+        adjustments: Iterable[float] = (0.0,),
+        false_sharing_options: Iterable[bool] = (True, False),
+    ) -> tuple[Calibration, float]:
+        """Grid-search the global constants against the simulator.
+
+        Minimizes the worst-case relative error over every cell -- the
+        same criterion the paper's single 12.4% adjustment was chosen
+        by.  Simulations are cached, so only cheap model evaluations
+        repeat across the grid.
+        """
+        sims = {
+            (app, spec.name): self.simulate(app, spec).e_instr_seconds
+            for app in apps
+            for spec in specs
+        }
+        best: tuple[Calibration, float] | None = None
+        needs_fs = any(spec.N > 1 for spec in specs)
+        fs_options = tuple(false_sharing_options) if needs_fs else (True,)
+        for kappa, boost, bscale, adj, fs in itertools.product(
+            cache_factors, boosts, barrier_scales, adjustments, fs_options
+        ):
+            cal = Calibration(
+                cache_capacity_factor=kappa,
+                contention_boost=boost,
+                barrier_scale=bscale,
+                remote_rate_adjustment=adj,
+                false_sharing=fs,
+            )
+            worst = 0.0
+            for app in apps:
+                for spec in specs:
+                    est = self.model(app, spec, cal)
+                    sim = sims[(app, spec.name)]
+                    if not math.isfinite(est.e_instr_seconds):
+                        worst = math.inf
+                        break
+                    worst = max(worst, abs(est.e_instr_seconds - sim) / sim)
+                if worst == math.inf:
+                    break
+            if best is None or worst < best[1]:
+                best = (cal, worst)
+        assert best is not None
+        return best

@@ -1,0 +1,21 @@
+"""The five memory-system back-ends of the paper's Section 5.1.
+
+One back-end per platform/network family: SMP (snooping bus), cluster
+of workstations and cluster of SMPs (each over a bus-based Ethernet or
+a switched ATM -- the network object, not the class, selects the
+topology, giving the paper's five simulators).
+"""
+
+from repro.sim.backends.base import BackendStats, MemoryBackend, make_backend
+from repro.sim.backends.smp import SmpBackend
+from repro.sim.backends.cow import CowBackend
+from repro.sim.backends.clump import ClumpBackend
+
+__all__ = [
+    "BackendStats",
+    "ClumpBackend",
+    "CowBackend",
+    "MemoryBackend",
+    "SmpBackend",
+    "make_backend",
+]

@@ -1,0 +1,123 @@
+"""Back-end protocol and shared bookkeeping.
+
+A back-end owns all timing-relevant state of one platform -- caches,
+coherence structures, buses, memories, disks, the cluster network --
+and exposes a single hot method, :meth:`MemoryBackend.access`, that the
+execution engine calls once per memory reference.  ``access`` returns
+the completion time of the reference; every queueing effect is realized
+through the FCFS :class:`~repro.sim.memory.Server` objects the back-end
+routes the request through.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.platform import PlatformSpec
+from repro.core.hierarchy import PlatformKind
+
+__all__ = ["BackendStats", "MemoryBackend", "make_backend"]
+
+#: Bus occupancy (cycles) of an address-only invalidate on an SMP bus.
+SMP_INVALIDATE_CYCLES = 2.0
+
+
+@dataclass
+class BackendStats:
+    """Access-class counters every back-end maintains."""
+
+    references: int = 0
+    cache_hits: int = 0
+    l2_hits: int = 0  #: served by a shared L2 (only when the platform has one)
+    peer_cache: int = 0  #: served cache-to-cache inside an SMP
+    local_memory: int = 0
+    remote_clean: int = 0  #: served by a remote node's memory
+    remote_dirty: int = 0  #: served by a remote node's cache (dirty)
+    disk: int = 0  #: page faults (sub-stage of memory-served accesses)
+    invalidations: int = 0
+    writebacks: int = 0
+    barrier_count: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def miss_ratio(self) -> float:
+        return 1.0 - self.cache_hits / self.references if self.references else 0.0
+
+    @property
+    def remote_ratio(self) -> float:
+        if not self.references:
+            return 0.0
+        return (self.remote_clean + self.remote_dirty) / self.references
+
+    def as_dict(self) -> dict:
+        d = {
+            k: getattr(self, k)
+            for k in (
+                "references",
+                "cache_hits",
+                "l2_hits",
+                "peer_cache",
+                "local_memory",
+                "remote_clean",
+                "remote_dirty",
+                "disk",
+                "invalidations",
+                "writebacks",
+                "barrier_count",
+            )
+        }
+        d.update(self.extra)
+        return d
+
+
+class MemoryBackend(ABC):
+    """One platform's cycle-accounting memory system."""
+
+    def __init__(self, spec: PlatformSpec, home_machine_of_line: np.ndarray) -> None:
+        self.spec = spec
+        self.home_machine = home_machine_of_line
+        self.stats = BackendStats()
+
+    @abstractmethod
+    def access(self, proc: int, line: int, is_write: bool, now: float) -> float:
+        """Process one reference issued at ``now``; return completion time."""
+
+    @abstractmethod
+    def barrier_overhead(self) -> float:
+        """Fixed cycles added when a barrier releases (sync transactions)."""
+
+    def resource_busy_cycles(self) -> dict[str, float]:
+        """Busy cycles per serialized resource (bus, network, disks...).
+
+        Divided by the simulated span this is each resource's
+        utilization -- the designer's bottleneck question.  Subclasses
+        override; the default reports nothing.
+        """
+        return {}
+
+    def machine_of_proc(self, proc: int) -> int:
+        return proc // self.spec.n
+
+    def home_of_line(self, line: int) -> int:
+        """Home machine of a line; data beyond the mapped space is
+        distributed round-robin by directory block."""
+        if line < self.home_machine.size:
+            return int(self.home_machine[line])
+        return (line >> 2) % self.spec.N
+
+
+def make_backend(spec: PlatformSpec, home_machine_of_line: np.ndarray) -> MemoryBackend:
+    """Instantiate the right back-end for a platform spec."""
+    from repro.sim.backends.clump import ClumpBackend
+    from repro.sim.backends.cow import CowBackend
+    from repro.sim.backends.smp import SmpBackend
+
+    kind = spec.kind
+    if kind is PlatformKind.SMP:
+        return SmpBackend(spec, home_machine_of_line)
+    if kind is PlatformKind.COW:
+        return CowBackend(spec, home_machine_of_line)
+    return ClumpBackend(spec, home_machine_of_line)

@@ -1,0 +1,111 @@
+"""Set-associative LRU cache simulator (paper Section 5.1 parameters).
+
+The paper's simulated caches are two-way set-associative with 64-byte
+lines and LRU replacement.  Addresses arriving here are already
+line-granular (items), so the set index is simply ``line % num_sets``.
+
+The per-set store is a tiny dict ``line -> last-use stamp``; with two
+ways a set never holds more than two entries, so eviction is a min over
+two stamps.  This is deliberately plain-Python: cache state transitions
+are inherently sequential per processor, and at the library's default
+trace sizes the dict implementation sustains roughly a million accesses
+per second per processor, which the DESIGN.md performance budget allows.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SetAssociativeCache"]
+
+
+class SetAssociativeCache:
+    """One processor's cache: LRU, ``ways``-way set-associative."""
+
+    def __init__(self, capacity_items: int, ways: int = 2) -> None:
+        if capacity_items < 1:
+            raise ValueError("capacity must be at least one line")
+        if ways < 1:
+            raise ValueError("ways must be >= 1")
+        self.ways = min(ways, capacity_items)
+        self.num_sets = max(1, capacity_items // self.ways)
+        self.capacity_items = self.num_sets * self.ways
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._dirty: set[int] = set()
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, line: int, touch: bool = True) -> bool:
+        """True if ``line`` is resident; refresh its LRU stamp if asked."""
+        s = self._sets[line % self.num_sets]
+        if line in s:
+            if touch:
+                self._tick += 1
+                s[line] = self._tick
+            return True
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Presence check without disturbing LRU order."""
+        return line in self._sets[line % self.num_sets]
+
+    def fill(self, line: int, dirty: bool = False) -> tuple[int, bool] | None:
+        """Insert ``line``; return ``(evicted_line, was_dirty)`` if any.
+
+        Filling a line that is already resident just refreshes its LRU
+        stamp (and may add the dirty mark); nothing is evicted.
+        """
+        s = self._sets[line % self.num_sets]
+        self._tick += 1
+        if line in s:
+            s[line] = self._tick
+            if dirty:
+                self._dirty.add(line)
+            return None
+        evicted = None
+        if len(s) >= self.ways:
+            victim = min(s, key=s.__getitem__)
+            del s[victim]
+            was_dirty = victim in self._dirty
+            self._dirty.discard(victim)
+            evicted = (victim, was_dirty)
+        s[line] = self._tick
+        if dirty:
+            self._dirty.add(line)
+        return evicted
+
+    def mark_dirty(self, line: int) -> None:
+        """Flag a resident line as modified (no-op if absent)."""
+        if self.contains(line):
+            self._dirty.add(line)
+
+    def is_dirty(self, line: int) -> bool:
+        return line in self._dirty
+
+    def clean(self, line: int) -> bool:
+        """Clear a resident line's dirty mark (coherence downgrade M->S).
+
+        Returns whether the line was dirty (a write-back happened).
+        """
+        if line in self._dirty:
+            self._dirty.discard(line)
+            return True
+        return False
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if resident; return whether it was dirty."""
+        s = self._sets[line % self.num_sets]
+        if line in s:
+            del s[line]
+            was_dirty = line in self._dirty
+            self._dirty.discard(line)
+            return was_dirty
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def clear(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self._dirty.clear()

@@ -1,0 +1,199 @@
+"""SPMD execution engine: interleaves per-process traces over a back-end.
+
+This is the substitute for the paper's MINT front-end.  Each process
+replays its recorded reference stream against the platform back-end;
+a priority queue keeps global time roughly causal so that contention on
+shared servers (buses, network segments, disks) is realized in the
+order requests would actually arrive.  Barriers synchronize all
+processes to the latest arrival plus the back-end's barrier overhead --
+the waiting the analytical model captures with order statistics.
+
+The ``horizon`` parameter trades strict causality for speed: a process
+may run up to ``horizon`` cycles past the globally earliest process
+before being rescheduled.  Zero gives exact earliest-first interleaving;
+the default (200 cycles, a few memory accesses) is indistinguishable in
+aggregate statistics and several times faster.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import ApplicationRun
+from repro.core.platform import PlatformSpec
+from repro.sim.backends.base import BackendStats, MemoryBackend, make_backend
+
+__all__ = ["SimulationEngine", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one application run on one platform."""
+
+    platform_name: str
+    application: str
+    total_cycles: float  #: wall clock of the parallel execution
+    total_instructions: int  #: m + M summed over all processes
+    total_references: int  #: M summed over all processes
+    e_instr_seconds: float  #: simulated E(Instr), the paper's metric
+    e_instr_cycles: float
+    barrier_wait_cycles: float  #: total cycles processes spent waiting
+    stats: BackendStats
+    per_process_cycles: tuple[float, ...] = field(default=())
+
+    @property
+    def e_app_seconds(self) -> float:
+        """Simulated wall time of the whole run."""
+        return self.e_instr_seconds * self.total_instructions
+
+    @property
+    def utilizations(self) -> dict[str, float]:
+        """Per-resource utilization (busy / span) measured by the back-end."""
+        prefix = "utilization:"
+        return {
+            k[len(prefix):]: v
+            for k, v in self.stats.extra.items()
+            if k.startswith(prefix)
+        }
+
+    @property
+    def bottleneck(self) -> str | None:
+        """The busiest serialized resource, if any was exercised."""
+        u = self.utilizations
+        return max(u, key=u.get) if u else None
+
+    def describe(self) -> str:
+        util = ", ".join(f"{k} {100 * v:.0f}%" for k, v in self.utilizations.items())
+        return (
+            f"{self.application} on {self.platform_name}: "
+            f"{self.total_cycles:,.0f} cycles, E(Instr)={self.e_instr_seconds:.3e}s "
+            f"(miss {100 * self.stats.miss_ratio:.2f}%, "
+            f"remote {100 * self.stats.remote_ratio:.3f}%, "
+            f"barrier wait {self.barrier_wait_cycles:,.0f}"
+            + (f"; util: {util}" if util else "")
+            + ")"
+        )
+
+
+class SimulationEngine:
+    """Replays an :class:`ApplicationRun` on a platform back-end."""
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        run: ApplicationRun,
+        backend: MemoryBackend | None = None,
+        horizon: float = 200.0,
+    ) -> None:
+        if run.num_procs != spec.total_processors:
+            raise ValueError(
+                f"application ran with {run.num_procs} processes but the platform "
+                f"has {spec.total_processors} processors"
+            )
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        self.spec = spec
+        self.run = run
+        self.horizon = horizon
+        if backend is None:
+            home_proc = run.address_space.home_map()
+            backend = make_backend(spec, (home_proc // spec.n).astype(np.int64))
+        self.backend = backend
+
+    # ------------------------------------------------------------------
+    def execute(self) -> SimulationResult:
+        run, backend = self.run, self.backend
+        P = run.num_procs
+        addresses = [t.addresses for t in run.traces]
+        writes = [t.is_write for t in run.traces]
+        works = [t.work for t in run.traces]
+        barrier_lists = [t.barriers.tolist() for t in run.traces]
+        lengths = [t.memory_instructions for t in run.traces]
+        num_barriers = len(barrier_lists[0]) if P else 0
+
+        clock = [0.0] * P
+        index = [0] * P
+        next_barrier = [0] * P
+        barrier_arrivals: list[float] = []
+        waiting: list[int] = []
+        barrier_wait = 0.0
+        finished = 0
+        seq = 0
+
+        heap: list[tuple[float, int, int]] = [(0.0, i, p) for i, p in enumerate(range(P))]
+        heapq.heapify(heap)
+        horizon = self.horizon
+
+        while heap:
+            now, _, p = heapq.heappop(heap)
+            limit = (heap[0][0] + horizon) if heap else float("inf")
+            addr = addresses[p]
+            wr = writes[p]
+            wk = works[p]
+            bl = barrier_lists[p]
+            i = index[p]
+            n_i = lengths[p]
+            t = clock[p]
+            nb = next_barrier[p]
+            blocked = False
+            done = False
+
+            while True:
+                if nb < len(bl) and bl[nb] == i:
+                    nb += 1
+                    barrier_arrivals.append(t)
+                    waiting.append(p)
+                    blocked = True
+                    break
+                if i >= n_i:
+                    t += run.traces[p].tail_work
+                    finished += 1
+                    done = True
+                    break
+                # one instruction-stream step: compute, then the reference
+                t += wk[i] + 1.0
+                t = backend.access(p, int(addr[i]), bool(wr[i]), t)
+                i += 1
+                if t > limit:
+                    break
+
+            index[p] = i
+            next_barrier[p] = nb
+            clock[p] = t
+            if blocked:
+                # Barrier counts are equal across processes, so nobody can
+                # finish before the last barrier: all P must arrive.
+                if len(waiting) == P:
+                    release = max(barrier_arrivals) + backend.barrier_overhead()
+                    barrier_wait += sum(release - a for a in barrier_arrivals)
+                    for q in waiting:
+                        clock[q] = release
+                        seq += 1
+                        heapq.heappush(heap, (release, seq, q))
+                    waiting.clear()
+                    barrier_arrivals.clear()
+            elif not done:
+                seq += 1
+                heapq.heappush(heap, (t, seq, p))
+
+        total_cycles = max(clock) if clock else 0.0
+        if total_cycles > 0:
+            for name, busy in backend.resource_busy_cycles().items():
+                backend.stats.extra[f"utilization:{name}"] = busy / total_cycles
+        total_instr = run.total_instructions
+        e_cycles = total_cycles / total_instr if total_instr else 0.0
+        return SimulationResult(
+            platform_name=self.spec.name,
+            application=run.name,
+            total_cycles=total_cycles,
+            total_instructions=total_instr,
+            total_references=run.total_references,
+            e_instr_seconds=e_cycles * self.spec.cycle_seconds,
+            e_instr_cycles=e_cycles,
+            barrier_wait_cycles=barrier_wait,
+            stats=backend.stats,
+            per_process_cycles=tuple(clock),
+        )

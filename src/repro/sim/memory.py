@@ -1,0 +1,87 @@
+"""Serialized resources: FCFS servers, paged memory, disks.
+
+Every shared resource the paper models as an M/D/1 queue (memory bus,
+I/O bus, cluster network segment) is simulated as a :class:`Server`:
+a single FCFS channel whose next free time advances by the service time
+of each request.  A request arriving while the server is busy waits --
+exactly the queueing the analytical model approximates in closed form.
+
+:class:`PagedMemory` is the capacity model behind the paper's
+"memory miss to local disk" edge: an LRU store of 4 KiB pages; a miss
+means the page must be staged from the machine's disk.
+"""
+
+from __future__ import annotations
+
+from repro.sim.latencies import ITEM_BYTES
+
+__all__ = ["Server", "PagedMemory", "PAGE_ITEMS"]
+
+#: 4 KiB pages, in 64-byte items.
+PAGE_ITEMS = 4096 // ITEM_BYTES
+
+
+class Server:
+    """A single FCFS resource with deterministic per-request service."""
+
+    __slots__ = ("free_at", "busy_cycles", "requests")
+
+    def __init__(self) -> None:
+        self.free_at = 0.0
+        self.busy_cycles = 0.0
+        self.requests = 0
+
+    def request(self, now: float, service: float) -> float:
+        """Issue a request at ``now``; return its completion time."""
+        start = self.free_at if self.free_at > now else now
+        finish = start + service
+        self.free_at = finish
+        self.busy_cycles += service
+        self.requests += 1
+        return finish
+
+    def waiting_time(self, now: float) -> float:
+        """Queueing delay a request issued at ``now`` would see."""
+        return max(0.0, self.free_at - now)
+
+
+class PagedMemory:
+    """LRU-managed page store of one machine's main memory.
+
+    ``access(page)`` returns True when the page is resident; a False
+    return means the caller must charge a disk transfer.  Pages are
+    item-granular line numbers shifted by the page size.
+    """
+
+    __slots__ = ("capacity_pages", "_pages", "_tick", "hits", "misses")
+
+    def __init__(self, capacity_items: int) -> None:
+        if capacity_items < PAGE_ITEMS:
+            raise ValueError("memory must hold at least one page")
+        self.capacity_pages = capacity_items // PAGE_ITEMS
+        self._pages: dict[int, int] = {}
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        self._tick += 1
+        if page in self._pages:
+            self._pages[page] = self._tick
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.capacity_pages:
+            victim = min(self._pages, key=self._pages.__getitem__)
+            del self._pages[victim]
+        self._pages[page] = self._tick
+        return False
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+
+def page_of(line: int) -> int:
+    """Page number of an item-granular line address."""
+    return line // PAGE_ITEMS

@@ -1,0 +1,80 @@
+"""Address-trace infrastructure: collection, stack distances, analysis.
+
+The paper's methodology starts from per-processor memory-reference
+traces: stack-distance curves are extracted from an address stream
+(citing Coffman & Denning) and the workload parameters (alpha, beta,
+gamma) are fitted to them.  The authors list trace collection and trace
+analysis among the supporting tools they were still building; this
+package implements both.
+"""
+
+from repro.trace.events import Trace, concatenate_traces
+from repro.trace.collector import TraceCollector
+from repro.trace.stackdist import (
+    COLD_DISTANCE,
+    hit_ratio,
+    lru_hit_ratios,
+    prev_occurrence,
+    stack_distances,
+    stack_distances_naive,
+)
+
+_ANALYSIS_NAMES = (
+    "TraceCharacterization",
+    "analyze_addresses",
+    "analyze_trace",
+    "characterize_run",
+    "measure_sharing",
+    "measure_sharing_fraction",
+)
+
+_LAZY_MODULES = {
+    "ArrayProfile": "profiles",
+    "RunProfile": "profiles",
+    "profile_run": "profiles",
+    "save_trace": "io",
+    "load_trace": "io",
+    "save_run": "io",
+    "load_run": "io",
+}
+
+
+def __getattr__(name):
+    """Defer the analysis imports: they pull in the fitting module, which
+    itself needs :mod:`repro.trace.stackdist` (lazy break of the cycle)."""
+    if name in _ANALYSIS_NAMES:
+        from repro.trace import analysis
+
+        return getattr(analysis, name)
+    if name in _LAZY_MODULES:
+        import importlib
+
+        mod = importlib.import_module(f"repro.trace.{_LAZY_MODULES[name]}")
+        return getattr(mod, name)
+    raise AttributeError(f"module 'repro.trace' has no attribute {name!r}")
+
+
+__all__ = [
+    "ArrayProfile",
+    "COLD_DISTANCE",
+    "RunProfile",
+    "Trace",
+    "TraceCharacterization",
+    "TraceCollector",
+    "analyze_addresses",
+    "analyze_trace",
+    "characterize_run",
+    "concatenate_traces",
+    "hit_ratio",
+    "load_run",
+    "load_trace",
+    "lru_hit_ratios",
+    "measure_sharing",
+    "measure_sharing_fraction",
+    "prev_occurrence",
+    "profile_run",
+    "save_run",
+    "save_trace",
+    "stack_distances",
+    "stack_distances_naive",
+]

@@ -1,0 +1,266 @@
+"""Trace analysis: the paper's tool (2), address stream -> (alpha, beta, gamma).
+
+Given a :class:`~repro.trace.events.Trace`, compute exact LRU stack
+distances, fit the power-law locality model, and measure gamma -- the
+complete workload characterization the analytical model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.events import Trace
+from repro.trace.stackdist import lru_hit_ratios, stack_distances
+from repro.workloads.fitting import FitResult, fit_from_distances
+from repro.workloads.params import WorkloadParams
+
+__all__ = [
+    "TraceCharacterization",
+    "analyze_trace",
+    "analyze_addresses",
+    "measure_sharing_fraction",
+    "characterize_run",
+]
+
+
+@dataclass(frozen=True)
+class TraceCharacterization:
+    """Everything measured from one trace."""
+
+    params: WorkloadParams
+    fit: FitResult
+    distances: np.ndarray  #: per-reference exact stack distances
+    memory_instructions: int
+    total_instructions: int
+    footprint_items: int
+    write_fraction: float
+    barrier_count: int
+
+    def hit_ratio_curve(self, capacities: np.ndarray) -> np.ndarray:
+        """Empirical LRU hit-ratio curve at the given capacities."""
+        return lru_hit_ratios(self.distances, capacities)
+
+    def describe(self) -> str:
+        p = self.params
+        return (
+            f"{p.name}: alpha={p.alpha:.3f} beta={p.beta:.2f} gamma={p.gamma:.3f} "
+            f"(fit rmse {self.fit.rmse:.4f}, {self.memory_instructions:,} refs, "
+            f"footprint {self.footprint_items:,} items, "
+            f"{self.barrier_count} barriers)"
+        )
+
+
+def analyze_trace(
+    trace: Trace,
+    name: str = "trace",
+    problem_size: str = "",
+    num_fit_points: int = 64,
+) -> TraceCharacterization:
+    """Characterize a trace: fit (alpha, beta), measure gamma.
+
+    This is the measurement half of the paper's methodology; its output
+    plugs straight into :func:`repro.core.execution.evaluate`.
+    """
+    if len(trace) == 0:
+        raise ValueError("cannot characterize an empty trace")
+    distances = stack_distances(trace.addresses)
+    fit = fit_from_distances(distances, num_points=num_fit_points)
+    gamma = trace.gamma
+    if gamma <= 0.0:
+        raise ValueError("trace has no instructions; gamma undefined")
+    params = WorkloadParams(
+        name=name,
+        alpha=fit.alpha,
+        beta=fit.beta,
+        gamma=gamma,
+        problem_size=problem_size,
+        max_distance=fit.max_distance,
+    )
+    return TraceCharacterization(
+        params=params,
+        fit=fit,
+        distances=distances,
+        memory_instructions=trace.memory_instructions,
+        total_instructions=trace.total_instructions,
+        footprint_items=trace.footprint_items,
+        write_fraction=trace.write_fraction,
+        barrier_count=int(trace.barriers.size),
+    )
+
+
+def analyze_addresses(
+    addresses: np.ndarray,
+    gamma: float,
+    name: str = "trace",
+    num_fit_points: int = 64,
+) -> TraceCharacterization:
+    """Characterize a bare address stream with an externally known gamma."""
+    addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+    if not (0.0 < gamma <= 1.0):
+        raise ValueError(f"gamma must be in (0, 1], got {gamma!r}")
+    m = addresses.size
+    total_work = int(round(m * (1.0 - gamma) / gamma)) if m else 0
+    work = np.zeros(m, dtype=np.int64)
+    if m:
+        work[0] = total_work
+    trace = Trace(
+        addresses=addresses,
+        is_write=np.zeros(m, dtype=bool),
+        work=work,
+        barriers=np.zeros(0, dtype=np.int64),
+    )
+    return analyze_trace(trace, name=name, num_fit_points=num_fit_points)
+
+
+def _contended_phase_blocks(run, machines: int, per: int) -> np.ndarray:
+    """Sorted keys ``phase * 2^32 + block`` of directory blocks written by
+    two or more machines within the same bulk-synchronous phase.
+
+    References to such blocks ping-pong between the writers regardless
+    of capacity (false/true sharing at 256-byte block granularity).
+    """
+    from repro.sim.directory import LINES_PER_BLOCK
+
+    keys = []
+    for p, trace in enumerate(run.traces):
+        w = trace.is_write
+        if not w.any():
+            continue
+        pos = np.flatnonzero(w).astype(np.int64)
+        phase = np.searchsorted(trace.barriers, pos, side="right")
+        block = trace.addresses[pos] // LINES_PER_BLOCK
+        machine = p // per
+        keys.append(
+            np.stack([phase.astype(np.int64), block, np.full(pos.size, machine, dtype=np.int64)], axis=1)
+        )
+    if not keys:
+        return np.zeros(0, dtype=np.int64)
+    triples = np.unique(np.concatenate(keys), axis=0)
+    pb = triples[:, 0] * (1 << 32) + triples[:, 1]
+    # a (phase, block) key appearing for >= 2 distinct machines is contended
+    uniq, counts = np.unique(pb, return_counts=True)
+    return uniq[counts >= 2]
+
+
+def measure_sharing(
+    run, machines: int | None = None, include_false_sharing: bool = True
+) -> tuple[float, float]:
+    """Measure (sharing_fraction, sharing_fresh_fraction) of an SPMD run.
+
+    ``sharing_fraction`` is the fraction of references that are *remote
+    candidates*: they touch data homed on another machine (processes
+    folded onto ``machines`` nodes, default one per process) or -- with
+    ``include_false_sharing`` -- they touch a 256-byte directory block
+    that two or more machines write within the same bulk-synchronous
+    phase (coherence ping-pong, dominant in scatter-writing programs
+    like Radix).  Of those, ``sharing_fresh_fraction`` is the share that
+    re-fetches remotely regardless of cache capacity: first touches,
+    reuse across a phase boundary of a line somebody writes, or any
+    touch of a contended block.  Read-only shared tables (twiddle
+    factors...) are excluded and fall back to capacity behaviour.  Both
+    numbers are the measured inputs of the model's sharing extension
+    (see :func:`repro.core.amat.average_memory_access_time`).
+    """
+    from repro.sim.directory import LINES_PER_BLOCK
+    from repro.trace.stackdist import prev_occurrence
+
+    P = run.num_procs
+    if machines is None:
+        machines = P
+    if machines < 1 or P % machines:
+        raise ValueError("process count must be a multiple of the machine count")
+    per = P // machines
+    home = run.address_space.home_map()
+    if home.size == 0:
+        return 0.0, 0.0
+    home_machine = home // per
+
+    written = np.unique(
+        np.concatenate(
+            [t.addresses[t.is_write] for t in run.traces]
+            or [np.zeros(0, dtype=np.int64)]
+        )
+    )
+    contended = (
+        _contended_phase_blocks(run, machines, per)
+        if include_false_sharing and machines > 1
+        else np.zeros(0, dtype=np.int64)
+    )
+
+    total = 0
+    remote = 0
+    fresh = 0
+    for p, trace in enumerate(run.traces):
+        addr = trace.addresses
+        if addr.size == 0:
+            continue
+        clipped = np.minimum(addr, home.size - 1)
+        sharing = home_machine[clipped] != p // per
+        pos = np.arange(addr.size, dtype=np.int64)
+        phase = np.searchsorted(trace.barriers, pos, side="right")
+        in_contended = np.zeros(addr.size, dtype=bool)
+        if contended.size:
+            key = phase * (1 << 32) + addr // LINES_PER_BLOCK
+            idx = np.minimum(np.searchsorted(contended, key), contended.size - 1)
+            in_contended = contended[idx] == key
+        candidate = sharing | in_contended
+        total += addr.size
+        remote += int(np.count_nonzero(candidate))
+        if not candidate.any():
+            continue
+        prev = prev_occurrence(addr)
+        prev_phase = np.where(prev >= 0, phase[np.maximum(prev, 0)], -1)
+        line_written = np.zeros(addr.size, dtype=bool)
+        if written.size:
+            idx = np.searchsorted(written, addr)
+            idx = np.minimum(idx, written.size - 1)
+            line_written = written[idx] == addr
+        cold = prev < 0
+        cross_phase = (prev >= 0) & (phase > prev_phase) & line_written
+        fresh += int(np.count_nonzero(candidate & (cold | cross_phase | in_contended)))
+
+    sigma = remote / total if total else 0.0
+    fresh_fraction = fresh / remote if remote else 0.0
+    return sigma, fresh_fraction
+
+
+def measure_sharing_fraction(run, machines: int | None = None) -> float:
+    """Just the sharing fraction (see :func:`measure_sharing`)."""
+    return measure_sharing(run, machines)[0]
+
+
+def characterize_run(run, num_fit_points: int = 64) -> TraceCharacterization:
+    """Characterize an SPMD run from its process-0 trace (paper Table 2).
+
+    The paper collects "the memory access traces on one processor";
+    process 0's trace is analyzed and the run-wide gamma and sharing
+    fraction are attached.
+    """
+    ch = analyze_trace(
+        run.traces[0], name=run.name, problem_size=run.problem_size,
+        num_fit_points=num_fit_points,
+    )
+    sharing, fresh = measure_sharing(run) if run.num_procs > 1 else (0.0, 0.0)
+    params = WorkloadParams(
+        name=ch.params.name,
+        alpha=ch.params.alpha,
+        beta=ch.params.beta,
+        gamma=run.gamma,
+        problem_size=ch.params.problem_size,
+        max_distance=ch.params.max_distance,
+        sharing_fraction=sharing,
+        sharing_procs=run.num_procs,
+        sharing_fresh_fraction=fresh if sharing else 1.0,
+    )
+    return TraceCharacterization(
+        params=params,
+        fit=ch.fit,
+        distances=ch.distances,
+        memory_instructions=ch.memory_instructions,
+        total_instructions=ch.total_instructions,
+        footprint_items=ch.footprint_items,
+        write_fraction=ch.write_fraction,
+        barrier_count=ch.barrier_count,
+    )

@@ -1,0 +1,119 @@
+"""Trace collection: the instrumentation sink application kernels write to.
+
+The paper lists "an efficient tool to collect application program memory
+access traces" among its supporting tools.  :class:`TraceCollector` is
+that tool's core: kernels call :meth:`record_block` with whole numpy
+address blocks (vectorized -- one call per loop nest, not per reference)
+and :meth:`barrier` at synchronization points; :meth:`finalize` yields an
+immutable :class:`~repro.trace.events.Trace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.events import Trace
+
+__all__ = ["TraceCollector"]
+
+
+class TraceCollector:
+    """Accumulates one process's reference stream in append-only chunks."""
+
+    def __init__(self) -> None:
+        self._addr_chunks: list[np.ndarray] = []
+        self._write_chunks: list[np.ndarray] = []
+        self._work_chunks: list[np.ndarray] = []
+        self._barriers: list[int] = []
+        self._count = 0
+        self._pending_work = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def compute(self, instructions: int) -> None:
+        """Record ``instructions`` non-memory instructions of pure compute."""
+        self._check_open()
+        if instructions < 0:
+            raise ValueError("instruction count must be non-negative")
+        self._pending_work += int(instructions)
+
+    def record(self, address: int, write: bool = False, work: int = 0) -> None:
+        """Record a single reference (convenience; prefer record_block)."""
+        self.record_block(
+            np.asarray([address], dtype=np.int64),
+            writes=bool(write),
+            work_per_access=int(work),
+        )
+
+    def record_block(
+        self,
+        addresses: np.ndarray,
+        writes: np.ndarray | bool = False,
+        work_per_access: np.ndarray | int = 0,
+    ) -> None:
+        """Record a block of references issued in order.
+
+        ``writes`` and ``work_per_access`` may be scalars (broadcast) or
+        arrays parallel to ``addresses``.  Compute registered via
+        :meth:`compute` since the last reference is attributed to the
+        first reference of this block.
+        """
+        self._check_open()
+        addr = np.ascontiguousarray(addresses, dtype=np.int64).ravel()
+        if addr.size == 0:
+            return
+        if np.isscalar(writes) or isinstance(writes, bool):
+            wr = np.full(addr.size, bool(writes), dtype=bool)
+        else:
+            wr = np.ascontiguousarray(writes, dtype=bool).ravel()
+            if wr.size != addr.size:
+                raise ValueError("writes must be scalar or parallel to addresses")
+        if np.isscalar(work_per_access):
+            wk = np.full(addr.size, int(work_per_access), dtype=np.int64)
+        else:
+            wk = np.ascontiguousarray(work_per_access, dtype=np.int64).ravel()
+            if wk.size != addr.size:
+                raise ValueError("work_per_access must be scalar or parallel to addresses")
+        if self._pending_work:
+            wk = wk.copy()  # never mutate a caller-owned array
+            wk[0] += self._pending_work
+            self._pending_work = 0
+        self._addr_chunks.append(addr)
+        self._write_chunks.append(wr)
+        self._work_chunks.append(wk)
+        self._count += addr.size
+
+    def barrier(self) -> None:
+        """Record a barrier entry at the current point in the stream."""
+        self._check_open()
+        self._barriers.append(self._count)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_accesses(self) -> int:
+        return self._count
+
+    def finalize(self) -> Trace:
+        """Freeze the collected stream into an immutable Trace."""
+        self._check_open()
+        self._finalized = True
+        if not self._addr_chunks:
+            empty = np.zeros(0, dtype=np.int64)
+            return Trace(
+                addresses=empty,
+                is_write=np.zeros(0, dtype=bool),
+                work=empty.copy(),
+                barriers=np.asarray(self._barriers, dtype=np.int64),
+                tail_work=self._pending_work,
+            )
+        return Trace(
+            addresses=np.concatenate(self._addr_chunks),
+            is_write=np.concatenate(self._write_chunks),
+            work=np.concatenate(self._work_chunks),
+            barriers=np.asarray(self._barriers, dtype=np.int64),
+            tail_work=self._pending_work,
+        )
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise RuntimeError("collector already finalized")

@@ -1,0 +1,134 @@
+"""Compact per-process trace representation.
+
+A trace is the stream of memory references one SPMD process issues,
+stored as parallel numpy arrays rather than Python event objects so that
+multi-million-reference traces stay cheap to hold and to analyze
+(vectorization first -- see the HPC guide notes in DESIGN.md section 7).
+
+Addresses are *item*-granular: byte address divided by the 64-byte item
+size, in a single global shared address space laid out by
+:class:`repro.apps.base.AddressSpace`.  ``work`` counts the non-memory
+instructions executed since the previous reference, which is what makes
+``gamma = M / (m + M)`` measurable.  Barriers are recorded as indices
+into the access stream (a barrier at index i happens after access i-1
+and before access i).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Trace", "concatenate_traces"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One process's memory-reference stream.
+
+    Attributes
+    ----------
+    addresses:
+        int64 item-granular addresses, one per memory reference.
+    is_write:
+        bool flags, parallel to ``addresses``.
+    work:
+        int64 counts of non-memory instructions retired immediately
+        before each reference, parallel to ``addresses``.
+    barriers:
+        sorted int64 indices into the access stream where the process
+        enters a barrier.
+    tail_work:
+        non-memory instructions retired after the final reference.
+    """
+
+    addresses: np.ndarray
+    is_write: np.ndarray
+    work: np.ndarray
+    barriers: np.ndarray
+    tail_work: int = 0
+
+    def __post_init__(self) -> None:
+        if self.addresses.ndim != 1:
+            raise ValueError("addresses must be a 1-D array")
+        if self.is_write.shape != self.addresses.shape:
+            raise ValueError("is_write must parallel addresses")
+        if self.work.shape != self.addresses.shape:
+            raise ValueError("work must parallel addresses")
+        if self.addresses.size and self.addresses.min() < 0:
+            raise ValueError("addresses must be non-negative")
+        if self.work.size and self.work.min() < 0:
+            raise ValueError("work counts must be non-negative")
+        if self.tail_work < 0:
+            raise ValueError("tail_work must be non-negative")
+        b = self.barriers
+        if b.ndim != 1:
+            raise ValueError("barriers must be a 1-D array")
+        if b.size and (b.min() < 0 or b.max() > self.addresses.size):
+            raise ValueError("barrier indices must lie within [0, len(addresses)]")
+        if b.size > 1 and np.any(np.diff(b) < 0):
+            raise ValueError("barrier indices must be sorted")
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_instructions(self) -> int:
+        """M: instructions that reference memory."""
+        return int(self.addresses.size)
+
+    @property
+    def compute_instructions(self) -> int:
+        """m: instructions that do not reference memory."""
+        return int(self.work.sum()) + self.tail_work
+
+    @property
+    def total_instructions(self) -> int:
+        """m + M."""
+        return self.memory_instructions + self.compute_instructions
+
+    @property
+    def gamma(self) -> float:
+        """Measured gamma = M / (m + M); 0.0 for an empty trace."""
+        total = self.total_instructions
+        return self.memory_instructions / total if total else 0.0
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of references that are stores; 0.0 for an empty trace."""
+        return float(self.is_write.mean()) if self.is_write.size else 0.0
+
+    @property
+    def footprint_items(self) -> int:
+        """Number of distinct items the trace touches."""
+        return int(np.unique(self.addresses).size)
+
+    def __len__(self) -> int:
+        return self.memory_instructions
+
+
+def concatenate_traces(traces: Sequence[Trace]) -> Trace:
+    """Join traces end to end (e.g. phases of one process's execution)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    offsets = np.cumsum([0] + [t.memory_instructions for t in traces[:-1]])
+    barriers = [t.barriers + off for t, off in zip(traces, offsets)]
+    # Interior tail_work is folded into the first reference of the next
+    # trace so no compute instructions are lost in the joint.
+    works = []
+    carry = 0
+    for t in traces:
+        w = t.work.copy()
+        if w.size:
+            w[0] += carry
+            carry = t.tail_work
+        else:
+            carry += t.tail_work
+        works.append(w)
+    return Trace(
+        addresses=np.concatenate([t.addresses for t in traces]),
+        is_write=np.concatenate([t.is_write for t in traces]),
+        work=np.concatenate(works),
+        barriers=np.concatenate(barriers) if barriers else np.zeros(0, dtype=np.int64),
+        tail_work=carry,
+    )

@@ -1,0 +1,133 @@
+"""Trace persistence: save and load traces and whole application runs.
+
+The paper's supporting tool (1) is "an efficient tool to collect
+application program memory access traces" -- which implies traces that
+outlive the process that collected them.  Traces serialize to numpy
+``.npz`` archives (compressed, self-describing); an
+:class:`~repro.apps.base.ApplicationRun` serializes to one archive
+holding every process's trace plus the address-space layout needed to
+rebuild home maps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.base import AddressSpace, ApplicationRun, SharedArray
+from repro.trace.events import Trace
+
+__all__ = ["save_trace", "load_trace", "save_run", "load_run"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write one trace to a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        version=np.int64(_FORMAT_VERSION),
+        addresses=trace.addresses,
+        is_write=trace.is_write,
+        work=trace.work,
+        barriers=trace.barriers,
+        tail_work=np.int64(trace.tail_work),
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        return Trace(
+            addresses=data["addresses"],
+            is_write=data["is_write"],
+            work=data["work"],
+            barriers=data["barriers"],
+            tail_work=int(data["tail_work"]),
+        )
+
+
+def save_run(run: ApplicationRun, path: str | Path) -> None:
+    """Write a whole application run (all traces + layout) to ``.npz``.
+
+    Custom home functions cannot be serialized; runs whose address space
+    uses one are materialized into an explicit per-item home array.
+    """
+    payload: dict = {
+        "version": np.int64(_FORMAT_VERSION),
+        "meta": np.frombuffer(
+            json.dumps(
+                {
+                    "name": run.name,
+                    "problem_size": run.problem_size,
+                    "num_procs": run.num_procs,
+                    "verified": run.verified,
+                    "total_items": run.address_space.total_items,
+                }
+            ).encode(),
+            dtype=np.uint8,
+        ),
+        "home_map": run.address_space.home_map(),
+    }
+    for i, t in enumerate(run.traces):
+        payload[f"t{i}_addresses"] = t.addresses
+        payload[f"t{i}_is_write"] = t.is_write
+        payload[f"t{i}_work"] = t.work
+        payload[f"t{i}_barriers"] = t.barriers
+        payload[f"t{i}_tail_work"] = np.int64(t.tail_work)
+    np.savez_compressed(Path(path), **payload)
+
+
+class _FrozenHomeSpace(AddressSpace):
+    """An address space restored from disk: one region, explicit homes."""
+
+    def __init__(self, num_procs: int, total_items: int, home: np.ndarray) -> None:
+        super().__init__(num_procs)
+        self._home = home
+        if total_items:
+            self.alloc(
+                "restored",
+                (total_items,),
+                element_bytes=64,
+                distribution="custom",
+                home_fn=lambda flat: home[np.minimum(flat, home.size - 1)],
+            )
+
+    def home_map(self) -> np.ndarray:  # exact restoration
+        return self._home
+
+
+def load_run(path: str | Path) -> ApplicationRun:
+    """Read an application run written by :func:`save_run`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported run format version {version}")
+        meta = json.loads(bytes(data["meta"]).decode())
+        home = data["home_map"]
+        traces = []
+        for i in range(meta["num_procs"]):
+            traces.append(
+                Trace(
+                    addresses=data[f"t{i}_addresses"],
+                    is_write=data[f"t{i}_is_write"],
+                    work=data[f"t{i}_work"],
+                    barriers=data[f"t{i}_barriers"],
+                    tail_work=int(data[f"t{i}_tail_work"]),
+                )
+            )
+    space = _FrozenHomeSpace(meta["num_procs"], meta["total_items"], home)
+    return ApplicationRun(
+        name=meta["name"],
+        problem_size=meta["problem_size"],
+        num_procs=meta["num_procs"],
+        traces=tuple(traces),
+        address_space=space,
+        verified=meta["verified"],
+        extras={"restored_from": str(path)},
+    )

@@ -1,0 +1,135 @@
+"""Per-array traffic profiling: which data structure costs what.
+
+The model tells a designer *that* a platform is network-bound; this
+profiler tells them *why*: for each shared array of an application run
+it measures the reference volume, the write share, the footprint, the
+remote-partition fraction and the cross-phase reuse -- the quantities
+that decide which hierarchy level each structure's traffic lands on.
+(The FFT's twiddle table and its data matrix have the same address-space
+size and utterly different coherence behaviour; this tool is how you
+see that from traces alone.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import ApplicationRun, SharedArray
+from repro.trace.stackdist import prev_occurrence
+
+__all__ = ["ArrayProfile", "RunProfile", "profile_run"]
+
+
+@dataclass(frozen=True)
+class ArrayProfile:
+    """Measured traffic of one shared array."""
+
+    name: str
+    references: int
+    reference_share: float  #: of the run's total references
+    write_fraction: float
+    footprint_items: int  #: distinct items actually touched
+    region_items: int  #: allocated size
+    remote_fraction: float  #: refs whose home is another process's partition
+    cross_phase_fraction: float  #: refs reusing a line from an earlier phase
+
+    def describe(self) -> str:
+        return (
+            f"{self.name:<12s} {self.references:>10,d} refs ({100 * self.reference_share:5.1f}%)  "
+            f"writes {100 * self.write_fraction:5.1f}%  "
+            f"touch {self.footprint_items:,}/{self.region_items:,} items  "
+            f"remote {100 * self.remote_fraction:5.1f}%  "
+            f"cross-phase {100 * self.cross_phase_fraction:5.1f}%"
+        )
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """All arrays of a run, ordered by reference volume."""
+
+    application: str
+    num_procs: int
+    total_references: int
+    arrays: tuple[ArrayProfile, ...]
+
+    def array(self, name: str) -> ArrayProfile:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    @property
+    def dominant_remote_source(self) -> str:
+        """The array contributing the most remote references."""
+        return max(
+            self.arrays, key=lambda a: a.references * a.remote_fraction
+        ).name
+
+    def describe(self) -> str:
+        lines = [
+            f"traffic profile of {self.application} on {self.num_procs} processes "
+            f"({self.total_references:,} references):"
+        ]
+        lines += [f"  {a.describe()}" for a in self.arrays]
+        lines.append(f"  dominant remote-traffic source: {self.dominant_remote_source}")
+        return "\n".join(lines)
+
+
+def profile_run(run: ApplicationRun) -> RunProfile:
+    """Profile every shared array of an application run."""
+    arrays = run.address_space.arrays
+    if not arrays:
+        raise ValueError("the run's address space has no arrays to profile")
+    home = run.address_space.home_map()
+    bounds = np.array([a.base_item for a in arrays] + [run.address_space.total_items])
+
+    refs = np.zeros(len(arrays), dtype=np.int64)
+    writes = np.zeros(len(arrays), dtype=np.int64)
+    remote = np.zeros(len(arrays), dtype=np.int64)
+    cross = np.zeros(len(arrays), dtype=np.int64)
+    touched: list[set] = [set() for _ in arrays]
+
+    for p, trace in enumerate(run.traces):
+        addr = trace.addresses
+        if addr.size == 0:
+            continue
+        region = np.searchsorted(bounds, addr, side="right") - 1
+        region = np.clip(region, 0, len(arrays) - 1)
+        refs += np.bincount(region, minlength=len(arrays))
+        writes += np.bincount(region[trace.is_write], minlength=len(arrays))
+        is_remote = home[np.minimum(addr, home.size - 1)] != p
+        remote += np.bincount(region[is_remote], minlength=len(arrays))
+        prev = prev_occurrence(addr)
+        pos = np.arange(addr.size, dtype=np.int64)
+        phase = np.searchsorted(trace.barriers, pos, side="right")
+        prev_phase = np.where(prev >= 0, phase[np.maximum(prev, 0)], -1)
+        crossing = (prev >= 0) & (phase > prev_phase)
+        cross += np.bincount(region[crossing], minlength=len(arrays))
+        for i in range(len(arrays)):
+            touched[i].update(np.unique(addr[region == i]).tolist())
+
+    total = int(refs.sum())
+    profiles = []
+    for i, arr in enumerate(arrays):
+        r = int(refs[i])
+        profiles.append(
+            ArrayProfile(
+                name=arr.name,
+                references=r,
+                reference_share=r / total if total else 0.0,
+                write_fraction=int(writes[i]) / r if r else 0.0,
+                footprint_items=len(touched[i]),
+                region_items=arr.items,
+                remote_fraction=int(remote[i]) / r if r else 0.0,
+                cross_phase_fraction=int(cross[i]) / r if r else 0.0,
+            )
+        )
+    profiles.sort(key=lambda a: -a.references)
+    return RunProfile(
+        application=run.name,
+        num_procs=run.num_procs,
+        total_references=total,
+        arrays=tuple(profiles),
+    )

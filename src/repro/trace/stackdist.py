@@ -1,0 +1,210 @@
+"""Exact LRU stack distances of an address stream, fully vectorized.
+
+The stack distance of a reference (Coffman & Denning, the paper's [2])
+is the number of *distinct* items referenced since the previous
+reference to the same item; first-touch references are "cold" and get
+:data:`COLD_DISTANCE` (encoded as -1, semantically +infinity).  A
+fully-associative LRU cache of capacity ``s`` hits a reference iff its
+stack distance is strictly below ``s``.
+
+Classic implementations walk the trace with a Fenwick tree -- an
+inherently sequential Python loop.  Following the repository's
+vectorization discipline we instead reduce the problem to offline 2-D
+dominance counting and solve *all* references simultaneously with a
+level-by-level wavelet-tree descent built from numpy primitives:
+
+1. ``prev[t]``, the previous position of the item at position ``t``,
+   is obtained from one stable argsort of (item, position).
+2. The number of distinct items in the window ``(p, t)`` (with
+   ``p = prev[t]``) equals ``(t - p - 1)`` minus the number of positions
+   ``u`` in the window whose own ``prev[u]`` also lies inside it
+   (those are repeats).  Writing ``F(k, v) = #{u < k : prev[u] > v}``,
+
+       distance(t) = (t - p - 1) - (F(t, p) - F(p + 1, p)),
+
+3. and all ``F`` queries are answered together by descending a wavelet
+   tree over the ``prev`` array: each level is one stable argsort plus
+   one cumulative sum, and every query advances with O(1) gathers.
+
+Total cost is O(M log M) in numpy operations with O(M) peak memory --
+millions of references per second, versus microseconds per reference for
+the sequential Fenwick walk (kept as :func:`stack_distances_naive` for
+cross-validation in the test suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "COLD_DISTANCE",
+    "prev_occurrence",
+    "stack_distances",
+    "stack_distances_naive",
+    "hit_ratio",
+    "lru_hit_ratios",
+]
+
+#: Sentinel distance of a first-touch (cold) reference; semantically +inf.
+COLD_DISTANCE = -1
+
+
+def prev_occurrence(items: np.ndarray) -> np.ndarray:
+    """prev[t]: index of the previous occurrence of items[t], or -1.
+
+    One stable argsort groups equal items in position order; shifting
+    within groups yields the predecessor indices.
+    """
+    items = np.ascontiguousarray(items)
+    if items.ndim != 1:
+        raise ValueError("items must be a 1-D array")
+    m = items.size
+    prev = np.full(m, -1, dtype=np.int64)
+    if m == 0:
+        return prev
+    order = np.argsort(items, kind="stable")
+    sorted_items = items[order]
+    same_as_left = np.empty(m, dtype=bool)
+    same_as_left[0] = False
+    np.not_equal(sorted_items[1:], sorted_items[:-1], out=same_as_left[1:])
+    np.logical_not(same_as_left, out=same_as_left)  # True where same item as predecessor
+    prev[order[1:][same_as_left[1:]]] = order[:-1][same_as_left[1:]]
+    return prev
+
+
+def _batched_rank_greater(values: np.ndarray, ks: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    """For each query i, count u < ks[i] with values[u] > vs[i].
+
+    Wavelet-tree descent vectorized across queries.  ``values`` must be
+    non-negative int64 (shift all inputs up front if necessary).
+    """
+    m = values.size
+    q = ks.size
+    out = np.zeros(q, dtype=np.int64)
+    if m == 0 or q == 0:
+        return out
+    top = max(int(values.max()), int(vs.max()) if vs.size else 0)
+    nbits = max(1, int(top).bit_length())
+
+    # Per-query state: node interval [s, e) in the current level's layout
+    # and k = number of node elements drawn from the query's prefix.
+    s = np.zeros(q, dtype=np.int64)
+    e = np.full(q, m, dtype=np.int64)
+    k = ks.astype(np.int64).copy()
+
+    perm_values = values  # level-0 layout is the original order
+    for level in range(nbits):
+        shift = nbits - level - 1
+        bits = (perm_values >> shift) & 1
+        cum = np.empty(m + 1, dtype=np.int64)
+        cum[0] = 0
+        np.cumsum(bits, out=cum[1:])
+
+        ones_prefix = cum[s + k] - cum[s]  # 1-bits among the first k node elements
+        ones_node = cum[e] - cum[s]  # 1-bits in the whole node
+        zeros_node = (e - s) - ones_node
+
+        vbit = (vs >> shift) & 1
+        go_right = vbit == 1
+        # v's bit is 0: the right child holds strictly greater values ->
+        # bank those and descend left.
+        out += np.where(go_right, 0, ones_prefix)
+        k = np.where(go_right, ones_prefix, k - ones_prefix)
+        new_s = np.where(go_right, s + zeros_node, s)
+        new_e = np.where(go_right, e, s + zeros_node)
+        s, e = new_s, new_e
+
+        if level + 1 < nbits:
+            # Re-layout for the next level: stable sort by the top
+            # (level+1) bits, which refines every node's partition by this
+            # level's bit without merging sibling nodes.  (NumPy's stable
+            # integer sort is a radix sort, so this is already O(M); a
+            # hand-rolled vectorized partition was measured slower.)
+            order = np.argsort(perm_values >> shift, kind="stable")
+            perm_values = perm_values[order]
+    return out
+
+
+def stack_distances(items: np.ndarray) -> np.ndarray:
+    """Exact LRU stack distance of every reference in the stream.
+
+    Returns an int64 array parallel to ``items``; cold references get
+    :data:`COLD_DISTANCE`.  A fully-associative LRU cache of capacity
+    ``s`` hits reference ``t`` iff ``0 <= distance[t] < s``.
+    """
+    items = np.ascontiguousarray(items)
+    if items.ndim != 1:
+        raise ValueError("items must be a 1-D array")
+    m = items.size
+    if m == 0:
+        return np.zeros(0, dtype=np.int64)
+    prev = prev_occurrence(items)
+    warm = prev >= 0
+    t = np.flatnonzero(warm).astype(np.int64)
+    p = prev[warm]
+
+    # Shift prev by +1 so values are non-negative for the wavelet tree.
+    vals = (prev + 1).astype(np.int64)
+    ks = np.concatenate([t, p + 1])
+    vs = np.concatenate([p + 1, p + 1])
+    counts = _batched_rank_greater(vals, ks, vs)
+    repeats = counts[: t.size] - counts[t.size :]
+
+    distances = np.full(m, COLD_DISTANCE, dtype=np.int64)
+    distances[t] = (t - p - 1) - repeats
+    return distances
+
+
+def stack_distances_naive(items: np.ndarray) -> np.ndarray:
+    """Reference O(M * footprint) implementation for cross-validation.
+
+    Maintains an explicit LRU stack (most recent first).  Only suitable
+    for small traces; the test suite uses it to verify
+    :func:`stack_distances` on random streams.
+    """
+    items = np.ascontiguousarray(items)
+    stack: list = []
+    out = np.empty(items.size, dtype=np.int64)
+    for i, a in enumerate(items.tolist()):
+        try:
+            depth = stack.index(a)
+        except ValueError:
+            out[i] = COLD_DISTANCE
+            stack.insert(0, a)
+        else:
+            out[i] = depth  # 'depth' distinct items sit above a
+            del stack[depth]
+            stack.insert(0, a)
+    return out
+
+
+def hit_ratio(distances: np.ndarray, capacity_items: float) -> float:
+    """Fraction of references a ``capacity_items`` LRU cache would hit.
+
+    Cold references always miss.  Capacity may be fractional (model
+    boundaries); a reference hits iff ``distance < capacity``.
+    """
+    if capacity_items < 0:
+        raise ValueError("capacity must be non-negative")
+    d = np.ascontiguousarray(distances)
+    if d.size == 0:
+        return 0.0
+    hits = (d >= 0) & (d < capacity_items)
+    return float(hits.mean())
+
+
+def lru_hit_ratios(distances: np.ndarray, capacities: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`hit_ratio` over many capacities at once.
+
+    Sorting the warm distances once and binary-searching every capacity
+    makes whole miss-ratio curves O(M log M) total.
+    """
+    d = np.ascontiguousarray(distances)
+    caps = np.ascontiguousarray(capacities, dtype=np.float64)
+    if np.any(caps < 0):
+        raise ValueError("capacities must be non-negative")
+    if d.size == 0:
+        return np.zeros(caps.shape, dtype=np.float64)
+    warm = np.sort(d[d >= 0])
+    counts = np.searchsorted(warm, caps, side="left")
+    return counts / d.size

@@ -1,0 +1,38 @@
+"""Workload characterization: (alpha, beta, gamma) parameter handling.
+
+The paper reduces an application to three numbers: the power-law
+stack-distance fit (alpha, beta) and the memory-referencing instruction
+fraction gamma (its Table 2).  This package holds the parameter type,
+the paper's published constants, the least-squares fitting procedure,
+and a synthetic trace generator that inverts it.
+"""
+
+from repro.workloads.params import (
+    PAPER_EDGE,
+    PAPER_FFT,
+    PAPER_LU,
+    PAPER_RADIX,
+    PAPER_TPCC,
+    PAPER_WORKLOADS,
+    WorkloadParams,
+)
+from repro.workloads.fitting import FitResult, fit_stack_distance_model, fit_from_distances
+from repro.workloads.synthetic import synthesize_trace
+from repro.workloads.mix import MixedLocality, MixedWorkload, mix_workloads
+
+__all__ = [
+    "FitResult",
+    "MixedLocality",
+    "MixedWorkload",
+    "PAPER_EDGE",
+    "PAPER_FFT",
+    "PAPER_LU",
+    "PAPER_RADIX",
+    "PAPER_TPCC",
+    "PAPER_WORKLOADS",
+    "WorkloadParams",
+    "fit_from_distances",
+    "fit_stack_distance_model",
+    "mix_workloads",
+    "synthesize_trace",
+]

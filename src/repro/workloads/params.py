@@ -1,0 +1,167 @@
+"""Workload parameter bundles and the paper's Table 2 constants.
+
+A :class:`WorkloadParams` is the paper's complete program
+characterization: locality (alpha, beta) plus memory-access intensity
+gamma.  The module ships the values the paper measured for its four
+benchmarks (Table 2) and for the TPC-C commercial workload it discusses
+in the text; these drive the cost-model case studies and the Section 6
+recommendation engine.  Fitted parameters from our own traces (which use
+scaled-down problem sizes, see DESIGN.md substitution 2) are produced by
+:mod:`repro.trace.analysis` and carried in the same type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.locality import StackDistanceModel
+
+__all__ = [
+    "WorkloadParams",
+    "PAPER_FFT",
+    "PAPER_LU",
+    "PAPER_RADIX",
+    "PAPER_EDGE",
+    "PAPER_TPCC",
+    "PAPER_WORKLOADS",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """A program's (alpha, beta, gamma) characterization.
+
+    ``beta`` is in stack-distance items (64-byte lines in this library).
+    ``problem_size`` is a free-text description of the data set the
+    parameters were measured on -- the paper stresses that beta grows
+    with the data-set size, so parameters are only meaningful together
+    with their problem size.
+
+    Two measured extensions beyond the paper's triple (see DESIGN.md):
+    ``max_distance`` truncates the fitted power law at the program's
+    actual footprint, and ``sharing_fraction`` is the fraction of
+    references that touch data homed on another process's partition
+    (measured at ``sharing_procs`` processes), which drives DSM remote
+    traffic that capacity tails cannot see.  Both default to the paper's
+    pure model (no truncation, no sharing term).
+    """
+
+    name: str
+    alpha: float
+    beta: float
+    gamma: float
+    problem_size: str = ""
+    max_distance: float | None = None
+    sharing_fraction: float = 0.0
+    sharing_procs: int = 1
+    #: Of the sharing references, the fraction whose previous use of the
+    #: same line lies in an earlier bulk-synchronous phase of a line some
+    #: process writes -- these re-fetch remotely every phase regardless
+    #: of cache capacity (coherence misses).  1.0 = every sharing
+    #: reference misses (conservative default).
+    sharing_fresh_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (self.alpha > 1.0):
+            raise ValueError(f"alpha must be > 1, got {self.alpha!r}")
+        if not (self.beta > 0.0):
+            raise ValueError(f"beta must be > 0, got {self.beta!r}")
+        if not (0.0 < self.gamma <= 1.0):
+            raise ValueError(f"gamma must be in (0, 1], got {self.gamma!r}")
+        if not (0.0 <= self.sharing_fraction <= 1.0):
+            raise ValueError("sharing_fraction must be in [0, 1]")
+        if not (0.0 <= self.sharing_fresh_fraction <= 1.0):
+            raise ValueError("sharing_fresh_fraction must be in [0, 1]")
+        if self.sharing_procs < 1:
+            raise ValueError("sharing_procs must be >= 1")
+
+    @property
+    def locality(self) -> StackDistanceModel:
+        """The single-process stack-distance model."""
+        return StackDistanceModel(
+            alpha=self.alpha, beta=self.beta, max_distance=self.max_distance
+        )
+
+    def sharing_at(self, machines: int) -> float:
+        """Estimated remote-partition reference fraction on ``machines``.
+
+        With uniformly spread partitions a process touches remote data in
+        proportion to the share of the address space homed elsewhere,
+        (machines - 1) / machines; the measured fraction is rescaled from
+        the measurement configuration accordingly.
+        """
+        if machines < 2 or self.sharing_fraction == 0.0:
+            return 0.0
+        if self.sharing_procs < 2:
+            return self.sharing_fraction * (machines - 1) / machines
+        base = (self.sharing_procs - 1) / self.sharing_procs
+        return min(1.0, self.sharing_fraction * ((machines - 1) / machines) / base)
+
+    # Classification thresholds from the paper's Section 6 principles.
+    @property
+    def memory_bound(self) -> bool:
+        """Paper Section 6: a 'large gamma' marks a memory-bound workload.
+
+        The paper's examples split at roughly gamma = 1/3 (LU 0.31 and
+        FFT 0.20 are called CPU bound; Radix 0.37, EDGE 0.45 and TPC-C
+        0.36 memory bound).
+        """
+        return self.gamma > 1.0 / 3.0
+
+    @property
+    def poor_locality(self) -> bool:
+        """Paper Section 6: beta > 100 marks relatively poor locality."""
+        return self.beta > 100.0
+
+    @property
+    def io_bound(self) -> bool:
+        """Paper Section 6: a 'very large beta' (TPC-C's ~1223 vs <121
+        for the scientific codes) marks memory-and-I/O-bound workloads."""
+        return self.beta > 1000.0
+
+    def with_name(self, name: str) -> "WorkloadParams":
+        return replace(self, name=name)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: alpha={self.alpha:.2f}, beta={self.beta:.2f}, "
+            f"gamma={self.gamma:.2f}"
+            + (f" ({self.problem_size})" if self.problem_size else "")
+        )
+
+
+#: Paper Table 2 -- (alpha, beta, gamma) as published, measured on the
+#: authors' full problem sizes.  ``max_distance`` caps each power law at
+#: the footprint of the stated problem size (in 64-byte items) so the
+#: fitted tail does not extrapolate phantom disk traffic, and the
+#: sharing terms are our own measurements of the same algorithms at four
+#: processes (the paper does not report either quantity; see DESIGN.md).
+PAPER_FFT = WorkloadParams(
+    "FFT", alpha=1.21, beta=103.26, gamma=0.20, problem_size="64K points",
+    max_distance=49_152.0,  # two 64K-point complex arrays + roots
+    sharing_fraction=0.18, sharing_fresh_fraction=0.12, sharing_procs=4,
+)
+PAPER_LU = WorkloadParams(
+    "LU", alpha=1.30, beta=90.27, gamma=0.31, problem_size="512x512 matrix",
+    max_distance=32_768.0,  # one 512x512 float64 matrix
+    sharing_fraction=0.41, sharing_fresh_fraction=0.01, sharing_procs=4,
+)
+PAPER_RADIX = WorkloadParams(
+    "Radix", alpha=1.14, beta=120.84, gamma=0.37, problem_size="1M integers, radix 1024",
+    max_distance=262_144.0,  # two 1M-key int64 arrays
+    sharing_fraction=0.16, sharing_fresh_fraction=0.14, sharing_procs=4,
+)
+PAPER_EDGE = WorkloadParams(
+    "EDGE", alpha=1.71, beta=85.03, gamma=0.45, problem_size="128x128 bitmap",
+    max_distance=8_192.0,  # four 128x128 float64 planes
+    sharing_fraction=0.02, sharing_fresh_fraction=0.04, sharing_procs=4,
+)
+#: Discussed in the paper's Section 5.2 text (small-scale data set); the
+#: paper stresses its beta keeps growing with the data set, so the tail
+#: is left untruncated -- TPC-C genuinely spills past memory into disks.
+PAPER_TPCC = WorkloadParams(
+    "TPC-C", alpha=1.73, beta=1222.66, gamma=0.36, problem_size="small-scale TPC-C",
+    sharing_fraction=0.21, sharing_fresh_fraction=0.05, sharing_procs=4,
+)
+
+PAPER_WORKLOADS: tuple[WorkloadParams, ...] = (PAPER_FFT, PAPER_LU, PAPER_RADIX, PAPER_EDGE)

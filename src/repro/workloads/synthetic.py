@@ -1,0 +1,128 @@
+"""Synthetic address traces with a prescribed stack-distance law.
+
+Inverts the measurement pipeline: given a target
+:class:`~repro.core.locality.StackDistanceModel`, produce an address
+stream whose empirical stack-distance distribution follows it.  Used to
+stand in for workloads we cannot trace (the proprietary TPC-C data set
+the paper mentions -- DESIGN.md substitution 5) and to property-test the
+fitting pipeline end to end (generate from known (alpha, beta), fit,
+recover).
+
+Generation draws a target LRU depth per reference and touches the item
+currently at that depth, which by construction realizes the drawn
+distance.  Depth selection uses a Fenwick tree over last-access slots
+(select-k-th-marked), the mirror image of the classic measurement
+algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.locality import StackDistanceModel
+from repro.trace.events import Trace
+
+__all__ = ["synthesize_trace"]
+
+
+class _FenwickSelect:
+    """Fenwick tree supporting point update and select-k-th-set-bit."""
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._log = max(1, size.bit_length())
+        self._tree = np.zeros(size + 1, dtype=np.int64)
+        self._count = 0
+
+    def add(self, index: int, delta: int) -> None:
+        tree = self._tree
+        i = index + 1
+        while i <= self._size:
+            tree[i] += delta
+            i += i & (-i)
+        self._count += delta
+
+    def select(self, k: int) -> int:
+        """Index of the k-th set position (k is 1-based)."""
+        tree = self._tree
+        pos = 0
+        remaining = k
+        step = 1 << (self._log - 1)
+        while step:
+            nxt = pos + step
+            if nxt <= self._size and tree[nxt] < remaining:
+                pos = nxt
+                remaining -= tree[nxt]
+            step >>= 1
+        return pos  # 0-based index
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+
+def synthesize_trace(
+    model: StackDistanceModel,
+    length: int,
+    rng: np.random.Generator,
+    gamma: float = 1.0,
+    write_fraction: float = 0.3,
+    base_address: int = 0,
+) -> Trace:
+    """Generate a ``length``-reference trace following ``model``.
+
+    Each reference re-touches the item at LRU depth ``ceil(d) + 1``
+    where ``d`` is drawn from the model; depths beyond the current
+    footprint allocate a fresh (cold) item.  ``gamma`` sets the
+    compute-instruction padding so the trace's measured gamma matches,
+    and ``write_fraction`` the store share.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if not (0.0 < gamma <= 1.0):
+        raise ValueError(f"gamma must be in (0, 1], got {gamma!r}")
+    if not (0.0 <= write_fraction <= 1.0):
+        raise ValueError("write_fraction must be in [0, 1]")
+
+    # Draw all target distances up front (vectorized inverse transform);
+    # a stack distance of D means re-touching the item at LRU depth D + 1.
+    depths = np.floor(model.sample(length, rng)).astype(np.int64) + 1
+
+    # Slot i of the Fenwick tree is "time step i"; a set bit marks the
+    # most recent access of some item.  Selecting the k-th set bit from
+    # the *right* yields the item at LRU depth k.
+    fw = _FenwickSelect(length)
+    last_slot = {}
+    slot_item = np.full(length, -1, dtype=np.int64)
+    addresses = np.empty(length, dtype=np.int64)
+    next_item = 0
+    for t in range(length):
+        depth = depths[t]
+        marked = fw.count
+        if depth > marked:
+            item = next_item
+            next_item += 1
+        else:
+            # depth-th most recent == (marked - depth + 1)-th from the left
+            slot = fw.select(marked - depth + 1)
+            item = int(slot_item[slot])
+            fw.add(slot, -1)
+            del last_slot[item]
+        addresses[t] = item
+        fw.add(t, 1)
+        slot_item[t] = item
+        last_slot[item] = t
+
+    addresses += base_address
+    is_write = rng.random(length) < write_fraction
+    # gamma = M / (m + M)  =>  m = M (1 - gamma) / gamma, spread evenly.
+    total_work = int(round(length * (1.0 - gamma) / gamma)) if length else 0
+    work = np.full(length, total_work // length if length else 0, dtype=np.int64)
+    if length:
+        work[: total_work - int(work.sum())] += 1
+    return Trace(
+        addresses=addresses,
+        is_write=is_write,
+        work=work,
+        barriers=np.zeros(0, dtype=np.int64),
+    )

@@ -1,0 +1,98 @@
+"""Property-based tests of the benchmark kernels' numeric oracles.
+
+The applications are the trace generators behind every validation
+figure; if one silently produced wrong numerics, its address stream
+could drift too.  These tests hammer the oracles over randomized shapes
+and seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cg import CgApplication
+from repro.apps.edge import EdgeApplication
+from repro.apps.fft import FftApplication
+from repro.apps.lu import LuApplication
+from repro.apps.radix import RadixApplication
+
+
+class TestFftProperty:
+    @given(
+        r_exp=st.integers(min_value=2, max_value=5),  # 16..1024 points
+        procs=st.sampled_from([1, 2, 4]),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_always_matches_numpy_fft(self, r_exp, procs, seed):
+        r = 2**r_exp
+        if r % procs:
+            procs = 1
+        run = FftApplication(points=r * r, num_procs=procs, seed=seed).run()
+        assert run.verified
+
+
+class TestLuProperty:
+    @given(
+        blocks=st.integers(min_value=2, max_value=4),
+        procs=st.sampled_from([1, 2, 4]),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_factorization_always_reconstructs(self, blocks, procs, seed):
+        run = LuApplication(order=16 * blocks, block=16, num_procs=procs, seed=seed).run()
+        assert run.verified
+
+
+class TestRadixProperty:
+    @given(
+        keys_exp=st.integers(min_value=9, max_value=12),  # 512..4096 keys
+        digit_bits=st.sampled_from([4, 8, 16]),
+        procs=st.sampled_from([1, 2, 4]),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_always_sorted(self, keys_exp, digit_bits, procs, seed):
+        run = RadixApplication(
+            num_keys=2**keys_exp, digit_bits=digit_bits, num_procs=procs, seed=seed
+        ).run()
+        assert run.verified
+
+
+class TestEdgeProperty:
+    @given(
+        size=st.sampled_from([16, 32]),
+        iterations=st.integers(min_value=1, max_value=5),
+        threshold=st.floats(min_value=1.0, max_value=50.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_always_matches_reference(self, size, iterations, threshold, seed):
+        run = EdgeApplication(
+            height=size, width=size, iterations=iterations,
+            threshold=threshold, num_procs=2, seed=seed,
+        ).run()
+        assert run.verified
+
+
+class TestCgProperty:
+    @given(
+        grid=st.sampled_from([12, 16, 24]),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_residual_always_drops(self, grid, seed):
+        run = CgApplication(grid=grid, iterations=15, num_procs=2, seed=seed).run()
+        assert run.verified
+        assert run.extras["relative_residual"] < 1.0
+
+
+class TestTraceStability:
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_gamma_stable_across_seeds(self, seed):
+        """gamma is an algorithmic property: it must not drift with the
+        random input data."""
+        run = RadixApplication(num_keys=2048, num_procs=2, seed=seed).run()
+        assert run.gamma == pytest.approx(1.0 / 3.0, abs=0.02)

@@ -1,0 +1,94 @@
+"""Cross-cutting tests every benchmark application must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import APPLICATIONS, TABLE2_NAMES, default_applications, make_application
+from tests.conftest import SMALL_APP_KWARGS
+
+ALL_NAMES = tuple(APPLICATIONS)
+
+
+class TestRegistry:
+    def test_table2_names(self):
+        assert TABLE2_NAMES == ("FFT", "LU", "Radix", "EDGE")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            make_application("nope")
+
+    def test_default_applications(self):
+        apps = default_applications(num_procs=2)
+        assert [a.name for a in apps] == list(TABLE2_NAMES)
+
+    def test_invalid_proc_count(self):
+        with pytest.raises(ValueError):
+            make_application("FFT", num_procs=0)
+
+
+@pytest.fixture
+def run_by_name(all_runs_4, tpcc_run_4, cg_run_4):
+    def get(name):
+        if name == "TPC-C":
+            return tpcc_run_4
+        if name == "CG":
+            return cg_run_4
+        return all_runs_4[name]
+
+    return get
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryApplication:
+    def test_run_verifies_and_traces(self, name, run_by_name):
+        run = run_by_name(name)
+        assert run.verified, f"{name} failed its numeric oracle"
+        assert run.num_procs == 4
+        assert run.total_references > 1000
+        # Equal barrier counts across processes (enforced + sanity).
+        counts = {int(t.barriers.size) for t in run.traces}
+        assert len(counts) == 1
+
+    def test_addresses_inside_the_shared_space(self, name, run_by_name):
+        run = run_by_name(name)
+        total = run.address_space.total_items
+        for t in run.traces:
+            assert t.addresses.min() >= 0
+            assert t.addresses.max() < total
+
+    def test_gamma_in_plausible_range(self, name, run_by_name):
+        run = run_by_name(name)
+        assert 0.1 < run.gamma < 0.7
+
+    def test_every_process_contributes(self, name, run_by_name):
+        run = run_by_name(name)
+        for t in run.traces:
+            assert t.memory_instructions > 0
+
+    def test_deterministic_for_fixed_seed(self, name):
+        kw = SMALL_APP_KWARGS[name]
+        a = make_application(name, num_procs=2, seed=3, **kw).run()
+        b = make_application(name, num_procs=2, seed=3, **kw).run()
+        np.testing.assert_array_equal(a.traces[0].addresses, b.traces[0].addresses)
+        assert a.total_instructions == b.total_instructions
+
+
+class TestGammaOrdering:
+    def test_matches_paper_table2_ordering(self, all_runs_4):
+        """gamma: FFT < LU <= Radix < EDGE, as in the paper's Table 2."""
+        g = {name: run.gamma for name, run in all_runs_4.items()}
+        assert g["FFT"] < g["LU"] <= g["Radix"] < g["EDGE"]
+
+
+class TestSharingStructure:
+    def test_fft_transpose_shares_heavily(self, fft_run_4, edge_run_4):
+        """All-to-all FFT must share far more than nearest-neighbour EDGE."""
+        from repro.trace.analysis import measure_sharing_fraction
+
+        assert measure_sharing_fraction(fft_run_4) > 3 * measure_sharing_fraction(edge_run_4)
+
+    def test_single_process_never_shares(self):
+        from repro.trace.analysis import measure_sharing_fraction
+
+        run = make_application("EDGE", num_procs=1, **SMALL_APP_KWARGS["EDGE"]).run()
+        assert measure_sharing_fraction(run) == 0.0

@@ -1,0 +1,137 @@
+"""Tests for the shared address space and the application-run container."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AddressSpace, ApplicationRun
+from repro.sim.latencies import ITEM_BYTES
+from repro.trace.events import Trace
+
+
+class TestAddressSpace:
+    def test_regions_never_overlap(self):
+        space = AddressSpace(2)
+        a = space.alloc("a", (10,), element_bytes=8)
+        b = space.alloc("b", (10,), element_bytes=8)
+        assert b.base_item >= a.base_item + a.items
+        assert space.total_items == a.items + b.items
+
+    def test_addr_row_major(self):
+        space = AddressSpace(1)
+        arr = space.alloc("m", (4, 8), element_bytes=8)  # 8 elems per item
+        # element (1, 0) is flat index 8 -> exactly one item past the base
+        assert arr.addr(np.array([1]), np.array([0]))[0] == arr.base_item + 1
+        assert arr.addr(np.array([0]), np.array([7]))[0] == arr.base_item
+
+    def test_addr_flat_bounds(self):
+        space = AddressSpace(1)
+        arr = space.alloc("v", (16,), element_bytes=8)
+        with pytest.raises(IndexError):
+            arr.addr_flat(np.array([16]))
+
+    def test_addr_wrong_rank(self):
+        space = AddressSpace(1)
+        arr = space.alloc("m", (4, 4))
+        with pytest.raises(ValueError):
+            arr.addr(np.array([0]))
+
+    def test_item_rounding_up(self):
+        space = AddressSpace(1)
+        arr = space.alloc("odd", (3,), element_bytes=24)  # 72 bytes -> 2 items
+        assert arr.items == 2
+
+    def test_row_range_partition(self):
+        space = AddressSpace(4)
+        arr = space.alloc("m", (10, 3))
+        ranges = [arr.row_range(p) for p in range(4)]
+        # contiguous cover of all rows
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressSpace(0)
+        space = AddressSpace(2)
+        with pytest.raises(ValueError):
+            space.alloc("bad", (0,))
+        with pytest.raises(ValueError):
+            space.alloc("bad", (4,), element_bytes=0)
+
+
+class TestHomeMaps:
+    def test_block_distribution(self):
+        space = AddressSpace(2)
+        arr = space.alloc("m", (4, 8), element_bytes=8)  # 4 items, 1 per row
+        home = arr.home_of_items()
+        np.testing.assert_array_equal(home, [0, 0, 1, 1])
+
+    def test_replicated_homed_on_zero(self):
+        space = AddressSpace(4)
+        arr = space.alloc("t", (32,), element_bytes=8, distribution="replicated")
+        assert np.all(arr.home_of_items() == 0)
+
+    def test_custom_home_fn(self):
+        space = AddressSpace(2)
+        arr = space.alloc(
+            "c", (4, 8), element_bytes=8, distribution="custom",
+            home_fn=lambda flat: (flat // 8) % 2,  # alternate rows
+        )
+        np.testing.assert_array_equal(arr.home_of_items(), [0, 1, 0, 1])
+
+    def test_custom_requires_home_fn(self):
+        space = AddressSpace(2)
+        with pytest.raises(ValueError):
+            space.alloc("c", (4,), distribution="custom")
+        with pytest.raises(ValueError):
+            space.alloc("c", (4,), home_fn=lambda f: f)
+
+    def test_space_home_map_covers_everything(self):
+        space = AddressSpace(2)
+        space.alloc("a", (100,), element_bytes=ITEM_BYTES)
+        space.alloc("b", (50,), element_bytes=ITEM_BYTES, distribution="replicated")
+        home = space.home_map()
+        assert home.size == space.total_items
+        assert set(np.unique(home)) <= {0, 1}
+
+
+def _trace(addrs, barriers=()):
+    addrs = np.asarray(addrs, dtype=np.int64)
+    return Trace(
+        addresses=addrs,
+        is_write=np.zeros(addrs.size, dtype=bool),
+        work=np.zeros(addrs.size, dtype=np.int64),
+        barriers=np.asarray(barriers, dtype=np.int64),
+    )
+
+
+class TestApplicationRun:
+    def test_barrier_counts_must_match(self):
+        space = AddressSpace(2)
+        space.alloc("a", (10,))
+        with pytest.raises(ValueError, match="barrier"):
+            ApplicationRun(
+                name="x", problem_size="", num_procs=2,
+                traces=(_trace([1], barriers=[0]), _trace([1])),
+                address_space=space, verified=True,
+            )
+
+    def test_one_trace_per_process(self):
+        space = AddressSpace(2)
+        space.alloc("a", (10,))
+        with pytest.raises(ValueError):
+            ApplicationRun(
+                name="x", problem_size="", num_procs=2,
+                traces=(_trace([1]),), address_space=space, verified=True,
+            )
+
+    def test_aggregates(self):
+        space = AddressSpace(2)
+        space.alloc("a", (10,))
+        run = ApplicationRun(
+            name="x", problem_size="", num_procs=2,
+            traces=(_trace([1, 2]), _trace([3])),
+            address_space=space, verified=True,
+        )
+        assert run.total_references == 3
+        assert run.gamma == pytest.approx(1.0)

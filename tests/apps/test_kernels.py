@@ -1,0 +1,183 @@
+"""Per-kernel tests: numeric oracles and app-specific structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.edge import EdgeApplication, edge_detect_reference
+from repro.apps.fft import FftApplication, _bit_reverse_permutation, _fft_rows_inplace
+from repro.apps.lu import LuApplication, _grid_shape
+from repro.apps.radix import RadixApplication
+from repro.apps.tpcc import TpccApplication, _zipf_choice
+
+
+class TestFft:
+    def test_row_fft_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        m = rng.standard_normal((4, 64)) + 1j * rng.standard_normal((4, 64))
+        expected = np.fft.fft(m, axis=1)
+        work = m.copy()
+        _fft_rows_inplace(work)
+        np.testing.assert_allclose(work, expected, atol=1e-10)
+
+    def test_bit_reverse_is_involution(self):
+        for r in (8, 64, 256):
+            rev = _bit_reverse_permutation(r)
+            np.testing.assert_array_equal(rev[rev], np.arange(r))
+
+    def test_six_step_verifies(self):
+        run = FftApplication(points=1024, num_procs=2, seed=1).run()
+        assert run.verified
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            FftApplication(points=1000)  # not r*r
+        with pytest.raises(ValueError):
+            FftApplication(points=1024, num_procs=3)  # 32 rows % 3
+
+    def test_row_padding_present(self):
+        """SPLASH-2-style padding: row stride exceeds the logical row."""
+        run = FftApplication(points=1024, num_procs=1).run()
+        data = [a for a in run.address_space.arrays if a.name == "data"][0]
+        assert data.shape[1] > 32  # r + pad columns
+
+
+class TestLu:
+    def test_factorization_verifies(self):
+        run = LuApplication(order=64, block=16, num_procs=4, seed=2).run()
+        assert run.verified
+
+    def test_grid_shape(self):
+        assert _grid_shape(1) == (1, 1)
+        assert _grid_shape(4) == (2, 2)
+        assert _grid_shape(8) == (2, 4)
+        assert _grid_shape(6) == (2, 3)
+
+    def test_rejects_bad_blocking(self):
+        with pytest.raises(ValueError):
+            LuApplication(order=100, block=16)
+        with pytest.raises(ValueError):
+            LuApplication(order=64, block=6)
+
+    def test_scatter_homes_follow_grid(self):
+        run = LuApplication(order=64, block=16, num_procs=4).run()
+        mat = run.address_space.arrays[0]
+        home = mat.home_of_items()
+        # block (0,0) -> proc 0; block (0,1) -> proc 1 (grid 2x2)
+        items_per_block = 16 * 16 * 8 // 64
+        assert home[0] == 0
+        assert home[items_per_block] == 1
+
+    def test_barriers_three_per_step(self):
+        run = LuApplication(order=64, block=16, num_procs=2).run()
+        assert run.traces[0].barriers.size == 3 * (64 // 16)
+
+
+class TestRadix:
+    def test_sorts(self):
+        run = RadixApplication(num_keys=2048, num_procs=4, seed=3).run()
+        assert run.verified
+
+    def test_pass_count(self):
+        app = RadixApplication(num_keys=1024, digit_bits=8, key_bits=32)
+        assert app.passes == 4
+        app16 = RadixApplication(num_keys=1024, digit_bits=4, key_bits=16)
+        assert app16.passes == 4 and app16.radix == 16
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            RadixApplication(num_keys=1000, num_procs=3)
+        with pytest.raises(ValueError):
+            RadixApplication(num_keys=1024, digit_bits=7)
+
+    def test_barriers_three_per_pass(self):
+        run = RadixApplication(num_keys=1024, num_procs=2).run()
+        assert run.traces[0].barriers.size == 3 * run.extras["passes"]
+
+
+class TestEdge:
+    def test_matches_reference(self):
+        run = EdgeApplication(height=32, width=32, iterations=3, num_procs=4).run()
+        assert run.verified
+
+    def test_reference_oracle_finds_edges(self):
+        img = np.zeros((32, 32))
+        img[8:24, 8:24] = 200.0
+        edges = edge_detect_reference(img, iterations=2, threshold=5.0)
+        assert edges.any()
+        assert not edges.all()
+
+    def test_rejects_bad_partition(self):
+        with pytest.raises(ValueError):
+            EdgeApplication(height=30, width=30, num_procs=4)
+        with pytest.raises(ValueError):
+            EdgeApplication(height=2, width=2)
+
+    def test_early_halt_recorded(self):
+        run = EdgeApplication(
+            height=32, width=32, iterations=50, threshold=1e9, num_procs=1
+        ).run()
+        # an absurd threshold stabilizes (no edges) after one iteration
+        assert run.extras["iterations_performed"] < 50
+
+
+class TestTpcc:
+    def test_balances_reconcile(self):
+        run = TpccApplication(
+            transactions=1000, items=512, customers_per_warehouse=200, num_procs=2
+        ).run()
+        assert run.verified
+        assert run.extras["orders"] > 0
+
+    def test_zipf_skews_to_low_ranks(self):
+        rng = np.random.default_rng(0)
+        picks = _zipf_choice(rng, 1000, 20_000)
+        top_decile = np.mean(picks < 100)
+        assert top_decile > 0.3  # heavy head
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            TpccApplication(warehouses=3, num_procs=2)
+        with pytest.raises(ValueError):
+            TpccApplication(transactions=1001, num_procs=2)
+
+
+class TestCg:
+    def test_converges(self):
+        from repro.apps.cg import CgApplication
+
+        run = CgApplication(grid=24, iterations=20, num_procs=4).run()
+        assert run.verified
+        assert run.extras["relative_residual"] < 0.5
+
+    def test_more_iterations_reduce_residual(self):
+        from repro.apps.cg import CgApplication
+
+        short = CgApplication(grid=24, iterations=5, num_procs=1).run()
+        long = CgApplication(grid=24, iterations=40, num_procs=1).run()
+        assert long.extras["relative_residual"] < short.extras["relative_residual"]
+
+    def test_three_barriers_per_iteration(self):
+        from repro.apps.cg import CgApplication
+
+        run = CgApplication(grid=16, iterations=4, num_procs=2).run()
+        assert run.traces[0].barriers.size == 3 * 4
+
+    def test_rejects_bad_partition(self):
+        from repro.apps.cg import CgApplication
+
+        with pytest.raises(ValueError):
+            CgApplication(grid=30, num_procs=4)
+        with pytest.raises(ValueError):
+            CgApplication(grid=16, iterations=0)
+
+    def test_sharing_profile_nearest_neighbour_not_all_to_all(self):
+        """Halo + reductions: real but modest sharing, far below FFT's
+        all-to-all transposes (the axpy/dot volume dilutes the halos)."""
+        from repro.apps.registry import make_application
+        from repro.trace.analysis import measure_sharing_fraction
+
+        cg = measure_sharing_fraction(make_application("CG", num_procs=4, grid=32).run())
+        fft = measure_sharing_fraction(
+            make_application("FFT", num_procs=4, points=1024).run()
+        )
+        assert 0.0 < cg < fft / 3

@@ -1,0 +1,121 @@
+"""Shared fixtures: small application instances and platform specs.
+
+Application runs and trace analyses are session-scoped -- they are pure
+functions of (name, size, seed) and several test modules reuse them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import PlatformSpec
+from repro.sim.latencies import NetworkKind
+
+KB = 1024
+MB = 1024 * 1024
+
+#: Problem sizes small enough for sub-second runs, still non-trivial.
+SMALL_APP_KWARGS: dict[str, dict] = {
+    "FFT": {"points": 1024},
+    "LU": {"order": 64, "block": 16},
+    "Radix": {"num_keys": 4096},
+    "EDGE": {"height": 32, "width": 32, "iterations": 2},
+    "TPC-C": {"transactions": 2000, "items": 1024, "customers_per_warehouse": 500},
+    "CG": {"grid": 16, "iterations": 6},
+}
+
+
+@pytest.fixture(scope="session")
+def small_app_kwargs() -> dict[str, dict]:
+    return SMALL_APP_KWARGS
+
+
+@pytest.fixture(scope="session")
+def small_runner(small_app_kwargs):
+    from repro.experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(app_kwargs=small_app_kwargs)
+
+
+def _run(name: str, procs: int):
+    from repro.apps.registry import make_application
+
+    app = make_application(name, num_procs=procs, seed=0, **SMALL_APP_KWARGS[name])
+    return app.run()
+
+
+@pytest.fixture(scope="session")
+def fft_run_4():
+    return _run("FFT", 4)
+
+
+@pytest.fixture(scope="session")
+def lu_run_4():
+    return _run("LU", 4)
+
+
+@pytest.fixture(scope="session")
+def radix_run_4():
+    return _run("Radix", 4)
+
+
+@pytest.fixture(scope="session")
+def edge_run_4():
+    return _run("EDGE", 4)
+
+
+@pytest.fixture(scope="session")
+def tpcc_run_4():
+    return _run("TPC-C", 4)
+
+
+@pytest.fixture(scope="session")
+def cg_run_4():
+    return _run("CG", 4)
+
+
+@pytest.fixture(scope="session")
+def all_runs_4(fft_run_4, lu_run_4, radix_run_4, edge_run_4):
+    return {
+        "FFT": fft_run_4,
+        "LU": lu_run_4,
+        "Radix": radix_run_4,
+        "EDGE": edge_run_4,
+    }
+
+
+# ----------------------------------------------------------------------
+# Platform specs (scaled to the small apps' working sets)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def smp_spec():
+    return PlatformSpec(name="test-smp", n=2, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB)
+
+
+@pytest.fixture(scope="session")
+def smp4_spec():
+    return PlatformSpec(name="test-smp4", n=4, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB)
+
+
+@pytest.fixture(scope="session")
+def cow_spec():
+    return PlatformSpec(
+        name="test-cow", n=1, N=4, cache_bytes=2 * KB, memory_bytes=256 * KB,
+        network=NetworkKind.ETHERNET_100,
+    )
+
+
+@pytest.fixture(scope="session")
+def cow_switch_spec():
+    return PlatformSpec(
+        name="test-cow-atm", n=1, N=4, cache_bytes=2 * KB, memory_bytes=256 * KB,
+        network=NetworkKind.ATM_155,
+    )
+
+
+@pytest.fixture(scope="session")
+def clump_spec():
+    return PlatformSpec(
+        name="test-clump", n=2, N=2, cache_bytes=2 * KB, memory_bytes=256 * KB,
+        network=NetworkKind.ETHERNET_100,
+    )

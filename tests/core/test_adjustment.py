@@ -1,0 +1,54 @@
+"""Tests for the remote-rate adjustment and its calibration routine."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjustment import (
+    PAPER_REMOTE_RATE_ADJUSTMENT,
+    adjust_remote_rate,
+    calibrate_remote_adjustment,
+)
+
+
+class TestAdjust:
+    def test_paper_constant(self):
+        assert PAPER_REMOTE_RATE_ADJUSTMENT == pytest.approx(0.124)
+
+    def test_scaling(self):
+        assert adjust_remote_rate(100.0) == pytest.approx(112.4)
+        assert adjust_remote_rate(100.0, 0.5) == pytest.approx(150.0)
+        assert adjust_remote_rate(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adjust_remote_rate(-1.0)
+        with pytest.raises(ValueError):
+            adjust_remote_rate(1.0, -0.1)
+
+
+class TestCalibrate:
+    def test_recovers_planted_factor(self):
+        """If simulation = model(0.2), calibration must find ~0.2."""
+        base = np.array([1.0, 2.0, 3.5, 0.7])
+
+        def model(factor):
+            return base * (1.0 + factor)
+
+        simulated = base * 1.2
+        factor, err = calibrate_remote_adjustment(model, simulated)
+        assert factor == pytest.approx(0.2, abs=0.002)
+        assert err < 0.01
+
+    def test_zero_when_model_already_right(self):
+        base = np.array([1.0, 5.0])
+        factor, err = calibrate_remote_adjustment(lambda f: base * (1 + f), base)
+        assert factor == 0.0
+        assert err == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_remote_adjustment(lambda f: [1.0], [])
+        with pytest.raises(ValueError):
+            calibrate_remote_adjustment(lambda f: [1.0], [-1.0])
+        with pytest.raises(ValueError):
+            calibrate_remote_adjustment(lambda f: [1.0, 2.0], [1.0])

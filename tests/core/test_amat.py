@@ -1,0 +1,212 @@
+"""Tests for the average-memory-access-time model (Eq. 7/11 + modes)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.amat import average_memory_access_time
+from repro.core.contention import QueueSaturationError, barrier_term, mg1_response_time
+from repro.core.hierarchy import smp_hierarchy, cow_hierarchy
+from repro.core.locality import StackDistanceModel
+from repro.sim.latencies import NetworkKind, PAPER_LATENCIES
+
+
+def _smp(n=1, cache=64, memory=4096):
+    return smp_hierarchy(n=n, cache_items=cache, memory_items=memory, latencies=PAPER_LATENCIES)
+
+
+def _cow(N=4, net=NetworkKind.ETHERNET_100, cache=64, memory=4096):
+    return cow_hierarchy(
+        N=N, cache_items=cache, memory_items=memory, network=net, latencies=PAPER_LATENCIES
+    )
+
+
+LOC = StackDistanceModel(alpha=2.5, beta=5.0)
+
+
+class TestUniprocessorLimit:
+    def test_reduces_to_jacob_closed_form(self):
+        """n = 1: T = tau1 + tail(s1)*tau2 + tail(s2)*tau3, no contention,
+        no barrier -- the paper's consistency check against [6]."""
+        h = _smp(n=1)
+        out = average_memory_access_time(h, LOC, gamma=0.3)
+        expected = 1.0 + LOC.tail(64) * 50.0 + LOC.tail(4096) * 2000.0
+        assert out.total_cycles == pytest.approx(expected)
+        assert out.barrier_cycles == 0.0
+
+    def test_contention_raises_t_for_multiprocessor(self):
+        t1 = average_memory_access_time(_smp(n=1), LOC, gamma=0.3).total_cycles
+        out2 = average_memory_access_time(_smp(n=2), LOC, gamma=0.3, barrier_scale=0.0)
+        # rescaling shrinks per-process tails, so compare the memory level
+        # directly: response time must exceed the uncontended service.
+        mem = out2.levels[0]
+        assert mem.response_cycles > 50.0
+        assert t1 > 0
+
+
+class TestSmpFormula:
+    def test_matches_manual_expansion(self):
+        """Hand-expand Eq. 11 for n = 2 and compare term by term."""
+        gamma, n = 0.25, 2
+        h = _smp(n=n)
+        dist = LOC.rescaled(n)
+        lam2 = gamma * dist.tail(64)
+        lam3 = gamma * dist.tail(4096)
+        t2 = mg1_response_time(lam2, 50.0, n)
+        t3 = mg1_response_time(lam3, 2000.0, n)
+        expected = (
+            1.0
+            + dist.tail(64) * t2
+            + dist.tail(4096) * t3
+            + barrier_term(n) / gamma
+        )
+        out = average_memory_access_time(h, LOC, gamma=gamma)
+        assert out.total_cycles == pytest.approx(expected)
+
+    def test_barrier_scale(self):
+        h = _smp(n=4)
+        full = average_memory_access_time(h, LOC, gamma=0.3, barrier_scale=1.0)
+        none = average_memory_access_time(h, LOC, gamma=0.3, barrier_scale=0.0)
+        assert none.barrier_cycles == 0.0
+        assert full.total_cycles - none.total_cycles == pytest.approx(
+            barrier_term(4) / 0.3
+        )
+
+    def test_level_diagnostics_present(self):
+        out = average_memory_access_time(_smp(n=2), LOC, gamma=0.3)
+        assert len(out.levels) == 2
+        assert all(lv.tail_probability >= 0 for lv in out.levels)
+        assert "T =" in out.describe()
+
+
+class TestSaturation:
+    def _saturating(self):
+        # 10Mb Ethernet with a fat remote tail saturates the open model.
+        heavy = StackDistanceModel(alpha=1.2, beta=500.0)
+        return _cow(N=4, net=NetworkKind.ETHERNET_10), heavy
+
+    def test_open_mode_raises(self):
+        h, heavy = self._saturating()
+        with pytest.raises(QueueSaturationError):
+            average_memory_access_time(h, heavy, gamma=0.3, on_saturation="raise")
+
+    def test_open_mode_inf(self):
+        h, heavy = self._saturating()
+        out = average_memory_access_time(h, heavy, gamma=0.3, on_saturation="inf")
+        assert out.saturated
+        assert math.isinf(out.total_cycles)
+        assert any(lv.saturated for lv in out.levels)
+
+    def test_throttled_mode_always_finite(self):
+        h, heavy = self._saturating()
+        out = average_memory_access_time(
+            h, heavy, gamma=0.3, mode="throttled", on_saturation="inf"
+        )
+        assert math.isfinite(out.total_cycles)
+        assert all(lv.utilization < 1.0 for lv in out.levels)
+
+    def test_throttled_fixed_point_self_consistent(self):
+        h, heavy = self._saturating()
+        gamma = 0.3
+        out = average_memory_access_time(
+            h, heavy, gamma=gamma, mode="throttled", on_saturation="inf"
+        )
+        # The realized issue scale equals 1/(1 + gamma T): check via the
+        # memory level whose lam = gamma * tail * scale.
+        scale = out.levels[0].request_rate / (gamma * out.levels[0].tail_probability)
+        assert scale == pytest.approx(1.0 / (1.0 + gamma * out.total_cycles), rel=1e-3)
+
+    def test_throttled_equals_open_when_uncontended(self):
+        h = _smp(n=1)
+        a = average_memory_access_time(h, LOC, gamma=0.3, mode="open")
+        b = average_memory_access_time(h, LOC, gamma=0.3, mode="throttled")
+        assert b.total_cycles == pytest.approx(a.total_cycles, rel=1e-6)
+
+
+class TestExtensions:
+    def test_remote_rate_adjustment_increases_remote_rate(self):
+        h = _cow()
+        base = average_memory_access_time(h, LOC, gamma=0.3)
+        adj = average_memory_access_time(h, LOC, gamma=0.3, remote_rate_adjustment=0.124)
+        remote_base = [lv for lv in base.levels if "remote memory" in lv.name][0]
+        remote_adj = [lv for lv in adj.levels if "remote memory" in lv.name][0]
+        assert remote_adj.request_rate == pytest.approx(1.124 * remote_base.request_rate)
+        assert adj.total_cycles >= base.total_cycles
+
+    def test_adjustment_does_not_touch_local_levels(self):
+        h = _cow()
+        base = average_memory_access_time(h, LOC, gamma=0.3)
+        adj = average_memory_access_time(h, LOC, gamma=0.3, remote_rate_adjustment=0.5)
+        assert adj.levels[0].request_rate == pytest.approx(base.levels[0].request_rate)
+
+    def test_sharing_fraction_adds_remote_traffic(self):
+        trunc = StackDistanceModel(alpha=2.5, beta=5.0, max_distance=2000.0)
+        h = _cow(memory=4096)  # footprint < memory -> zero capacity tail
+        base = average_memory_access_time(h, trunc, gamma=0.3, on_saturation="inf")
+        shared = average_memory_access_time(
+            h, trunc, gamma=0.3, sharing_fraction=0.2, sharing_fresh_fraction=1.0,
+            on_saturation="inf",
+        )
+        rb = [lv for lv in base.levels if "remote memory" in lv.name][0]
+        rs = [lv for lv in shared.levels if "remote memory" in lv.name][0]
+        assert rb.tail_probability == 0.0
+        assert rs.tail_probability == pytest.approx(0.2)
+
+    def test_sharing_fresh_blend(self):
+        h = _cow()
+        lo = average_memory_access_time(
+            h, LOC, gamma=0.3, sharing_fraction=0.2, sharing_fresh_fraction=0.0,
+            mode="throttled", on_saturation="inf",
+        )
+        hi = average_memory_access_time(
+            h, LOC, gamma=0.3, sharing_fraction=0.2, sharing_fresh_fraction=1.0,
+            mode="throttled", on_saturation="inf",
+        )
+        assert hi.total_cycles > lo.total_cycles
+
+    def test_contention_boost_only_raises_queueing(self):
+        h = _smp(n=4)
+        base = average_memory_access_time(h, LOC, gamma=0.3)
+        boosted = average_memory_access_time(h, LOC, gamma=0.3, contention_boost=4.0)
+        b0, b4 = base.levels[0], boosted.levels[0]
+        assert b4.tail_probability == pytest.approx(b0.tail_probability)
+        assert b4.response_cycles > b0.response_cycles
+        assert boosted.total_cycles > base.total_cycles
+
+    def test_contention_boost_validation(self):
+        with pytest.raises(ValueError):
+            average_memory_access_time(_smp(), LOC, gamma=0.3, contention_boost=0.5)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            average_memory_access_time(_smp(), LOC, gamma=0.0)
+        with pytest.raises(ValueError):
+            average_memory_access_time(_smp(), LOC, gamma=1.5)
+
+
+class TestProperties:
+    @given(
+        alpha=st.floats(min_value=1.3, max_value=4.0),
+        beta=st.floats(min_value=1.0, max_value=1e4),
+        gamma=st.floats(min_value=0.05, max_value=0.9),
+        n=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_throttled_t_at_least_base(self, alpha, beta, gamma, n):
+        loc = StackDistanceModel(alpha=alpha, beta=beta)
+        out = average_memory_access_time(
+            _smp(n=n), loc, gamma=gamma, mode="throttled", on_saturation="inf"
+        )
+        assert out.total_cycles >= 1.0
+
+    @given(
+        cache=st.sampled_from([16, 64, 256, 1024]),
+        gamma=st.floats(min_value=0.1, max_value=0.6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bigger_cache_never_slower(self, cache, gamma):
+        a = average_memory_access_time(_smp(n=2, cache=cache), LOC, gamma=gamma, mode="throttled")
+        b = average_memory_access_time(_smp(n=2, cache=2 * cache), LOC, gamma=gamma, mode="throttled")
+        assert b.total_cycles <= a.total_cycles + 1e-9

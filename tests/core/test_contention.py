@@ -1,0 +1,144 @@
+"""Tests for the M/D/1 and barrier order-statistics contention models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contention import (
+    QueueSaturationError,
+    barrier_cycle_time,
+    barrier_term,
+    barrier_wait_time,
+    harmonic_number,
+    is_math_stable,
+    mg1_response_time,
+    mg1_utilization,
+    mg1_waiting_time,
+    queued_contribution,
+    saturating_population,
+)
+
+
+class TestHarmonic:
+    def test_known_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == pytest.approx(1.0)
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(1.0 + 0.5 + 1 / 3 + 0.25)
+
+    def test_vectorized(self):
+        out = harmonic_number(np.array([0, 1, 2, 3]))
+        np.testing.assert_allclose(out, [0.0, 1.0, 1.5, 1.5 + 1 / 3])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+        with pytest.raises(ValueError):
+            harmonic_number(np.array([1, -2]))
+
+
+class TestMD1:
+    def test_no_contention_at_population_one(self):
+        assert mg1_response_time(0.5, 100.0, 1) == pytest.approx(100.0)
+        assert mg1_waiting_time(0.5, 100.0, 1) == 0.0
+
+    def test_paper_closed_form(self):
+        """t(o) = (2 tau - (c-1) lam tau^2) / (2 (1 - (c-1) lam tau))."""
+        lam, tau, c = 0.004, 50.0, 4
+        other = (c - 1) * lam
+        expected = (2 * tau - other * tau**2) / (2 * (1 - other * tau))
+        assert mg1_response_time(lam, tau, c) == pytest.approx(expected)
+
+    def test_uniprocessor_limit_matches_jacob(self):
+        """n = 1 must reduce to the plain access time (the paper's check)."""
+        for tau in (1.0, 50.0, 2000.0):
+            assert mg1_response_time(0.9, tau, 1) == tau
+
+    def test_saturation_raises(self):
+        with pytest.raises(QueueSaturationError) as exc:
+            mg1_response_time(0.5, 10.0, 3)  # rho = 2*0.5*10 = 10
+        assert exc.value.rho == pytest.approx(10.0)
+
+    def test_exact_saturation_boundary(self):
+        with pytest.raises(QueueSaturationError):
+            mg1_waiting_time(0.5, 1.0, 3)  # rho = 1 exactly
+
+    def test_utilization(self):
+        assert mg1_utilization(0.01, 50.0, 3) == pytest.approx(1.0)
+        assert mg1_utilization(0.0, 50.0, 8) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mg1_utilization(-0.1, 1.0, 2)
+        with pytest.raises(ValueError):
+            mg1_utilization(0.1, -1.0, 2)
+        with pytest.raises(ValueError):
+            mg1_utilization(0.1, 1.0, 0)
+
+    @given(
+        lam=st.floats(min_value=0.0, max_value=0.01),
+        tau=st.floats(min_value=0.1, max_value=50.0),
+        c=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=200)
+    def test_response_at_least_service(self, lam, tau, c):
+        if mg1_utilization(lam, tau, c) < 1.0:
+            assert mg1_response_time(lam, tau, c) >= tau
+
+    @given(
+        tau=st.floats(min_value=0.1, max_value=50.0),
+        c=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_waiting_increases_with_rate(self, tau, c):
+        lam_lo, lam_hi = 0.001, 0.002
+        if mg1_utilization(lam_hi, tau, c) < 1.0:
+            assert mg1_waiting_time(lam_lo, tau, c) <= mg1_waiting_time(lam_hi, tau, c)
+
+    def test_queued_contribution_is_rate_weighted(self):
+        lam, tau, c = 0.003, 40.0, 4
+        assert queued_contribution(lam, tau, c) == pytest.approx(
+            lam * mg1_response_time(lam, tau, c)
+        )
+
+    def test_stability_helpers(self):
+        assert is_math_stable(0.001, 50.0, 2)
+        assert not is_math_stable(0.5, 50.0, 2)
+        assert saturating_population(0.0, 50.0) == math.inf
+        # lam*tau = 0.1 -> c < 11 -> largest stable population is 10
+        assert saturating_population(0.002, 50.0) == 10
+
+
+class TestBarrier:
+    def test_cycle_time(self):
+        assert barrier_cycle_time(0.5, 1) == pytest.approx(2.0)
+        assert barrier_cycle_time(0.5, 2) == pytest.approx(3.0)  # H_2/0.5
+
+    def test_wait_time_zero_for_one_process(self):
+        assert barrier_wait_time(0.5, 1) == 0.0
+
+    def test_wait_time_matches_harmonic(self):
+        lam = 0.25
+        for c in (2, 3, 8):
+            expected = (harmonic_number(c) - 1.0) / lam
+            assert barrier_wait_time(lam, c) == pytest.approx(expected)
+
+    def test_barrier_term(self):
+        assert barrier_term(1) == 0.0
+        assert barrier_term(2) == pytest.approx(0.5)
+        assert barrier_term(4) == pytest.approx(0.5 + 1 / 3 + 0.25)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            barrier_cycle_time(0.0, 2)
+        with pytest.raises(ValueError):
+            barrier_cycle_time(0.5, 0)
+        with pytest.raises(ValueError):
+            barrier_term(0)
+
+    @given(c=st.integers(min_value=2, max_value=64))
+    def test_wait_grows_with_population(self, c):
+        assert barrier_wait_time(1.0, c + 1) > barrier_wait_time(1.0, c)

@@ -1,0 +1,158 @@
+"""Unit and property tests for the stack-distance locality model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.locality import StackDistanceModel
+
+alphas = st.floats(min_value=1.01, max_value=10.0, allow_nan=False)
+betas = st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+xs = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+class TestValidation:
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ValueError, match="alpha"):
+            StackDistanceModel(alpha=1.0, beta=10.0)
+        with pytest.raises(ValueError, match="alpha"):
+            StackDistanceModel(alpha=0.5, beta=10.0)
+
+    def test_beta_must_be_positive(self):
+        with pytest.raises(ValueError, match="beta"):
+            StackDistanceModel(alpha=2.0, beta=0.0)
+        with pytest.raises(ValueError, match="beta"):
+            StackDistanceModel(alpha=2.0, beta=-3.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            StackDistanceModel(alpha=math.inf, beta=10.0)
+        with pytest.raises(ValueError):
+            StackDistanceModel(alpha=2.0, beta=math.nan)
+
+    def test_max_distance_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_distance"):
+            StackDistanceModel(alpha=2.0, beta=10.0, max_distance=0.0)
+
+
+class TestDistribution:
+    def test_cdf_at_zero_is_zero(self):
+        m = StackDistanceModel(alpha=1.5, beta=50.0)
+        assert m.cdf(0.0) == pytest.approx(0.0)
+
+    def test_cdf_closed_form(self):
+        m = StackDistanceModel(alpha=2.0, beta=100.0)
+        # P(x) = 1 - (x/100 + 1)^-1 at x=100 -> 1 - 1/2
+        assert m.cdf(100.0) == pytest.approx(0.5)
+
+    def test_tail_complements_cdf(self):
+        m = StackDistanceModel(alpha=1.7, beta=33.0)
+        x = np.array([0.0, 1.0, 10.0, 1e4])
+        np.testing.assert_allclose(m.tail(x), 1.0 - m.cdf(x), rtol=1e-12)
+
+    def test_negative_x_clamped(self):
+        m = StackDistanceModel(alpha=1.5, beta=10.0)
+        assert m.cdf(-5.0) == pytest.approx(0.0)
+        assert m.pdf(-5.0) == 0.0
+        assert m.tail(-5.0) == pytest.approx(1.0)
+
+    def test_pdf_integrates_to_cdf(self):
+        m = StackDistanceModel(alpha=1.8, beta=40.0)
+        xs_grid = np.linspace(0.0, 500.0, 20001)
+        numeric = np.trapezoid(m.pdf(xs_grid), xs_grid)
+        assert numeric == pytest.approx(m.cdf(500.0), rel=1e-4)
+
+    def test_mean_finite_only_above_two(self):
+        assert StackDistanceModel(alpha=1.9, beta=10.0).mean() == math.inf
+        assert StackDistanceModel(alpha=3.0, beta=10.0).mean() == pytest.approx(10.0)
+
+    @given(alpha=alphas, beta=betas, x=xs)
+    @settings(max_examples=200)
+    def test_cdf_in_unit_interval(self, alpha, beta, x):
+        m = StackDistanceModel(alpha=alpha, beta=beta)
+        assert 0.0 <= m.cdf(x) <= 1.0
+
+    @given(alpha=alphas, beta=betas, x1=xs, x2=xs)
+    @settings(max_examples=200)
+    def test_cdf_monotone(self, alpha, beta, x1, x2):
+        m = StackDistanceModel(alpha=alpha, beta=beta)
+        lo, hi = min(x1, x2), max(x1, x2)
+        assert m.cdf(lo) <= m.cdf(hi) + 1e-12
+
+    @given(alpha=alphas, beta=betas, q=st.floats(min_value=0.0, max_value=0.999))
+    @settings(max_examples=200)
+    def test_quantile_inverts_cdf(self, alpha, beta, q):
+        m = StackDistanceModel(alpha=alpha, beta=beta)
+        assert m.cdf(m.quantile(q)) == pytest.approx(q, abs=1e-7)
+
+    def test_quantile_rejects_bad_q(self):
+        m = StackDistanceModel(alpha=2.0, beta=10.0)
+        with pytest.raises(ValueError):
+            m.quantile(1.0)
+        with pytest.raises(ValueError):
+            m.quantile(-0.1)
+
+
+class TestRescaling:
+    @given(alpha=alphas, beta=betas, x=xs, n=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200)
+    def test_rescaled_matches_paper_formula(self, alpha, beta, x, n):
+        """P_n(x) = 1 - (n x / beta + 1)^(1-alpha)."""
+        m = StackDistanceModel(alpha=alpha, beta=beta)
+        expected = 1.0 - (n * x / beta + 1.0) ** (1.0 - alpha)
+        assert m.rescaled(n).cdf(x) == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_rescaled_one_is_identity(self):
+        m = StackDistanceModel(alpha=1.4, beta=9.0)
+        assert m.rescaled(1) is m
+
+    def test_rescaled_rejects_bad_n(self):
+        m = StackDistanceModel(alpha=1.4, beta=9.0)
+        with pytest.raises(ValueError):
+            m.rescaled(0)
+
+    def test_rescaled_shrinks_max_distance(self):
+        m = StackDistanceModel(alpha=1.4, beta=9.0, max_distance=1000.0)
+        assert m.rescaled(4).max_distance == pytest.approx(250.0)
+
+    @given(alpha=alphas, beta=betas, x=xs, n=st.integers(min_value=2, max_value=32))
+    @settings(max_examples=100)
+    def test_rescaling_improves_per_process_locality(self, alpha, beta, x, n):
+        m = StackDistanceModel(alpha=alpha, beta=beta)
+        assert m.rescaled(n).tail(x) <= m.tail(x) + 1e-12
+
+
+class TestTruncation:
+    def test_tail_zero_beyond_max_distance(self):
+        m = StackDistanceModel(alpha=1.3, beta=10.0, max_distance=100.0)
+        assert m.tail(99.0) > 0.0
+        assert m.tail(100.0) == 0.0
+        assert m.tail(1e6) == 0.0
+        assert m.cdf(100.0) == 1.0
+
+    def test_untruncated_tail_never_zero(self):
+        m = StackDistanceModel(alpha=1.3, beta=10.0)
+        assert m.tail(1e12) > 0.0
+
+    def test_truncation_array_path(self):
+        m = StackDistanceModel(alpha=1.3, beta=10.0, max_distance=50.0)
+        out = m.tail(np.array([10.0, 49.0, 50.0, 1000.0]))
+        assert out[0] > 0 and out[1] > 0
+        assert out[2] == 0.0 and out[3] == 0.0
+
+
+class TestSampling:
+    def test_sample_matches_cdf(self):
+        m = StackDistanceModel(alpha=1.6, beta=30.0)
+        rng = np.random.default_rng(0)
+        s = m.sample(200_000, rng)
+        for x in (10.0, 100.0, 1000.0):
+            assert np.mean(s <= x) == pytest.approx(m.cdf(x), abs=5e-3)
+
+    def test_sample_negative_size_rejected(self):
+        m = StackDistanceModel(alpha=1.6, beta=30.0)
+        with pytest.raises(ValueError):
+            m.sample(-1, np.random.default_rng(0))

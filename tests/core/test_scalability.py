@@ -1,0 +1,79 @@
+"""Tests for the scalability-analysis module."""
+
+import pytest
+
+from repro.core.platform import PlatformSpec
+from repro.core.scalability import speedup_curve
+from repro.sim.latencies import NetworkKind
+from repro.workloads.params import PAPER_EDGE, PAPER_FFT, PAPER_LU
+
+KB, MB = 1024, 1024 * 1024
+
+COW_BASE = PlatformSpec(
+    name="sc-cow", n=1, N=2, cache_bytes=256 * KB, memory_bytes=64 * MB,
+    network=NetworkKind.ATM_155,
+)
+SMP_BASE = PlatformSpec(name="sc-smp", n=2, N=1, cache_bytes=256 * KB, memory_bytes=64 * MB)
+
+
+class TestSpeedupCurve:
+    def test_base_point_normalized(self):
+        res = speedup_curve(PAPER_LU, COW_BASE, [2, 4, 8])
+        assert res.points[0].speedup == pytest.approx(1.0)
+        assert res.points[0].efficiency == pytest.approx(1.0)
+
+    def test_counts_sorted_and_deduplicated(self):
+        res = speedup_curve(PAPER_LU, COW_BASE, [8, 2, 4, 4])
+        assert [p.processors for p in res.points] == [2, 4, 8]
+
+    def test_machine_axis_grows_N(self):
+        res = speedup_curve(PAPER_LU, COW_BASE, [2, 4])
+        assert res.points[1].spec.N == 4 and res.points[1].spec.n == 1
+
+    def test_processor_axis_grows_n(self):
+        res = speedup_curve(PAPER_LU, SMP_BASE, [2, 4], scale_axis="processors")
+        assert res.points[1].spec.n == 4 and res.points[1].spec.N == 1
+
+    def test_smp_scaling_beats_ethernet_cow_scaling_for_radix_like(self):
+        """Bus SMPs scale the memory-bound Radix better than Ethernet COWs
+        (the Section 6 story, seen as a curve)."""
+        from repro.workloads.params import PAPER_RADIX
+
+        eth = PlatformSpec(
+            name="sc-eth", n=1, N=2, cache_bytes=256 * KB, memory_bytes=64 * MB,
+            network=NetworkKind.ETHERNET_100,
+        )
+        smp = speedup_curve(PAPER_RADIX, SMP_BASE, [2, 4], scale_axis="processors")
+        cow = speedup_curve(PAPER_RADIX, eth, [2, 4])
+        assert smp.points[-1].speedup > cow.points[-1].speedup
+
+    def test_network_gates_scaling(self):
+        """FFT scales visibly worse on Ethernet than on ATM (Section 6)."""
+        eth = PlatformSpec(
+            name="sc-eth", n=1, N=2, cache_bytes=256 * KB, memory_bytes=64 * MB,
+            network=NetworkKind.ETHERNET_10,
+        )
+        atm = speedup_curve(PAPER_FFT, COW_BASE, [2, 4, 8])
+        slow = speedup_curve(PAPER_FFT, eth, [2, 4, 8])
+        # absolute times: ATM strictly dominates at every size
+        for a, e in zip(atm.points, slow.points):
+            assert a.e_instr_seconds < e.e_instr_seconds
+
+    def test_knee_and_peak_defined(self):
+        res = speedup_curve(PAPER_EDGE, COW_BASE, [2, 4, 8, 16])
+        assert res.knee in res.points
+        assert res.peak in res.points
+        assert res.peak.speedup == max(p.speedup for p in res.points)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup_curve(PAPER_LU, COW_BASE, [])
+        with pytest.raises(ValueError):
+            speedup_curve(PAPER_LU, COW_BASE, [0, 2])
+        with pytest.raises(ValueError):
+            speedup_curve(PAPER_LU, COW_BASE, [2], scale_axis="nope")
+
+    def test_describe(self):
+        res = speedup_curve(PAPER_LU, COW_BASE, [2, 4])
+        text = res.describe()
+        assert "speedup" in text and "knee" in text

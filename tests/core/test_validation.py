@@ -1,0 +1,63 @@
+"""Tests for the model-vs-simulation comparison utilities."""
+
+import pytest
+
+from repro.core.validation import (
+    ComparisonRow,
+    compare,
+    format_table,
+    max_relative_error,
+    mean_relative_error,
+    relative_error,
+)
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.9, 1.0) == pytest.approx(0.1)
+
+    def test_relative_error_needs_positive_reference(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_max_and_mean(self):
+        m = [1.0, 2.2]
+        s = [1.0, 2.0]
+        assert max_relative_error(m, s) == pytest.approx(0.1)
+        assert mean_relative_error(m, s) == pytest.approx(0.05)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_relative_error([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mean_relative_error([], [])
+
+
+class TestRows:
+    def test_row_error(self):
+        row = ComparisonRow("FFT", "C1", modeled=1.05e-8, simulated=1.0e-8)
+        assert row.error == pytest.approx(0.05)
+
+    def test_compare_builds_grid(self):
+        modeled = {("FFT", "C1"): 1.0, ("FFT", "C2"): 2.0}
+        simulated = {("FFT", "C1"): 1.1, ("FFT", "C2"): 2.1}
+        rows = compare(["FFT"], ["C1", "C2"], modeled, simulated)
+        assert len(rows) == 2
+        assert rows[0].configuration == "C1"
+
+    def test_compare_missing_cell_raises(self):
+        with pytest.raises(KeyError):
+            compare(["FFT"], ["C1"], {}, {("FFT", "C1"): 1.0})
+
+    def test_format_table(self):
+        rows = [
+            ComparisonRow("FFT", "C1", 1.0e-8, 1.1e-8),
+            ComparisonRow("LU", "C1", 3.0e-8, 2.9e-8),
+        ]
+        text = format_table(rows)
+        assert "FFT" in text and "LU" in text
+        assert "worst-case difference" in text
+
+    def test_format_empty(self):
+        assert "no rows" in format_table([])

@@ -1,0 +1,107 @@
+"""Tests for configuration-space enumeration."""
+
+import pytest
+
+from repro.cost.catalog import DEFAULT_CATALOG
+from repro.cost.configspace import CandidateSpace, enumerate_configurations
+from repro.cost.model import cluster_cost
+from repro.sim.latencies import NetworkKind
+
+
+class TestEnumeration:
+    def test_every_candidate_fits_the_budget(self):
+        for spec, price in enumerate_configurations(8_000.0):
+            assert price <= 8_000.0
+
+    def test_price_matches_cost_model(self):
+        for spec, price in enumerate_configurations(6_000.0):
+            # spec carries full-size capacities at size_scale=1
+            assert price == pytest.approx(cluster_cost(DEFAULT_CATALOG, spec))
+
+    def test_no_uniprocessor_platforms(self):
+        for spec, _ in enumerate_configurations(50_000.0):
+            assert spec.total_processors >= 2
+
+    def test_single_machines_have_no_network(self):
+        for spec, _ in enumerate_configurations(20_000.0):
+            assert (spec.N == 1) == (spec.network is None)
+
+    def test_bigger_budget_strictly_more_options(self):
+        small = sum(1 for _ in enumerate_configurations(5_000.0))
+        big = sum(1 for _ in enumerate_configurations(20_000.0))
+        assert big > small > 0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            list(enumerate_configurations(0.0))
+
+
+class TestCandidateSpace:
+    def test_restricted_space(self):
+        space = CandidateSpace(
+            max_machines=2,
+            processor_counts=(1,),
+            cache_kb_options=(256,),
+            memory_mb_options=(32,),
+            networks=(NetworkKind.ETHERNET_10,),
+        )
+        specs = list(enumerate_configurations(50_000.0, space=space))
+        assert len(specs) == 1  # only N=2 qualifies (n*N >= 2)
+        assert specs[0][0].N == 2
+
+    def test_size_scale_shrinks_spec_not_price(self):
+        space = CandidateSpace(size_scale=64)
+        for spec, price in enumerate_configurations(6_000.0, space=space):
+            assert spec.cache_bytes <= 512 * 1024 // 64
+            # price still quotes the full-size parts
+            assert price >= 1_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CandidateSpace(max_machines=0)
+        with pytest.raises(ValueError):
+            CandidateSpace(processor_counts=())
+        with pytest.raises(ValueError):
+            CandidateSpace(size_scale=0)
+
+    def test_names_are_informative(self):
+        spec, _ = next(iter(enumerate_configurations(20_000.0)))
+        assert "n=" in spec.name and "KB" in spec.name
+
+
+class TestL2Axis:
+    def test_default_space_has_no_l2(self):
+        for spec, _ in enumerate_configurations(20_000.0):
+            assert spec.l2_bytes is None
+
+    def test_l2_options_enumerate_and_price(self):
+        space = CandidateSpace(
+            max_machines=2, processor_counts=(2,), cache_kb_options=(256,),
+            memory_mb_options=(32,), l2_kb_options=(None, 2048),
+        )
+        specs = list(enumerate_configurations(50_000.0, space=space))
+        with_l2 = [s for s, _ in specs if s.l2_bytes is not None]
+        without = [s for s, _ in specs if s.l2_bytes is None]
+        assert with_l2 and without
+        # the L2 variant of the same shape costs exactly the module price
+        price = {s.name: p for s, p in specs}
+        base = [p for s, p in specs if s.l2_bytes is None and s.N == 1][0]
+        l2 = [p for s, p in specs if s.l2_bytes is not None and s.N == 1][0]
+        assert l2 - base == pytest.approx(DEFAULT_CATALOG.l2_price(2048))
+
+    def test_unknown_l2_size_rejected(self):
+        space = CandidateSpace(
+            max_machines=1, processor_counts=(2,), cache_kb_options=(256,),
+            memory_mb_options=(32,), l2_kb_options=(999,),
+        )
+        with pytest.raises(KeyError, match="L2 option"):
+            list(enumerate_configurations(50_000.0, space=space))
+
+    def test_l2_can_win_for_memory_bound_workloads(self):
+        """The hierarchy-length extension pays for itself on Radix."""
+        from repro.cost.optimizer import optimize_cluster
+        from repro.workloads.params import PAPER_RADIX
+
+        space = CandidateSpace(l2_kb_options=(None, 2048))
+        res = optimize_cluster(PAPER_RADIX, 20_000.0, space=space)
+        assert res.best.spec.l2_bytes is not None

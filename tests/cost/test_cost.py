@@ -1,0 +1,96 @@
+"""Tests for the price catalog and the Eq. 5 cost model."""
+
+import pytest
+
+from repro.core.platform import PlatformSpec
+from repro.cost.catalog import DEFAULT_CATALOG, PriceCatalog
+from repro.cost.model import cluster_cost, machine_cost, network_cost
+from repro.sim.latencies import NetworkKind
+
+KB, MB = 1024, 1024 * 1024
+
+
+class TestCatalog:
+    def test_cache_price_lookup(self):
+        assert DEFAULT_CATALOG.cache_price(256) > 0
+        assert DEFAULT_CATALOG.cache_price(512) > DEFAULT_CATALOG.cache_price(256)
+
+    def test_unknown_cache_rejected(self):
+        with pytest.raises(KeyError, match="cache option"):
+            DEFAULT_CATALOG.cache_price(1024)
+
+    def test_network_prices_ordered(self):
+        c = DEFAULT_CATALOG
+        assert (
+            c.network_price(NetworkKind.ETHERNET_10)
+            < c.network_price(NetworkKind.ETHERNET_100)
+            < c.network_price(NetworkKind.ATM_155)
+        )
+
+    def test_options_listing(self):
+        assert DEFAULT_CATALOG.cache_options_kb == (256, 512)
+        assert len(DEFAULT_CATALOG.network_options) == 3
+
+    def test_custom_catalog(self):
+        c = PriceCatalog(memory_per_mb=2.0)
+        assert machine_cost(c, 1, 256, 64) - machine_cost(c, 1, 256, 32) == pytest.approx(64.0)
+
+
+class TestMachineCost:
+    def test_workstation(self):
+        c = DEFAULT_CATALOG
+        expected = c.workstation_base + c.cache_price(256) + 64.0
+        assert machine_cost(c, 1, 256, 64) == pytest.approx(expected)
+
+    def test_smp_premium(self):
+        c = DEFAULT_CATALOG
+        two_way = machine_cost(c, 2, 256, 64)
+        expected = (
+            c.workstation_base
+            + 2 * c.smp_chassis_per_socket
+            + c.smp_cpu
+            + 2 * c.cache_price(256)
+            + 64.0
+        )
+        assert two_way == pytest.approx(expected)
+
+    def test_smp_above_case1_budget(self):
+        """The paper's Case 1: $5,000 cannot buy an SMP node."""
+        assert machine_cost(DEFAULT_CATALOG, 2, 256, 32) > 5_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            machine_cost(DEFAULT_CATALOG, 0, 256, 64)
+        with pytest.raises(ValueError):
+            machine_cost(DEFAULT_CATALOG, 1, 256, 0)
+
+
+class TestClusterCost:
+    def test_eq5_shape(self):
+        """C = N * (C_machine + C_net)."""
+        spec = PlatformSpec(
+            name="x", n=1, N=4, cache_bytes=256 * KB, memory_bytes=64 * MB,
+            network=NetworkKind.ETHERNET_100,
+        )
+        per_machine = machine_cost(DEFAULT_CATALOG, 1, 256, 64)
+        per_net = network_cost(DEFAULT_CATALOG, spec)
+        assert cluster_cost(DEFAULT_CATALOG, spec) == pytest.approx(
+            4 * (per_machine + per_net)
+        )
+
+    def test_single_smp_pays_no_network(self):
+        spec = PlatformSpec(name="x", n=2, N=1, cache_bytes=256 * KB, memory_bytes=64 * MB)
+        assert network_cost(DEFAULT_CATALOG, spec) == 0.0
+
+    def test_paper_fft_clusters_cost_the_same(self):
+        """The Section 6 FFT comparison needs ~equal prices."""
+        eth = PlatformSpec(
+            name="e", n=1, N=4, cache_bytes=256 * KB, memory_bytes=64 * MB,
+            network=NetworkKind.ETHERNET_10,
+        )
+        atm = PlatformSpec(
+            name="a", n=1, N=3, cache_bytes=256 * KB, memory_bytes=32 * MB,
+            network=NetworkKind.ATM_155,
+        )
+        ce, ca = cluster_cost(DEFAULT_CATALOG, eth), cluster_cost(DEFAULT_CATALOG, atm)
+        assert abs(ce - ca) / ce < 0.02

@@ -1,0 +1,63 @@
+"""Tests for the Section 6 recommendation rule engine."""
+
+import pytest
+
+from repro.cost.recommend import (
+    WorkloadClass,
+    classify_workload,
+    recommend,
+    upgrade_advice,
+)
+from repro.workloads.params import (
+    PAPER_EDGE,
+    PAPER_FFT,
+    PAPER_LU,
+    PAPER_RADIX,
+    PAPER_TPCC,
+    WorkloadParams,
+)
+
+
+class TestClassification:
+    def test_all_five_paper_examples(self):
+        """Each paper example lands in the class the paper names it for."""
+        assert classify_workload(PAPER_LU) is WorkloadClass.CPU_BOUND_GOOD_LOCALITY
+        assert classify_workload(PAPER_FFT) is WorkloadClass.CPU_BOUND_POOR_LOCALITY
+        assert classify_workload(PAPER_EDGE) is WorkloadClass.MEMORY_BOUND_GOOD_LOCALITY
+        assert classify_workload(PAPER_RADIX) is WorkloadClass.MEMORY_BOUND_POOR_LOCALITY
+        assert classify_workload(PAPER_TPCC) is WorkloadClass.MEMORY_AND_IO_BOUND
+
+    def test_io_bound_needs_both_large_beta_and_gamma(self):
+        cpu_io = WorkloadParams("x", alpha=1.5, beta=5000.0, gamma=0.1)
+        assert classify_workload(cpu_io) is not WorkloadClass.MEMORY_AND_IO_BOUND
+
+    def test_custom_thresholds(self):
+        w = WorkloadParams("x", alpha=1.5, beta=50.0, gamma=0.3)
+        assert classify_workload(w, gamma_threshold=0.2) in (
+            WorkloadClass.MEMORY_BOUND_GOOD_LOCALITY,
+        )
+
+
+class TestRecommendations:
+    def test_each_class_names_its_paper_example(self):
+        assert recommend(PAPER_LU).paper_example == "LU"
+        assert recommend(PAPER_FFT).paper_example == "FFT"
+        assert recommend(PAPER_EDGE).paper_example == "EDGE"
+        assert recommend(PAPER_RADIX).paper_example == "Radix"
+        assert "TPC-C" in recommend(PAPER_TPCC).paper_example
+
+    def test_platform_advice_content(self):
+        assert "slow network" in recommend(PAPER_LU).platform
+        assert "fast network" in recommend(PAPER_FFT).platform
+        assert "SMP" in recommend(PAPER_RADIX).platform
+        assert "SMP" in recommend(PAPER_TPCC).platform
+
+    def test_describe(self):
+        text = recommend(PAPER_LU).describe()
+        assert "because" in text and "LU" in text
+
+
+class TestUpgradeAdvice:
+    def test_two_branches(self):
+        assert "network bandwidth" in upgrade_advice(network_bound=True)
+        assert "cache/memory" in upgrade_advice(network_bound=False)

@@ -1,0 +1,66 @@
+"""Tests for the design-choice ablations."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import run_ablations
+
+
+@pytest.fixture(scope="module")
+def ablations(small_runner_module):
+    return run_ablations(small_runner_module)
+
+
+@pytest.fixture(scope="module")
+def small_runner_module(small_app_kwargs_module):
+    from repro.experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(app_kwargs=small_app_kwargs_module)
+
+
+@pytest.fixture(scope="module")
+def small_app_kwargs_module():
+    from tests.conftest import SMALL_APP_KWARGS
+
+    return SMALL_APP_KWARGS
+
+
+class TestAblations:
+    def test_all_groups_present(self, ablations):
+        groups = {r.ablation for r in ablations.rows}
+        assert groups == {
+            "cache associativity",
+            "footprint truncation",
+            "DSM sharing term",
+            "saturation handling",
+            "contention treatment",
+            "SMP peer-cache level",
+        }
+
+    def test_mva_present_and_finite(self, ablations):
+        import math
+
+        rows = ablations.of("contention treatment")
+        mva = [r for r in rows if "MVA" in r.variant]
+        assert len(mva) == 1
+        assert math.isfinite(mva[0].e_instr_seconds)
+
+    def test_truncation_improves_agreement(self, ablations):
+        trunc = ablations.of("footprint truncation")
+        assert trunc[0].error <= trunc[1].error
+
+    def test_sharing_improves_agreement(self, ablations):
+        sharing = ablations.of("DSM sharing term")
+        assert sharing[0].error <= sharing[1].error
+
+    def test_open_mode_saturates_where_throttled_survives(self, ablations):
+        sat = ablations.of("saturation handling")
+        assert math.isfinite(sat[0].e_instr_seconds)
+        assert not math.isfinite(sat[1].e_instr_seconds)
+        assert sat[1].error == math.inf
+
+    def test_describe_lists_every_row(self, ablations):
+        text = ablations.describe()
+        for r in ablations.rows:
+            assert r.variant in text

@@ -1,0 +1,49 @@
+"""Tests for the beta-vs-data-set experiment (reduced ladders)."""
+
+import pytest
+
+import repro.experiments.beta_scaling as bs
+
+ORIGINAL_LADDERS = dict(bs.SIZE_LADDERS)
+
+
+@pytest.fixture(scope="module")
+def small_results(monkeypatch_module):
+    monkeypatch_module.setattr(
+        bs,
+        "SIZE_LADDERS",
+        {
+            "EDGE": ({"height": 16, "width": 16}, {"height": 32, "width": 32}),
+            "Radix": ({"num_keys": 2048}, {"num_keys": 8192}),
+        },
+    )
+    return bs.run_beta_scaling(applications=("EDGE", "Radix"))
+
+
+@pytest.fixture(scope="module")
+def monkeypatch_module():
+    from _pytest.monkeypatch import MonkeyPatch
+
+    mp = MonkeyPatch()
+    yield mp
+    mp.undo()
+
+
+class TestBetaScaling:
+    def test_one_point_per_rung(self, small_results):
+        assert all(len(r.points) == 2 for r in small_results)
+
+    def test_footprint_grows(self, small_results):
+        assert all(r.footprint_grows for r in small_results)
+
+    def test_miss_at_probe_in_unit_interval(self, small_results):
+        for r in small_results:
+            for p in r.points:
+                assert 0.0 <= p.miss_at_probe <= 1.0
+
+    def test_describe(self, small_results):
+        text = small_results[0].describe()
+        assert "problem size" in text and "Section 5.2" in text
+
+    def test_full_ladders_cover_table2_apps(self):
+        assert set(ORIGINAL_LADDERS) >= {"FFT", "LU", "Radix", "EDGE"}

@@ -1,0 +1,45 @@
+"""Tests for the coherence-traffic experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments.coherence import PAPER_FRACTIONS, run_coherence_traffic
+
+
+@pytest.fixture(scope="module")
+def result(small_runner_module):
+    return run_coherence_traffic(small_runner_module, applications=("EDGE", "LU"))
+
+
+@pytest.fixture(scope="module")
+def small_runner_module():
+    from repro.experiments.runner import ExperimentRunner
+    from tests.conftest import SMALL_APP_KWARGS
+
+    return ExperimentRunner(app_kwargs=SMALL_APP_KWARGS)
+
+
+class TestCoherence:
+    def test_paper_constants(self):
+        assert PAPER_FRACTIONS == {
+            "FFT": 0.063, "LU": 0.047, "Radix": 0.072, "EDGE": 0.021
+        }
+
+    def test_fractions_in_unit_interval(self, result):
+        for r in result.rows:
+            assert 0.0 <= r.measured_fraction <= 1.0
+            assert not math.isnan(r.paper_fraction)
+
+    def test_counters_non_negative(self, result):
+        for r in result.rows:
+            assert r.invalidations >= 0
+            assert r.cache_to_cache >= 0
+            assert r.writebacks >= 0
+
+    def test_small_share_conclusion(self, result):
+        assert result.all_single_digit
+
+    def test_describe(self, result):
+        text = result.describe()
+        assert "Section 5.3.1" in text and "paper" in text

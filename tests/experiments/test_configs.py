@@ -1,0 +1,72 @@
+"""Tests for the paper's configuration tables (C1-C15)."""
+
+import pytest
+
+from repro.core.hierarchy import PlatformKind
+from repro.experiments.configs import (
+    ALL_CONFIGS,
+    SCALE,
+    TABLE3_SMPS,
+    TABLE4_COWS,
+    TABLE5_CLUMPS,
+    paper_config,
+    scaled,
+)
+from repro.sim.latencies import NetworkKind
+
+KB, MB = 1024, 1024 * 1024
+
+
+class TestTable3:
+    def test_six_smps(self):
+        assert len(TABLE3_SMPS) == 6
+        assert all(s.kind is PlatformKind.SMP for s in TABLE3_SMPS)
+
+    def test_rows_verbatim(self):
+        c1 = paper_config("C1")
+        assert (c1.n, c1.cache_bytes, c1.memory_bytes) == (2, 256 * KB, 64 * MB)
+        c6 = paper_config("C6")
+        assert (c6.n, c6.cache_bytes, c6.memory_bytes) == (4, 512 * KB, 128 * MB)
+
+
+class TestTable4:
+    def test_five_cows(self):
+        assert len(TABLE4_COWS) == 5
+        assert all(s.kind is PlatformKind.COW for s in TABLE4_COWS)
+
+    def test_rows_verbatim(self):
+        c7 = paper_config("C7")
+        assert (c7.N, c7.memory_bytes, c7.network) == (2, 32 * MB, NetworkKind.ETHERNET_10)
+        c11 = paper_config("C11")
+        assert (c11.N, c11.cache_bytes, c11.network) == (8, 512 * KB, NetworkKind.ATM_155)
+
+
+class TestTable5:
+    def test_four_clumps(self):
+        assert len(TABLE5_CLUMPS) == 4
+        assert all(s.kind is PlatformKind.CLUMP for s in TABLE5_CLUMPS)
+
+    def test_rows_verbatim(self):
+        c12 = paper_config("C12")
+        assert (c12.n, c12.N, c12.network) == (2, 2, NetworkKind.ETHERNET_10)
+        c15 = paper_config("C15")
+        assert (c15.n, c15.N, c15.network) == (4, 2, NetworkKind.ATM_155)
+
+
+class TestLookupAndScaling:
+    def test_fifteen_configs_total(self):
+        assert len(ALL_CONFIGS) == 15
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            paper_config("C99")
+
+    def test_scaled_preserves_everything_but_sizes(self):
+        c8 = paper_config("C8")
+        s = scaled(c8)
+        assert s.n == c8.n and s.N == c8.N and s.network == c8.network
+        assert s.cache_bytes == c8.cache_bytes // SCALE
+        assert s.memory_bytes == c8.memory_bytes // SCALE
+
+    def test_paper_clock(self):
+        assert all(s.cpu_hz == 200e6 for s in ALL_CONFIGS.values())

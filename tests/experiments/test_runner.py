@@ -1,0 +1,88 @@
+"""Tests for the experiment runner: caching, comparison, calibration."""
+
+import math
+
+import pytest
+
+from repro.core.platform import PlatformSpec
+from repro.experiments.runner import Calibration, ExperimentRunner
+
+KB = 1024
+
+SPECS = [
+    PlatformSpec(name="r-smp", n=2, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB),
+]
+
+
+class TestCaching:
+    def test_application_run_cached(self, small_runner):
+        a = small_runner.application_run("EDGE", 2)
+        b = small_runner.application_run("EDGE", 2)
+        assert a is b
+
+    def test_characterization_cached(self, small_runner):
+        a = small_runner.characterization("EDGE")
+        assert a is small_runner.characterization("EDGE")
+        assert a.name == "EDGE"
+
+    def test_simulation_cached(self, small_runner):
+        a = small_runner.simulate("EDGE", SPECS[0])
+        assert a is small_runner.simulate("EDGE", SPECS[0])
+
+    def test_sharing_for_single_machine_is_trivial(self, small_runner):
+        assert small_runner.sharing("EDGE", SPECS[0]) == (0.0, 1.0)
+
+
+class TestModelAndCompare:
+    def test_model_finite_on_smp(self, small_runner):
+        est = small_runner.model("EDGE", SPECS[0], Calibration())
+        assert math.isfinite(est.e_instr_seconds)
+
+    def test_compare_grid_complete(self, small_runner):
+        rows = small_runner.compare(["EDGE", "FFT"], SPECS, Calibration())
+        assert len(rows) == 2
+        assert {r.application for r in rows} == {"EDGE", "FFT"}
+        assert all(r.simulated > 0 and r.modeled > 0 for r in rows)
+
+
+class TestCalibrate:
+    def test_calibration_picks_a_grid_point(self, small_runner):
+        cal, err = small_runner.calibrate(
+            ["EDGE"],
+            SPECS,
+            cache_factors=(1.0, 0.5),
+            boosts=(1.0, 2.0),
+            barrier_scales=(0.0, 1.0),
+        )
+        assert cal.cache_capacity_factor in (1.0, 0.5)
+        assert cal.contention_boost in (1.0, 2.0)
+        assert math.isfinite(err)
+
+    def test_calibration_beats_or_matches_any_grid_point(self, small_runner):
+        grid = dict(cache_factors=(1.0, 0.5), boosts=(1.0,), barrier_scales=(0.0, 1.0))
+        cal, err = small_runner.calibrate(["EDGE"], SPECS, **grid)
+        sim = small_runner.simulate("EDGE", SPECS[0]).e_instr_seconds
+        for kappa in grid["cache_factors"]:
+            for b in grid["barrier_scales"]:
+                est = small_runner.model(
+                    "EDGE", SPECS[0],
+                    Calibration(cache_capacity_factor=kappa, barrier_scale=b),
+                )
+                assert err <= abs(est.e_instr_seconds - sim) / sim + 1e-12
+
+
+class TestValidationFailures:
+    def test_unverified_app_raises(self, monkeypatch, small_app_kwargs):
+        runner = ExperimentRunner(app_kwargs=small_app_kwargs)
+        run = runner.application_run("EDGE", 1)
+        object.__setattr__(run, "verified", False)
+        runner._runs.clear()
+        import repro.experiments.runner as runner_mod
+
+        class FakeApp:
+            def run(self_inner):
+                return run
+
+        monkeypatch.setattr(runner_mod, "make_application", lambda *a, **k: FakeApp())
+        with pytest.raises(RuntimeError, match="oracle"):
+            runner.application_run("EDGE", 1)

@@ -1,0 +1,54 @@
+"""Tests for the hierarchy-length sensitivity study."""
+
+import pytest
+
+from repro.experiments.sensitivity import run_sensitivity
+from repro.workloads.params import PAPER_RADIX, PAPER_EDGE
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_sensitivity([PAPER_RADIX, PAPER_EDGE])
+
+
+class TestSensitivity:
+    def test_four_axes_per_workload(self, results):
+        for res in results:
+            assert {a.axis for a in res.axes} == {
+                "hierarchy length",
+                "cache size",
+                "memory size",
+                "network bandwidth",
+            }
+
+    def test_spreads_at_least_one(self, results):
+        for res in results:
+            for ax in res.axes:
+                assert ax.spread >= 1.0
+
+    def test_central_claim_holds(self, results):
+        """Hierarchy length dominates the capacity axes (the paper's
+        headline conclusion)."""
+        for res in results:
+            assert res.claim_holds
+
+    def test_radix_more_length_sensitive_than_edge(self, results):
+        by_name = {r.workload.name: r for r in results}
+        radix = by_name["Radix"].axis("hierarchy length").spread
+        edge = by_name["EDGE"].axis("hierarchy length").spread
+        assert radix > edge
+
+    def test_smp_is_the_short_hierarchy_winner_for_radix(self, results):
+        by_name = {r.workload.name: r for r in results}
+        ax = by_name["Radix"].axis("hierarchy length")
+        best = min(zip(ax.values, ax.e_instr), key=lambda p: p[1])
+        assert "SMP" in best[0]
+
+    def test_axis_lookup_raises_on_unknown(self, results):
+        with pytest.raises(KeyError):
+            results[0].axis("nope")
+
+    def test_describe(self, results):
+        text = results[0].describe()
+        assert "most sensitive" in text
+        assert "central claim" in text

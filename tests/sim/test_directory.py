@@ -1,0 +1,112 @@
+"""Tests for the directory-based DSM coherence protocol."""
+
+import pytest
+
+from repro.sim.directory import (
+    BlockState,
+    Directory,
+    DirServe,
+    LINES_PER_BLOCK,
+    block_of,
+)
+
+
+def make_dir(machines=4):
+    # blocks homed round-robin over machines
+    return Directory(lambda block: block % machines, machines)
+
+
+class TestGeometry:
+    def test_block_of(self):
+        assert LINES_PER_BLOCK == 4
+        assert block_of(0) == 0
+        assert block_of(3) == 0
+        assert block_of(4) == 1
+
+
+class TestReads:
+    def test_cold_read_from_home(self):
+        d = make_dir()
+        out = d.read(machine=2, line=0)  # block 0, home 0
+        assert out.serve is DirServe.HOME_MEMORY
+        assert out.home == 0
+        assert out.state is BlockState.SHARED
+        assert d.state(0) is BlockState.SHARED
+        assert 2 in d.holders(0)
+
+    def test_read_of_dirty_block_forces_writeback(self):
+        d = make_dir()
+        d.write(machine=1, line=0, hit_own_cache=False)
+        assert d.state(0) is BlockState.EXCLUSIVE
+        out = d.read(machine=2, line=0)
+        assert out.serve is DirServe.REMOTE_DIRTY
+        assert out.dirty_owner == 1
+        assert d.state(0) is BlockState.SHARED
+        assert d.writebacks == 1
+
+    def test_owner_rereads_own_dirty_block(self):
+        d = make_dir()
+        d.write(machine=1, line=0, hit_own_cache=False)
+        out = d.read(machine=1, line=0)
+        assert out.serve is DirServe.HOME_MEMORY
+        assert out.state is BlockState.EXCLUSIVE  # ownership retained
+
+
+class TestWrites:
+    def test_write_invalidates_all_sharers(self):
+        d = make_dir()
+        for m in (0, 2, 3):
+            d.read(m, 0)
+        out = d.write(machine=1, line=0, hit_own_cache=False)
+        assert out.invalidated == (0, 2, 3)
+        assert d.state(0) is BlockState.EXCLUSIVE
+        assert d.holders(0) == frozenset({1})
+        assert d.invalidations == 3
+
+    def test_write_steals_dirty_ownership(self):
+        d = make_dir()
+        d.write(1, 0, hit_own_cache=False)
+        out = d.write(2, 0, hit_own_cache=False)
+        assert out.serve is DirServe.REMOTE_DIRTY
+        assert out.dirty_owner == 1
+        assert d.state(0) is BlockState.EXCLUSIVE
+        assert d.holders(0) == frozenset({2})
+
+    def test_silent_upgrade_when_sole_cached_owner(self):
+        d = make_dir()
+        d.read(1, 0)
+        d.write(1, 0, hit_own_cache=True)
+        out = d.write(1, 0, hit_own_cache=True)
+        assert out.serve is DirServe.HOME_MEMORY
+        assert out.invalidated == ()
+
+    def test_false_sharing_at_block_granularity(self):
+        """Writes to *different lines* of one block still conflict."""
+        d = make_dir()
+        d.write(0, 0, hit_own_cache=False)  # line 0 of block 0
+        out = d.write(1, 3, hit_own_cache=False)  # line 3 of block 0
+        assert out.dirty_owner == 0
+
+
+class TestOwnershipDrop:
+    def test_drop_owner_on_eviction(self):
+        d = make_dir()
+        d.write(1, 0, hit_own_cache=False)
+        d.drop_owner(0, 1)
+        assert d.state(0) is BlockState.SHARED  # holders still recorded
+        assert d.writebacks == 1
+
+    def test_drop_by_non_owner_is_noop(self):
+        d = make_dir()
+        d.write(1, 0, hit_own_cache=False)
+        d.drop_owner(0, 2)
+        assert d.state(0) is BlockState.EXCLUSIVE
+
+    def test_uncached_initially(self):
+        d = make_dir()
+        assert d.state(7) is BlockState.UNCACHED
+        assert d.holders(7) == frozenset()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Directory(lambda b: 0, 0)

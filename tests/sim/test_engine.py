@@ -1,0 +1,161 @@
+"""Tests for the SPMD execution engine's timing and synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AddressSpace, ApplicationRun
+from repro.core.platform import PlatformSpec
+from repro.sim.engine import SimulationEngine
+from repro.trace.events import Trace
+
+KB = 1024
+
+
+def _trace(addrs, work=None, writes=None, barriers=(), tail_work=0):
+    addrs = np.asarray(addrs, dtype=np.int64)
+    n = addrs.size
+    return Trace(
+        addresses=addrs,
+        is_write=np.asarray(writes if writes is not None else [False] * n, dtype=bool),
+        work=np.asarray(work if work is not None else [0] * n, dtype=np.int64),
+        barriers=np.asarray(barriers, dtype=np.int64),
+        tail_work=tail_work,
+    )
+
+
+def _run(traces, procs):
+    space = AddressSpace(procs)
+    space.alloc("data", (100_000,), element_bytes=64)
+    return ApplicationRun(
+        name="crafted", problem_size="tiny", num_procs=procs,
+        traces=tuple(traces), address_space=space, verified=True,
+    )
+
+
+def _smp(n=2):
+    return PlatformSpec(name="e", n=n, N=1, cache_bytes=2 * KB, memory_bytes=1024 * KB)
+
+
+class TestSerialTiming:
+    def test_single_access_cycle_math(self):
+        """work + 1 (instruction) + 1 (cache) + 50 (memory, warm page)."""
+        run = _run([_trace([8], work=[5]), _trace([], work=[])], procs=2)
+        engine = SimulationEngine(_smp(), run, horizon=0.0)
+        engine.backend.memory.access(0)  # pre-fault the page
+        res = engine.execute()
+        assert res.total_cycles == pytest.approx(5 + 1 + 1 + 50)
+
+    def test_cache_hit_sequence(self):
+        run = _run([_trace([8, 8, 8]), _trace([])], procs=2)
+        engine = SimulationEngine(_smp(), run, horizon=0.0)
+        engine.backend.memory.access(0)
+        res = engine.execute()
+        # miss: 1+1+50; two hits: 1+1 each
+        assert res.total_cycles == pytest.approx(52 + 2 + 2)
+        assert res.stats.cache_hits == 2
+
+    def test_tail_work_counts(self):
+        run = _run([_trace([8], tail_work=100), _trace([])], procs=2)
+        engine = SimulationEngine(_smp(), run, horizon=0.0)
+        engine.backend.memory.access(0)
+        res = engine.execute()
+        assert res.total_cycles == pytest.approx(1 + 1 + 50 + 100)
+
+    def test_e_instr_accounting(self):
+        run = _run([_trace([8], work=[9]), _trace([8], work=[9])], procs=2)
+        res = SimulationEngine(_smp(), run, horizon=0.0).execute()
+        assert res.total_instructions == 20
+        assert res.e_instr_cycles == pytest.approx(res.total_cycles / 20)
+        assert res.e_app_seconds == pytest.approx(
+            res.e_instr_seconds * res.total_instructions
+        )
+
+
+class TestBarriers:
+    def test_barrier_aligns_clocks(self):
+        # proc 0 does heavy work before the barrier, proc 1 nothing
+        t0 = _trace([8, 16], work=[1000, 0], barriers=[1])
+        t1 = _trace([24, 32], work=[0, 0], barriers=[1])
+        run = _run([t0, t1], procs=2)
+        res = SimulationEngine(_smp(), run, horizon=0.0).execute()
+        assert res.barrier_wait_cycles > 900  # proc 1 waited for proc 0
+
+    def test_barrier_release_includes_overhead(self):
+        t0 = _trace([8], barriers=[1])
+        t1 = _trace([16], barriers=[1])
+        run = _run([t0, t1], procs=2)
+        engine = SimulationEngine(_smp(), run, horizon=0.0)
+        res = engine.execute()
+        assert res.stats.barrier_count == 1
+        # both finish exactly at the release time
+        assert res.per_process_cycles[0] == res.per_process_cycles[1]
+
+    def test_mismatched_barriers_rejected_upstream(self):
+        with pytest.raises(ValueError):
+            _run([_trace([8], barriers=[0]), _trace([8])], procs=2)
+
+
+class TestContention:
+    def test_two_procs_serialize_on_the_bus(self):
+        # both procs miss simultaneously on different lines
+        t0 = _trace([8])
+        t1 = _trace([512])
+        run = _run([t0, t1], procs=2)
+        engine = SimulationEngine(_smp(), run, horizon=0.0)
+        engine.backend.memory.access(0)
+        engine.backend.memory.access(8)  # page of line 512
+        res = engine.execute()
+        # first finishes at 52, second waits for the bus: 2 + 50 + 50
+        assert res.total_cycles == pytest.approx(102.0)
+
+
+class TestConfigValidation:
+    def test_processor_count_must_match(self):
+        run = _run([_trace([8])], procs=1)
+        with pytest.raises(ValueError, match="processes"):
+            SimulationEngine(_smp(n=2), run)
+
+    def test_negative_horizon_rejected(self):
+        run = _run([_trace([8]), _trace([8])], procs=2)
+        with pytest.raises(ValueError):
+            SimulationEngine(_smp(), run, horizon=-1.0)
+
+
+class TestHorizonEquivalence:
+    def test_aggregate_time_insensitive_to_horizon(self, fft_run_4):
+        spec = PlatformSpec(name="h", n=4, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB)
+        strict = SimulationEngine(spec, fft_run_4, horizon=0.0).execute()
+        chunked = SimulationEngine(spec, fft_run_4, horizon=500.0).execute()
+        assert chunked.total_cycles == pytest.approx(strict.total_cycles, rel=0.15)
+        assert chunked.stats.references == strict.stats.references
+
+    def test_describe(self, fft_run_4):
+        spec = PlatformSpec(name="h", n=4, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB)
+        res = SimulationEngine(spec, fft_run_4).execute()
+        assert "FFT" in res.describe()
+
+
+class TestUtilizations:
+    def test_smp_reports_bus_and_disk(self, fft_run_4):
+        spec = PlatformSpec(name="u", n=4, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB)
+        res = SimulationEngine(spec, fft_run_4).execute()
+        u = res.utilizations
+        assert set(u) == {"memory bus", "disk"}
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in u.values())
+        assert res.bottleneck in u
+
+    def test_network_is_the_cow_bottleneck_for_fft(self, fft_run_4):
+        from repro.sim.latencies import NetworkKind
+
+        spec = PlatformSpec(
+            name="u2", n=1, N=4, cache_bytes=2 * KB, memory_bytes=256 * KB,
+            network=NetworkKind.ETHERNET_100,
+        )
+        res = SimulationEngine(spec, fft_run_4).execute()
+        assert res.bottleneck == "network"
+        assert res.utilizations["network"] > 0.5
+
+    def test_describe_mentions_utilization(self, fft_run_4):
+        spec = PlatformSpec(name="u3", n=4, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB)
+        res = SimulationEngine(spec, fft_run_4).execute()
+        assert "util:" in res.describe()

@@ -1,0 +1,74 @@
+"""Tests for the hybrid (directory-across + snooping-within) protocol."""
+
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.hybrid import HybridProtocol, HybridServe
+from repro.sim.snoop import SnoopingBus
+
+
+def make_hybrid(machines=2, per_node=2, capacity=16):
+    snoops = [
+        SnoopingBus([SetAssociativeCache(capacity) for _ in range(per_node)])
+        for _ in range(machines)
+    ]
+    # blocks homed round-robin
+    return HybridProtocol(snoops, lambda b: b % machines, machines), snoops
+
+
+class TestLocalPath:
+    def test_cold_read_from_home_memory(self):
+        h, _ = make_hybrid()
+        out = h.access(machine=0, local_proc=0, line=0, is_write=False)  # home 0
+        assert out.serve is HybridServe.LOCAL_MEMORY
+
+    def test_peer_cache_within_smp(self):
+        h, _ = make_hybrid()
+        h.access(0, 0, 0, False)
+        out = h.access(0, 1, 0, False)
+        assert out.serve is HybridServe.PEER_CACHE
+
+    def test_own_cache_hit(self):
+        h, _ = make_hybrid()
+        h.access(0, 0, 0, False)
+        out = h.access(0, 0, 0, False)
+        assert out.serve is HybridServe.OWN_CACHE
+
+
+class TestRemotePath:
+    def test_remote_clean_block(self):
+        h, _ = make_hybrid()
+        out = h.access(machine=0, local_proc=0, line=4, is_write=False)  # block 1, home 1
+        assert out.serve is HybridServe.REMOTE_NODE
+        assert out.home == 1
+
+    def test_remote_dirty_block(self):
+        h, _ = make_hybrid()
+        h.access(1, 0, 0, True)  # machine 1 dirties block 0 (home 0)
+        out = h.access(0, 0, 0, False)
+        assert out.serve is HybridServe.REMOTE_DIRTY
+        assert out.data_source == 1
+
+    def test_write_invalidates_other_machines_lines(self):
+        h, snoops = make_hybrid()
+        h.access(1, 0, 0, False)  # machine 1 caches line 0
+        h.access(1, 1, 1, False)  # and line 1 (same block) on another proc
+        out = h.access(0, 0, 0, True)
+        assert 1 in out.invalidated_machines
+        assert not snoops[1].holds(0)
+        assert not snoops[1].holds(1)  # whole 256B block invalidated
+
+    def test_write_hit_still_needs_internode_exclusivity(self):
+        h, snoops = make_hybrid()
+        h.access(0, 0, 0, False)  # machine 0 caches it (shared)
+        h.access(1, 0, 0, False)  # machine 1 too
+        out = h.access(0, 0, 0, True)  # write hit locally
+        assert out.serve is HybridServe.OWN_CACHE
+        assert out.invalidated_machines == (1,)
+        assert not snoops[1].holds(0)
+
+    def test_local_invalidations_counted(self):
+        h, _ = make_hybrid()
+        h.access(0, 0, 0, False)
+        h.access(0, 1, 0, False)
+        out = h.access(0, 0, 0, True)
+        assert out.local_invalidations == 1
+        assert out.invalidated_machines == ()

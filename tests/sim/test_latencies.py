@@ -1,0 +1,67 @@
+"""Tests for the Section 5.1 constants and latency-table derivation."""
+
+import pytest
+
+from repro.sim.latencies import (
+    CACHE_LINE_BYTES,
+    CPU_HZ,
+    DIRECTORY_BLOCK_BYTES,
+    ITEM_BYTES,
+    NETWORK_LATENCIES,
+    NetworkKind,
+    PAPER_LATENCIES,
+)
+
+
+class TestConstants:
+    def test_paper_units(self):
+        """The paper's Section 5.1 architecture, verbatim."""
+        assert ITEM_BYTES == CACHE_LINE_BYTES == 64
+        assert DIRECTORY_BLOCK_BYTES == 256
+        assert CPU_HZ == 200_000_000
+
+    def test_base_costs(self):
+        assert PAPER_LATENCIES.instruction == 1
+        assert PAPER_LATENCIES.cache_hit == 1
+        assert PAPER_LATENCIES.cache_to_memory == 50
+        assert PAPER_LATENCIES.memory_to_disk == 2000
+        assert PAPER_LATENCIES.remote_cache_smp == 15
+
+    def test_cow_network_rows(self):
+        """Cache miss to a remote node / to remotely cached data."""
+        assert NETWORK_LATENCIES[NetworkKind.ETHERNET_10] == (45_075, 90_150)
+        assert NETWORK_LATENCIES[NetworkKind.ETHERNET_100] == (4_575, 9_150)
+        assert NETWORK_LATENCIES[NetworkKind.ATM_155] == (3_275, 6_550)
+
+
+class TestNetworkKind:
+    def test_topology_flags(self):
+        assert NetworkKind.ETHERNET_10.is_bus and not NetworkKind.ETHERNET_10.is_switch
+        assert NetworkKind.ETHERNET_100.is_bus
+        assert NetworkKind.ATM_155.is_switch and not NetworkKind.ATM_155.is_bus
+
+    def test_bandwidths(self):
+        assert NetworkKind.ETHERNET_10.bandwidth_mbps == 10
+        assert NetworkKind.ETHERNET_100.bandwidth_mbps == 100
+        assert NetworkKind.ATM_155.bandwidth_mbps == 155
+
+
+class TestWithNetwork:
+    def test_cow_rows(self):
+        lat = PAPER_LATENCIES.with_network(NetworkKind.ETHERNET_100)
+        assert lat.remote_node == 4_575
+        assert lat.remote_cached == 9_150
+        assert lat.remote_disk_extra == 4_575
+        # base rows untouched
+        assert lat.cache_to_memory == 50
+
+    def test_clump_rows_are_three_cycles_dearer(self):
+        """The paper's CLUMP table: 45078/4578/3278 and 90153/9153/6553."""
+        for net, (node, cached) in NETWORK_LATENCIES.items():
+            lat = PAPER_LATENCIES.with_network(net, clump=True)
+            assert lat.remote_node == node + 3
+            assert lat.remote_cached == cached + 3
+
+    def test_original_table_not_mutated(self):
+        PAPER_LATENCIES.with_network(NetworkKind.ATM_155)
+        assert PAPER_LATENCIES.remote_node == 0

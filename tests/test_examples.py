@@ -1,0 +1,61 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the library's contract with new users; a broken one is a
+release bug.  Each script runs in-process with stdout captured and its
+headline output asserted.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def _run_example(path: str, capsys, argv: list[str] | None = None) -> str:
+    old_argv = sys.argv
+    sys.argv = [path] + (argv or [])
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example(f"{EXAMPLES}/quickstart.py", capsys)
+        assert "best platform for FFT" in out
+        assert "E(Instr)" in out
+
+    def test_workload_characterization(self, capsys):
+        out = _run_example(f"{EXAMPLES}/workload_characterization.py", capsys)
+        assert "verified=True" in out
+        assert "alpha=" in out
+        assert "traffic profile" in out
+
+    def test_design_a_cluster(self, capsys):
+        out = _run_example(f"{EXAMPLES}/design_a_cluster.py", capsys, argv=["6000"])
+        assert "optimal platform" in out
+        assert "Section 6 rule" in out
+
+    def test_upgrade_cluster(self, capsys):
+        out = _run_example(f"{EXAMPLES}/upgrade_cluster.py", capsys)
+        assert "upgrading for FFT" in out
+        assert "slowdown" in out
+
+    def test_workload_mix(self, capsys):
+        out = _run_example(f"{EXAMPLES}/workload_mix.py", capsys)
+        assert "science-mix" in out
+        assert "shared L2" in out
+
+    def test_scalability_study(self, capsys):
+        out = _run_example(f"{EXAMPLES}/scalability_study.py", capsys)
+        assert "speedup" in out
+        assert "most sensitive" in out
+
+    def test_model_vs_simulation(self, capsys):
+        out = _run_example(f"{EXAMPLES}/model_vs_simulation.py", capsys)
+        assert "simulated E(Instr)" in out
+        assert "model decomposition" in out

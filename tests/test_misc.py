@@ -1,0 +1,94 @@
+"""Odds and ends: lazy exports, version metadata, small error paths."""
+
+import pytest
+
+
+class TestLazyExports:
+    def test_sim_lazy_attributes(self):
+        import repro.sim as sim
+
+        assert sim.SimulationEngine is not None
+        assert sim.make_backend is not None
+        with pytest.raises(AttributeError, match="repro.sim"):
+            sim.does_not_exist
+
+    def test_trace_lazy_attributes(self):
+        import repro.trace as trace
+
+        assert trace.analyze_trace is not None
+        assert trace.profile_run is not None
+        with pytest.raises(AttributeError, match="repro.trace"):
+            trace.does_not_exist
+
+
+class TestMetadata:
+    def test_version_matches_pyproject(self):
+        import tomllib
+
+        import repro
+
+        with open("pyproject.toml", "rb") as f:
+            meta = tomllib.load(f)
+        assert repro.__version__ == meta["project"]["version"]
+
+    def test_main_module_importable(self):
+        import importlib
+
+        mod = importlib.import_module("repro.__main__")
+        assert hasattr(mod, "main")
+
+
+class TestDirectMappedCache:
+    def test_one_way_evicts_on_any_set_conflict(self):
+        from repro.sim.cache import SetAssociativeCache
+
+        c = SetAssociativeCache(capacity_items=4, ways=1)
+        c.fill(0)
+        assert c.fill(4) == (0, False)  # same set (4 sets), conflict
+        assert not c.contains(0) and c.contains(4)
+
+    def test_one_way_distinct_sets_coexist(self):
+        from repro.sim.cache import SetAssociativeCache
+
+        c = SetAssociativeCache(capacity_items=4, ways=1)
+        for line in (0, 1, 2, 3):
+            c.fill(line)
+        assert c.resident_lines == 4
+
+
+class TestDocsPresence:
+    @pytest.mark.parametrize(
+        "path",
+        ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/MODEL.md", "docs/SIMULATOR.md"],
+    )
+    def test_documentation_files_exist_and_are_substantial(self, path):
+        from pathlib import Path
+
+        p = Path(path)
+        assert p.exists(), f"{path} missing"
+        assert len(p.read_text()) > 2000, f"{path} unexpectedly small"
+
+    def test_design_lists_every_figure_bench(self):
+        from pathlib import Path
+
+        design = Path("DESIGN.md").read_text()
+        for bench in (
+            "bench_table1", "bench_table2", "bench_table3", "bench_table4",
+            "bench_table5", "bench_figure2", "bench_figure3", "bench_figure4",
+            "bench_case_studies", "bench_sensitivity", "bench_ablations",
+            "bench_beta_scaling", "bench_coherence", "bench_model_speed",
+        ):
+            assert bench in design, f"DESIGN.md does not map {bench}"
+
+    def test_benches_exist_for_every_design_mapping(self):
+        from pathlib import Path
+
+        benches = {p.stem for p in Path("benchmarks").glob("bench_*.py")}
+        for required in (
+            "bench_table1", "bench_table2", "bench_table3", "bench_table4",
+            "bench_table5", "bench_figure2", "bench_figure3", "bench_figure4",
+            "bench_case_studies", "bench_recommendations", "bench_model_speed",
+            "bench_sensitivity", "bench_ablations", "bench_beta_scaling",
+            "bench_coherence",
+        ):
+            assert required in benches, f"missing {required}"

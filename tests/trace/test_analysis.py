@@ -1,0 +1,138 @@
+"""Tests for trace analysis: (alpha, beta, gamma) and sharing measures."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AddressSpace, ApplicationRun
+from repro.core.locality import StackDistanceModel
+from repro.trace.analysis import (
+    analyze_addresses,
+    analyze_trace,
+    characterize_run,
+    measure_sharing,
+    measure_sharing_fraction,
+)
+from repro.trace.events import Trace
+from repro.workloads.synthetic import synthesize_trace
+
+
+class TestAnalyzeTrace:
+    def test_round_trip_on_synthetic(self):
+        target = StackDistanceModel(alpha=1.9, beta=80.0)
+        rng = np.random.default_rng(5)
+        trace = synthesize_trace(target, 60_000, rng, gamma=0.4)
+        ch = analyze_trace(trace, name="synthetic")
+        assert ch.params.alpha == pytest.approx(1.9, abs=0.25)
+        assert ch.params.beta == pytest.approx(80.0, rel=0.4)
+        assert ch.params.gamma == pytest.approx(0.4, abs=1e-6)
+        assert ch.params.max_distance is not None
+        assert ch.fit.rmse < 0.05
+
+    def test_empty_trace_rejected(self):
+        empty = Trace(
+            addresses=np.zeros(0, dtype=np.int64),
+            is_write=np.zeros(0, dtype=bool),
+            work=np.zeros(0, dtype=np.int64),
+            barriers=np.zeros(0, dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            analyze_trace(empty)
+
+    def test_describe(self):
+        rng = np.random.default_rng(0)
+        trace = synthesize_trace(StackDistanceModel(2.0, 20.0), 5000, rng)
+        text = analyze_trace(trace, name="x").describe()
+        assert "alpha=" in text and "gamma=" in text
+
+    def test_analyze_addresses_gamma(self):
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 100, size=5000)
+        ch = analyze_addresses(addrs, gamma=0.25)
+        assert ch.params.gamma == pytest.approx(0.25, abs=0.01)
+
+    def test_analyze_addresses_validation(self):
+        with pytest.raises(ValueError):
+            analyze_addresses(np.arange(10), gamma=0.0)
+
+
+def _two_proc_run(addresses_by_proc, writes_by_proc=None, barriers_by_proc=None):
+    """Craft an ApplicationRun with one block-distributed array."""
+    space = AddressSpace(2)
+    space.alloc("data", (100,), element_bytes=64)  # one item per element
+    traces = []
+    for p, addrs in enumerate(addresses_by_proc):
+        addrs = np.asarray(addrs, dtype=np.int64)
+        wr = (
+            np.asarray(writes_by_proc[p], dtype=bool)
+            if writes_by_proc
+            else np.zeros(addrs.size, dtype=bool)
+        )
+        bar = (
+            np.asarray(barriers_by_proc[p], dtype=np.int64)
+            if barriers_by_proc
+            else np.zeros(0, dtype=np.int64)
+        )
+        traces.append(
+            Trace(addresses=addrs, is_write=wr, work=np.zeros(addrs.size, dtype=np.int64), barriers=bar)
+        )
+    return ApplicationRun(
+        name="crafted", problem_size="tiny", num_procs=2,
+        traces=tuple(traces), address_space=space, verified=True,
+    )
+
+
+class TestSharing:
+    def test_no_sharing_when_each_proc_stays_home(self):
+        # rows 0..49 homed on proc 0, 50..99 on proc 1
+        run = _two_proc_run([[0, 1, 2], [60, 61, 62]])
+        sigma, fresh = measure_sharing(run)
+        assert sigma == 0.0 and fresh == 0.0
+
+    def test_full_sharing_when_procs_swap(self):
+        run = _two_proc_run([[60, 61], [0, 1]])
+        sigma, _ = measure_sharing(run)
+        assert sigma == pytest.approx(1.0)
+
+    def test_fresh_counts_cross_phase_written_lines(self):
+        # proc 0 reads proc 1's element 60 in two phases; proc 1 writes it.
+        run = _two_proc_run(
+            addresses_by_proc=[[60, 60], [60]],
+            writes_by_proc=[[False, False], [True]],
+            barriers_by_proc=[[1], [1]],
+        )
+        sigma, fresh = measure_sharing(run)
+        assert sigma == pytest.approx(2 / 3)
+        # proc 0: first touch of 60 is cold (fresh), second is cross-phase
+        # of a written line (fresh) -> fresh fraction 1.0
+        assert fresh == pytest.approx(1.0)
+
+    def test_read_only_cross_phase_not_fresh(self):
+        # element 60 never written anywhere: the re-read is capacity-only.
+        # proc 1 touches its own element 70, so only proc 0's refs share.
+        run = _two_proc_run(
+            addresses_by_proc=[[60, 60], [70]],
+            barriers_by_proc=[[1], [1]],
+        )
+        sigma, fresh = measure_sharing(run)
+        assert sigma == pytest.approx(2 / 3)
+        assert fresh == pytest.approx(0.5)  # only the cold first touch
+
+    def test_fraction_helper(self):
+        run = _two_proc_run([[60], [0]])
+        assert measure_sharing_fraction(run) == pytest.approx(1.0)
+
+    def test_machine_folding_validation(self):
+        run = _two_proc_run([[0], [60]])
+        with pytest.raises(ValueError):
+            measure_sharing(run, machines=3)
+
+
+class TestCharacterizeRun:
+    def test_full_pipeline(self, fft_run_4):
+        ch = characterize_run(fft_run_4)
+        p = ch.params
+        assert p.name == "FFT"
+        assert p.sharing_procs == 4
+        assert 0.0 < p.sharing_fraction < 1.0
+        assert 0.0 <= p.sharing_fresh_fraction <= 1.0
+        assert p.gamma == pytest.approx(fft_run_4.gamma, abs=0.02)

@@ -1,0 +1,97 @@
+"""Tests for the trace collector (instrumentation sink)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.collector import TraceCollector
+
+
+class TestRecording:
+    def test_single_and_block(self):
+        c = TraceCollector()
+        c.record(5, write=True, work=2)
+        c.record_block(np.array([6, 7]), writes=False, work_per_access=1)
+        t = c.finalize()
+        np.testing.assert_array_equal(t.addresses, [5, 6, 7])
+        np.testing.assert_array_equal(t.is_write, [True, False, False])
+        np.testing.assert_array_equal(t.work, [2, 1, 1])
+
+    def test_array_writes_and_work(self):
+        c = TraceCollector()
+        c.record_block(
+            np.array([1, 2, 3]),
+            writes=np.array([True, False, True]),
+            work_per_access=np.array([4, 5, 6]),
+        )
+        t = c.finalize()
+        np.testing.assert_array_equal(t.is_write, [True, False, True])
+        np.testing.assert_array_equal(t.work, [4, 5, 6])
+
+    def test_shape_mismatch_rejected(self):
+        c = TraceCollector()
+        with pytest.raises(ValueError):
+            c.record_block(np.array([1, 2]), writes=np.array([True]))
+        with pytest.raises(ValueError):
+            c.record_block(np.array([1, 2]), work_per_access=np.array([1]))
+
+    def test_empty_block_is_noop(self):
+        c = TraceCollector()
+        c.record_block(np.array([], dtype=np.int64))
+        assert c.num_accesses == 0
+
+    def test_pending_compute_lands_on_next_reference(self):
+        c = TraceCollector()
+        c.compute(10)
+        c.record_block(np.array([1, 2]), work_per_access=1)
+        t = c.finalize()
+        np.testing.assert_array_equal(t.work, [11, 1])
+
+    def test_pending_compute_does_not_mutate_caller_array(self):
+        c = TraceCollector()
+        work = np.array([1, 1], dtype=np.int64)
+        c.compute(5)
+        c.record_block(np.array([1, 2]), work_per_access=work)
+        np.testing.assert_array_equal(work, [1, 1])
+
+    def test_trailing_compute_becomes_tail_work(self):
+        c = TraceCollector()
+        c.record(1)
+        c.compute(4)
+        t = c.finalize()
+        assert t.tail_work == 4
+        assert t.total_instructions == 5
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCollector().compute(-1)
+
+
+class TestBarriers:
+    def test_barrier_positions(self):
+        c = TraceCollector()
+        c.barrier()
+        c.record_block(np.array([1, 2]))
+        c.barrier()
+        c.record(3)
+        c.barrier()
+        t = c.finalize()
+        np.testing.assert_array_equal(t.barriers, [0, 2, 3])
+
+    def test_empty_collector_finalizes(self):
+        c = TraceCollector()
+        c.barrier()
+        t = c.finalize()
+        assert len(t) == 0 and t.barriers.size == 1
+
+
+class TestLifecycle:
+    def test_finalize_is_terminal(self):
+        c = TraceCollector()
+        c.record(1)
+        c.finalize()
+        with pytest.raises(RuntimeError):
+            c.record(2)
+        with pytest.raises(RuntimeError):
+            c.barrier()
+        with pytest.raises(RuntimeError):
+            c.finalize()

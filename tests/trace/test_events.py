@@ -1,0 +1,106 @@
+"""Tests for the compact trace representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.events import Trace, concatenate_traces
+
+
+def make_trace(addresses, writes=None, work=None, barriers=(), tail_work=0):
+    addresses = np.asarray(addresses, dtype=np.int64)
+    n = addresses.size
+    return Trace(
+        addresses=addresses,
+        is_write=np.asarray(writes if writes is not None else [False] * n, dtype=bool),
+        work=np.asarray(work if work is not None else [0] * n, dtype=np.int64),
+        barriers=np.asarray(barriers, dtype=np.int64),
+        tail_work=tail_work,
+    )
+
+
+class TestValidation:
+    def test_parallel_arrays_required(self):
+        with pytest.raises(ValueError):
+            make_trace([1, 2], writes=[True])
+        with pytest.raises(ValueError):
+            make_trace([1, 2], work=[1])
+
+    def test_negative_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace([-1])
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace([1], work=[-1])
+        with pytest.raises(ValueError):
+            make_trace([1], tail_work=-1)
+
+    def test_barrier_bounds(self):
+        make_trace([1, 2], barriers=[0, 2])  # both endpoints legal
+        with pytest.raises(ValueError):
+            make_trace([1, 2], barriers=[3])
+        with pytest.raises(ValueError):
+            make_trace([1, 2], barriers=[2, 1])
+
+
+class TestAccounting:
+    def test_instruction_counts(self):
+        t = make_trace([1, 2, 3], work=[2, 0, 5], tail_work=3)
+        assert t.memory_instructions == 3
+        assert t.compute_instructions == 10
+        assert t.total_instructions == 13
+        assert t.gamma == pytest.approx(3 / 13)
+        assert len(t) == 3
+
+    def test_write_fraction(self):
+        t = make_trace([1, 2, 3, 4], writes=[True, False, True, False])
+        assert t.write_fraction == pytest.approx(0.5)
+
+    def test_footprint(self):
+        t = make_trace([5, 5, 7, 5, 9])
+        assert t.footprint_items == 3
+
+    def test_empty_trace(self):
+        t = make_trace([])
+        assert t.gamma == 0.0
+        assert t.write_fraction == 0.0
+
+
+class TestConcatenate:
+    def test_simple_join(self):
+        a = make_trace([1, 2], barriers=[1], tail_work=4)
+        b = make_trace([3], barriers=[0, 1])
+        j = concatenate_traces([a, b])
+        np.testing.assert_array_equal(j.addresses, [1, 2, 3])
+        np.testing.assert_array_equal(j.barriers, [1, 2, 3])
+
+    def test_interior_tail_work_preserved(self):
+        a = make_trace([1], work=[2], tail_work=7)
+        b = make_trace([2], work=[1])
+        j = concatenate_traces([a, b])
+        assert j.total_instructions == a.total_instructions + b.total_instructions
+        assert j.work[1] == 8  # 1 own + 7 carried
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            concatenate_traces([])
+
+    @given(
+        chunks=st.lists(
+            st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=10),
+            min_size=1,
+            max_size=5,
+        ),
+        tails=st.lists(st.integers(min_value=0, max_value=9), min_size=5, max_size=5),
+    )
+    @settings(max_examples=50)
+    def test_instruction_conservation(self, chunks, tails):
+        traces = [
+            make_trace(c, work=[1] * len(c), tail_work=tails[i])
+            for i, c in enumerate(chunks)
+        ]
+        joined = concatenate_traces(traces)
+        assert joined.total_instructions == sum(t.total_instructions for t in traces)
+        assert joined.memory_instructions == sum(t.memory_instructions for t in traces)

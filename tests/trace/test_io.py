@@ -1,0 +1,81 @@
+"""Tests for trace and run persistence."""
+
+import numpy as np
+import pytest
+
+from repro.trace.analysis import measure_sharing
+from repro.trace.events import Trace
+from repro.trace.io import load_run, load_trace, save_run, save_trace
+
+
+def _trace():
+    return Trace(
+        addresses=np.array([3, 1, 4, 1, 5], dtype=np.int64),
+        is_write=np.array([True, False, False, True, False]),
+        work=np.array([0, 2, 0, 1, 7], dtype=np.int64),
+        barriers=np.array([2, 5], dtype=np.int64),
+        tail_work=9,
+    )
+
+
+class TestTraceRoundTrip:
+    def test_round_trip(self, tmp_path):
+        t = _trace()
+        path = tmp_path / "trace.npz"
+        save_trace(t, path)
+        u = load_trace(path)
+        np.testing.assert_array_equal(u.addresses, t.addresses)
+        np.testing.assert_array_equal(u.is_write, t.is_write)
+        np.testing.assert_array_equal(u.work, t.work)
+        np.testing.assert_array_equal(u.barriers, t.barriers)
+        assert u.tail_work == 9
+        assert u.gamma == t.gamma
+
+    def test_version_guard(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, version=np.int64(999), addresses=np.zeros(0))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestRunRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path, edge_run_4):
+        path = tmp_path / "run.npz"
+        save_run(edge_run_4, path)
+        restored = load_run(path)
+        assert restored.name == edge_run_4.name
+        assert restored.num_procs == 4
+        assert restored.verified == edge_run_4.verified
+        assert restored.total_references == edge_run_4.total_references
+        assert restored.total_instructions == edge_run_4.total_instructions
+        for a, b in zip(restored.traces, edge_run_4.traces):
+            np.testing.assert_array_equal(a.addresses, b.addresses)
+            np.testing.assert_array_equal(a.barriers, b.barriers)
+
+    def test_home_map_survives(self, tmp_path, fft_run_4):
+        path = tmp_path / "run.npz"
+        save_run(fft_run_4, path)
+        restored = load_run(path)
+        np.testing.assert_array_equal(
+            restored.address_space.home_map(), fft_run_4.address_space.home_map()
+        )
+
+    def test_sharing_measure_identical_after_reload(self, tmp_path, fft_run_4):
+        path = tmp_path / "run.npz"
+        save_run(fft_run_4, path)
+        restored = load_run(path)
+        assert measure_sharing(restored) == pytest.approx(measure_sharing(fft_run_4))
+
+    def test_restored_run_simulates(self, tmp_path, edge_run_4):
+        from repro.core.platform import PlatformSpec
+        from repro.sim.engine import SimulationEngine
+
+        path = tmp_path / "run.npz"
+        save_run(edge_run_4, path)
+        restored = load_run(path)
+        spec = PlatformSpec(
+            name="io-smp", n=4, N=1, cache_bytes=2 * 1024, memory_bytes=256 * 1024
+        )
+        a = SimulationEngine(spec, edge_run_4, horizon=0.0).execute()
+        b = SimulationEngine(spec, restored, horizon=0.0).execute()
+        assert b.total_cycles == pytest.approx(a.total_cycles)

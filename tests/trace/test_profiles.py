@@ -1,0 +1,91 @@
+"""Tests for the per-array traffic profiler."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AddressSpace, ApplicationRun
+from repro.trace.events import Trace
+from repro.trace.profiles import profile_run
+
+
+def _run_two_arrays():
+    """Two procs, two arrays: 'mine' accessed home-local, 'theirs' swapped."""
+    space = AddressSpace(2)
+    a = space.alloc("a", (8,), element_bytes=64)  # items 0..7, rows split 4/4
+    b = space.alloc("b", (8,), element_bytes=64)  # items 8..15
+    t0 = Trace(
+        addresses=np.array([0, 1, 0, b.base_item + 4], dtype=np.int64),
+        is_write=np.array([True, False, False, False]),
+        work=np.zeros(4, dtype=np.int64),
+        barriers=np.array([2], dtype=np.int64),
+    )
+    t1 = Trace(
+        addresses=np.array([5, b.base_item + 5], dtype=np.int64),
+        is_write=np.array([False, True]),
+        work=np.zeros(2, dtype=np.int64),
+        barriers=np.array([1], dtype=np.int64),
+    )
+    return ApplicationRun(
+        name="crafted", problem_size="", num_procs=2,
+        traces=(t0, t1), address_space=space, verified=True,
+    )
+
+
+class TestProfileRun:
+    def test_reference_counts_per_array(self):
+        prof = profile_run(_run_two_arrays())
+        assert prof.total_references == 6
+        assert prof.array("a").references == 4
+        assert prof.array("b").references == 2
+        assert prof.array("a").reference_share == pytest.approx(4 / 6)
+
+    def test_write_fraction(self):
+        prof = profile_run(_run_two_arrays())
+        assert prof.array("a").write_fraction == pytest.approx(1 / 4)
+        assert prof.array("b").write_fraction == pytest.approx(1 / 2)
+
+    def test_footprints(self):
+        prof = profile_run(_run_two_arrays())
+        assert prof.array("a").footprint_items == 3  # items 0, 1, 5
+        assert prof.array("a").region_items == 8
+
+    def test_remote_fraction(self):
+        prof = profile_run(_run_two_arrays())
+        # array a: proc0 touches 0,1,0 (home 0) local; proc1 touches 5 (home 1) local
+        assert prof.array("a").remote_fraction == 0.0
+        # array b: proc0 touches item idx 4 -> home proc1 (remote); proc1 idx 5 -> home 1 (local)
+        assert prof.array("b").remote_fraction == pytest.approx(0.5)
+
+    def test_cross_phase_reuse(self):
+        prof = profile_run(_run_two_arrays())
+        # proc0's third access re-touches item 0 after the barrier
+        assert prof.array("a").cross_phase_fraction == pytest.approx(1 / 4)
+
+    def test_ordering_by_volume(self):
+        prof = profile_run(_run_two_arrays())
+        assert prof.arrays[0].name == "a"
+
+    def test_unknown_array(self):
+        with pytest.raises(KeyError):
+            profile_run(_run_two_arrays()).array("nope")
+
+    def test_describe(self):
+        text = profile_run(_run_two_arrays()).describe()
+        assert "traffic profile" in text and "dominant" in text
+
+
+class TestOnRealApplications:
+    def test_fft_roots_are_read_only_and_remote_heavy(self, fft_run_4):
+        prof = profile_run(fft_run_4)
+        roots = prof.array("roots")
+        assert roots.write_fraction == 0.0
+        # replicated table homed on proc 0: 3/4 of procs see it remote
+        assert roots.remote_fraction == pytest.approx(0.75, abs=0.05)
+
+    def test_radix_histogram_is_the_hot_structure(self, radix_run_4):
+        prof = profile_run(radix_run_4)
+        assert prof.arrays[0].name == "histogram"
+
+    def test_shares_sum_to_one(self, edge_run_4):
+        prof = profile_run(edge_run_4)
+        assert sum(a.reference_share for a in prof.arrays) == pytest.approx(1.0)

@@ -1,0 +1,126 @@
+"""Tests for the exact stack-distance engine (wavelet batch vs naive)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.stackdist import (
+    COLD_DISTANCE,
+    hit_ratio,
+    lru_hit_ratios,
+    prev_occurrence,
+    stack_distances,
+    stack_distances_naive,
+)
+
+
+class TestPrevOccurrence:
+    def test_basic(self):
+        prev = prev_occurrence(np.array([7, 8, 7, 7, 8]))
+        np.testing.assert_array_equal(prev, [-1, -1, 0, 2, 1])
+
+    def test_all_distinct(self):
+        prev = prev_occurrence(np.arange(5))
+        np.testing.assert_array_equal(prev, [-1] * 5)
+
+    def test_empty(self):
+        assert prev_occurrence(np.array([], dtype=np.int64)).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            prev_occurrence(np.zeros((2, 2)))
+
+
+class TestKnownStreams:
+    def test_immediate_reuse_is_zero(self):
+        # a a a -> distances: cold, 0, 0
+        d = stack_distances(np.array([1, 1, 1]))
+        np.testing.assert_array_equal(d, [COLD_DISTANCE, 0, 0])
+
+    def test_textbook_example(self):
+        # a b c a: 'a' re-touched after 2 distinct items
+        d = stack_distances(np.array([1, 2, 3, 1]))
+        np.testing.assert_array_equal(d, [COLD_DISTANCE] * 3 + [2])
+
+    def test_duplicates_between_do_not_double_count(self):
+        # a b b a: only one distinct item between the two a's
+        d = stack_distances(np.array([1, 2, 2, 1]))
+        assert d[-1] == 1
+
+    def test_cyclic_scan(self):
+        # 0 1 2 0 1 2: every warm reference at distance 2
+        d = stack_distances(np.array([0, 1, 2, 0, 1, 2]))
+        np.testing.assert_array_equal(d[3:], [2, 2, 2])
+
+
+class TestAgainstNaive:
+    @given(
+        data=st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=300)
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference_implementation(self, data):
+        items = np.asarray(data, dtype=np.int64)
+        np.testing.assert_array_equal(
+            stack_distances(items), stack_distances_naive(items)
+        )
+
+    def test_large_random_stream(self):
+        rng = np.random.default_rng(3)
+        items = rng.integers(0, 500, size=5000)
+        np.testing.assert_array_equal(
+            stack_distances(items), stack_distances_naive(items)
+        )
+
+    def test_large_address_values(self):
+        """Addresses far above the trace length must not break the tree."""
+        items = np.array([10**12, 5, 10**12, 5, 10**12])
+        np.testing.assert_array_equal(
+            stack_distances(items), stack_distances_naive(items)
+        )
+
+
+class TestHitRatios:
+    def test_lru_semantics(self):
+        # distances [cold, 0, 2]: capacity 1 hits only the 0-distance ref
+        d = np.array([COLD_DISTANCE, 0, 2])
+        assert hit_ratio(d, 1) == pytest.approx(1 / 3)
+        assert hit_ratio(d, 3) == pytest.approx(2 / 3)
+        assert hit_ratio(d, 0) == 0.0
+
+    def test_cold_always_misses(self):
+        d = np.array([COLD_DISTANCE] * 4)
+        assert hit_ratio(d, 10**9) == 0.0
+
+    def test_vectorized_curve_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        d = stack_distances(rng.integers(0, 50, size=2000))
+        caps = np.array([1, 2, 8, 32, 64])
+        curve = lru_hit_ratios(d, caps)
+        for c, h in zip(caps, curve):
+            assert h == pytest.approx(hit_ratio(d, c))
+
+    def test_curve_monotone_in_capacity(self):
+        rng = np.random.default_rng(1)
+        d = stack_distances(rng.integers(0, 200, size=5000))
+        curve = lru_hit_ratios(d, np.arange(1, 300, 7))
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hit_ratio(np.array([1]), -1)
+        with pytest.raises(ValueError):
+            lru_hit_ratios(np.array([1]), np.array([-1.0]))
+
+
+class TestInclusionProperty:
+    @given(
+        data=st.lists(st.integers(min_value=0, max_value=40), min_size=10, max_size=200)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lru_inclusion(self, data):
+        """Hit ratio is non-decreasing in capacity (LRU stack inclusion)."""
+        d = stack_distances(np.asarray(data, dtype=np.int64))
+        caps = np.array([1.0, 2.0, 4.0, 8.0, 16.0, 64.0])
+        curve = lru_hit_ratios(d, caps)
+        assert np.all(np.diff(curve) >= -1e-12)

@@ -1,0 +1,104 @@
+"""Tests for workload parameter bundles and the paper's Table 2 rows."""
+
+import pytest
+
+from repro.workloads.params import (
+    PAPER_EDGE,
+    PAPER_FFT,
+    PAPER_LU,
+    PAPER_RADIX,
+    PAPER_TPCC,
+    PAPER_WORKLOADS,
+    WorkloadParams,
+)
+
+
+class TestValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadParams("x", alpha=1.0, beta=10.0, gamma=0.5)
+        with pytest.raises(ValueError):
+            WorkloadParams("x", alpha=1.5, beta=0.0, gamma=0.5)
+        with pytest.raises(ValueError):
+            WorkloadParams("x", alpha=1.5, beta=10.0, gamma=0.0)
+        with pytest.raises(ValueError):
+            WorkloadParams("x", alpha=1.5, beta=10.0, gamma=0.5, sharing_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadParams("x", alpha=1.5, beta=10.0, gamma=0.5, sharing_fresh_fraction=-0.1)
+        with pytest.raises(ValueError):
+            WorkloadParams("x", alpha=1.5, beta=10.0, gamma=0.5, sharing_procs=0)
+
+
+class TestPaperConstants:
+    def test_table2_values(self):
+        """The published (alpha, beta, gamma) triples, verbatim."""
+        assert (PAPER_FFT.alpha, PAPER_FFT.beta, PAPER_FFT.gamma) == (1.21, 103.26, 0.20)
+        assert (PAPER_LU.alpha, PAPER_LU.beta, PAPER_LU.gamma) == (1.30, 90.27, 0.31)
+        assert (PAPER_RADIX.alpha, PAPER_RADIX.beta, PAPER_RADIX.gamma) == (1.14, 120.84, 0.37)
+        assert (PAPER_EDGE.alpha, PAPER_EDGE.beta, PAPER_EDGE.gamma) == (1.71, 85.03, 0.45)
+        assert (PAPER_TPCC.alpha, PAPER_TPCC.beta, PAPER_TPCC.gamma) == (1.73, 1222.66, 0.36)
+
+    def test_table2_tuple_order(self):
+        assert [w.name for w in PAPER_WORKLOADS] == ["FFT", "LU", "Radix", "EDGE"]
+
+    def test_paper_text_properties(self):
+        """Section 5.2: EDGE best locality + highest gamma; Radix worst
+        locality; TPC-C beta an order of magnitude above the rest."""
+        assert PAPER_EDGE.gamma == max(w.gamma for w in PAPER_WORKLOADS)
+        assert PAPER_EDGE.beta == min(w.beta for w in PAPER_WORKLOADS)
+        assert PAPER_RADIX.beta == max(w.beta for w in PAPER_WORKLOADS)
+        assert PAPER_RADIX.alpha == min(w.alpha for w in PAPER_WORKLOADS)
+        assert PAPER_TPCC.beta > 10 * max(w.beta for w in PAPER_WORKLOADS)
+
+    def test_classification_flags(self):
+        assert not PAPER_FFT.memory_bound and PAPER_FFT.poor_locality
+        assert not PAPER_LU.memory_bound and not PAPER_LU.poor_locality
+        assert PAPER_RADIX.memory_bound and PAPER_RADIX.poor_locality
+        assert PAPER_EDGE.memory_bound and not PAPER_EDGE.poor_locality
+        assert PAPER_TPCC.io_bound
+
+
+class TestLocality:
+    def test_locality_carries_truncation(self):
+        w = WorkloadParams("x", alpha=1.5, beta=10.0, gamma=0.5, max_distance=500.0)
+        assert w.locality.max_distance == 500.0
+        assert w.locality.tail(600.0) == 0.0
+
+    def test_with_name(self):
+        assert PAPER_FFT.with_name("fft2").name == "fft2"
+        assert PAPER_FFT.with_name("fft2").alpha == PAPER_FFT.alpha
+
+    def test_describe(self):
+        assert "alpha=" in PAPER_FFT.describe()
+
+
+class TestSharingScaling:
+    def test_zero_without_sharing(self):
+        w = WorkloadParams("x", alpha=1.5, beta=10.0, gamma=0.5)
+        assert w.sharing_at(8) == 0.0
+
+    def test_single_machine_is_zero(self):
+        assert PAPER_FFT.sharing_at(1) == 0.0
+
+    def test_identity_at_measurement_shape(self):
+        w = WorkloadParams(
+            "x", alpha=1.5, beta=10.0, gamma=0.5,
+            sharing_fraction=0.3, sharing_procs=4,
+        )
+        assert w.sharing_at(4) == pytest.approx(0.3)
+
+    def test_scales_with_remote_share(self):
+        w = WorkloadParams(
+            "x", alpha=1.5, beta=10.0, gamma=0.5,
+            sharing_fraction=0.3, sharing_procs=4,
+        )
+        # (machines-1)/machines relative to the 3/4 measurement base
+        assert w.sharing_at(2) == pytest.approx(0.3 * (1 / 2) / (3 / 4))
+        assert w.sharing_at(8) == pytest.approx(0.3 * (7 / 8) / (3 / 4))
+
+    def test_capped_at_one(self):
+        w = WorkloadParams(
+            "x", alpha=1.5, beta=10.0, gamma=0.5,
+            sharing_fraction=0.9, sharing_procs=2,
+        )
+        assert w.sharing_at(64) <= 1.0

@@ -1,0 +1,60 @@
+"""Tests for the synthetic trace generator (model -> trace -> model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.locality import StackDistanceModel
+from repro.trace.stackdist import lru_hit_ratios, stack_distances
+from repro.workloads.synthetic import synthesize_trace
+
+
+class TestSynthesize:
+    def test_gamma_realized(self):
+        rng = np.random.default_rng(0)
+        t = synthesize_trace(StackDistanceModel(2.0, 30.0), 10_000, rng, gamma=0.25)
+        assert t.gamma == pytest.approx(0.25, abs=1e-3)
+
+    def test_write_fraction_realized(self):
+        rng = np.random.default_rng(1)
+        t = synthesize_trace(
+            StackDistanceModel(2.0, 30.0), 20_000, rng, write_fraction=0.4
+        )
+        assert t.write_fraction == pytest.approx(0.4, abs=0.02)
+
+    def test_distance_distribution_matches_target(self):
+        """Measured hit-ratio curve of the generated trace tracks the
+        model's CDF (the generator's defining property)."""
+        target = StackDistanceModel(alpha=1.7, beta=40.0)
+        rng = np.random.default_rng(2)
+        t = synthesize_trace(target, 80_000, rng)
+        d = stack_distances(t.addresses)
+        caps = np.array([4.0, 16.0, 64.0, 256.0, 1024.0])
+        measured = lru_hit_ratios(d, caps)
+        expected = target.cdf(caps)
+        np.testing.assert_allclose(measured, expected, atol=0.03)
+
+    def test_base_address_offsets(self):
+        rng = np.random.default_rng(3)
+        t = synthesize_trace(StackDistanceModel(2.0, 10.0), 100, rng, base_address=1000)
+        assert t.addresses.min() >= 1000
+
+    def test_empty(self):
+        rng = np.random.default_rng(4)
+        t = synthesize_trace(StackDistanceModel(2.0, 10.0), 0, rng)
+        assert len(t) == 0
+
+    def test_validation(self):
+        rng = np.random.default_rng(5)
+        m = StackDistanceModel(2.0, 10.0)
+        with pytest.raises(ValueError):
+            synthesize_trace(m, -1, rng)
+        with pytest.raises(ValueError):
+            synthesize_trace(m, 10, rng, gamma=0.0)
+        with pytest.raises(ValueError):
+            synthesize_trace(m, 10, rng, write_fraction=1.5)
+
+    def test_deterministic_given_seed(self):
+        m = StackDistanceModel(1.8, 25.0)
+        a = synthesize_trace(m, 2000, np.random.default_rng(7))
+        b = synthesize_trace(m, 2000, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.addresses, b.addresses)
