@@ -1,0 +1,164 @@
+"""Engine throughput: scalar lane vs vectorized fast path.
+
+Measures references simulated per second for the FFT workload on the
+paper's three platform families, with ``fastpath`` off and on, and
+verifies on every cell that the two lanes return bit-identical
+:class:`SimulationResult`s.  Results land in ``BENCH_engine.json``
+next to the repository root (or ``--output``).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--quick]
+
+``--quick`` shrinks the workload for a sub-minute smoke run (used by
+CI); the default size matches the paper-scale platform parameters
+(256 KB caches, 64 MB memories).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.apps.registry import make_application
+from repro.core.platform import PlatformSpec
+from repro.sim.engine import SimulationEngine
+from repro.sim.latencies import NetworkKind
+
+KB, MB = 1024, 1024 * 1024
+
+#: Acceptance floor: the batched lane must beat the scalar lane by this
+#: factor on at least the SMP cell (the paper's primary platform).
+REQUIRED_SPEEDUP = 3.0
+
+
+def _specs(cache_bytes: int, memory_bytes: int) -> list[tuple[str, PlatformSpec]]:
+    return [
+        (
+            "smp",
+            PlatformSpec(
+                name="bench-smp", n=4, N=1,
+                cache_bytes=cache_bytes, memory_bytes=memory_bytes,
+            ),
+        ),
+        (
+            "cow-atm",
+            PlatformSpec(
+                name="bench-cow", n=1, N=4,
+                cache_bytes=cache_bytes, memory_bytes=memory_bytes,
+                network=NetworkKind.ATM_155,
+            ),
+        ),
+        (
+            "clump-atm",
+            PlatformSpec(
+                name="bench-clump", n=2, N=2,
+                cache_bytes=cache_bytes, memory_bytes=memory_bytes,
+                network=NetworkKind.ATM_155,
+            ),
+        ),
+    ]
+
+
+def _time_once(spec: PlatformSpec, run, horizon: float, fastpath: bool):
+    engine = SimulationEngine(spec, run, horizon=horizon, fastpath=fastpath)
+    t0 = time.perf_counter()
+    result = engine.execute()
+    return result, time.perf_counter() - t0
+
+
+def _identical(a, b) -> bool:
+    return (
+        a.total_cycles == b.total_cycles
+        and a.per_process_cycles == b.per_process_cycles
+        and a.barrier_wait_cycles == b.barrier_wait_cycles
+        and a.stats.as_dict() == b.stats.as_dict()
+    )
+
+
+def run_benchmark(quick: bool = False, horizon: float = 200.0) -> dict:
+    points = 1024 if quick else 4096
+    repeats = 2 if quick else 5
+    app = make_application("FFT", num_procs=4, seed=0, points=points)
+    run = app.run()
+    refs = run.total_references
+
+    cells = []
+    for label, spec in _specs(256 * KB, 64 * MB):
+        # Interleave the lanes and keep each lane's best time, so slow
+        # drift on a shared machine penalizes both lanes equally.
+        scalar_t = batched_t = float("inf")
+        for _ in range(repeats):
+            scalar_res, dt = _time_once(spec, run, horizon, False)
+            scalar_t = min(scalar_t, dt)
+            batched_res, dt = _time_once(spec, run, horizon, True)
+            batched_t = min(batched_t, dt)
+        if not _identical(scalar_res, batched_res):
+            raise AssertionError(
+                f"fast path diverged from scalar on {label}: "
+                f"{scalar_res.total_cycles} != {batched_res.total_cycles}"
+            )
+        cells.append(
+            {
+                "platform": label,
+                "scalar_seconds": scalar_t,
+                "batched_seconds": batched_t,
+                "scalar_refs_per_second": refs / scalar_t,
+                "batched_refs_per_second": refs / batched_t,
+                "speedup": scalar_t / batched_t,
+                "identical": True,
+            }
+        )
+
+    return {
+        "benchmark": "engine_throughput",
+        "application": "FFT",
+        "points": points,
+        "total_references": refs,
+        "horizon": horizon,
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cells": cells,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="small FFT, one repeat")
+    ap.add_argument("--horizon", type=float, default=200.0)
+    ap.add_argument("--output", default="BENCH_engine.json")
+    ap.add_argument(
+        "--require-speedup", action="store_true",
+        help=f"exit nonzero unless the SMP cell reaches {REQUIRED_SPEEDUP}x",
+    )
+    args = ap.parse_args(argv)
+
+    payload = run_benchmark(quick=args.quick, horizon=args.horizon)
+    with open(args.output, "w") as f:
+        json.dump(payload, f, indent=2)
+
+    for cell in payload["cells"]:
+        print(
+            f"{cell['platform']:10s} scalar {cell['scalar_refs_per_second']:>10,.0f} refs/s"
+            f"  batched {cell['batched_refs_per_second']:>10,.0f} refs/s"
+            f"  speedup {cell['speedup']:.2f}x  identical={cell['identical']}"
+        )
+    print(f"wrote {args.output}")
+
+    if args.require_speedup:
+        smp = next(c for c in payload["cells"] if c["platform"] == "smp")
+        if smp["speedup"] < REQUIRED_SPEEDUP:
+            print(
+                f"FAIL: SMP speedup {smp['speedup']:.2f}x < {REQUIRED_SPEEDUP}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,31 @@ def _add_platform_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runner_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="simulation worker processes (default: all cores)",
+    )
+    p.add_argument(
+        "--horizon", type=float, default=200.0,
+        help="engine causality horizon in cycles (0 = exact interleaving)",
+    )
+    p.add_argument(
+        "--cache-dir", default=".repro_cache",
+        help="simulation result cache directory ('' disables caching)",
+    )
+
+
+def _runner_from(args: argparse.Namespace):
+    from repro.experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(
+        horizon=args.horizon,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir or None,
+    )
+
+
 def _platform_from(args: argparse.Namespace, name: str = "platform") -> PlatformSpec:
     return PlatformSpec(
         name=name,
@@ -140,7 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser("report", help="run the full paper reproduction (slow)")
+    p = sub.add_parser("report", help="run the full paper reproduction (slow)")
+    _add_runner_args(p)
+
+    p = sub.add_parser(
+        "validate", help="run one validation figure (model vs simulator)"
+    )
+    p.add_argument(
+        "--figure", type=int, choices=(2, 3, 4), required=True,
+        help="2 = SMPs, 3 = clusters of workstations, 4 = clusters of SMPs",
+    )
+    _add_runner_args(p)
     return parser
 
 
@@ -206,7 +241,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "report":
         from repro.experiments.reporting import generate_report
 
-        print(generate_report())
+        print(generate_report(runner=_runner_from(args)))
+        return 0
+
+    if args.command == "validate":
+        from repro.experiments.figures import run_figure2, run_figure3, run_figure4
+
+        run = {2: run_figure2, 3: run_figure3, 4: run_figure4}[args.figure]
+        print(run(runner=_runner_from(args)).describe())
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

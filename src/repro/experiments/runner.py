@@ -6,6 +6,15 @@ each processor count appearing in the platform tables, a simulation per
 (application, configuration) cell, and a model evaluation per cell.
 :class:`ExperimentRunner` memoizes every stage.
 
+Simulation cells are independent of each other, so :meth:`compare` and
+:meth:`calibrate` fan uncached cells out over a ``concurrent.futures``
+process pool (``jobs`` workers, default ``os.cpu_count()``).  Results
+are additionally persisted under ``.repro_cache/sim/<sha256>.pkl``,
+keyed by a content hash of everything that determines the outcome --
+application name and constructor overrides, seed, engine horizon, the
+full platform spec and a cache-format version -- so re-running a grid
+reloads finished cells instead of resimulating them.
+
 :class:`Calibration` bundles the model's free constants.  The paper
 calibrates exactly one of them (the 12.4% remote-access-rate
 adjustment); our scaled-down reproduction exposes three more (cache
@@ -17,9 +26,14 @@ procedure the authors describe for their adjustment.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.apps.base import ApplicationRun
@@ -33,6 +47,28 @@ from repro.trace.analysis import analyze_trace, measure_sharing
 from repro.workloads.params import WorkloadParams
 
 __all__ = ["Calibration", "ExperimentRunner", "DEFAULT_CALIBRATION"]
+
+#: Bump when simulator changes invalidate previously cached results.
+SIM_CACHE_VERSION = 1
+
+
+def _simulate_cell(
+    args: tuple[str, int, dict, PlatformSpec, float]
+) -> SimulationResult:
+    """Pool worker: one (app, config) simulation.  Module-level for
+    pickling.  The application run is regenerated in the worker rather
+    than shipped -- trace generation is a deterministic function of
+    (name, procs, seed, kwargs), and :class:`ApplicationRun` holds
+    unpicklable address-space closures.
+    """
+    name, seed, kwargs, spec, horizon = args
+    app = make_application(
+        name, num_procs=spec.total_processors, seed=seed, **kwargs
+    )
+    run = app.run()
+    if not run.verified:
+        raise RuntimeError(f"{name} at {run.num_procs} processes failed its numeric oracle")
+    return SimulationEngine(spec, run, horizon=horizon).execute()
 
 
 @dataclass(frozen=True)
@@ -71,16 +107,89 @@ class ExperimentRunner:
         seed: int = 0,
         horizon: float = 200.0,
         app_kwargs: dict[str, dict] | None = None,
+        jobs: int | None = None,
+        cache_dir: str | os.PathLike | None = ".repro_cache",
     ) -> None:
         """``app_kwargs`` overrides application constructor arguments per
-        name (e.g. smaller problem sizes in the test suite)."""
+        name (e.g. smaller problem sizes in the test suite).
+
+        ``jobs`` bounds the process pool used to simulate independent
+        (app, config) cells; ``None`` means ``os.cpu_count()`` and ``1``
+        disables the pool.  ``cache_dir`` is where simulation results
+        persist across processes and runs; ``None`` disables the disk
+        cache.
+        """
         self.seed = seed
         self.horizon = horizon
         self.app_kwargs = app_kwargs or {}
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._runs: dict[tuple[str, int], ApplicationRun] = {}
         self._chars: dict[str, WorkloadParams] = {}
         self._sharing: dict[tuple[str, int, int], tuple[float, float]] = {}
         self._sims: dict[tuple[str, str], SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    # disk cache
+    # ------------------------------------------------------------------
+    def _sim_cache_path(self, name: str, spec: PlatformSpec) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        payload = repr(
+            (
+                SIM_CACHE_VERSION,
+                name,
+                sorted(self.app_kwargs.get(name, {}).items()),
+                self.seed,
+                float(self.horizon),
+                spec,
+            )
+        )
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        return self.cache_dir / "sim" / f"{digest}.pkl"
+
+    @staticmethod
+    def _load_pickle(path: Path | None):
+        if path is None:
+            return None
+        try:
+            with open(path, "rb") as f:
+                return pickle.load(f)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+
+    def _aux_cache_path(self, kind: str, name: str, *extra) -> Path | None:
+        """Disk key for derived per-app results (characterization,
+        sharing) -- everything that determines them except the platform."""
+        if self.cache_dir is None:
+            return None
+        payload = repr(
+            (
+                SIM_CACHE_VERSION,
+                kind,
+                name,
+                sorted(self.app_kwargs.get(name, {}).items()),
+                self.seed,
+                extra,
+            )
+        )
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        return self.cache_dir / kind / f"{digest}.pkl"
+
+    @staticmethod
+    def _store_pickle(path: Path | None, value) -> None:
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            with open(tmp, "wb") as f:
+                pickle.dump(value, f)
+            os.replace(tmp, path)  # atomic even with concurrent writers
+        except OSError:
+            pass  # a cold cache is only a slowdown, never an error
 
     # ------------------------------------------------------------------
     def application_run(self, name: str, procs: int) -> ApplicationRun:
@@ -98,9 +207,14 @@ class ExperimentRunner:
     def characterization(self, name: str) -> WorkloadParams:
         """Table 2 methodology: fit (alpha, beta, gamma) on one processor."""
         if name not in self._chars:
-            run = self.application_run(name, 1)
-            ch = analyze_trace(run.traces[0], name=name, problem_size=run.problem_size)
-            self._chars[name] = ch.params
+            path = self._aux_cache_path("char", name)
+            params = self._load_pickle(path)
+            if params is None:
+                run = self.application_run(name, 1)
+                ch = analyze_trace(run.traces[0], name=name, problem_size=run.problem_size)
+                params = ch.params
+                self._store_pickle(path, params)
+            self._chars[name] = params
         return self._chars[name]
 
     def sharing(
@@ -111,19 +225,62 @@ class ExperimentRunner:
             return 0.0, 1.0
         key = (name, spec.total_processors, spec.N, include_false_sharing)
         if key not in self._sharing:
-            run = self.application_run(name, spec.total_processors)
-            self._sharing[key] = measure_sharing(
-                run, machines=spec.N, include_false_sharing=include_false_sharing
-            )
+            path = self._aux_cache_path("sharing", name, *key[1:])
+            value = self._load_pickle(path)
+            if value is None:
+                run = self.application_run(name, spec.total_processors)
+                value = measure_sharing(
+                    run, machines=spec.N, include_false_sharing=include_false_sharing
+                )
+                self._store_pickle(path, value)
+            self._sharing[key] = value
         return self._sharing[key]
 
     def simulate(self, name: str, spec: PlatformSpec) -> SimulationResult:
         key = (name, spec.name)
         if key not in self._sims:
-            run = self.application_run(name, spec.total_processors)
-            engine = SimulationEngine(spec, run, horizon=self.horizon)
-            self._sims[key] = engine.execute()
+            path = self._sim_cache_path(name, spec)
+            result = self._load_pickle(path)
+            if result is None:
+                run = self.application_run(name, spec.total_processors)
+                engine = SimulationEngine(spec, run, horizon=self.horizon)
+                result = engine.execute()
+                self._store_pickle(path, result)
+            self._sims[key] = result
         return self._sims[key]
+
+    def prefetch_simulations(
+        self, cells: Sequence[tuple[str, PlatformSpec]]
+    ) -> None:
+        """Fill the simulation memo for every (app, spec) cell, using the
+        disk cache first and a process pool for whatever remains.
+
+        Cells are independent simulations, so parallel execution returns
+        results identical to serial ``simulate`` calls; with ``jobs=1``
+        (or a single uncached cell) everything stays in-process.
+        """
+        todo: list[tuple[str, PlatformSpec]] = []
+        seen: set[tuple[str, str]] = set()
+        for name, spec in cells:
+            key = (name, spec.name)
+            if key in self._sims or key in seen:
+                continue
+            result = self._load_pickle(self._sim_cache_path(name, spec))
+            if result is not None:
+                self._sims[key] = result
+            else:
+                seen.add(key)
+                todo.append((name, spec))
+        if self.jobs <= 1 or len(todo) <= 1:
+            return  # lazy simulate() handles the rest
+        args = [
+            (name, self.seed, self.app_kwargs.get(name, {}), spec, self.horizon)
+            for name, spec in todo
+        ]
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(todo))) as pool:
+            for (name, spec), result in zip(todo, pool.map(_simulate_cell, args)):
+                self._sims[(name, spec.name)] = result
+                self._store_pickle(self._sim_cache_path(name, spec), result)
 
     def model(
         self, name: str, spec: PlatformSpec, calibration: Calibration
@@ -158,6 +315,7 @@ class ExperimentRunner:
         calibration: Calibration,
     ) -> list[ComparisonRow]:
         """Model and simulate every (app, config) cell of a figure."""
+        self.prefetch_simulations([(app, spec) for app in apps for spec in specs])
         rows = []
         for app in apps:
             for spec in specs:
@@ -190,6 +348,7 @@ class ExperimentRunner:
         by.  Simulations are cached, so only cheap model evaluations
         repeat across the grid.
         """
+        self.prefetch_simulations([(app, spec) for app in apps for spec in specs])
         sims = {
             (app, spec.name): self.simulate(app, spec).e_instr_seconds
             for app in apps

@@ -26,18 +26,34 @@ class SpeedResult:
     configuration: str
     model_seconds: float
     simulation_seconds: float
+    #: Same simulation with the engine's vectorized fast path disabled
+    #: (0.0 when the scalar lane was not timed).
+    scalar_simulation_seconds: float = 0.0
 
     @property
     def speedup(self) -> float:
         return self.simulation_seconds / self.model_seconds if self.model_seconds else float("inf")
 
+    @property
+    def engine_speedup(self) -> float:
+        """Vectorized engine over scalar engine on this cell."""
+        if not self.simulation_seconds or not self.scalar_simulation_seconds:
+            return 1.0
+        return self.scalar_simulation_seconds / self.simulation_seconds
+
     def describe(self) -> str:
-        return (
+        text = (
             f"model vs simulation wall time ({self.application} on {self.configuration}):\n"
             f"  model:      {self.model_seconds * 1e3:9.3f} ms   (paper: 0.5-1 s)\n"
             f"  simulation: {self.simulation_seconds:9.3f} s    (paper: > 20 min)\n"
             f"  model is {self.speedup:,.0f}x faster"
         )
+        if self.scalar_simulation_seconds:
+            text += (
+                f"\n  scalar-lane simulation: {self.scalar_simulation_seconds:9.3f} s"
+                f"  (fast path is {self.engine_speedup:.2f}x faster, bit-identical)"
+            )
+        return text
 
 
 def run_speed_comparison(
@@ -61,16 +77,21 @@ def run_speed_comparison(
         runner.model(app, spec, calibration)
     model_seconds = (time.perf_counter() - t0) / model_repeats
 
-    t0 = time.perf_counter()
-    run = runner.application_run(app, spec.total_processors)
     from repro.sim.engine import SimulationEngine
 
+    run = runner.application_run(app, spec.total_processors)
+    t0 = time.perf_counter()
     SimulationEngine(spec, run, horizon=runner.horizon).execute()
     simulation_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    SimulationEngine(spec, run, horizon=runner.horizon, fastpath=False).execute()
+    scalar_simulation_seconds = time.perf_counter() - t0
 
     return SpeedResult(
         application=app,
         configuration=spec.name,
         model_seconds=model_seconds,
         simulation_seconds=simulation_seconds,
+        scalar_simulation_seconds=scalar_simulation_seconds,
     )

@@ -7,6 +7,16 @@ execution engine calls once per memory reference.  ``access`` returns
 the completion time of the reference; every queueing effect is realized
 through the FCFS :class:`~repro.sim.memory.Server` objects the back-end
 routes the request through.
+
+Back-ends may additionally implement :meth:`MemoryBackend.access_batch`,
+the engine's vectorized fast lane: a run of consecutive references that
+provably cannot interact with any other process (own-cache hits that
+touch no shared server and mutate no coherence state) is consumed as one
+array operation instead of N ``access`` calls.  The contract is strict:
+the cache state, statistics and completion times after a batched run
+must be bit-identical to the scalar path, so a back-end only consumes a
+prefix it can prove is pure-local and leaves everything else to
+``access``.
 """
 
 from __future__ import annotations
@@ -19,10 +29,38 @@ import numpy as np
 from repro.core.platform import PlatformSpec
 from repro.core.hierarchy import PlatformKind
 
-__all__ = ["BackendStats", "MemoryBackend", "make_backend"]
+__all__ = [
+    "BackendStats",
+    "MemoryBackend",
+    "make_backend",
+    "eligible_prefix",
+    "BATCH_CHUNK",
+]
 
 #: Bus occupancy (cycles) of an address-only invalidate on an SMP bus.
 SMP_INVALIDATE_CYCLES = 2.0
+
+#: One ``access_batch`` call evaluates at most this many references.
+BATCH_CHUNK = 4096
+
+
+def eligible_prefix(ok: np.ndarray) -> tuple[int, int]:
+    """``(consumed, skip)`` for an eligibility mask.
+
+    ``consumed`` is the length of the leading all-True run; when it is
+    zero, ``skip`` counts the leading ineligible references (at least 1)
+    so the engine knows how far to carry on scalar before retrying.
+    Allocation-free: two argmin/argmax scans instead of index vectors.
+    """
+    k = int(ok.argmin())  # first False, or 0 when there is none
+    if k > 0:
+        return k, k
+    if ok.size and ok[0]:
+        return ok.size, ok.size  # no False at all
+    skip = int(ok.argmax())  # first True, or 0 when all False
+    if skip == 0:
+        skip = ok.size
+    return 0, max(skip, 1)
 
 
 @dataclass
@@ -84,6 +122,34 @@ class MemoryBackend(ABC):
     @abstractmethod
     def access(self, proc: int, line: int, is_write: bool, now: float) -> float:
         """Process one reference issued at ``now``; return completion time."""
+
+    def access_batch(
+        self, proc: int, lines: np.ndarray, writes: np.ndarray, now: float
+    ) -> tuple[int, int]:
+        """Consume a prefix of pure-local references in one vectorized step.
+
+        Every consumed reference must be a pure-local cache hit -- one
+        that touches no shared server and mutates no state outside
+        ``proc``'s own cache -- applied exactly as the scalar path
+        would have (statistics, LRU stamps, dirty marks).  Timing stays
+        with the engine: each consumed hit costs the back-end's
+        ``t_hit``, which the engine folds into its precomputed issue
+        schedule, so the back-end neither reads nor returns clocks
+        (``now`` is informational).
+
+        Returns ``(consumed, skip)`` with ``skip >= max(consumed, 1)``:
+        the length of the leading pure-local run, and how far from the
+        window start the engine should advance (scalar-stepping past
+        ``consumed``) before re-attempting a batch.  A run cut short at
+        ``consumed < lines.size`` reports ``skip = consumed + 1`` --
+        the cutting reference is known-ineligible right now, so the
+        engine takes it scalar instead of burning a guaranteed-empty
+        batch call on it; a fully consumed window reports
+        ``skip = consumed``.
+
+        The default declines every batch; back-ends opt in by overriding.
+        """
+        return 0, max(lines.size, 1)
 
     @abstractmethod
     def barrier_overhead(self) -> float:

@@ -12,9 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.platform import PlatformSpec
-from repro.sim.backends.base import MemoryBackend, SMP_INVALIDATE_CYCLES
+from repro.sim.backends.base import (
+    MemoryBackend,
+    SMP_INVALIDATE_CYCLES,
+    eligible_prefix,
+)
 from repro.sim.cache import SetAssociativeCache
-from repro.sim.directory import LINES_PER_BLOCK
+from repro.sim.directory import LINES_PER_BLOCK, first_unowned_write
 from repro.sim.hybrid import HybridProtocol, HybridServe
 from repro.sim.memory import PagedMemory, Server, page_of
 from repro.sim.network import make_network
@@ -114,6 +118,51 @@ class ClumpBackend(MemoryBackend):
         st.remote_clean += 1
         t = self.network.transfer(t, machine, out.home, self.t_remote)
         return self._home_memory_time(t, out.home, line)
+
+    def access_batch(
+        self, proc: int, lines: np.ndarray, writes: np.ndarray, now: float
+    ) -> tuple[int, int]:
+        """Vectorized run of pure-local hits (see the base-class contract).
+
+        Both coherence layers must be quiet: a read hit always is; a
+        write hit qualifies only when the line is already dirty in the
+        issuing cache (within a snoop group, dirty implies no peer copy,
+        so no invalidate broadcast and no bus) *and* the node already
+        owns the directory block exclusively (silent upgrade), with no
+        L2.  The local dirty bit cannot stand in for the directory
+        check: a remote read drops exclusivity without touching the
+        owner node's L1 flags.
+        """
+        n = self.spec.n
+        machine = proc // n
+        cache = self.caches[machine][proc % n]
+        ok, slots = cache.residency(lines)
+        k, skip = eligible_prefix(ok)
+        if k == 0:
+            return 0, skip
+        w = writes[:k]
+        if w.any():
+            if self.l2s is not None:
+                k = int(w.argmax())  # first write cuts the run
+            else:
+                bad = w & ~cache.dirty_at(slots[:k])
+                if bad.any():
+                    k = int(bad.argmax())
+                if k:
+                    k = first_unowned_write(
+                        self.protocol.directory.exclusive_owner,
+                        machine,
+                        lines,
+                        writes,
+                        k,
+                    )
+            if k == 0:
+                return 0, 1
+        cache.touch_positions(slots[:k])
+        st = self.stats
+        st.references += k
+        st.cache_hits += k
+        return k, k + 1 if k < lines.size else k
 
     def barrier_overhead(self) -> float:
         """Barrier exit: network control round trip + SMP bus release."""

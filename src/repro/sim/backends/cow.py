@@ -18,9 +18,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.platform import PlatformSpec
-from repro.sim.backends.base import MemoryBackend
+from repro.sim.backends.base import MemoryBackend, eligible_prefix
 from repro.sim.cache import SetAssociativeCache
-from repro.sim.directory import Directory, LINES_PER_BLOCK, block_of
+from repro.sim.directory import (
+    Directory,
+    LINES_PER_BLOCK,
+    block_of,
+    first_unowned_write,
+)
 from repro.sim.memory import PagedMemory, Server, page_of
 from repro.sim.network import make_network
 
@@ -144,6 +149,43 @@ class CowBackend(MemoryBackend):
         st.remote_clean += 1
         t = self.network.transfer(t, machine, out.home, self.t_remote)
         return self._home_memory_time(t, out.home, line)
+
+    def access_batch(
+        self, proc: int, lines: np.ndarray, writes: np.ndarray, now: float
+    ) -> tuple[int, int]:
+        """Vectorized run of pure-local hits (see the base-class contract).
+
+        Eligible references are own-cache read hits, plus write hits to
+        blocks this machine already owns exclusively in the directory
+        (a silent upgrade: no invalidations, no data movement) when
+        there is no L2 to invalidate.  Private, write-back-owned pages
+        -- the bulk of an SPMD process's traffic -- ride this path.
+        The cache's own dirty bit is *not* a valid shortcut here: a
+        remote read drops directory exclusivity without clearing the
+        reader-side L1 flag, so the directory must be consulted.
+        """
+        machine = proc  # one process per machine
+        cache = self.caches[machine]
+        ok, slots = cache.residency(lines)
+        k, skip = eligible_prefix(ok)
+        if k == 0:
+            return 0, skip
+        wr = writes[:k]
+        if wr.any():
+            if self.l2s is not None:
+                k = int(wr.argmax())  # first write cuts the run
+            else:
+                k = first_unowned_write(
+                    self.directory.exclusive_owner, machine, lines, wr, k
+                )
+            if k == 0:
+                return 0, 1
+            wr = writes[:k]
+        cache.touch_positions(slots[:k], dirty=wr if wr.any() else None)
+        st = self.stats
+        st.references += k
+        st.cache_hits += k
+        return k, k + 1 if k < lines.size else k
 
     def barrier_overhead(self) -> float:
         """Barrier exit: one control round trip across the network."""

@@ -17,7 +17,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.platform import PlatformSpec
-from repro.sim.backends.base import BackendStats, MemoryBackend, SMP_INVALIDATE_CYCLES
+from repro.sim.backends.base import (
+    BackendStats,
+    MemoryBackend,
+    SMP_INVALIDATE_CYCLES,
+    eligible_prefix,
+)
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.memory import PagedMemory, Server, page_of
 from repro.sim.snoop import SnoopSource, SnoopingBus
@@ -84,6 +89,61 @@ class SmpBackend(MemoryBackend):
         st.disk += 1  # sub-stage: the access also visited memory
         t = self.bus.request(t, self.t_mem)
         return self.disk.request(t, self.t_disk)
+
+    def access_batch(
+        self, proc: int, lines: np.ndarray, writes: np.ndarray, now: float
+    ) -> tuple[int, int]:
+        """Vectorized run of pure-local hits (see the base-class contract).
+
+        Eligible references are own-cache read hits, plus -- when there
+        is no shared L2 (a store must invalidate its L2 copy, which the
+        scalar path handles) -- write hits to lines no peer holds.
+        Lines already *dirty* in the issuing cache qualify wholesale:
+        write-invalidate keeps dirty lines exclusive (a peer read
+        downgrades M->S, a peer write invalidates).  The few write hits
+        to *clean* lines per window (typically right after a fill) are
+        checked against the peers individually; a peer-free one is a
+        silent upgrade and marks the line dirty, exactly as the scalar
+        path would.
+        """
+        cache = self.caches[proc]
+        ok, slots = cache.residency(lines)
+        k, skip = eligible_prefix(ok)
+        if k == 0:
+            return 0, skip
+        # Write-gate only the resident prefix -- the part that can
+        # actually be consumed -- not the whole window.
+        dirty_marks = None
+        if self.l2 is not None:
+            bad = writes[:k]
+            if bad.any():
+                k = int(bad.argmax())
+                if k == 0:
+                    return 0, 1
+        else:
+            bad = writes[:k] & ~cache.dirty_at(slots[:k])
+            if bad.any():
+                first_bad = -1
+                caches = self.caches
+                for j in np.flatnonzero(bad).tolist():
+                    line = int(lines[j])
+                    if any(
+                        c.contains(line) for q, c in enumerate(caches) if q != proc
+                    ):
+                        k = j  # held elsewhere: invalidate needed, go scalar
+                        break
+                    if first_bad < 0:
+                        first_bad = j
+                if k == 0:
+                    return 0, 1
+                if 0 <= first_bad < k:
+                    # consumed clean-line upgrades: set their dirty bits
+                    dirty_marks = writes[:k]
+        cache.touch_positions(slots[:k], dirty=dirty_marks)
+        st = self.stats
+        st.references += k
+        st.cache_hits += k
+        return k, k + 1 if k < lines.size else k
 
     def barrier_overhead(self) -> float:
         """Barrier exit: one shared-variable round trip over the bus."""

@@ -18,9 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+import numpy as np
+
 from repro.sim.latencies import DIRECTORY_BLOCK_BYTES, ITEM_BYTES
 
-__all__ = ["BlockState", "DirectoryOutcome", "Directory", "LINES_PER_BLOCK", "block_of"]
+__all__ = [
+    "BlockState",
+    "DirectoryOutcome",
+    "Directory",
+    "LINES_PER_BLOCK",
+    "block_of",
+    "first_unowned_write",
+]
 
 #: 256-byte directory blocks hold 4 cache lines.
 LINES_PER_BLOCK = DIRECTORY_BLOCK_BYTES // ITEM_BYTES
@@ -29,6 +38,29 @@ LINES_PER_BLOCK = DIRECTORY_BLOCK_BYTES // ITEM_BYTES
 def block_of(line: int) -> int:
     """Directory block containing an item-granular line address."""
     return line // LINES_PER_BLOCK
+
+
+def first_unowned_write(
+    owner_of, machine: int, lines: np.ndarray, writes: np.ndarray, k: int
+) -> int:
+    """Index of the first write in ``writes[:k]`` to a block ``machine``
+    does not own exclusively, or ``k`` when every write is owned.
+
+    Used by the back-ends' batch eligibility check.  Consecutive writes
+    overwhelmingly land in the same directory block (spatial locality),
+    so the ownership lookup is memoized per block run instead of paying
+    a vectorized unique/sort per call.
+    """
+    prev = -1
+    owned = False
+    for j in np.flatnonzero(writes[:k]).tolist():
+        b = int(lines[j]) // LINES_PER_BLOCK
+        if b != prev:
+            prev = b
+            owned = owner_of(b) == machine
+        if not owned:
+            return j
+    return k
 
 
 class BlockState(str, Enum):
@@ -81,6 +113,15 @@ class Directory:
 
     def holders(self, block: int) -> frozenset[int]:
         return frozenset(self._holders.get(block, ()))
+
+    def exclusive_owner(self, block: int) -> int | None:
+        """Machine holding the block exclusively (dirty), if any.
+
+        While a machine owns a block it is also its only holder (a read
+        by anyone else clears ownership), so a write hit by the owner is
+        a silent upgrade: no invalidations, no data movement.
+        """
+        return self._owner.get(block)
 
     # ------------------------------------------------------------------
     def read(self, machine: int, line: int) -> DirectoryOutcome:
