@@ -18,10 +18,14 @@ CI); the default size matches the paper-scale platform parameters
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import platform
+import subprocess
 import sys
 import time
+
+import numpy
 
 from repro.apps.registry import make_application
 from repro.core.platform import PlatformSpec
@@ -33,6 +37,32 @@ KB, MB = 1024, 1024 * 1024
 #: Acceptance floor: the batched lane must beat the scalar lane by this
 #: factor on at least the SMP cell (the paper's primary platform).
 REQUIRED_SPEEDUP = 3.0
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def provenance() -> dict:
+    """Where and when this benchmark ran, for comparing BENCH files."""
+    return {
+        "git_rev": _git_rev(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "hostname": platform.node(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+    }
 
 
 def _specs(cache_bytes: int, memory_bytes: int) -> list[tuple[str, PlatformSpec]]:
@@ -120,8 +150,7 @@ def run_benchmark(quick: bool = False, horizon: float = 200.0) -> dict:
         "total_references": refs,
         "horizon": horizon,
         "quick": quick,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        "provenance": provenance(),
         "cells": cells,
     }
 

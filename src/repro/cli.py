@@ -12,16 +12,27 @@ cluster computing."  This module is that vehicle:
     python -m repro characterize --app EDGE --procs 4
     python -m repro predict --workload FFT --machines 4 --network atm
     python -m repro recommend --alpha 1.3 --beta 90 --gamma 0.31
+    python -m repro simulate --app FFT --machines 1 --procs-per-machine 4 \\
+        --sample-every 50000 --metrics-out metrics.json
+    python -m repro obs summary metrics.json
 
 Workloads can be the paper's Table 2 names (FFT, LU, Radix, EDGE,
 TPC-C) or explicit ``--alpha/--beta/--gamma`` triples.
+
+Observability: ``--log-level`` controls the structured stderr logger;
+simulating commands accept ``--sample-every N`` (simulated-time
+timelines) and ``--metrics-out PATH`` (metrics + spans + timelines
+JSON, rendered later by ``repro obs summary``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
+
+from repro.obs.log import get_logger, set_level
 
 from repro.core.execution import evaluate
 from repro.core.platform import PlatformSpec
@@ -104,15 +115,40 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
         "--cache-dir", default=".repro_cache",
         help="simulation result cache directory ('' disables caching)",
     )
+    p.add_argument(
+        "--sample-every", type=float, default=None, metavar="CYCLES",
+        help="record a per-backend timeline window every CYCLES simulated "
+        "cycles (off by default; costs simulation throughput)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write metrics, spans and timelines as JSON to PATH on exit "
+        "(inspect with 'repro obs summary PATH')",
+    )
 
 
-def _runner_from(args: argparse.Namespace):
+def _runner_from(args: argparse.Namespace, **extra):
     from repro.experiments.runner import ExperimentRunner
 
     return ExperimentRunner(
         horizon=args.horizon,
         jobs=args.jobs,
         cache_dir=args.cache_dir or None,
+        sample_every=args.sample_every,
+        **extra,
+    )
+
+
+def _finish_observability(args: argparse.Namespace, runner=None) -> None:
+    """Dump the run's metrics/spans/timelines when ``--metrics-out`` is set."""
+    if getattr(args, "metrics_out", None) is None:
+        return
+    from repro.obs.summary import write_payload
+
+    timelines = runner.timelines() if runner is not None else None
+    write_payload(args.metrics_out, timelines=timelines)
+    get_logger("repro.cli").info(
+        "wrote observability payload", path=args.metrics_out
     )
 
 
@@ -132,6 +168,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cost-effective cluster design with the Du & Zhang (IPPS 1999) model.",
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"), default=None,
+        help="structured-logger threshold (default: info; overrides -q/--verbose)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -167,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="run the full paper reproduction (slow)")
     _add_runner_args(p)
+    p.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only warnings and errors (log level warning)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="per-cell progress detail (log level debug)",
+    )
 
     p = sub.add_parser(
         "validate", help="run one validation figure (model vs simulator)"
@@ -176,11 +224,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="2 = SMPs, 3 = clusters of workstations, 4 = clusters of SMPs",
     )
     _add_runner_args(p)
+
+    p = sub.add_parser(
+        "simulate", help="simulate one application on one platform"
+    )
+    p.add_argument("--app", required=True, help="FFT, LU, Radix, EDGE or TPC-C")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--app-arg", action="append", default=[], metavar="KEY=VALUE",
+        help="application constructor override, e.g. --app-arg points=1024 "
+        "(repeatable)",
+    )
+    _add_platform_args(p)
+    _add_runner_args(p)
+
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "summary", help="render a --metrics-out JSON payload as text"
+    )
+    p.add_argument("payload", help="path to a --metrics-out JSON file")
+    p.add_argument(
+        "--max-windows", type=int, default=24,
+        help="timeline rows per table (adjacent windows merge beyond this)",
+    )
     return parser
+
+
+def _parse_app_args(pairs: Sequence[str]) -> dict[str, object]:
+    """Parse repeated ``KEY=VALUE`` overrides, guessing int/float/str."""
+    out: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--app-arg expects KEY=VALUE, got {pair!r}")
+        value: object = raw
+        for cast in (int, float):
+            try:
+                value = cast(raw)
+                break
+            except ValueError:
+                continue
+        out[key] = value
+    return out
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    level = args.log_level
+    if level is None and getattr(args, "quiet", False):
+        level = "warning"
+    if level is None and getattr(args, "verbose", False):
+        level = "debug"
+    if level is not None:
+        set_level(level)
 
     if args.command == "design":
         workload = _workload_from(args)
@@ -241,14 +339,42 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "report":
         from repro.experiments.reporting import generate_report
 
-        print(generate_report(runner=_runner_from(args)))
+        runner = _runner_from(args)
+        print(generate_report(runner=runner, verbose=not args.quiet))
+        _finish_observability(args, runner)
         return 0
 
     if args.command == "validate":
         from repro.experiments.figures import run_figure2, run_figure3, run_figure4
 
         run = {2: run_figure2, 3: run_figure3, 4: run_figure4}[args.figure]
-        print(run(runner=_runner_from(args)).describe())
+        runner = _runner_from(args)
+        print(run(runner=runner).describe())
+        _finish_observability(args, runner)
+        return 0
+
+    if args.command == "simulate":
+        app_kwargs = _parse_app_args(args.app_arg)
+        runner = _runner_from(
+            args,
+            seed=args.seed,
+            app_kwargs={args.app: app_kwargs} if app_kwargs else None,
+        )
+        spec = _platform_from(args, name="cli")
+        res = runner.simulate(args.app, spec)
+        print(res.describe())
+        if res.timeline is not None:
+            print()
+            print(res.timeline.describe())
+        _finish_observability(args, runner)
+        return 0
+
+    if args.command == "obs":
+        from repro.obs.summary import summarize
+
+        with open(args.payload, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        print(summarize(payload, max_windows=args.max_windows))
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -42,6 +42,9 @@ from repro.core.execution import ExecutionEstimate, evaluate
 from repro.core.platform import PlatformSpec
 from repro.core.validation import ComparisonRow
 from repro.experiments.configs import SCALE
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.spans import Span, Tracer, get_tracer
 from repro.sim.engine import SimulationEngine, SimulationResult
 from repro.trace.analysis import analyze_trace, measure_sharing
 from repro.workloads.params import WorkloadParams
@@ -49,26 +52,37 @@ from repro.workloads.params import WorkloadParams
 __all__ = ["Calibration", "ExperimentRunner", "DEFAULT_CALIBRATION"]
 
 #: Bump when simulator changes invalidate previously cached results.
-SIM_CACHE_VERSION = 1
+#: 2: SimulationResult grew a ``timeline`` field (PR 2).
+SIM_CACHE_VERSION = 2
+
+_log = get_logger("repro.experiments.runner")
 
 
 def _simulate_cell(
-    args: tuple[str, int, dict, PlatformSpec, float]
-) -> SimulationResult:
+    args: tuple[str, int, dict, PlatformSpec, float, float | None]
+) -> tuple[SimulationResult, dict]:
     """Pool worker: one (app, config) simulation.  Module-level for
     pickling.  The application run is regenerated in the worker rather
     than shipped -- trace generation is a deterministic function of
     (name, procs, seed, kwargs), and :class:`ApplicationRun` holds
-    unpicklable address-space closures.
+    unpicklable address-space closures.  Returns the result plus the
+    worker's span (serialized) so the parent's trace covers pool work.
     """
-    name, seed, kwargs, spec, horizon = args
-    app = make_application(
-        name, num_procs=spec.total_processors, seed=seed, **kwargs
-    )
-    run = app.run()
-    if not run.verified:
-        raise RuntimeError(f"{name} at {run.num_procs} processes failed its numeric oracle")
-    return SimulationEngine(spec, run, horizon=horizon).execute()
+    name, seed, kwargs, spec, horizon, sample_every = args
+    tracer = Tracer()
+    with tracer.span(
+        f"simulate:{name}@{spec.name}", worker=os.getpid(), procs=spec.total_processors
+    ):
+        app = make_application(
+            name, num_procs=spec.total_processors, seed=seed, **kwargs
+        )
+        run = app.run()
+        if not run.verified:
+            raise RuntimeError(f"{name} at {run.num_procs} processes failed its numeric oracle")
+        result = SimulationEngine(
+            spec, run, horizon=horizon, sample_every=sample_every
+        ).execute()
+    return result, tracer.roots[0].to_obj()
 
 
 @dataclass(frozen=True)
@@ -109,6 +123,8 @@ class ExperimentRunner:
         app_kwargs: dict[str, dict] | None = None,
         jobs: int | None = None,
         cache_dir: str | os.PathLike | None = ".repro_cache",
+        sample_every: float | None = None,
+        metrics: "obs_metrics.MetricsRegistry | None" = None,
     ) -> None:
         """``app_kwargs`` overrides application constructor arguments per
         name (e.g. smaller problem sizes in the test suite).
@@ -118,6 +134,12 @@ class ExperimentRunner:
         disables the pool.  ``cache_dir`` is where simulation results
         persist across processes and runs; ``None`` disables the disk
         cache.
+
+        ``sample_every`` (simulated cycles) makes every simulation carry
+        a per-window :class:`~repro.obs.timeline.Timeline`; it is part
+        of the disk-cache key.  ``metrics`` is the registry the runner
+        reports its disk-cache effectiveness into (default: the
+        process-default :data:`repro.obs.metrics.REGISTRY`).
         """
         self.seed = seed
         self.horizon = horizon
@@ -126,6 +148,15 @@ class ExperimentRunner:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if sample_every is not None and sample_every <= 0:
+            raise ValueError("sample_every must be positive (or None to disable)")
+        self.sample_every = sample_every
+        self.metrics = metrics if metrics is not None else obs_metrics.REGISTRY
+        self._cache_lookups = self.metrics.counter(
+            "repro_cache_lookups_total",
+            ".repro_cache disk lookups by kind (sim/char/sharing) and outcome",
+            labelnames=("kind", "outcome"),
+        )
         self._runs: dict[tuple[str, int], ApplicationRun] = {}
         self._chars: dict[str, WorkloadParams] = {}
         self._sharing: dict[tuple[str, int, int], tuple[float, float]] = {}
@@ -145,10 +176,15 @@ class ExperimentRunner:
                 self.seed,
                 float(self.horizon),
                 spec,
+                None if self.sample_every is None else float(self.sample_every),
             )
         )
         digest = hashlib.sha256(payload.encode()).hexdigest()
         return self.cache_dir / "sim" / f"{digest}.pkl"
+
+    def _count_lookup(self, kind: str, hit: bool) -> None:
+        """Surface disk-cache effectiveness (invisible before PR 2)."""
+        self._cache_lookups.labels(kind=kind, outcome="hit" if hit else "miss").inc()
 
     @staticmethod
     def _load_pickle(path: Path | None):
@@ -209,10 +245,15 @@ class ExperimentRunner:
         if name not in self._chars:
             path = self._aux_cache_path("char", name)
             params = self._load_pickle(path)
+            if path is not None:
+                self._count_lookup("char", params is not None)
             if params is None:
-                run = self.application_run(name, 1)
-                ch = analyze_trace(run.traces[0], name=name, problem_size=run.problem_size)
-                params = ch.params
+                with get_tracer().span(f"characterize:{name}"):
+                    run = self.application_run(name, 1)
+                    ch = analyze_trace(
+                        run.traces[0], name=name, problem_size=run.problem_size
+                    )
+                    params = ch.params
                 self._store_pickle(path, params)
             self._chars[name] = params
         return self._chars[name]
@@ -227,11 +268,14 @@ class ExperimentRunner:
         if key not in self._sharing:
             path = self._aux_cache_path("sharing", name, *key[1:])
             value = self._load_pickle(path)
+            if path is not None:
+                self._count_lookup("sharing", value is not None)
             if value is None:
-                run = self.application_run(name, spec.total_processors)
-                value = measure_sharing(
-                    run, machines=spec.N, include_false_sharing=include_false_sharing
-                )
+                with get_tracer().span(f"sharing:{name}@N{spec.N}"):
+                    run = self.application_run(name, spec.total_processors)
+                    value = measure_sharing(
+                        run, machines=spec.N, include_false_sharing=include_false_sharing
+                    )
                 self._store_pickle(path, value)
             self._sharing[key] = value
         return self._sharing[key]
@@ -241,13 +285,32 @@ class ExperimentRunner:
         if key not in self._sims:
             path = self._sim_cache_path(name, spec)
             result = self._load_pickle(path)
+            if path is not None:
+                self._count_lookup("sim", result is not None)
             if result is None:
                 run = self.application_run(name, spec.total_processors)
-                engine = SimulationEngine(spec, run, horizon=self.horizon)
-                result = engine.execute()
+                with get_tracer().span(
+                    f"simulate:{name}@{spec.name}", procs=spec.total_processors
+                ):
+                    engine = SimulationEngine(
+                        spec, run, horizon=self.horizon, sample_every=self.sample_every
+                    )
+                    result = engine.execute()
+                _log.debug(
+                    "simulated cell", app=name, spec=spec.name,
+                    cycles=f"{result.total_cycles:.0f}",
+                )
                 self._store_pickle(path, result)
             self._sims[key] = result
         return self._sims[key]
+
+    def timelines(self) -> dict[str, "object"]:
+        """``app@platform -> Timeline`` for every sampled cell so far."""
+        return {
+            f"{app}@{spec_name}": r.timeline
+            for (app, spec_name), r in sorted(self._sims.items())
+            if r.timeline is not None
+        }
 
     def prefetch_simulations(
         self, cells: Sequence[tuple[str, PlatformSpec]]
@@ -265,7 +328,10 @@ class ExperimentRunner:
             key = (name, spec.name)
             if key in self._sims or key in seen:
                 continue
-            result = self._load_pickle(self._sim_cache_path(name, spec))
+            path = self._sim_cache_path(name, spec)
+            result = self._load_pickle(path)
+            if path is not None:
+                self._count_lookup("sim", result is not None)
             if result is not None:
                 self._sims[key] = result
             else:
@@ -274,13 +340,26 @@ class ExperimentRunner:
         if self.jobs <= 1 or len(todo) <= 1:
             return  # lazy simulate() handles the rest
         args = [
-            (name, self.seed, self.app_kwargs.get(name, {}), spec, self.horizon)
+            (
+                name,
+                self.seed,
+                self.app_kwargs.get(name, {}),
+                spec,
+                self.horizon,
+                self.sample_every,
+            )
             for name, spec in todo
         ]
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(todo))) as pool:
-            for (name, spec), result in zip(todo, pool.map(_simulate_cell, args)):
-                self._sims[(name, spec.name)] = result
-                self._store_pickle(self._sim_cache_path(name, spec), result)
+        tracer = get_tracer()
+        _log.debug("prefetching cells", todo=len(todo), jobs=self.jobs)
+        with tracer.span(f"prefetch:{len(todo)}cells", jobs=self.jobs):
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(todo))) as pool:
+                for (name, spec), (result, span_obj) in zip(
+                    todo, pool.map(_simulate_cell, args)
+                ):
+                    self._sims[(name, spec.name)] = result
+                    self._store_pickle(self._sim_cache_path(name, spec), result)
+                    tracer.attach(Span.from_obj(span_obj))
 
     def model(
         self, name: str, spec: PlatformSpec, calibration: Calibration

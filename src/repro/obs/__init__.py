@@ -1,0 +1,54 @@
+"""Observability: metrics, simulated-time timelines, spans, logging.
+
+The simulator's end-of-run :class:`~repro.sim.backends.base.BackendStats`
+totals answer *what happened*; this package answers *when* and *where*:
+
+* :mod:`repro.obs.metrics` -- a process-local metrics registry
+  (counters, gauges, log-bucketed histograms) with JSON, CSV and
+  Prometheus text exporters;
+* :mod:`repro.obs.timeline` -- simulated-time interval sampling of
+  back-end counters, the per-window signal needed to check the paper's
+  contention model phase by phase;
+* :mod:`repro.obs.spans` -- wall-clock span tracing across the
+  experiment pipeline, including spans serialized back from
+  process-pool workers;
+* :mod:`repro.obs.log` -- a structured stderr logger replacing ad-hoc
+  ``print(..., file=sys.stderr)`` calls;
+* :mod:`repro.obs.summary` -- the ``repro obs summary`` payload format
+  and its text renderer.
+
+Nothing here imports the simulator: ``repro.sim`` depends on
+``repro.obs``, never the reverse.  All instrumentation is opt-in and
+zero-cost when disabled.
+"""
+
+from repro.obs.log import configure, get_logger, set_level
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    log_buckets,
+)
+from repro.obs.spans import Span, Tracer, get_tracer, span
+from repro.obs.timeline import Timeline, TimelineRecorder, TimelineWindow
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "log_buckets",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "Timeline",
+    "TimelineRecorder",
+    "TimelineWindow",
+    "configure",
+    "get_logger",
+    "set_level",
+]

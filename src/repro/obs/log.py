@@ -1,0 +1,127 @@
+"""Structured logging: leveled, key-value, stderr-friendly.
+
+A tiny structured logger for the experiment pipeline, replacing the
+ad-hoc ``print(..., file=sys.stderr)`` calls that used to carry runner
+and reporting progress.  One process-global configuration (level,
+stream, line format) keeps CLI wiring trivial: ``--log-level debug``
+turns everything on, ``-q`` silences progress without touching report
+output on stdout.
+
+Lines render either human-readable::
+
+    2026-08-05T12:00:00.123Z INFO    repro.report: running Table 2 phase=table2
+
+or, with ``configure(json_lines=True)``, as one JSON object per line
+for machine consumption.  The stream is resolved at emit time (default
+``sys.stderr``) so pytest capture and redirection behave naturally.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from datetime import datetime, timezone
+
+__all__ = ["LEVELS", "Logger", "configure", "get_logger", "set_level"]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+_NAMES = {v: k.upper() for k, v in LEVELS.items()}
+
+
+class _Config:
+    __slots__ = ("level", "stream", "json_lines")
+
+    def __init__(self) -> None:
+        self.level = LEVELS["info"]
+        self.stream = None  # None -> sys.stderr at emit time
+        self.json_lines = False
+
+
+_config = _Config()
+
+
+def _levelno(level: str | int) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; known: {', '.join(LEVELS)}"
+        ) from None
+
+
+def set_level(level: str | int) -> None:
+    """Set the process-wide threshold (``"debug"``..``"error"``)."""
+    _config.level = _levelno(level)
+
+
+def configure(
+    level: str | int | None = None,
+    stream=None,
+    json_lines: bool | None = None,
+) -> None:
+    """Adjust global logging behavior; ``None`` leaves a knob unchanged."""
+    if level is not None:
+        _config.level = _levelno(level)
+    if stream is not None:
+        _config.stream = stream
+    if json_lines is not None:
+        _config.json_lines = bool(json_lines)
+
+
+class Logger:
+    """A named emitter; cheap enough to call unconditionally."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def enabled_for(self, level: str | int) -> bool:
+        return _levelno(level) >= _config.level
+
+    def log(self, level: str | int, msg: str, **fields) -> None:
+        levelno = _levelno(level)
+        if levelno < _config.level:
+            return
+        stream = _config.stream or sys.stderr
+        now = datetime.now(timezone.utc)
+        if _config.json_lines:
+            record = {
+                "ts": now.isoformat(timespec="milliseconds"),
+                "level": _NAMES.get(levelno, str(levelno)),
+                "logger": self.name,
+                "msg": msg,
+            }
+            record.update(fields)
+            line = json.dumps(record, default=str)
+        else:
+            ts = now.strftime("%Y-%m-%dT%H:%M:%S.") + f"{now.microsecond // 1000:03d}Z"
+            line = f"{ts} {_NAMES.get(levelno, str(levelno)):<7} {self.name}: {msg}"
+            if fields:
+                line += " " + " ".join(f"{k}={v}" for k, v in fields.items())
+        print(line, file=stream, flush=True)
+
+    def debug(self, msg: str, **fields) -> None:
+        self.log(10, msg, **fields)
+
+    def info(self, msg: str, **fields) -> None:
+        self.log(20, msg, **fields)
+
+    def warning(self, msg: str, **fields) -> None:
+        self.log(30, msg, **fields)
+
+    def error(self, msg: str, **fields) -> None:
+        self.log(40, msg, **fields)
+
+
+_loggers: dict[str, Logger] = {}
+
+
+def get_logger(name: str = "repro") -> Logger:
+    """Return the (cached) logger with this dotted name."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = Logger(name)
+    return logger

@@ -1,0 +1,363 @@
+"""Process-local metrics registry with pluggable text exporters.
+
+Three metric kinds, modeled on the Prometheus data model but with no
+external dependency:
+
+* :class:`Counter` -- monotonically increasing totals (cache lookups,
+  simulated cells);
+* :class:`Gauge` -- point-in-time values (resource utilization,
+  configuration echoes);
+* :class:`Histogram` -- distributions over fixed, log-spaced buckets
+  (:func:`log_buckets`), recording per-bucket counts plus sum/count.
+
+Metrics may carry labels; a labeled metric is a family of independent
+series addressed via :meth:`_Metric.labels`.  The registry renders to
+three formats: a JSON object (:meth:`MetricsRegistry.as_obj`), flat CSV
+(:meth:`MetricsRegistry.to_csv`) and the Prometheus text exposition
+format (:meth:`MetricsRegistry.to_prometheus`), so a run's counters can
+be diffed, plotted, or scraped without bespoke parsing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import re
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "log_buckets",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def log_buckets(lo: float, hi: float, per_decade: int = 3) -> tuple[float, ...]:
+    """Fixed log-spaced histogram bucket upper bounds covering [lo, hi].
+
+    Edges are ``10**(k/per_decade)`` for consecutive integers ``k``,
+    starting at or below ``lo`` and ending at or above ``hi`` -- the
+    same absolute edges regardless of the data, so histograms from
+    different runs merge bucket-by-bucket.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    k = math.floor(per_decade * math.log10(lo) + 1e-9)
+    edges: list[float] = []
+    while True:
+        edge = 10.0 ** (k / per_decade)
+        edges.append(edge)
+        if edge >= hi:
+            return tuple(edges)
+        k += 1
+
+
+#: Default span-duration buckets: 1 ms .. 1000 s, three per decade.
+DEFAULT_BUCKETS = log_buckets(1e-3, 1e3)
+
+
+class _Series:
+    """One (labelset, value) sample of a metric family."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class _CounterSeries(_Series):
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class _GaugeSeries(_Series):
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramSeries:
+    __slots__ = ("uppers", "counts", "sum", "count")
+
+    def __init__(self, uppers: tuple[float, ...]) -> None:
+        self.uppers = uppers
+        self.counts = [0] * (len(uppers) + 1)  # last = overflow (+Inf)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.uppers, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
+        out, running = [], 0
+        for upper, c in zip(self.uppers, self.counts):
+            running += c
+            out.append((upper, running))
+        out.append((math.inf, running + self.counts[-1]))
+        return out
+
+
+class _Metric:
+    """A named metric family; series are addressed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...]) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _make_series(self):
+        raise NotImplementedError
+
+    def labels(self, **labels: object):
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[k]) for k in self.labelnames)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = self._make_series()
+        return series
+
+    def _solo(self):
+        """The single series of an unlabeled metric."""
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labeled; address it via .labels()")
+        return self.labels()
+
+    def samples(self):
+        """Yield ``(labels_dict, series)`` sorted by label values."""
+        for key in sorted(self._series):
+            yield dict(zip(self.labelnames, key)), self._series[key]
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def _make_series(self):
+        return _CounterSeries()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def _make_series(self):
+        return _GaugeSeries()
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        uppers = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+        if list(uppers) != sorted(set(uppers)):
+            raise ValueError("buckets must be strictly increasing")
+        if not uppers:
+            raise ValueError("need at least one bucket")
+        self.buckets = uppers
+
+    def _make_series(self):
+        return _HistogramSeries(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number rendering: integers without a dot."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _labelset(labels: dict, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [*labels.items(), *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in items)
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create constructors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- constructors ---------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help, tuple(labelnames), **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self, name: str, help: str = "", labelnames=(), buckets=None
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    # -- access ---------------------------------------------------------
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    # -- exporters ------------------------------------------------------
+    def as_obj(self) -> dict:
+        """JSON-ready object: every family with every series."""
+        families = []
+        for metric in self:
+            series = []
+            for labels, s in metric.samples():
+                if metric.kind == "histogram":
+                    series.append(
+                        {
+                            "labels": labels,
+                            "buckets": [
+                                ["+Inf" if math.isinf(le) else le, c]
+                                for le, c in s.cumulative()
+                            ],
+                            "sum": s.sum,
+                            "count": s.count,
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": s.value})
+            families.append(
+                {
+                    "name": metric.name,
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "labelnames": list(metric.labelnames),
+                    "series": series,
+                }
+            )
+        return {"metrics": families}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_obj(), indent=indent)
+
+    def to_csv(self) -> str:
+        """Flat ``metric,kind,labels,field,value`` rows."""
+        lines = ["metric,kind,labels,field,value"]
+
+        def row(metric, labels, field, value):
+            rendered = ";".join(f"{k}={v}" for k, v in labels.items())
+            lines.append(f"{metric.name},{metric.kind},{rendered},{field},{_fmt(value)}")
+
+        for metric in self:
+            for labels, s in metric.samples():
+                if metric.kind == "histogram":
+                    for le, c in s.cumulative():
+                        row(metric, labels, f"le={_fmt(le)}", c)
+                    row(metric, labels, "sum", s.sum)
+                    row(metric, labels, "count", s.count)
+                else:
+                    row(metric, labels, "value", s.value)
+        return "\n".join(lines) + "\n"
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        out: list[str] = []
+        for metric in self:
+            if metric.help:
+                help_text = metric.help.replace("\\", r"\\").replace("\n", r"\n")
+                out.append(f"# HELP {metric.name} {help_text}")
+            out.append(f"# TYPE {metric.name} {metric.kind}")
+            for labels, s in metric.samples():
+                if metric.kind == "histogram":
+                    for le, c in s.cumulative():
+                        sel = _labelset(labels, (("le", _fmt(le)),))
+                        out.append(f"{metric.name}_bucket{sel} {_fmt(c)}")
+                    out.append(f"{metric.name}_sum{_labelset(labels)} {_fmt(s.sum)}")
+                    out.append(f"{metric.name}_count{_labelset(labels)} {_fmt(s.count)}")
+                else:
+                    out.append(f"{metric.name}{_labelset(labels)} {_fmt(s.value)}")
+        return "\n".join(out) + "\n" if out else ""
+
+
+#: The process-default registry used by the CLI and experiment runner.
+REGISTRY = MetricsRegistry()

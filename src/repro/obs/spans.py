@@ -1,0 +1,121 @@
+"""Wall-clock span tracing for the experiment pipeline.
+
+A :class:`Span` is one timed phase (``table2``, ``simulate:fft@smp``)
+with optional attributes and child spans; a :class:`Tracer` holds the
+forest of root spans for one process.  Spans nest via the
+:meth:`Tracer.span` context manager::
+
+    with span("report"):
+        with span("table2"):
+            run_table2(runner)
+
+Spans survive process boundaries: a pool worker records into its own
+:class:`Tracer`, serializes with :meth:`Span.to_obj`, and the parent
+re-attaches the deserialized span under its currently open span with
+:meth:`Tracer.attach` -- so `repro obs summary` shows one tree covering
+the whole run, workers included.
+
+Durations use ``time.perf_counter`` (monotonic); ``started_at`` is Unix
+wall time, good enough to order spans from different processes.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "get_tracer", "span"]
+
+
+@dataclass
+class Span:
+    """One timed phase; ``duration`` is filled when the span closes."""
+
+    name: str
+    started_at: float  #: Unix seconds at entry
+    duration: float = 0.0  #: wall-clock seconds
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def to_obj(self) -> dict:
+        return {
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [c.to_obj() for c in self.children],
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "Span":
+        return cls(
+            name=obj["name"],
+            started_at=float(obj.get("started_at", 0.0)),
+            duration=float(obj.get("duration", 0.0)),
+            attrs=dict(obj.get("attrs", {})),
+            children=[cls.from_obj(c) for c in obj.get("children", ())],
+        )
+
+    def describe(self, indent: int = 0, into: list[str] | None = None) -> str:
+        """Indented tree with per-span durations."""
+        lines = [] if into is None else into
+        attrs = (
+            " [" + ", ".join(f"{k}={v}" for k, v in self.attrs.items()) + "]"
+            if self.attrs
+            else ""
+        )
+        label = "  " * indent + self.name + attrs
+        lines.append(f"{label:<56} {self.duration * 1e3:>10.1f} ms")
+        for child in self.children:
+            child.describe(indent + 1, lines)
+        return "\n".join(lines)
+
+
+class Tracer:
+    """The span forest of one process, with an open-span stack."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        s = Span(name=name, started_at=time.time(), attrs=dict(attrs))
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(s)
+        self._stack.append(s)
+        t0 = time.perf_counter()
+        try:
+            yield s
+        finally:
+            s.duration = time.perf_counter() - t0
+            self._stack.pop()
+
+    def attach(self, span: Span) -> None:
+        """Adopt a finished span (e.g. deserialized from a worker)."""
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(span)
+
+    def to_obj(self) -> list[dict]:
+        return [s.to_obj() for s in self.roots]
+
+    def describe(self) -> str:
+        return "\n".join(s.describe() for s in self.roots)
+
+    def clear(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+
+#: The process-default tracer used by the CLI and experiment runner.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def span(name: str, **attrs):
+    """Open a span on the process-default tracer."""
+    return _TRACER.span(name, **attrs)

@@ -1,0 +1,136 @@
+"""The ``repro obs summary`` payload: build, persist, render.
+
+``--metrics-out PATH`` on the simulating CLI commands writes one JSON
+payload bundling the three observability artifacts of a run:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-obs/1",
+      "created": "2026-08-05T12:00:00+00:00",
+      "metrics": {"metrics": [...]},          // MetricsRegistry.as_obj()
+      "spans": [...],                         // Tracer.to_obj()
+      "timelines": {"FFT@C1": {...}}          // Timeline.to_obj() per cell
+    }
+
+``repro obs summary PATH`` renders it back as a text report:
+the span tree with wall-clock phase timings, every metric series, and
+one per-window table per simulated-time timeline.  The renderer works
+purely off the JSON so payloads can be summarized on machines without
+the run's code or data.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.obs.timeline import Timeline
+
+__all__ = ["SCHEMA", "build_payload", "write_payload", "summarize"]
+
+SCHEMA = "repro-obs/1"
+
+
+def build_payload(
+    registry: "_metrics.MetricsRegistry | None" = None,
+    tracer: "_spans.Tracer | None" = None,
+    timelines: dict | None = None,
+) -> dict:
+    """Bundle registry + tracer + timelines into the summary schema.
+
+    ``timelines`` maps cell labels (``app@platform``) to
+    :class:`~repro.obs.timeline.Timeline` objects (or pre-serialized
+    dicts).  Defaults: the process-default registry and tracer.
+    """
+    registry = registry if registry is not None else _metrics.REGISTRY
+    tracer = tracer if tracer is not None else _spans.get_tracer()
+    serialized = {
+        label: tl.to_obj() if isinstance(tl, Timeline) else tl
+        for label, tl in (timelines or {}).items()
+    }
+    return {
+        "schema": SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "metrics": registry.as_obj(),
+        "spans": tracer.to_obj(),
+        "timelines": serialized,
+    }
+
+
+def write_payload(path, registry=None, tracer=None, timelines=None) -> Path:
+    """Serialize :func:`build_payload` to ``path`` as indented JSON."""
+    path = Path(path)
+    payload = build_payload(registry=registry, tracer=tracer, timelines=timelines)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _render_metric_series(family: dict, lines: list[str]) -> None:
+    name = family["name"]
+    for series in family["series"]:
+        labels = series.get("labels") or {}
+        rendered = (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        if family["kind"] == "histogram":
+            lines.append(
+                f"  {name}{rendered} count={series['count']} sum={series['sum']:.6g}"
+            )
+            for le, count in series["buckets"]:
+                lines.append(f"    le={le}: {count}")
+        else:
+            value = series["value"]
+            shown = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name}{rendered} = {shown}")
+
+
+def summarize(payload: dict, max_windows: int = 24) -> str:
+    """Render a payload (parsed JSON) as the `obs summary` text report."""
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(f"unsupported payload schema {schema!r} (want {SCHEMA!r})")
+    lines = [
+        "# Observability summary",
+        f"captured {payload.get('created', '?')}",
+    ]
+
+    span_objs = payload.get("spans") or []
+    lines.append("")
+    lines.append(f"## Spans ({len(span_objs)} root{'s' if len(span_objs) != 1 else ''})")
+    if span_objs:
+        for obj in span_objs:
+            lines.append(_spans.Span.from_obj(obj).describe())
+    else:
+        lines.append("  (none recorded)")
+
+    families = (payload.get("metrics") or {}).get("metrics") or []
+    lines.append("")
+    lines.append(f"## Metrics ({len(families)} famil{'ies' if len(families) != 1 else 'y'})")
+    if families:
+        for family in families:
+            kind = family["kind"]
+            help_text = f" -- {family['help']}" if family.get("help") else ""
+            lines.append(f"  [{kind}] {family['name']}{help_text}")
+            _render_metric_series(family, lines)
+    else:
+        lines.append("  (none recorded)")
+
+    timelines = payload.get("timelines") or {}
+    lines.append("")
+    lines.append(
+        f"## Timelines ({len(timelines)} cell{'s' if len(timelines) != 1 else ''})"
+    )
+    if timelines:
+        for label in sorted(timelines):
+            lines.append("")
+            lines.append(f"### {label}")
+            lines.append(Timeline.from_obj(timelines[label]).describe(max_rows=max_windows))
+    else:
+        lines.append("  (none recorded; rerun with --sample-every N)")
+    return "\n".join(lines) + "\n"

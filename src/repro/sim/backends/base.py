@@ -164,6 +164,16 @@ class MemoryBackend(ABC):
         """
         return {}
 
+    def resource_requests(self) -> dict[str, int]:
+        """Cumulative request counts per serialized resource.
+
+        Same keys as :meth:`resource_busy_cycles`; the interval sampler
+        diffs both so a timeline shows traffic (requests per window)
+        alongside occupancy.  Subclasses override together with
+        :meth:`resource_busy_cycles`; the default reports nothing.
+        """
+        return {}
+
     def machine_of_proc(self, proc: int) -> int:
         return proc // self.spec.n
 

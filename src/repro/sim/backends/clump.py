@@ -176,6 +176,13 @@ class ClumpBackend(MemoryBackend):
             "disks": sum(d.busy_cycles for d in self.disks),
         }
 
+    def resource_requests(self) -> dict[str, int]:
+        return {
+            "network": self.network.messages + self.network.control_messages,
+            "memory buses": sum(b.requests for b in self.buses),
+            "disks": sum(d.requests for d in self.disks),
+        }
+
     # ------------------------------------------------------------------
     def network_utilization(self, total_cycles: float) -> float:
         if total_cycles <= 0:

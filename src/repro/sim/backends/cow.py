@@ -197,6 +197,12 @@ class CowBackend(MemoryBackend):
         out["disks"] = sum(d.busy_cycles for d in self.disks)
         return out
 
+    def resource_requests(self) -> dict[str, int]:
+        return {
+            "network": self.network.messages + self.network.control_messages,
+            "disks": sum(d.requests for d in self.disks),
+        }
+
     # ------------------------------------------------------------------
     def network_utilization(self, total_cycles: float) -> float:
         if total_cycles <= 0:

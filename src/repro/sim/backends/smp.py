@@ -153,6 +153,9 @@ class SmpBackend(MemoryBackend):
     def resource_busy_cycles(self) -> dict[str, float]:
         return {"memory bus": self.bus.busy_cycles, "disk": self.disk.busy_cycles}
 
+    def resource_requests(self) -> dict[str, int]:
+        return {"memory bus": self.bus.requests, "disk": self.disk.requests}
+
     # ------------------------------------------------------------------
     def bus_utilization(self, total_cycles: float) -> float:
         """Fraction of simulated time the memory bus was busy."""

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.apps.base import ApplicationRun
 from repro.core.platform import PlatformSpec
+from repro.obs.timeline import Timeline, TimelineRecorder
 from repro.sim.backends.base import (
     BATCH_CHUNK,
     BackendStats,
@@ -59,6 +60,9 @@ class SimulationResult:
     barrier_wait_cycles: float  #: total cycles processes spent waiting
     stats: BackendStats
     per_process_cycles: tuple[float, ...] = field(default=())
+    #: Per-window counter history when the engine ran with
+    #: ``sample_every``; ``None`` otherwise (sampling is opt-in).
+    timeline: Timeline | None = field(default=None, repr=False)
 
     @property
     def e_app_seconds(self) -> float:
@@ -114,7 +118,13 @@ class SimulationEngine:
         backend: MemoryBackend | None = None,
         horizon: float = 200.0,
         fastpath: bool = True,
+        sample_every: float | None = None,
     ) -> None:
+        """``sample_every`` (simulated cycles) turns on interval sampling:
+        the result carries a :class:`~repro.obs.timeline.Timeline` whose
+        per-window counters sum exactly to the end-of-run stats.  The
+        default ``None`` records nothing and adds no per-reference cost.
+        """
         if run.num_procs != spec.total_processors:
             raise ValueError(
                 f"application ran with {run.num_procs} processes but the platform "
@@ -122,10 +132,13 @@ class SimulationEngine:
             )
         if horizon < 0:
             raise ValueError("horizon must be non-negative")
+        if sample_every is not None and sample_every <= 0:
+            raise ValueError("sample_every must be positive (or None to disable)")
         self.spec = spec
         self.run = run
         self.horizon = horizon
         self.fastpath = fastpath
+        self.sample_every = sample_every
         if backend is None:
             home_proc = run.address_space.home_map()
             backend = make_backend(spec, (home_proc // spec.n).astype(np.int64))
@@ -173,6 +186,13 @@ class SimulationEngine:
         use_batch = self._batch_ready
         min_batch = self.MIN_BATCH
         min_window = self.MIN_WINDOW
+        # Interval sampling: rec stays None on the default path, so the
+        # hot loop pays only a local is-None test per step when off.
+        rec = (
+            TimelineRecorder(self.sample_every, backend)
+            if self.sample_every is not None
+            else None
+        )
 
         clock = [0.0] * P
         index = [0] * P
@@ -249,6 +269,11 @@ class SimulationEngine:
                                     else BATCH_CHUNK if cap > BATCH_CHUNK
                                     else cap
                                 )
+                                if rec is not None:
+                                    # The j-th consumed hit completes at
+                                    # t + (sc[i+j] - base) -- the exact
+                                    # times the scalar lane would realize.
+                                    rec.record_batch(t + (sc[i:i + k] - base))
                                 i += k
                                 t += float(sc[i - 1] - base)
                                 if t > limit:
@@ -260,6 +285,8 @@ class SimulationEngine:
                 t += wk[i] + 1.0
                 t = backend.access(p, int(addr[i]), bool(wr[i]), t)
                 i += 1
+                if rec is not None:
+                    rec.record_access(t)
                 if t > limit:
                     break
 
@@ -272,7 +299,10 @@ class SimulationEngine:
                 # finish before the last barrier: all P must arrive.
                 if len(waiting) == P:
                     release = max(barrier_arrivals) + backend.barrier_overhead()
-                    barrier_wait += sum(release - a for a in barrier_arrivals)
+                    wait = sum(release - a for a in barrier_arrivals)
+                    barrier_wait += wait
+                    if rec is not None:
+                        rec.record_barrier(release, wait)
                     for q in waiting:
                         clock[q] = release
                         seq += 1
@@ -300,4 +330,5 @@ class SimulationEngine:
             barrier_wait_cycles=barrier_wait,
             stats=backend.stats,
             per_process_cycles=tuple(clock),
+            timeline=rec.finish(total_cycles) if rec is not None else None,
         )

@@ -1,0 +1,120 @@
+"""Runner-level observability: cache-hit counters, timelines through the
+disk cache, and span trees from serial and parallel execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import PlatformSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import get_tracer
+
+KB = 1024
+
+SMP2 = PlatformSpec(name="obs-smp2", n=2, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB)
+SMP4 = PlatformSpec(name="obs-smp4", n=4, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB)
+
+
+def _runner(tmp_path, small_app_kwargs, **kwargs):
+    from repro.experiments.runner import ExperimentRunner
+
+    kwargs.setdefault("metrics", MetricsRegistry())
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    kwargs.setdefault("jobs", 1)
+    return ExperimentRunner(app_kwargs=small_app_kwargs, **kwargs)
+
+
+def _lookups(runner) -> dict[tuple[str, str], float]:
+    counter = runner.metrics.get("repro_cache_lookups_total")
+    return {tuple(labels.values()): s.value for labels, s in counter.samples()}
+
+
+def test_cache_counters_across_cold_and_warm_runners(tmp_path, small_app_kwargs):
+    cold = _runner(tmp_path, small_app_kwargs)
+    cold.simulate("FFT", SMP2)
+    cold.characterization("FFT")
+    assert _lookups(cold) == {("char", "miss"): 1.0, ("sim", "miss"): 1.0}
+
+    # the memo absorbs repeats: no second disk lookup
+    cold.simulate("FFT", SMP2)
+    assert _lookups(cold)[("sim", "miss")] == 1.0
+
+    warm = _runner(tmp_path, small_app_kwargs)
+    warm.simulate("FFT", SMP2)
+    warm.characterization("FFT")
+    assert _lookups(warm) == {("char", "hit"): 1.0, ("sim", "hit"): 1.0}
+
+
+def test_no_counters_without_cache_dir(tmp_path, small_app_kwargs):
+    runner = _runner(tmp_path, small_app_kwargs, cache_dir=None)
+    runner.simulate("FFT", SMP2)
+    assert _lookups(runner) == {}
+
+
+def test_timeline_survives_the_disk_cache(tmp_path, small_app_kwargs):
+    cold = _runner(tmp_path, small_app_kwargs, sample_every=10_000.0)
+    first = cold.simulate("FFT", SMP2)
+    assert first.timeline is not None
+
+    warm = _runner(tmp_path, small_app_kwargs, sample_every=10_000.0)
+    second = warm.simulate("FFT", SMP2)
+    assert _lookups(warm) == {("sim", "hit"): 1.0}
+    assert second.timeline is not None
+    assert second.timeline.to_obj() == first.timeline.to_obj()
+    assert warm.timelines() == {"FFT@obs-smp2": second.timeline}
+
+
+def test_sample_every_is_part_of_the_cache_key(tmp_path, small_app_kwargs):
+    _runner(tmp_path, small_app_kwargs).simulate("FFT", SMP2)
+    sampled = _runner(tmp_path, small_app_kwargs, sample_every=10_000.0)
+    res = sampled.simulate("FFT", SMP2)
+    # a plain run must not satisfy a sampled request (it has no timeline)
+    assert _lookups(sampled) == {("sim", "miss"): 1.0}
+    assert res.timeline is not None
+
+
+def test_timelines_empty_without_sampling(tmp_path, small_app_kwargs):
+    runner = _runner(tmp_path, small_app_kwargs, cache_dir=None)
+    runner.simulate("FFT", SMP2)
+    assert runner.timelines() == {}
+
+
+def test_simulate_records_a_span(tmp_path, small_app_kwargs):
+    tracer = get_tracer()
+    before = len(tracer.roots)
+    runner = _runner(tmp_path, small_app_kwargs, cache_dir=None)
+    runner.simulate("FFT", SMP2)
+    new = tracer.roots[before:]
+    del tracer.roots[before:]
+    assert [s.name for s in new] == ["simulate:FFT@obs-smp2"]
+    assert new[0].attrs["procs"] == 2
+    assert new[0].duration > 0
+
+
+def test_prefetch_attaches_worker_spans(tmp_path, small_app_kwargs):
+    tracer = get_tracer()
+    before = len(tracer.roots)
+    runner = _runner(tmp_path, small_app_kwargs, jobs=2)
+    cells = [("FFT", SMP2), ("FFT", SMP4)]
+    runner.prefetch_simulations(cells)
+    new = tracer.roots[before:]
+    del tracer.roots[before:]
+    assert _lookups(runner) == {("sim", "miss"): 2.0}
+    (root,) = new
+    assert root.name == "prefetch:2cells"
+    names = sorted(c.name for c in root.children)
+    assert names == ["simulate:FFT@obs-smp2", "simulate:FFT@obs-smp4"]
+    for child in root.children:
+        assert "worker" in child.attrs
+        assert child.duration > 0
+    # prefetch populated the memo: simulate() is now a pure lookup
+    res = runner.simulate("FFT", SMP4)
+    assert res.platform_name == "obs-smp4"
+    assert _lookups(runner) == {("sim", "miss"): 2.0}
+
+
+def test_engine_and_runner_reject_bad_sample_every(tmp_path, small_app_kwargs):
+    with pytest.raises(ValueError):
+        _runner(tmp_path, small_app_kwargs, sample_every=0.0)
+    with pytest.raises(ValueError):
+        _runner(tmp_path, small_app_kwargs, sample_every=-5.0)

@@ -1,0 +1,216 @@
+"""Metrics registry: counter/gauge/histogram semantics and exporters.
+
+Includes the Prometheus text-format lint: every exposition line the
+registry emits must parse under the 0.0.4 grammar, histograms must
+expose cumulative, monotone ``_bucket`` series ending at ``+Inf`` with
+a matching ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+
+
+def test_counter_basic():
+    reg = MetricsRegistry()
+    c = reg.counter("refs_total", "references")
+    assert c.value == 0
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_labels_are_independent_series():
+    reg = MetricsRegistry()
+    c = reg.counter("lookups_total", labelnames=("kind", "outcome"))
+    c.labels(kind="sim", outcome="hit").inc()
+    c.labels(kind="sim", outcome="hit").inc()
+    c.labels(kind="sim", outcome="miss").inc()
+    samples = {tuple(l.values()): s.value for l, s in c.samples()}
+    assert samples == {("sim", "hit"): 2.0, ("sim", "miss"): 1.0}
+
+
+def test_labeled_metric_rejects_wrong_labels():
+    reg = MetricsRegistry()
+    c = reg.counter("x_total", labelnames=("kind",))
+    with pytest.raises(ValueError):
+        c.labels(wrong="sim")
+    with pytest.raises(ValueError):
+        c.inc()  # labeled metric has no solo series
+
+
+def test_gauge_set_inc_dec():
+    g = MetricsRegistry().gauge("util")
+    g.set(0.5)
+    g.inc(0.25)
+    g.dec(0.5)
+    assert g.value == pytest.approx(0.25)
+
+
+def test_histogram_observe_and_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("dur_seconds", buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 1.0, 5.0, 50.0, 500.0):
+        h.observe(v)
+    series = h._solo()
+    # bisect_left puts a value equal to an edge in that edge's bucket
+    assert series.cumulative() == [(1.0, 2), (10.0, 3), (100.0, 4), (math.inf, 5)]
+    assert series.count == 5
+    assert series.sum == pytest.approx(556.5)
+
+
+def test_histogram_rejects_bad_buckets():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.histogram("h1", buckets=(1.0, 1.0, 2.0))
+    with pytest.raises(ValueError):
+        reg.histogram("h2", buckets=(2.0, 1.0))
+
+
+def test_log_buckets_edges():
+    edges = log_buckets(1e-3, 1e3, per_decade=1)
+    assert edges == tuple(10.0 ** k for k in range(-3, 4))
+    finer = log_buckets(0.5, 2.0, per_decade=3)
+    assert finer[0] <= 0.5 and finer[-1] >= 2.0
+    assert list(finer) == sorted(finer)
+    with pytest.raises(ValueError):
+        log_buckets(0, 1)
+    with pytest.raises(ValueError):
+        log_buckets(2.0, 1.0)
+
+
+def test_registry_get_or_create_idempotent():
+    reg = MetricsRegistry()
+    a = reg.counter("c_total", "help", labelnames=("k",))
+    b = reg.counter("c_total", "ignored", labelnames=("k",))
+    assert a is b
+    with pytest.raises(ValueError):
+        reg.gauge("c_total")  # kind mismatch
+    with pytest.raises(ValueError):
+        reg.counter("c_total", labelnames=("other",))  # labelnames mismatch
+
+
+def test_registry_rejects_invalid_names():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("bad name")
+    with pytest.raises(ValueError):
+        reg.counter("ok_total", labelnames=("bad-label",))
+
+
+@pytest.fixture
+def populated() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_lookups_total", "disk lookups", labelnames=("kind", "outcome"))
+    c.labels(kind="sim", outcome="hit").inc(3)
+    c.labels(kind="sim", outcome="miss").inc()
+    reg.gauge("repro_util", "bus utilization").set(0.875)
+    h = reg.histogram("repro_span_seconds", "span durations", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(5.0)
+    return reg
+
+
+def test_json_export_round_trips(populated):
+    obj = json.loads(populated.to_json())
+    by_name = {f["name"]: f for f in obj["metrics"]}
+    assert set(by_name) == {"repro_lookups_total", "repro_util", "repro_span_seconds"}
+    counter = by_name["repro_lookups_total"]
+    assert counter["kind"] == "counter"
+    assert counter["labelnames"] == ["kind", "outcome"]
+    values = {tuple(s["labels"].values()): s["value"] for s in counter["series"]}
+    assert values == {("sim", "hit"): 3.0, ("sim", "miss"): 1.0}
+    hist = by_name["repro_span_seconds"]["series"][0]
+    assert hist["count"] == 2
+    assert hist["buckets"][-1] == ["+Inf", 2]
+
+
+def test_csv_export(populated):
+    lines = populated.to_csv().strip().split("\n")
+    assert lines[0] == "metric,kind,labels,field,value"
+    assert "repro_lookups_total,counter,kind=sim;outcome=hit,value,3" in lines
+    assert "repro_util,gauge,,value,0.875" in lines
+    assert "repro_span_seconds,histogram,,le=+Inf,2" in lines
+    assert "repro_span_seconds,histogram,,count,2" in lines
+
+
+# -- Prometheus text-format lint ---------------------------------------
+_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (?P<value>[+-]?(Inf|[0-9][0-9.e+-]*))$"
+)
+
+
+def test_prometheus_lint(populated):
+    text = populated.to_prometheus()
+    assert text.endswith("\n")
+    typed: dict[str, str] = {}
+    samples: list[tuple[str, str, float]] = []
+    for line in text.strip().split("\n"):
+        if line.startswith("#"):
+            assert _COMMENT.match(line), f"bad comment line: {line!r}"
+            parts = line.split(None, 3)
+            if parts[1] == "TYPE":
+                typed[parts[2]] = parts[3]
+            continue
+        m = _SAMPLE.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        value = float(m.group("value").replace("Inf", "inf"))
+        samples.append((m.group("name"), m.group("labels") or "", value))
+
+    assert typed == {
+        "repro_lookups_total": "counter",
+        "repro_util": "gauge",
+        "repro_span_seconds": "histogram",
+    }
+    # every sample belongs to a declared family (histograms via suffixes)
+    for name, _, _ in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in typed or base in typed, name
+
+    buckets = [s for s in samples if s[0] == "repro_span_seconds_bucket"]
+    counts = [v for _, _, v in buckets]
+    assert counts == sorted(counts), "bucket series must be cumulative"
+    assert 'le="+Inf"' in buckets[-1][1]
+    (count,) = [v for n, _, v in samples if n == "repro_span_seconds_count"]
+    assert buckets[-1][2] == count
+
+
+def test_prometheus_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.counter("c_total", labelnames=("p",)).labels(p='a"b\\c\nd').inc()
+    text = reg.to_prometheus()
+    assert r'p="a\"b\\c\nd"' in text
+
+
+def test_empty_registry_exports():
+    reg = MetricsRegistry()
+    assert reg.to_prometheus() == ""
+    assert json.loads(reg.to_json()) == {"metrics": []}
+    assert reg.to_csv().strip() == "metric,kind,labels,field,value"
+    assert len(reg) == 0
+
+
+def test_registry_iteration_sorted(populated):
+    assert [m.name for m in populated] == sorted(m.name for m in populated)
+    assert isinstance(populated.get("repro_util"), Gauge)
+    assert isinstance(populated.get("repro_lookups_total"), Counter)
+    assert isinstance(populated.get("repro_span_seconds"), Histogram)
+    assert populated.get("missing") is None

@@ -1,0 +1,133 @@
+"""Span tracing and the structured logger."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obslog
+from repro.obs.spans import Span, Tracer, get_tracer, span
+
+
+# -- spans --------------------------------------------------------------
+def test_spans_nest_and_time():
+    tracer = Tracer()
+    with tracer.span("outer", phase="x"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner2"):
+            pass
+    (root,) = tracer.roots
+    assert root.name == "outer"
+    assert root.attrs == {"phase": "x"}
+    assert [c.name for c in root.children] == ["inner", "inner2"]
+    assert root.duration >= root.children[0].duration >= 0.0
+    assert not tracer._stack  # everything closed
+
+
+def test_span_closes_on_exception():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    assert tracer.roots[0].duration >= 0.0
+    assert not tracer._stack
+
+
+def test_span_round_trip_and_attach():
+    worker = Tracer()
+    with worker.span("simulate:FFT@smp", worker=1234):
+        pass
+    obj = worker.roots[0].to_obj()
+    obj = json.loads(json.dumps(obj))  # across a process boundary
+
+    parent = Tracer()
+    with parent.span("prefetch"):
+        parent.attach(Span.from_obj(obj))
+    (root,) = parent.roots
+    (child,) = root.children
+    assert child.name == "simulate:FFT@smp"
+    assert child.attrs == {"worker": 1234}
+    assert child.to_obj() == obj
+
+
+def test_describe_renders_tree():
+    tracer = Tracer()
+    with tracer.span("report"):
+        with tracer.span("table2"):
+            pass
+    text = tracer.describe()
+    lines = text.split("\n")
+    assert lines[0].startswith("report")
+    assert lines[1].startswith("  table2")
+    assert all(line.endswith("ms") for line in lines)
+
+
+def test_module_level_span_uses_default_tracer():
+    tracer = get_tracer()
+    before = len(tracer.roots)
+    with span("test-span"):
+        pass
+    assert tracer.roots[-1].name == "test-span"
+    del tracer.roots[before:]  # leave global state as found
+
+
+def test_tracer_clear():
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    tracer.clear()
+    assert tracer.roots == [] and tracer._stack == []
+
+
+# -- structured log -----------------------------------------------------
+@pytest.fixture
+def captured_log():
+    """Route the global logger into a buffer, restoring config after."""
+    cfg = obslog._config
+    saved = (cfg.level, cfg.stream, cfg.json_lines)
+    buf = io.StringIO()
+    obslog.configure(level="info", stream=buf, json_lines=False)
+    yield buf
+    cfg.level, cfg.stream, cfg.json_lines = saved
+
+
+def test_log_line_format(captured_log):
+    obslog.get_logger("repro.test").info("hello", cell="FFT@smp", n=4)
+    line = captured_log.getvalue().strip()
+    assert " INFO    repro.test: hello cell=FFT@smp n=4" in line
+    assert line.split(" ")[0].endswith("Z")  # UTC timestamp first
+
+
+def test_log_level_filtering(captured_log):
+    log = obslog.get_logger("repro.test")
+    log.debug("invisible")
+    assert captured_log.getvalue() == ""
+    assert not log.enabled_for("debug")
+    obslog.set_level("debug")
+    log.debug("visible")
+    assert "visible" in captured_log.getvalue()
+    obslog.set_level("error")
+    log.warning("also invisible")
+    assert "also invisible" not in captured_log.getvalue()
+
+
+def test_log_json_lines(captured_log):
+    obslog.configure(json_lines=True)
+    obslog.get_logger("repro.test").warning("careful", path="/tmp/x")
+    record = json.loads(captured_log.getvalue())
+    assert record["level"] == "WARNING"
+    assert record["logger"] == "repro.test"
+    assert record["msg"] == "careful"
+    assert record["path"] == "/tmp/x"
+
+
+def test_unknown_level_raises():
+    with pytest.raises(ValueError):
+        obslog.set_level("loud")
+
+
+def test_get_logger_is_cached():
+    assert obslog.get_logger("repro.x") is obslog.get_logger("repro.x")

@@ -1,0 +1,112 @@
+"""The --metrics-out payload and the `repro obs summary` / `repro
+simulate` CLI paths (mirrors the CI observability smoke)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+from repro.obs.summary import SCHEMA, build_payload, summarize, write_payload
+from repro.obs.timeline import Timeline, TimelineWindow
+
+
+@pytest.fixture
+def payload():
+    reg = MetricsRegistry()
+    reg.counter("repro_cache_lookups_total", "lookups", labelnames=("kind", "outcome")).labels(
+        kind="sim", outcome="miss"
+    ).inc(2)
+    tracer = Tracer()
+    with tracer.span("report"):
+        with tracer.span("table2"):
+            pass
+    tl = Timeline(
+        sample_every=100.0,
+        total_cycles=250.0,
+        resources=("memory bus",),
+        windows=(
+            TimelineWindow(0, 0.0, 100.0, {"references": 10, "cache_hits": 9}),
+            TimelineWindow(2, 200.0, 250.0, {"references": 4, "cache_hits": 1}),
+        ),
+    )
+    return build_payload(registry=reg, tracer=tracer, timelines={"FFT@smp": tl})
+
+
+def test_build_payload_schema(payload):
+    assert payload["schema"] == SCHEMA
+    assert payload["metrics"]["metrics"][0]["name"] == "repro_cache_lookups_total"
+    assert payload["spans"][0]["name"] == "report"
+    assert payload["timelines"]["FFT@smp"]["total_cycles"] == 250.0
+    json.dumps(payload)  # must be JSON-serializable as-is
+
+
+def test_summarize_renders_all_sections(payload):
+    text = summarize(payload)
+    assert text.startswith("# Observability summary")
+    assert "## Spans" in text and "report" in text and "  table2" in text
+    assert "## Metrics" in text and "repro_cache_lookups_total" in text
+    assert "kind=sim,outcome=miss} = 2" in text
+    assert "### FFT@smp" in text
+    assert "timeline: 250 cycles" in text
+
+
+def test_summarize_rejects_unknown_schema(payload):
+    with pytest.raises(ValueError):
+        summarize({**payload, "schema": "repro-obs/99"})
+
+
+def test_summarize_empty_payload():
+    text = summarize(build_payload(registry=MetricsRegistry(), tracer=Tracer()))
+    assert "(none recorded)" in text
+    assert "--sample-every" in text  # hint at how to get timelines
+
+
+def test_write_payload_round_trip(tmp_path, payload):
+    path = write_payload(
+        tmp_path / "metrics.json",
+        registry=MetricsRegistry(),
+        tracer=Tracer(),
+        timelines={"FFT@smp": Timeline.from_obj(payload["timelines"]["FFT@smp"])},
+    )
+    restored = json.loads(path.read_text())
+    assert restored["schema"] == SCHEMA
+    assert restored["timelines"]["FFT@smp"] == payload["timelines"]["FFT@smp"]
+
+
+def test_cli_simulate_and_obs_summary(tmp_path, capsys):
+    """End-to-end: simulate a tiny cell with sampling, render the payload."""
+    out = tmp_path / "metrics.json"
+    rc = main(
+        [
+            "simulate", "--app", "FFT", "--seed", "0",
+            "--app-arg", "points=1024",
+            "--machines", "1", "--procs-per-machine", "4",
+            "--cache-kb", "2", "--memory-mb", "1",
+            "--sample-every", "20000", "--metrics-out", str(out),
+            "--cache-dir", "", "--jobs", "1",
+        ]
+    )
+    sim_stdout = capsys.readouterr().out
+    assert rc == 0
+    assert "FFT on cli:" in sim_stdout
+    assert "timeline:" in sim_stdout
+    assert out.exists()
+
+    rc = main(["obs", "summary", str(out)])
+    text = capsys.readouterr().out
+    assert rc == 0
+    assert "# Observability summary" in text
+    assert "simulate:FFT@cli" in text
+    assert "### FFT@cli" in text
+
+
+def test_cli_obs_summary_max_windows(tmp_path, capsys, payload):
+    path = tmp_path / "p.json"
+    path.write_text(json.dumps(payload))
+    assert main(["obs", "summary", str(path), "--max-windows", "1"]) == 0
+    text = capsys.readouterr().out
+    assert "timeline:" in text

@@ -1,0 +1,158 @@
+"""Simulated-time interval sampling: the PR's acceptance properties.
+
+For every backend family and both execution lanes:
+
+* the per-window counters sum EXACTLY to the end-of-run
+  ``BackendStats`` totals (ints compared with ``==``);
+* barrier wait and resource busy cycles sum to the engine's totals;
+* the scalar and fastpath lanes produce bit-identical timelines;
+* enabling sampling does not perturb the simulation result.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.timeline import (
+    STAT_FIELDS,
+    Timeline,
+    TimelineRecorder,
+    TimelineWindow,
+)
+from repro.sim.engine import SimulationEngine
+
+from tests.sim.test_fastpath_equivalence import SPECS, _SPEC_IDS, _random_run
+
+SAMPLE_EVERY = 5000.0
+
+
+def _run_pair(spec, seed):
+    run = _random_run(spec.total_processors, seed)
+    sampled = SimulationEngine(
+        spec, run, fastpath=True, sample_every=SAMPLE_EVERY
+    ).execute()
+    plain = SimulationEngine(spec, run, fastpath=True).execute()
+    return run, sampled, plain
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=_SPEC_IDS)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_window_sums_equal_totals(spec, seed):
+    _, sampled, _ = _run_pair(spec, seed)
+    tl = sampled.timeline
+    assert tl is not None
+    totals = tl.totals()
+    for field in STAT_FIELDS:
+        assert totals.get(field, 0) == getattr(sampled.stats, field), field
+    assert totals.get("barrier_wait_cycles", 0.0) == pytest.approx(
+        sampled.barrier_wait_cycles, rel=1e-12, abs=1e-9
+    )
+    for resource in tl.resources:
+        assert totals.get(f"busy:{resource}", 0.0) == pytest.approx(
+            sampled.utilizations[resource] * sampled.total_cycles,
+            rel=1e-9, abs=1e-6,
+        ), resource
+        # traffic counts are integers and must be non-negative
+        reqs = totals.get(f"requests:{resource}", 0)
+        assert reqs == int(reqs) >= 0
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=_SPEC_IDS)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_sampling_does_not_perturb_results(spec, seed):
+    _, sampled, plain = _run_pair(spec, seed)
+    assert plain.timeline is None
+    assert sampled.total_cycles == plain.total_cycles
+    assert sampled.per_process_cycles == plain.per_process_cycles
+    assert sampled.barrier_wait_cycles == plain.barrier_wait_cycles
+    assert sampled.stats.as_dict() == plain.stats.as_dict()
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=_SPEC_IDS)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_lanes_produce_identical_timelines(spec, seed):
+    run = _random_run(spec.total_processors, seed)
+    batched = SimulationEngine(
+        spec, run, fastpath=True, sample_every=SAMPLE_EVERY
+    ).execute()
+    scalar = SimulationEngine(
+        spec, run, fastpath=False, sample_every=SAMPLE_EVERY
+    ).execute()
+    assert batched.timeline.to_obj() == scalar.timeline.to_obj()
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=_SPEC_IDS)
+def test_window_invariants(spec):
+    _, sampled, _ = _run_pair(spec, 0)
+    tl = sampled.timeline
+    assert tl.sample_every == SAMPLE_EVERY
+    assert tl.total_cycles == sampled.total_cycles
+    indices = [w.index for w in tl.windows]
+    assert indices == sorted(indices)
+    assert len(set(indices)) == len(indices)
+    for w in tl.windows:
+        assert w.start == w.index * SAMPLE_EVERY
+        assert 0 < w.end - w.start <= SAMPLE_EVERY
+        assert w.counters, "empty windows must be omitted"
+    assert tl.windows[-1].end == pytest.approx(
+        min((tl.windows[-1].index + 1) * SAMPLE_EVERY, tl.total_cycles)
+    )
+
+
+def test_engine_rejects_non_positive_sample_every():
+    spec = SPECS[0]
+    run = _random_run(spec.total_processors, 0)
+    with pytest.raises(ValueError):
+        SimulationEngine(spec, run, sample_every=0.0)
+    with pytest.raises(ValueError):
+        SimulationEngine(spec, run, sample_every=-100.0)
+    with pytest.raises(ValueError):
+        TimelineRecorder(0.0, backend=None)
+
+
+def test_timeline_round_trips_through_json():
+    _, sampled, _ = _run_pair(SPECS[0], 0)
+    tl = sampled.timeline
+    restored = Timeline.from_obj(json.loads(json.dumps(tl.to_obj())))
+    assert restored.to_obj() == tl.to_obj()
+    assert restored.totals() == tl.totals()
+
+
+def test_describe_merges_but_preserves_sums():
+    _, sampled, _ = _run_pair(SPECS[0], 0)
+    tl = sampled.timeline
+    assert len(tl.windows) > 2
+    merged = tl._merged(group=4)
+    merged_totals: dict = {}
+    for w in merged:
+        for k, v in w.counters.items():
+            merged_totals[k] = merged_totals.get(k, 0) + v
+    assert merged_totals == tl.totals()
+    wide = tl.describe(max_rows=2)
+    narrow = tl.describe(max_rows=10_000)
+    assert wide.count("\n") < narrow.count("\n")
+    assert "timeline:" in wide
+
+
+def test_window_helpers():
+    w = TimelineWindow(
+        index=2,
+        start=10_000.0,
+        end=15_000.0,
+        counters={"references": 80, "cache_hits": 60, "busy:memory bus": 2500.0},
+    )
+    assert w.references == 80
+    assert w.miss_ratio == pytest.approx(0.25)
+    assert w.utilization("memory bus") == pytest.approx(0.5)
+    assert w.utilization("network") == 0.0
+    assert w.get("missing") == 0.0
+    empty = TimelineWindow(index=0, start=0.0, end=1.0, counters={})
+    assert empty.miss_ratio == 0.0
+
+
+def test_empty_timeline_describe():
+    tl = Timeline(sample_every=100.0, total_cycles=0.0, resources=(), windows=())
+    assert "no events" in tl.describe()
+    assert tl.totals() == {}
