@@ -167,8 +167,9 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     payload = run_benchmark(quick=args.quick, horizon=args.horizon)
-    with open(args.output, "w") as f:
-        json.dump(payload, f, indent=2)
+    from repro.ioutil import atomic_write_json
+
+    atomic_write_json(args.output, payload)
 
     for cell in payload["cells"]:
         print(

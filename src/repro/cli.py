@@ -14,6 +14,8 @@ cluster computing."  This module is that vehicle:
     python -m repro recommend --alpha 1.3 --beta 90 --gamma 0.31
     python -m repro simulate --app FFT --machines 1 --procs-per-machine 4 \\
         --sample-every 50000 --metrics-out metrics.json
+    python -m repro faults --app FFT --machines 4 \\
+        --inject delay:proc=0,at=1e5,cycles=5e4 --propagation
     python -m repro obs summary metrics.json
 
 Workloads can be the paper's Table 2 names (FFT, LU, Radix, EDGE,
@@ -67,6 +69,51 @@ _NETWORKS = {
 }
 
 
+# -- argparse value validators -----------------------------------------
+# argparse reports ArgumentTypeError as "argument --x: <message>", so a
+# bad value fails at parse time with a pointed message instead of
+# surfacing later as an opaque simulator exception.
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if not value >= 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _fraction(text: str) -> float:
+    """A proportion in (0, 1] -- e.g. gamma, the memory-reference rate."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if not 0 < value <= 1:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1], got {value}")
+    return value
+
+
 def _workload_from(args: argparse.Namespace) -> WorkloadParams:
     if args.workload:
         try:
@@ -82,33 +129,43 @@ def _workload_from(args: argparse.Namespace) -> WorkloadParams:
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workload", help="a Table 2 name: " + ", ".join(_WORKLOADS))
-    p.add_argument("--alpha", type=float, help="locality tail exponent (> 1)")
-    p.add_argument("--beta", type=float, help="locality scale in 64-byte items")
-    p.add_argument("--gamma", type=float, help="memory-referencing instruction fraction")
+    p.add_argument("--alpha", type=_positive_float, help="locality tail exponent (> 1)")
+    p.add_argument("--beta", type=_positive_float, help="locality scale in 64-byte items")
+    p.add_argument(
+        "--gamma", type=_fraction,
+        help="memory-referencing instruction fraction, in (0, 1]",
+    )
 
 
 def _add_platform_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--machines", type=int, default=4, help="machine count N")
-    p.add_argument("--procs-per-machine", type=int, default=1, help="processors per machine n")
-    p.add_argument("--cache-kb", type=int, default=256, help="per-processor cache (KB)")
-    p.add_argument("--memory-mb", type=int, default=64, help="per-machine memory (MB)")
+    p.add_argument("--machines", type=_positive_int, default=4, help="machine count N")
+    p.add_argument(
+        "--procs-per-machine", type=_positive_int, default=1,
+        help="processors per machine n",
+    )
+    p.add_argument(
+        "--cache-kb", type=_positive_int, default=256, help="per-processor cache (KB)"
+    )
+    p.add_argument(
+        "--memory-mb", type=_positive_int, default=64, help="per-machine memory (MB)"
+    )
     p.add_argument(
         "--network", choices=sorted(_NETWORKS), default="ethernet100",
         help="cluster network (ignored for a single machine)",
     )
     p.add_argument(
-        "--l2-kb", type=int, default=None,
+        "--l2-kb", type=_positive_int, default=None,
         help="optional per-machine shared L2 (KB; hierarchy-length extension)",
     )
 
 
 def _add_runner_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
-        "--jobs", type=int, default=None,
+        "--jobs", type=_positive_int, default=None,
         help="simulation worker processes (default: all cores)",
     )
     p.add_argument(
-        "--horizon", type=float, default=200.0,
+        "--horizon", type=_nonnegative_float, default=200.0,
         help="engine causality horizon in cycles (0 = exact interleaving)",
     )
     p.add_argument(
@@ -116,7 +173,7 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
         help="simulation result cache directory ('' disables caching)",
     )
     p.add_argument(
-        "--sample-every", type=float, default=None, metavar="CYCLES",
+        "--sample-every", type=_positive_float, default=None, metavar="CYCLES",
         help="record a per-backend timeline window every CYCLES simulated "
         "cycles (off by default; costs simulation throughput)",
     )
@@ -125,16 +182,49 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
         help="write metrics, spans and timelines as JSON to PATH on exit "
         "(inspect with 'repro obs summary PATH')",
     )
+    p.add_argument(
+        "--inject", action="append", default=[], metavar="SPEC",
+        help="inject a fault into every simulation: kind:key=value,... with "
+        "kinds delay/stall (proc,at,cycles), slow (proc,start,end,factor), "
+        "netspike (start,end,extra); repeatable",
+    )
+    p.add_argument(
+        "--cell-timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="wall-clock limit per pooled simulation cell (exceeding it "
+        "degrades the grid to serial execution)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per failed simulation cell before the grid errors",
+    )
+
+
+def _fault_plan_from(args: argparse.Namespace):
+    """Build the ``--inject`` fault plan, or ``None`` when unused."""
+    specs = getattr(args, "inject", None)
+    if not specs:
+        return None
+    from repro.faults.plan import plan_from_specs
+
+    try:
+        return plan_from_specs(specs)
+    except ValueError as exc:
+        raise SystemExit(f"--inject: {exc}") from None
 
 
 def _runner_from(args: argparse.Namespace, **extra):
     from repro.experiments.runner import ExperimentRunner
 
+    if args.max_retries < 0:
+        raise SystemExit("--max-retries must be >= 0")
     return ExperimentRunner(
         horizon=args.horizon,
         jobs=args.jobs,
         cache_dir=args.cache_dir or None,
         sample_every=args.sample_every,
+        fault_plan=_fault_plan_from(args),
+        cell_timeout=args.cell_timeout,
+        max_retries=args.max_retries,
         **extra,
     )
 
@@ -177,14 +267,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("design", help="optimal platform for a budget (paper Eq. 6)")
     _add_workload_args(p)
-    p.add_argument("--budget", type=float, required=True, help="dollars")
-    p.add_argument("--top", type=int, default=5, help="ranking entries to print")
+    p.add_argument("--budget", type=_positive_float, required=True, help="dollars")
+    p.add_argument("--top", type=_positive_int, default=5, help="ranking entries to print")
 
     p = sub.add_parser("upgrade", help="best way to spend a budget increase")
     _add_workload_args(p)
     _add_platform_args(p)
-    p.add_argument("--budget-increase", type=float, required=True, help="dollars")
-    p.add_argument("--top", type=int, default=5)
+    p.add_argument(
+        "--budget-increase", type=_positive_float, required=True, help="dollars"
+    )
+    p.add_argument("--top", type=_positive_int, default=5)
 
     p = sub.add_parser("predict", help="E(Instr) of a workload on a platform")
     _add_workload_args(p)
@@ -202,7 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="run a benchmark and fit (alpha, beta, gamma) from its trace"
     )
     p.add_argument("--app", required=True, help="FFT, LU, Radix, EDGE or TPC-C")
-    p.add_argument("--procs", type=int, default=1)
+    p.add_argument("--procs", type=_positive_int, default=1)
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("report", help="run the full paper reproduction (slow)")
@@ -234,6 +326,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--app-arg", action="append", default=[], metavar="KEY=VALUE",
         help="application constructor override, e.g. --app-arg points=1024 "
         "(repeatable)",
+    )
+    _add_platform_args(p)
+    _add_runner_args(p)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection demo: clean vs faulted run of one application",
+    )
+    p.add_argument("--app", default="FFT", help="FFT, LU, Radix, EDGE or TPC-C")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--app-arg", action="append", default=[], metavar="KEY=VALUE",
+        help="application constructor override (repeatable)",
+    )
+    p.add_argument(
+        "--gen-seed", type=int, default=None, metavar="SEED",
+        help="generate a seeded random fault plan sized to the clean run "
+        "(combines with --inject; used alone when no --inject is given)",
+    )
+    p.add_argument(
+        "--propagation", action="store_true",
+        help="also sweep one-off delay sizes and report how they decay "
+        "through the barrier-wait term",
     )
     _add_platform_args(p)
     _add_runner_args(p)
@@ -366,6 +481,63 @@ def main(argv: Sequence[str] | None = None) -> int:
         if res.timeline is not None:
             print()
             print(res.timeline.describe())
+        _finish_observability(args, runner)
+        return 0
+
+    if args.command == "faults":
+        from repro.experiments.faults import run_delay_propagation
+        from repro.faults.plan import FaultPlan, parse_inject_spec
+        from repro.sim.engine import SimulationEngine
+
+        app_kwargs = _parse_app_args(args.app_arg)
+        runner = _runner_from(
+            args,
+            seed=args.seed,
+            app_kwargs={args.app: app_kwargs} if app_kwargs else None,
+        )
+        spec = _platform_from(args, name="cli")
+        run = runner.application_run(args.app, spec.total_processors)
+        clean = SimulationEngine(
+            spec, run, horizon=args.horizon, sample_every=args.sample_every
+        ).execute()
+
+        try:
+            events = [parse_inject_spec(s) for s in args.inject]
+        except ValueError as exc:
+            raise SystemExit(f"--inject: {exc}") from None
+        gen_seed = args.gen_seed
+        if gen_seed is None and not events:
+            gen_seed = args.seed  # demo default: a seeded random plan
+        if gen_seed is not None:
+            events.extend(
+                FaultPlan.generate(
+                    gen_seed, spec.total_processors, span=clean.total_cycles
+                ).events
+            )
+        try:
+            plan = FaultPlan(tuple(events))
+            plan.validate_for(spec.total_processors)
+        except ValueError as exc:
+            raise SystemExit(f"invalid fault plan: {exc}") from None
+
+        faulted = SimulationEngine(
+            spec, run, horizon=args.horizon, sample_every=args.sample_every,
+            fault_plan=plan,
+        ).execute()
+        print(plan.describe())
+        print()
+        print(f"clean:   {clean.describe()}")
+        print(f"faulted: {faulted.describe()}")
+        slip = faulted.total_cycles - clean.total_cycles
+        print(
+            f"finish-line slip: {slip:,.0f} cycles "
+            f"({100 * slip / clean.total_cycles:.2f}% of the clean run); "
+            f"extra barrier wait "
+            f"{faulted.barrier_wait_cycles - clean.barrier_wait_cycles:,.0f}"
+        )
+        if args.propagation:
+            print()
+            print(run_delay_propagation(runner, name=args.app, spec=spec).describe())
         _finish_observability(args, runner)
         return 0
 

@@ -25,6 +25,11 @@ from repro.experiments.sensitivity import AxisSensitivity, SensitivityResult, ru
 from repro.experiments.beta_scaling import BetaScalingResult, run_beta_scaling
 from repro.experiments.ablations import AblationResult, run_ablations
 from repro.experiments.coherence import CoherenceResult, run_coherence_traffic
+from repro.experiments.faults import (
+    DelayPropagationPoint,
+    DelayPropagationResult,
+    run_delay_propagation,
+)
 from repro.experiments.export import figure_to_csv, result_to_json, table2_to_csv
 
 __all__ = [
@@ -34,6 +39,8 @@ __all__ = [
     "Calibration",
     "CaseStudyResult",
     "CoherenceResult",
+    "DelayPropagationPoint",
+    "DelayPropagationResult",
     "ExperimentRunner",
     "FigureResult",
     "SCALE",
@@ -50,6 +57,7 @@ __all__ = [
     "run_beta_scaling",
     "run_case_studies",
     "run_coherence_traffic",
+    "run_delay_propagation",
     "run_figure2",
     "run_figure3",
     "run_figure4",

@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.experiments.figures import FigureResult
 from repro.experiments.table2 import Table2Result
+from repro.ioutil import atomic_write_text
 
 __all__ = ["figure_to_csv", "table2_to_csv", "result_to_json", "write_text"]
 
@@ -89,8 +90,5 @@ def result_to_json(result: Any, indent: int = 2) -> str:
 
 
 def write_text(path: str | Path, content: str) -> Path:
-    """Write an export to disk (creating parent directories)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(content)
-    return path
+    """Write an export to disk atomically (creating parent directories)."""
+    return atomic_write_text(path, content)

@@ -31,7 +31,9 @@ import itertools
 import math
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -42,6 +44,8 @@ from repro.core.execution import ExecutionEstimate, evaluate
 from repro.core.platform import PlatformSpec
 from repro.core.validation import ComparisonRow
 from repro.experiments.configs import SCALE
+from repro.faults.plan import FaultPlan
+from repro.ioutil import atomic_write_bytes
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
 from repro.obs.spans import Span, Tracer, get_tracer
@@ -53,13 +57,34 @@ __all__ = ["Calibration", "ExperimentRunner", "DEFAULT_CALIBRATION"]
 
 #: Bump when simulator changes invalidate previously cached results.
 #: 2: SimulationResult grew a ``timeline`` field (PR 2).
-SIM_CACHE_VERSION = 2
+#: 3: SimulationResult grew fault fields; the key covers the fault plan.
+SIM_CACHE_VERSION = 3
 
 _log = get_logger("repro.experiments.runner")
 
 
+def _chaos_fire(var: str) -> bool:
+    """Deterministic fault hook for the resilience suite and CI smoke.
+
+    When the environment variable ``var`` names a marker path, exactly
+    one caller across every process claims it (``O_CREAT | O_EXCL`` is
+    atomic on every platform we run on) and returns True; everyone else
+    -- including the retry of the sabotaged cell -- sees False.  Unset
+    means never fire, so production runs pay one dict lookup.
+    """
+    target = os.environ.get(var)
+    if not target:
+        return False
+    try:
+        fd = os.open(target, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except OSError:
+        return False
+    os.close(fd)
+    return True
+
+
 def _simulate_cell(
-    args: tuple[str, int, dict, PlatformSpec, float, float | None]
+    args: tuple[str, int, dict, PlatformSpec, float, float | None, FaultPlan | None]
 ) -> tuple[SimulationResult, dict]:
     """Pool worker: one (app, config) simulation.  Module-level for
     pickling.  The application run is regenerated in the worker rather
@@ -67,8 +92,19 @@ def _simulate_cell(
     (name, procs, seed, kwargs), and :class:`ApplicationRun` holds
     unpicklable address-space closures.  Returns the result plus the
     worker's span (serialized) so the parent's trace covers pool work.
+
+    The ``REPRO_CHAOS_*_ONCE`` hooks let the resilience tests and the
+    CI fault smoke sabotage exactly one cell attempt (hard crash,
+    raised exception, or interrupt) without monkeypatching across
+    process boundaries.
     """
-    name, seed, kwargs, spec, horizon, sample_every = args
+    if _chaos_fire("REPRO_CHAOS_CRASH_ONCE"):
+        os._exit(3)  # simulate a worker killed mid-cell (OOM, SIGKILL)
+    if _chaos_fire("REPRO_CHAOS_RAISE_ONCE"):
+        raise RuntimeError("injected failure (REPRO_CHAOS_RAISE_ONCE)")
+    if _chaos_fire("REPRO_CHAOS_INTERRUPT_ONCE"):
+        raise KeyboardInterrupt
+    name, seed, kwargs, spec, horizon, sample_every, fault_plan = args
     tracer = Tracer()
     with tracer.span(
         f"simulate:{name}@{spec.name}", worker=os.getpid(), procs=spec.total_processors
@@ -80,7 +116,7 @@ def _simulate_cell(
         if not run.verified:
             raise RuntimeError(f"{name} at {run.num_procs} processes failed its numeric oracle")
         result = SimulationEngine(
-            spec, run, horizon=horizon, sample_every=sample_every
+            spec, run, horizon=horizon, sample_every=sample_every, fault_plan=fault_plan
         ).execute()
     return result, tracer.roots[0].to_obj()
 
@@ -125,6 +161,10 @@ class ExperimentRunner:
         cache_dir: str | os.PathLike | None = ".repro_cache",
         sample_every: float | None = None,
         metrics: "obs_metrics.MetricsRegistry | None" = None,
+        fault_plan: FaultPlan | None = None,
+        cell_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.25,
     ) -> None:
         """``app_kwargs`` overrides application constructor arguments per
         name (e.g. smaller problem sizes in the test suite).
@@ -140,6 +180,15 @@ class ExperimentRunner:
         of the disk-cache key.  ``metrics`` is the registry the runner
         reports its disk-cache effectiveness into (default: the
         process-default :data:`repro.obs.metrics.REGISTRY`).
+
+        ``fault_plan`` runs every simulation under the given injected
+        faults (see :mod:`repro.faults`); it is part of the disk-cache
+        key, so faulted and clean grids never mix.  ``cell_timeout``
+        (wall seconds, ``None`` = unlimited) bounds each pooled cell;
+        when a cell exceeds it the pool is abandoned and the remaining
+        cells run serially.  A cell attempt that fails is retried up to
+        ``max_retries`` times with exponential backoff starting at
+        ``retry_backoff`` seconds before the failure becomes an error.
         """
         self.seed = seed
         self.horizon = horizon
@@ -151,11 +200,34 @@ class ExperimentRunner:
         if sample_every is not None and sample_every <= 0:
             raise ValueError("sample_every must be positive (or None to disable)")
         self.sample_every = sample_every
+        self.fault_plan = fault_plan
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive (or None for no limit)")
+        self.cell_timeout = cell_timeout
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = max_retries
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        self.retry_backoff = retry_backoff
         self.metrics = metrics if metrics is not None else obs_metrics.REGISTRY
         self._cache_lookups = self.metrics.counter(
             "repro_cache_lookups_total",
             ".repro_cache disk lookups by kind (sim/char/sharing) and outcome",
             labelnames=("kind", "outcome"),
+        )
+        self._cache_corrupt = self.metrics.counter(
+            "repro_cache_corrupt_total",
+            "Corrupt .repro_cache entries quarantined and recomputed, by kind",
+            labelnames=("kind",),
+        )
+        self._cell_retries = self.metrics.counter(
+            "repro_cell_retries_total",
+            "Simulation-cell attempts retried after a failure",
+        )
+        self._pool_degradations = self.metrics.counter(
+            "repro_pool_degradations_total",
+            "Times a broken or timed-out process pool fell back to serial",
         )
         self._runs: dict[tuple[str, int], ApplicationRun] = {}
         self._chars: dict[str, WorkloadParams] = {}
@@ -177,6 +249,7 @@ class ExperimentRunner:
                 float(self.horizon),
                 spec,
                 None if self.sample_every is None else float(self.sample_every),
+                self.fault_plan.cache_key() if self.fault_plan else None,
             )
         )
         digest = hashlib.sha256(payload.encode()).hexdigest()
@@ -186,15 +259,41 @@ class ExperimentRunner:
         """Surface disk-cache effectiveness (invisible before PR 2)."""
         self._cache_lookups.labels(kind=kind, outcome="hit" if hit else "miss").inc()
 
-    @staticmethod
-    def _load_pickle(path: Path | None):
+    def _load_pickle(self, path: Path | None, kind: str = "pickle"):
+        """Load a cache entry; a corrupt one is quarantined, never fatal.
+
+        A missing file is an ordinary miss.  Anything else --
+        truncation, garbage bytes, a class rename since the entry was
+        written -- moves the file into ``<cache_dir>/quarantine/`` (so
+        the bytes stay inspectable but stop shadowing the slot), counts
+        it in ``repro_cache_corrupt_total`` and reports a miss.
+        """
         if path is None:
             return None
         try:
             with open(path, "rb") as f:
                 return pickle.load(f)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
+        except FileNotFoundError:
             return None
+        except Exception as exc:  # pickle can raise nearly anything on garbage
+            self._quarantine(path, kind, exc)
+            return None
+
+    def _quarantine(self, path: Path, kind: str, exc: Exception) -> None:
+        self._cache_corrupt.labels(kind=kind).inc()
+        qdir = (self.cache_dir or path.parent) / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / f"{kind}-{path.name}")
+        except OSError:
+            try:
+                path.unlink()  # at minimum stop tripping over it
+            except OSError:
+                pass
+        _log.warning(
+            "quarantined corrupt cache entry",
+            kind=kind, path=str(path), error=f"{type(exc).__name__}: {exc}",
+        )
 
     def _aux_cache_path(self, kind: str, name: str, *extra) -> Path | None:
         """Disk key for derived per-app results (characterization,
@@ -219,11 +318,7 @@ class ExperimentRunner:
         if path is None:
             return
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp{os.getpid()}")
-            with open(tmp, "wb") as f:
-                pickle.dump(value, f)
-            os.replace(tmp, path)  # atomic even with concurrent writers
+            atomic_write_bytes(path, pickle.dumps(value))
         except OSError:
             pass  # a cold cache is only a slowdown, never an error
 
@@ -244,7 +339,7 @@ class ExperimentRunner:
         """Table 2 methodology: fit (alpha, beta, gamma) on one processor."""
         if name not in self._chars:
             path = self._aux_cache_path("char", name)
-            params = self._load_pickle(path)
+            params = self._load_pickle(path, "char")
             if path is not None:
                 self._count_lookup("char", params is not None)
             if params is None:
@@ -267,7 +362,7 @@ class ExperimentRunner:
         key = (name, spec.total_processors, spec.N, include_false_sharing)
         if key not in self._sharing:
             path = self._aux_cache_path("sharing", name, *key[1:])
-            value = self._load_pickle(path)
+            value = self._load_pickle(path, "sharing")
             if path is not None:
                 self._count_lookup("sharing", value is not None)
             if value is None:
@@ -284,7 +379,7 @@ class ExperimentRunner:
         key = (name, spec.name)
         if key not in self._sims:
             path = self._sim_cache_path(name, spec)
-            result = self._load_pickle(path)
+            result = self._load_pickle(path, "sim")
             if path is not None:
                 self._count_lookup("sim", result is not None)
             if result is None:
@@ -293,7 +388,11 @@ class ExperimentRunner:
                     f"simulate:{name}@{spec.name}", procs=spec.total_processors
                 ):
                     engine = SimulationEngine(
-                        spec, run, horizon=self.horizon, sample_every=self.sample_every
+                        spec,
+                        run,
+                        horizon=self.horizon,
+                        sample_every=self.sample_every,
+                        fault_plan=self.fault_plan,
                     )
                     result = engine.execute()
                 _log.debug(
@@ -321,6 +420,13 @@ class ExperimentRunner:
         Cells are independent simulations, so parallel execution returns
         results identical to serial ``simulate`` calls; with ``jobs=1``
         (or a single uncached cell) everything stays in-process.
+
+        The pool path is fault tolerant: every finished cell is
+        checkpointed to the disk cache *immediately* (an interrupted
+        grid resumes from exactly the cells it completed), failed cell
+        attempts are retried with exponential backoff, and a broken or
+        deadline-blown pool degrades to serial execution of the
+        remaining cells instead of failing the grid.
         """
         todo: list[tuple[str, PlatformSpec]] = []
         seen: set[tuple[str, str]] = set()
@@ -329,7 +435,7 @@ class ExperimentRunner:
             if key in self._sims or key in seen:
                 continue
             path = self._sim_cache_path(name, spec)
-            result = self._load_pickle(path)
+            result = self._load_pickle(path, "sim")
             if path is not None:
                 self._count_lookup("sim", result is not None)
             if result is not None:
@@ -339,27 +445,158 @@ class ExperimentRunner:
                 todo.append((name, spec))
         if self.jobs <= 1 or len(todo) <= 1:
             return  # lazy simulate() handles the rest
-        args = [
-            (
-                name,
-                self.seed,
-                self.app_kwargs.get(name, {}),
-                spec,
-                self.horizon,
-                self.sample_every,
-            )
-            for name, spec in todo
-        ]
         tracer = get_tracer()
         _log.debug("prefetching cells", todo=len(todo), jobs=self.jobs)
         with tracer.span(f"prefetch:{len(todo)}cells", jobs=self.jobs):
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(todo))) as pool:
-                for (name, spec), (result, span_obj) in zip(
-                    todo, pool.map(_simulate_cell, args)
-                ):
-                    self._sims[(name, spec.name)] = result
-                    self._store_pickle(self._sim_cache_path(name, spec), result)
-                    tracer.attach(Span.from_obj(span_obj))
+            remaining = self._prefetch_pooled(todo, tracer)
+            if remaining:
+                self._pool_degradations.inc()
+                _log.warning(
+                    "process pool degraded; running remaining cells serially",
+                    remaining=len(remaining),
+                )
+                for name, spec in remaining:
+                    self._finish_cell(name, spec, *self._attempt_serial(name, spec), tracer)
+
+    # -- fault-tolerant pool machinery ----------------------------------
+    def _cell_args(self, name: str, spec: PlatformSpec) -> tuple:
+        return (
+            name,
+            self.seed,
+            self.app_kwargs.get(name, {}),
+            spec,
+            self.horizon,
+            self.sample_every,
+            self.fault_plan,
+        )
+
+    def _finish_cell(self, name, spec, result, span_obj, tracer) -> None:
+        """Memoize and checkpoint one completed cell."""
+        self._sims[(name, spec.name)] = result
+        self._store_pickle(self._sim_cache_path(name, spec), result)
+        if span_obj is not None:
+            tracer.attach(Span.from_obj(span_obj))
+
+    def _backoff(self, attempt: int) -> None:
+        self._cell_retries.inc()
+        delay = self.retry_backoff * (2.0 ** (attempt - 1))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _attempt_serial(self, name: str, spec: PlatformSpec):
+        """Run one cell in-process, with the same retry policy as the pool."""
+        args = self._cell_args(name, spec)
+        attempt = 0
+        while True:
+            try:
+                return _simulate_cell(args)
+            except Exception as exc:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise RuntimeError(
+                        f"cell {name}@{spec.name} failed after "
+                        f"{attempt} attempt(s): {exc}"
+                    ) from exc
+                _log.warning(
+                    "cell failed; retrying serially",
+                    app=name, spec=spec.name, attempt=attempt, error=str(exc),
+                )
+                self._backoff(attempt)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Abandon a pool without waiting on wedged workers."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+
+    def _prefetch_pooled(
+        self, todo: list[tuple[str, PlatformSpec]], tracer
+    ) -> list[tuple[str, PlatformSpec]]:
+        """Run ``todo`` on a process pool; return cells left for serial.
+
+        Collection is as-completed so finished cells checkpoint while
+        slower ones still run.  A worker exception retries the cell on
+        the pool (with backoff) up to ``max_retries`` times, then
+        raises.  A broken pool (worker killed mid-cell) or a cell
+        exceeding ``cell_timeout`` abandons the pool -- killing any
+        leftover workers -- and hands every unfinished cell back to the
+        caller.  ``KeyboardInterrupt`` cleans the pool up and
+        propagates: the checkpoints written so far make the rerun cheap.
+        """
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(todo)))
+        pending: dict = {}  # future -> (name, spec)
+        attempts: dict[tuple[str, str], int] = {}
+        deadlines: dict = {}  # future -> monotonic deadline
+        try:
+            for name, spec in todo:
+                fut = pool.submit(_simulate_cell, self._cell_args(name, spec))
+                pending[fut] = (name, spec)
+                if self.cell_timeout is not None:
+                    deadlines[fut] = time.monotonic() + self.cell_timeout
+            while pending:
+                timeout = None
+                if deadlines:
+                    timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+                done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+                if not done:  # a cell blew its deadline: degrade
+                    cells = [pending[f] for f in sorted(deadlines, key=deadlines.get)]
+                    _log.warning(
+                        "cell exceeded its deadline; abandoning the pool",
+                        app=cells[0][0], spec=cells[0][1].name,
+                        timeout_s=self.cell_timeout,
+                    )
+                    self._kill_pool(pool)
+                    return list(pending.values())
+                for fut in done:
+                    name, spec = pending.pop(fut)
+                    deadlines.pop(fut, None)
+                    try:
+                        result, span_obj = fut.result()
+                    except BrokenProcessPool:
+                        # One dead worker poisons every in-flight future;
+                        # hand all unfinished cells (this one included)
+                        # to the serial fallback.
+                        self._kill_pool(pool)
+                        return [(name, spec), *pending.values()]
+                    except Exception as exc:
+                        key = (name, spec.name)
+                        attempt = attempts.get(key, 0) + 1
+                        attempts[key] = attempt
+                        if attempt > self.max_retries:
+                            raise RuntimeError(
+                                f"cell {name}@{spec.name} failed after "
+                                f"{attempt} attempt(s): {exc}"
+                            ) from exc
+                        _log.warning(
+                            "cell failed; retrying on the pool",
+                            app=name, spec=spec.name, attempt=attempt,
+                            error=str(exc),
+                        )
+                        self._backoff(attempt)
+                        try:
+                            retry = pool.submit(
+                                _simulate_cell, self._cell_args(name, spec)
+                            )
+                        except RuntimeError:  # pool broke underneath us
+                            self._kill_pool(pool)
+                            return [(name, spec), *pending.values()]
+                        pending[retry] = (name, spec)
+                        if self.cell_timeout is not None:
+                            deadlines[retry] = time.monotonic() + self.cell_timeout
+                    else:
+                        self._finish_cell(name, spec, result, span_obj, tracer)
+            pool.shutdown()
+            return []
+        except BaseException:
+            # KeyboardInterrupt or a permanent cell failure: never leak
+            # worker processes, keep every checkpoint written so far.
+            self._kill_pool(pool)
+            raise
 
     def model(
         self, name: str, spec: PlatformSpec, calibration: Calibration

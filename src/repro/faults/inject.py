@@ -1,0 +1,64 @@
+"""Compilation of a :class:`~repro.faults.plan.FaultPlan` for the engine.
+
+The engine wants one flat, time-sorted trigger list per process, with
+integer opcodes it can dispatch on in its hot loop:
+
+==========  =====================================================
+``F_DELAY``  add ``value`` cycles to the clock (one-off delay)
+``F_STALL``  raise the clock to ``value`` (absolute resume time)
+``F_SLOW``   set the compute-work factor to ``value``
+``F_NORMAL`` restore the factor to 1.0 (slowdown window closes)
+==========  =====================================================
+
+Triggers fire when the process clock first reaches the trigger time at
+a reference boundary (the top of the engine's per-process loop).  A
+:class:`NodeSlowdown` compiles to an ``F_SLOW`` at its start and an
+``F_NORMAL`` at its end; :class:`NetworkSpike` events are not engine
+triggers at all -- they live in the back-end's network hook (see
+:meth:`~repro.sim.backends.base.MemoryBackend.install_network_spikes`).
+
+Ties are broken by the event's position in the plan, so compilation is
+a pure function of the plan: both engine lanes -- and every pool
+worker -- see the identical schedule.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan, NetworkSpike, NodeSlowdown, NodeStall, OneOffDelay
+
+__all__ = ["F_DELAY", "F_STALL", "F_SLOW", "F_NORMAL", "compile_triggers"]
+
+F_DELAY = 0
+F_STALL = 1
+F_SLOW = 2
+F_NORMAL = 3
+
+
+def compile_triggers(plan: FaultPlan, num_procs: int) -> list[list[tuple[float, int, float]]] | None:
+    """Per-process ``(time, opcode, value)`` lists, sorted by time.
+
+    Returns ``None`` when no event needs an engine trigger (an empty
+    plan, or one holding only network spikes), so the engine can skip
+    all fault bookkeeping on the common path.
+    """
+    plan.validate_for(num_procs)
+    per_proc: list[list[tuple[float, int, int, float]]] = [[] for _ in range(num_procs)]
+    any_trigger = False
+    for seq, ev in enumerate(plan.events):
+        if isinstance(ev, OneOffDelay):
+            per_proc[ev.proc].append((ev.at, seq, F_DELAY, ev.cycles))
+        elif isinstance(ev, NodeStall):
+            per_proc[ev.proc].append((ev.at, seq, F_STALL, ev.resume_at))
+        elif isinstance(ev, NodeSlowdown):
+            per_proc[ev.proc].append((ev.start, seq, F_SLOW, ev.factor))
+            per_proc[ev.proc].append((ev.end, seq, F_NORMAL, 1.0))
+        elif not isinstance(ev, NetworkSpike):  # pragma: no cover - plan validates
+            raise TypeError(f"not a fault event: {ev!r}")
+        if not isinstance(ev, NetworkSpike):
+            any_trigger = True
+    if not any_trigger:
+        return None
+    return [
+        [(t, code, value) for t, _, code, value in sorted(events)]
+        for events in per_proc
+    ]

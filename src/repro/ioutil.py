@@ -1,0 +1,50 @@
+"""Atomic file writes: temp file + ``os.replace`` in one place.
+
+Every artifact the toolchain persists -- cache pickles, metrics
+payloads, CSV/JSON exports, ``BENCH_engine.json`` -- must never be
+observable half-written: an interrupted run (SIGKILL, OOM, power loss)
+either leaves the previous version or the complete new one, so a
+resumed run can trust whatever it finds on disk.  The recipe is the
+standard one: write to a same-directory temp file (same filesystem, so
+the final rename cannot cross a device boundary) and ``os.replace``
+into place, which POSIX guarantees is atomic even with concurrent
+writers racing for the same destination.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically, creating parent dirs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        # Never leave the temp file behind -- a crashed writer's
+        # leftovers would look like cache litter to the next run.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | os.PathLike, text: str, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically, creating parent dirs."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str | os.PathLike, obj, indent: int = 2) -> Path:
+    """Serialize ``obj`` as indented JSON and write it atomically."""
+    return atomic_write_text(path, json.dumps(obj, indent=indent) + "\n")

@@ -26,6 +26,7 @@ import json
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.ioutil import atomic_write_text
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
 from repro.obs.timeline import Timeline
@@ -62,11 +63,14 @@ def build_payload(
 
 
 def write_payload(path, registry=None, tracer=None, timelines=None) -> Path:
-    """Serialize :func:`build_payload` to ``path`` as indented JSON."""
-    path = Path(path)
+    """Serialize :func:`build_payload` to ``path`` as indented JSON.
+
+    The write is atomic (temp + rename): a run killed mid-export leaves
+    either the previous payload or the complete new one, never a
+    truncated JSON file.
+    """
     payload = build_payload(registry=registry, tracer=tracer, timelines=timelines)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    return path
+    return atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")
 
 
 def _render_metric_series(family: dict, lines: list[str]) -> None:

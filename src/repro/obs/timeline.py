@@ -59,10 +59,12 @@ class TimelineWindow:
 
     ``counters`` holds the :data:`STAT_FIELDS` deltas plus
     ``barrier_wait_cycles`` (cycles of barrier waiting resolved by
-    releases inside the window), ``busy:<resource>`` (cycles each
-    serialized resource was occupied by requests completing here) and
-    ``requests:<resource>`` (how many requests they were).  Absent keys
-    mean zero.
+    releases inside the window), ``fault_stall_cycles`` (injected fault
+    delay/stall cycles resolved here, when the run carried a
+    :class:`~repro.faults.plan.FaultPlan`), ``busy:<resource>`` (cycles
+    each serialized resource was occupied by requests completing here)
+    and ``requests:<resource>`` (how many requests they were).  Absent
+    keys mean zero.
     """
 
     index: int
@@ -295,6 +297,19 @@ class TimelineRecorder:
         win = self._win(int(release // self.sample_every))
         win["barrier_wait_cycles"] = win.get("barrier_wait_cycles", 0.0) + wait
         self.record_access(release)
+
+    def record_fault(self, t: float, cycles: float) -> None:
+        """Attribute injected stall cycles (fault events) to a window.
+
+        ``t`` is the process clock *after* the event applied -- the
+        moment the stall resolved, matching the completion-time
+        convention used for every other counter.  Faults mutate no
+        back-end state, so no snapshot refresh is needed; the per-window
+        ``fault_stall_cycles`` sum exactly to the run's
+        ``SimulationResult.fault_cycles``.
+        """
+        win = self._win(int(t // self.sample_every))
+        win["fault_stall_cycles"] = win.get("fault_stall_cycles", 0.0) + cycles
 
     # -- result ---------------------------------------------------------
     def finish(self, total_cycles: float) -> Timeline:

@@ -155,6 +155,19 @@ class MemoryBackend(ABC):
     def barrier_overhead(self) -> float:
         """Fixed cycles added when a barrier releases (sync transactions)."""
 
+    def install_network_spikes(self, extra_of_time) -> None:
+        """Install the fault-injection network-latency hook.
+
+        ``extra_of_time(now) -> cycles`` is added to the service time of
+        every inter-node message issued at ``now`` (see
+        :class:`~repro.faults.plan.NetworkSpike`).  Back-ends with a
+        cluster network forward the hook to it; the default is a no-op
+        because an SMP has no inter-node network to perturb.  Batched
+        references are always pure-local cache hits, so the hook can
+        never affect the vectorized lane -- both lanes stay
+        bit-identical under any spike schedule.
+        """
+
     def resource_busy_cycles(self) -> dict[str, float]:
         """Busy cycles per serialized resource (bus, network, disks...).
 

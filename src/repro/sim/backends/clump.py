@@ -164,6 +164,9 @@ class ClumpBackend(MemoryBackend):
         st.cache_hits += k
         return k, k + 1 if k < lines.size else k
 
+    def install_network_spikes(self, extra_of_time) -> None:
+        self.network.latency_extra = extra_of_time
+
     def barrier_overhead(self) -> float:
         """Barrier exit: network control round trip + SMP bus release."""
         self.stats.barrier_count += 1

@@ -35,6 +35,8 @@ import numpy as np
 
 from repro.apps.base import ApplicationRun
 from repro.core.platform import PlatformSpec
+from repro.faults.inject import F_DELAY, F_STALL, F_SLOW, compile_triggers
+from repro.faults.plan import FaultPlan
 from repro.obs.timeline import Timeline, TimelineRecorder
 from repro.sim.backends.base import (
     BATCH_CHUNK,
@@ -60,6 +62,12 @@ class SimulationResult:
     barrier_wait_cycles: float  #: total cycles processes spent waiting
     stats: BackendStats
     per_process_cycles: tuple[float, ...] = field(default=())
+    #: Injected fault bookkeeping (zero without a ``FaultPlan``):
+    #: ``fault_cycles`` is the stall time actually charged (a stall
+    #: absorbed by barrier waiting charges less than its length),
+    #: ``fault_events`` counts triggers that fired before the run ended.
+    fault_cycles: float = 0.0
+    fault_events: int = 0
     #: Per-window counter history when the engine ran with
     #: ``sample_every``; ``None`` otherwise (sampling is opt-in).
     timeline: Timeline | None = field(default=None, repr=False)
@@ -87,12 +95,18 @@ class SimulationResult:
 
     def describe(self) -> str:
         util = ", ".join(f"{k} {100 * v:.0f}%" for k, v in self.utilizations.items())
+        faults = (
+            f", faults {self.fault_events} (+{self.fault_cycles:,.0f} cycles)"
+            if self.fault_events
+            else ""
+        )
         return (
             f"{self.application} on {self.platform_name}: "
             f"{self.total_cycles:,.0f} cycles, E(Instr)={self.e_instr_seconds:.3e}s "
             f"(miss {100 * self.stats.miss_ratio:.2f}%, "
             f"remote {100 * self.stats.remote_ratio:.3f}%, "
             f"barrier wait {self.barrier_wait_cycles:,.0f}"
+            + faults
             + (f"; util: {util}" if util else "")
             + ")"
         )
@@ -119,11 +133,20 @@ class SimulationEngine:
         horizon: float = 200.0,
         fastpath: bool = True,
         sample_every: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         """``sample_every`` (simulated cycles) turns on interval sampling:
         the result carries a :class:`~repro.obs.timeline.Timeline` whose
         per-window counters sum exactly to the end-of-run stats.  The
         default ``None`` records nothing and adds no per-reference cost.
+
+        ``fault_plan`` injects deterministic misbehavior (delays,
+        stalls, slowdowns, network spikes -- see :mod:`repro.faults`).
+        Engine-side events trigger when a process's clock first reaches
+        the trigger time at a reference boundary; the vectorized lane
+        cuts every batch at the next pending trigger so both lanes stay
+        bit-identical under any plan.  The default ``None`` adds no
+        per-step cost.
         """
         if run.num_procs != spec.total_processors:
             raise ValueError(
@@ -139,10 +162,22 @@ class SimulationEngine:
         self.horizon = horizon
         self.fastpath = fastpath
         self.sample_every = sample_every
+        self.fault_plan = fault_plan
+        # Compiled per-process trigger schedules (None when the plan has
+        # no engine-side events); network spikes go to the back-end hook.
+        self._fault_triggers = (
+            compile_triggers(fault_plan, run.num_procs)
+            if fault_plan is not None and fault_plan
+            else None
+        )
         if backend is None:
             home_proc = run.address_space.home_map()
             backend = make_backend(spec, (home_proc // spec.n).astype(np.int64))
         self.backend = backend
+        if fault_plan is not None and fault_plan:
+            spikes = fault_plan.network_extra
+            if spikes is not None:
+                backend.install_network_spikes(spikes)
         # Hoisted per-trace arrays, built once and shared by every
         # execute() call: the hot loop must not re-read trace attributes
         # or rebuild barrier lists per invocation.
@@ -198,6 +233,15 @@ class SimulationEngine:
         index = [0] * P
         next_barrier = [0] * P
         retry_at = [0] * P  #: batch re-attempt hints from access_batch
+        # Fault-injection state: per-process trigger cursor and current
+        # compute-slowdown factor.  ``ftrigs is None`` on the default
+        # path, costing one comparison per scheduling round.
+        ftrigs = self._fault_triggers
+        fidx = [0] * P
+        fslow = [1.0] * P
+        fault_cycles = 0.0
+        fault_events = 0
+        INF = float("inf")
         # Per-process window cap, adapted to recent run lengths: the
         # eligibility scan costs O(window), so sizing the window to a
         # few times the typical miss-free run avoids scanning hundreds
@@ -227,10 +271,51 @@ class SimulationEngine:
             t = clock[p]
             nb = next_barrier[p]
             retry = retry_at[p]
+            if ftrigs is not None:
+                ftl = ftrigs[p]
+                fi = fidx[p]
+                fnext = ftl[fi][0] if fi < len(ftl) else INF
+                factor = fslow[p]
+            else:
+                ftl = None
+                fi = 0
+                fnext = INF
+                factor = 1.0
             blocked = False
             done = False
 
             while True:
+                # Drain every fault trigger the clock has reached.  Both
+                # lanes pass through this point with identical clocks (a
+                # batch is cut at the crossing reference, exactly where
+                # the scalar loop would land), so trigger application is
+                # lane-independent by construction.
+                while fnext <= t:
+                    _, code, val = ftl[fi]
+                    if code == F_DELAY:
+                        t += val
+                        fault_cycles += val
+                        fault_events += 1
+                        if rec is not None:
+                            rec.record_fault(t, val)
+                    elif code == F_STALL:
+                        if val > t:
+                            add = val - t
+                            t = val
+                            fault_cycles += add
+                            fault_events += 1
+                            if rec is not None:
+                                rec.record_fault(t, add)
+                        else:
+                            # Resume time already passed (e.g. absorbed
+                            # by barrier waiting): the stall costs nothing.
+                            fault_events += 1
+                    elif code == F_SLOW:
+                        factor = val
+                    else:  # F_NORMAL: slowdown window ended
+                        factor = 1.0
+                    fi += 1
+                    fnext = ftl[fi][0] if fi < len(ftl) else INF
                 if nb < len(bl) and bl[nb] == i:
                     nb += 1
                     barrier_arrivals.append(t)
@@ -238,11 +323,11 @@ class SimulationEngine:
                     blocked = True
                     break
                 if i >= n_i:
-                    t += tail_works[p]
+                    t += tail_works[p] * factor if factor != 1.0 else tail_works[p]
                     finished += 1
                     done = True
                     break
-                if use_batch and i >= retry and limit - t >= min_window:
+                if use_batch and factor == 1.0 and i >= retry and limit - t >= min_window:
                     # Vectorized lane: cut the run at the next barrier
                     # and at the causality limit (the crossing reference
                     # is included, as in the scalar loop), then let the
@@ -257,6 +342,20 @@ class SimulationEngine:
                         e = i + int(
                             np.searchsorted(sc[i:hi], limit - t + base, side="right")
                         ) + 1
+                        if fnext != INF:
+                            # Cut at the next fault trigger so the batch
+                            # stops exactly where the scalar lane would:
+                            # triggering is non-strict (t >= fnext), so
+                            # side="left" finds the crossing reference,
+                            # +1 includes it -- the scalar lane also
+                            # completes it before the trigger fires.
+                            e2 = i + int(
+                                np.searchsorted(
+                                    sc[i:hi], fnext - t + base, side="left"
+                                )
+                            ) + 1
+                            if e2 < e:
+                                e = e2
                         if e > hi:
                             e = hi
                         if e - i >= min_batch:
@@ -282,7 +381,10 @@ class SimulationEngine:
                     else:
                         retry = stop
                 # one instruction-stream step: compute, then the reference
-                t += wk[i] + 1.0
+                if factor != 1.0:
+                    t += wk[i] * factor + 1.0
+                else:
+                    t += wk[i] + 1.0
                 t = backend.access(p, int(addr[i]), bool(wr[i]), t)
                 i += 1
                 if rec is not None:
@@ -294,6 +396,9 @@ class SimulationEngine:
             next_barrier[p] = nb
             clock[p] = t
             retry_at[p] = retry
+            if ftrigs is not None:
+                fidx[p] = fi
+                fslow[p] = factor
             if blocked:
                 # Barrier counts are equal across processes, so nobody can
                 # finish before the last barrier: all P must arrive.
@@ -330,5 +435,7 @@ class SimulationEngine:
             barrier_wait_cycles=barrier_wait,
             stats=backend.stats,
             per_process_cycles=tuple(clock),
+            fault_cycles=fault_cycles,
+            fault_events=fault_events,
             timeline=rec.finish(total_cycles) if rec is not None else None,
         )

@@ -32,6 +32,17 @@ class ClusterNetwork:
         self.machines = machines
         self.messages = 0
         self.control_messages = 0
+        #: Optional fault-injection hook: extra service cycles charged to
+        #: every message as a function of its *issue* time (transient
+        #: latency spikes from a :class:`~repro.faults.plan.FaultPlan`).
+        #: ``None`` -- the default -- costs nothing on the hot path.
+        self.latency_extra = None
+
+    def _service(self, now: float, cycles: float) -> float:
+        """Per-message service time, with any injected spike applied."""
+        if self.latency_extra is not None:
+            return cycles + self.latency_extra(now)
+        return cycles
 
     # -- interface ------------------------------------------------------
     def transfer(self, now: float, src: int, dst: int, cycles: float) -> float:
@@ -57,11 +68,11 @@ class BusNetwork(ClusterNetwork):
 
     def transfer(self, now: float, src: int, dst: int, cycles: float) -> float:
         self.messages += 1
-        return self._bus.request(now, cycles)
+        return self._bus.request(now, self._service(now, cycles))
 
     def control(self, now: float, src: int, dst: int, cycles: float) -> float:
         self.control_messages += 1
-        return self._bus.request(now, cycles * CONTROL_FRACTION)
+        return self._bus.request(now, self._service(now, cycles * CONTROL_FRACTION))
 
     @property
     def busy_cycles(self) -> float:
@@ -77,11 +88,11 @@ class SwitchNetwork(ClusterNetwork):
 
     def transfer(self, now: float, src: int, dst: int, cycles: float) -> float:
         self.messages += 1
-        return self._ports[dst].request(now, cycles)
+        return self._ports[dst].request(now, self._service(now, cycles))
 
     def control(self, now: float, src: int, dst: int, cycles: float) -> float:
         self.control_messages += 1
-        return self._ports[dst].request(now, cycles * CONTROL_FRACTION)
+        return self._ports[dst].request(now, self._service(now, cycles * CONTROL_FRACTION))
 
     @property
     def busy_cycles(self) -> float:

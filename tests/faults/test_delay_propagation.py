@@ -1,0 +1,51 @@
+"""The delay-propagation experiment: shape, determinism, physics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.faults import run_delay_propagation
+
+
+@pytest.fixture(scope="module")
+def result(small_app_kwargs, smp4_spec):
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(app_kwargs=small_app_kwargs, jobs=1, cache_dir=None)
+    return run_delay_propagation(
+        runner, name="FFT", spec=smp4_spec, fractions=(0.05, 0.2, 0.5)
+    )
+
+
+class TestDelayPropagation:
+    def test_one_point_per_fraction(self, result):
+        assert len(result.points) == 3
+        assert result.baseline_cycles > 0
+
+    def test_injected_delay_is_charged_exactly(self, result):
+        for p in result.points:
+            assert p.fault_cycles == p.delay_cycles
+
+    def test_large_delays_propagate(self, result):
+        # A delay comparable to the whole run dwarfs any barrier slack:
+        # most of it must reach the finish line, and it cannot propagate
+        # more than itself (plus scheduling noise well under its size).
+        big = result.points[-1]
+        assert big.propagation_ratio > 0.3
+        assert big.propagated_cycles < 2 * big.delay_cycles
+
+    def test_propagation_grows_with_delay_size(self, result):
+        slips = [p.propagated_cycles for p in result.points]
+        assert slips[-1] > slips[0]
+
+    def test_describe_is_renderable(self, result):
+        text = result.describe()
+        assert "delay propagation" in text
+        assert "FFT" in text
+
+    def test_victim_bounds_checked(self, small_app_kwargs, smp4_spec):
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(app_kwargs=small_app_kwargs, jobs=1, cache_dir=None)
+        with pytest.raises(ValueError):
+            run_delay_propagation(runner, name="FFT", spec=smp4_spec, victim=99)

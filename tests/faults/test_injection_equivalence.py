@@ -1,0 +1,190 @@
+"""Fault injection preserves the engine's two-lane bit-identity.
+
+The fastpath contract extends to faulted runs: under any
+:class:`FaultPlan` -- every event kind alone, mixed seeded plans, any
+horizon -- the vectorized lane must return the same
+:class:`SimulationResult` as the scalar lane, float-``==``, and the
+same per-window timeline.  A batch is cut at the next pending trigger,
+so both lanes reach every trigger with identical clocks; these tests
+are the property suite enforcing that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import (
+    FaultPlan,
+    NetworkSpike,
+    NodeSlowdown,
+    NodeStall,
+    OneOffDelay,
+)
+from repro.sim.engine import SimulationEngine
+
+from tests.sim.test_fastpath_equivalence import (
+    SPECS,
+    _assert_identical,
+    _random_run,
+)
+
+_SPEC_IDS = [s.name for s in SPECS]
+
+#: One plan per event kind, plus a slowdown that spans most of the run
+#: (forcing long no-batch stretches) and an early-heavy mixture.
+KIND_PLANS = {
+    "delay": FaultPlan((OneOffDelay(proc=0, at=500.0, cycles=250.0),)),
+    "stall": FaultPlan((NodeStall(proc=1, at=800.0, cycles=400.0),)),
+    "slow": FaultPlan((NodeSlowdown(proc=0, start=200.0, end=5000.0, factor=2.5),)),
+    "netspike": FaultPlan((NetworkSpike(start=0.0, end=100_000.0, extra_cycles=25.0),)),
+    "mixed": FaultPlan(
+        (
+            OneOffDelay(proc=0, at=100.0, cycles=75.0),
+            OneOffDelay(proc=1, at=100.0, cycles=50.0),
+            NodeStall(proc=0, at=1500.0, cycles=600.0),
+            NodeSlowdown(proc=1, start=50.0, end=900.0, factor=3.0),
+            NetworkSpike(start=0.0, end=2000.0, extra_cycles=10.0),
+        )
+    ),
+}
+
+
+def _both_lanes(spec, run, plan, horizon=200.0, sample_every=None):
+    scalar = SimulationEngine(
+        spec, run, horizon=horizon, fastpath=False,
+        fault_plan=plan, sample_every=sample_every,
+    ).execute()
+    batched = SimulationEngine(
+        spec, run, horizon=horizon, fastpath=True,
+        fault_plan=plan, sample_every=sample_every,
+    ).execute()
+    return scalar, batched
+
+
+class TestLaneIdentity:
+    @pytest.mark.parametrize("spec", SPECS, ids=_SPEC_IDS)
+    @pytest.mark.parametrize("kind", sorted(KIND_PLANS))
+    def test_every_event_kind_bit_identical(self, spec, kind):
+        run = _random_run(spec.total_processors, seed=11)
+        scalar, batched = _both_lanes(spec, run, KIND_PLANS[kind])
+        _assert_identical(scalar, batched)
+        assert batched.fault_cycles == scalar.fault_cycles
+        assert batched.fault_events == scalar.fault_events
+
+    @pytest.mark.parametrize("spec", SPECS, ids=_SPEC_IDS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("horizon", [0.0, 200.0])
+    def test_generated_plans_bit_identical(self, spec, seed, horizon):
+        run = _random_run(spec.total_processors, seed=seed)
+        clean = SimulationEngine(spec, run, fastpath=False).execute()
+        plan = FaultPlan.generate(
+            seed=seed,
+            num_procs=spec.total_processors,
+            span=clean.total_cycles,
+            delays=2, stalls=2, slowdowns=2, spikes=2,
+        )
+        scalar, batched = _both_lanes(spec, run, plan, horizon=horizon)
+        _assert_identical(scalar, batched)
+        assert batched.fault_cycles == scalar.fault_cycles
+        assert batched.fault_events == scalar.fault_events
+
+    @pytest.mark.parametrize("spec", SPECS, ids=_SPEC_IDS)
+    @pytest.mark.parametrize("kind", sorted(KIND_PLANS))
+    def test_timelines_identical_and_sum_to_fault_cycles(self, spec, kind):
+        run = _random_run(spec.total_processors, seed=7)
+        scalar, batched = _both_lanes(
+            spec, run, KIND_PLANS[kind], sample_every=1000.0
+        )
+        _assert_identical(scalar, batched)
+        assert batched.timeline.to_obj() == scalar.timeline.to_obj()
+        totals = scalar.timeline.totals()
+        assert totals.get("fault_stall_cycles", 0.0) == scalar.fault_cycles
+
+
+class TestFaultSemantics:
+    def test_no_plan_means_no_fault_accounting(self):
+        spec = SPECS[0]
+        run = _random_run(spec.total_processors, seed=0)
+        result = SimulationEngine(spec, run).execute()
+        assert result.fault_cycles == 0.0 and result.fault_events == 0
+
+    def test_empty_plan_equals_no_plan(self):
+        spec = SPECS[0]
+        run = _random_run(spec.total_processors, seed=0)
+        clean = SimulationEngine(spec, run).execute()
+        empty = SimulationEngine(spec, run, fault_plan=FaultPlan()).execute()
+        _assert_identical(clean, empty)
+
+    def test_delay_slows_the_run_and_charges_exactly(self):
+        spec = SPECS[0]
+        run = _random_run(spec.total_processors, seed=1)
+        clean = SimulationEngine(spec, run).execute()
+        plan = FaultPlan((OneOffDelay(proc=0, at=100.0, cycles=10_000.0),))
+        faulted = SimulationEngine(spec, run, fault_plan=plan).execute()
+        assert faulted.fault_events == 1
+        assert faulted.fault_cycles == 10_000.0
+        assert faulted.total_cycles > clean.total_cycles
+
+    def test_stall_is_absorptive_never_charges_past_resume(self):
+        spec = SPECS[0]
+        run = _random_run(spec.total_processors, seed=1)
+        plan = FaultPlan((NodeStall(proc=0, at=100.0, cycles=5_000.0),))
+        faulted = SimulationEngine(spec, run, fault_plan=plan).execute()
+        assert faulted.fault_events == 1
+        # The charge is at most the stall length (slack absorbs the rest)
+        # and the victim cannot resume before the stall's resume time.
+        assert 0.0 <= faulted.fault_cycles <= 5_000.0
+
+    def test_slowdown_stretches_compute(self):
+        spec = SPECS[0]
+        run = _random_run(spec.total_processors, seed=2)
+        clean = SimulationEngine(spec, run).execute()
+        plan = FaultPlan(
+            tuple(
+                NodeSlowdown(proc=p, start=0.0, end=clean.total_cycles * 2, factor=4.0)
+                for p in range(spec.total_processors)
+            )
+        )
+        slowed = SimulationEngine(spec, run, fault_plan=plan).execute()
+        assert slowed.total_cycles > clean.total_cycles
+        # Slowdowns reshape time, they do not charge stall cycles.
+        assert slowed.fault_cycles == 0.0
+
+    def test_netspike_is_inert_on_smp(self):
+        spec = SPECS[0]  # n=4, N=1: no cluster network
+        run = _random_run(spec.total_processors, seed=3)
+        clean = SimulationEngine(spec, run).execute()
+        plan = FaultPlan((NetworkSpike(start=0.0, end=1e9, extra_cycles=1e4),))
+        spiked = SimulationEngine(spec, run, fault_plan=plan).execute()
+        _assert_identical(clean, spiked)
+
+    def test_netspike_slows_the_cluster(self):
+        spec = SPECS[2]  # eq-cow-bus
+        run = _random_run(spec.total_processors, seed=3)
+        clean = SimulationEngine(spec, run).execute()
+        plan = FaultPlan((NetworkSpike(start=0.0, end=1e9, extra_cycles=1000.0),))
+        spiked = SimulationEngine(spec, run, fault_plan=plan).execute()
+        assert spiked.total_cycles > clean.total_cycles
+
+    def test_mismatched_proc_raises_at_construction(self):
+        spec = SPECS[0]
+        run = _random_run(spec.total_processors, seed=0)
+        plan = FaultPlan((OneOffDelay(proc=99, at=1.0, cycles=1.0),))
+        with pytest.raises(ValueError):
+            SimulationEngine(spec, run, fault_plan=plan)
+
+    def test_describe_reports_faults(self):
+        spec = SPECS[0]
+        run = _random_run(spec.total_processors, seed=0)
+        plan = FaultPlan((OneOffDelay(proc=0, at=100.0, cycles=500.0),))
+        text = SimulationEngine(spec, run, fault_plan=plan).execute().describe()
+        assert "faults 1" in text
+
+    def test_same_plan_is_deterministic_across_engines(self):
+        spec = SPECS[4]  # eq-clump
+        run = _random_run(spec.total_processors, seed=5)
+        plan = FaultPlan.generate(seed=5, num_procs=spec.total_processors, span=50_000.0)
+        a = SimulationEngine(spec, run, fault_plan=plan).execute()
+        b = SimulationEngine(spec, run, fault_plan=plan).execute()
+        _assert_identical(a, b)
+        assert a.fault_cycles == b.fault_cycles

@@ -1,0 +1,225 @@
+"""FaultPlan construction, validation, parsing and generation."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.faults.inject import F_DELAY, F_NORMAL, F_SLOW, F_STALL, compile_triggers
+from repro.faults.plan import (
+    FaultPlan,
+    NetworkSpike,
+    NodeSlowdown,
+    NodeStall,
+    OneOffDelay,
+    parse_inject_spec,
+    plan_from_specs,
+)
+
+
+class TestEventValidation:
+    def test_delay_rejects_nonpositive_cycles(self):
+        with pytest.raises(ValueError):
+            OneOffDelay(proc=0, at=10.0, cycles=0.0)
+        with pytest.raises(ValueError):
+            OneOffDelay(proc=0, at=10.0, cycles=-5.0)
+
+    def test_delay_rejects_negative_proc_and_time(self):
+        with pytest.raises(ValueError):
+            OneOffDelay(proc=-1, at=10.0, cycles=1.0)
+        with pytest.raises(ValueError):
+            OneOffDelay(proc=0, at=-1.0, cycles=1.0)
+
+    def test_stall_resume_at(self):
+        assert NodeStall(proc=1, at=100.0, cycles=50.0).resume_at == 150.0
+
+    def test_slowdown_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            NodeSlowdown(proc=0, start=10.0, end=10.0, factor=2.0)
+        with pytest.raises(ValueError):
+            NodeSlowdown(proc=0, start=10.0, end=5.0, factor=2.0)
+        with pytest.raises(ValueError):
+            NodeSlowdown(proc=0, start=0.0, end=10.0, factor=0.0)
+
+    def test_netspike_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            NetworkSpike(start=5.0, end=5.0, extra_cycles=10.0)
+        with pytest.raises(ValueError):
+            NetworkSpike(start=0.0, end=5.0, extra_cycles=-1.0)
+
+
+class TestPlan:
+    def test_bool_and_counts(self):
+        assert not FaultPlan()
+        plan = FaultPlan(
+            (
+                OneOffDelay(proc=0, at=1.0, cycles=1.0),
+                NodeStall(proc=0, at=2.0, cycles=1.0),
+                NetworkSpike(start=0.0, end=1.0, extra_cycles=1.0),
+            )
+        )
+        assert plan
+        assert plan.counts() == {"delay": 1, "stall": 1, "netspike": 1}
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            FaultPlan(("not an event",))
+
+    def test_rejects_overlapping_slowdowns_same_proc(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultPlan(
+                (
+                    NodeSlowdown(proc=0, start=0.0, end=10.0, factor=2.0),
+                    NodeSlowdown(proc=0, start=5.0, end=15.0, factor=3.0),
+                )
+            )
+
+    def test_allows_overlapping_slowdowns_on_different_procs(self):
+        FaultPlan(
+            (
+                NodeSlowdown(proc=0, start=0.0, end=10.0, factor=2.0),
+                NodeSlowdown(proc=1, start=5.0, end=15.0, factor=3.0),
+            )
+        )
+
+    def test_validate_for_rejects_out_of_range_proc(self):
+        plan = FaultPlan((OneOffDelay(proc=4, at=1.0, cycles=1.0),))
+        with pytest.raises(ValueError, match="proc 4"):
+            plan.validate_for(4)
+        plan.validate_for(5)
+
+    def test_cache_key_is_order_independent(self):
+        a = OneOffDelay(proc=0, at=1.0, cycles=1.0)
+        b = NodeStall(proc=1, at=2.0, cycles=3.0)
+        assert FaultPlan((a, b)).cache_key() == FaultPlan((b, a)).cache_key()
+        assert FaultPlan((a,)).cache_key() != FaultPlan((b,)).cache_key()
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan.generate(seed=1, num_procs=4, span=1000.0)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+    def test_network_extra_sums_overlaps(self):
+        plan = FaultPlan(
+            (
+                NetworkSpike(start=0.0, end=10.0, extra_cycles=5.0),
+                NetworkSpike(start=5.0, end=15.0, extra_cycles=7.0),
+            )
+        )
+        extra = plan.network_extra
+        assert extra(2.0) == 5.0
+        assert extra(7.0) == 12.0
+        assert extra(12.0) == 7.0
+        assert extra(20.0) == 0.0
+
+    def test_network_extra_none_without_spikes(self):
+        assert FaultPlan((OneOffDelay(proc=0, at=1.0, cycles=1.0),)).network_extra is None
+
+    def test_describe_mentions_every_kind(self):
+        text = FaultPlan.generate(seed=3, num_procs=2, span=1000.0).describe()
+        for word in ("delay", "stall", "slow", "netspike"):
+            assert word in text
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.generate(seed=9, num_procs=4, span=50_000.0)
+        b = FaultPlan.generate(seed=9, num_procs=4, span=50_000.0)
+        assert a == b and a.cache_key() == b.cache_key()
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.generate(seed=1, num_procs=4, span=50_000.0)
+        b = FaultPlan.generate(seed=2, num_procs=4, span=50_000.0)
+        assert a != b
+
+    def test_counts_match_request(self):
+        plan = FaultPlan.generate(
+            seed=0, num_procs=4, span=1000.0, delays=3, stalls=2, slowdowns=2, spikes=1
+        )
+        assert plan.counts() == {"delay": 3, "stall": 2, "slow": 2, "netspike": 1}
+
+    def test_magnitudes_are_quarter_cycle_quantized(self):
+        plan = FaultPlan.generate(seed=5, num_procs=2, span=12345.0)
+        for ev in plan.events:
+            for field in ("at", "cycles", "start", "end", "factor", "extra_cycles"):
+                v = getattr(ev, field, None)
+                if v is not None:
+                    assert (4.0 * v) == int(4.0 * v)
+
+    def test_generate_validates_inputs(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(seed=0, num_procs=0, span=100.0)
+        with pytest.raises(ValueError):
+            FaultPlan.generate(seed=0, num_procs=2, span=0.0)
+
+
+class TestCompile:
+    def test_spike_only_plan_compiles_to_none(self):
+        plan = FaultPlan((NetworkSpike(start=0.0, end=1.0, extra_cycles=1.0),))
+        assert compile_triggers(plan, 2) is None
+        assert compile_triggers(FaultPlan(), 2) is None
+
+    def test_slowdown_compiles_to_paired_triggers(self):
+        plan = FaultPlan((NodeSlowdown(proc=1, start=10.0, end=20.0, factor=2.0),))
+        trigs = compile_triggers(plan, 2)
+        assert trigs[0] == []
+        assert trigs[1] == [(10.0, F_SLOW, 2.0), (20.0, F_NORMAL, 1.0)]
+
+    def test_triggers_sorted_and_stall_holds_resume_time(self):
+        plan = FaultPlan(
+            (
+                NodeStall(proc=0, at=30.0, cycles=5.0),
+                OneOffDelay(proc=0, at=10.0, cycles=2.0),
+            )
+        )
+        trigs = compile_triggers(plan, 1)
+        assert trigs[0] == [(10.0, F_DELAY, 2.0), (30.0, F_STALL, 35.0)]
+
+    def test_compile_rejects_bad_proc(self):
+        plan = FaultPlan((OneOffDelay(proc=3, at=1.0, cycles=1.0),))
+        with pytest.raises(ValueError):
+            compile_triggers(plan, 2)
+
+
+class TestParseInjectSpec:
+    def test_each_kind_round_trips(self):
+        assert parse_inject_spec("delay:proc=0,at=100,cycles=50") == OneOffDelay(
+            proc=0, at=100.0, cycles=50.0
+        )
+        assert parse_inject_spec("stall:proc=2,at=1e3,cycles=5e2") == NodeStall(
+            proc=2, at=1000.0, cycles=500.0
+        )
+        assert parse_inject_spec("slow:proc=1,start=0,end=10,factor=2.5") == NodeSlowdown(
+            proc=1, start=0.0, end=10.0, factor=2.5
+        )
+        assert parse_inject_spec("netspike:start=0,end=10,extra=7") == NetworkSpike(
+            start=0.0, end=10.0, extra_cycles=7.0
+        )
+
+    def test_extra_alias_and_full_name_agree(self):
+        assert parse_inject_spec("netspike:start=0,end=1,extra=2") == parse_inject_spec(
+            "netspike:start=0,end=1,extra_cycles=2"
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "unknown:proc=0",
+            "delay",
+            "delay:",
+            "delay:proc=0",  # missing fields
+            "delay:proc=0,at=1,cycles=1,bogus=2",
+            "delay:proc=x,at=1,cycles=1",
+            "slow:proc=0,start=5,end=1,factor=2",  # event-level validation
+        ],
+    )
+    def test_malformed_specs_raise_value_error(self, bad):
+        with pytest.raises(ValueError):
+            parse_inject_spec(bad)
+
+    def test_plan_from_specs(self):
+        plan = plan_from_specs(
+            ["delay:proc=0,at=1,cycles=1", "netspike:start=0,end=9,extra=1"]
+        )
+        assert plan.counts() == {"delay": 1, "netspike": 1}

@@ -1,0 +1,136 @@
+"""Argument validation and the ``faults`` subcommand.
+
+Bad numeric inputs must die at parse time with argparse's clear
+``error: argument --x: ...`` message (SystemExit 2), never as a
+traceback from deep inside the model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _parse(argv):
+    return build_parser().parse_args(argv)
+
+
+class TestNumericValidation:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["design", "--alpha", "0", "--beta", "50", "--gamma", "0.3",
+             "--budget", "8000"],
+            ["design", "--alpha", "-1.5", "--beta", "50", "--gamma", "0.3",
+             "--budget", "8000"],
+            ["design", "--workload", "FFT", "--budget", "0"],
+            ["design", "--workload", "FFT", "--budget", "-100"],
+            ["design", "--workload", "FFT", "--budget", "1e4", "--top", "0"],
+        ],
+        ids=["alpha-zero", "alpha-negative", "budget-zero", "budget-negative",
+             "top-zero"],
+    )
+    def test_design_rejects_bad_numbers(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(argv)
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "gamma", ["0", "-0.2", "1.5", "nan", "abc"],
+    )
+    def test_gamma_must_be_a_fraction(self, gamma, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(["design", "--alpha", "1.5", "--beta", "50",
+                    "--gamma", gamma, "--budget", "8000"])
+        assert exc.value.code == 2
+        assert "--gamma" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["predict", "--workload", "FFT", "--machines", "0"],
+            ["predict", "--workload", "FFT", "--machines", "-2"],
+            ["predict", "--workload", "FFT", "--procs-per-machine", "0"],
+            ["predict", "--workload", "FFT", "--cache-kb", "0"],
+            ["predict", "--workload", "FFT", "--memory-mb", "0"],
+            ["predict", "--workload", "FFT", "--l2-kb", "0"],
+        ],
+        ids=["machines-zero", "machines-negative", "procs-zero",
+             "cache-zero", "memory-zero", "l2-zero"],
+    )
+    def test_platform_rejects_zero_sizes(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(argv)
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["simulate", "--app", "FFT", "--jobs", "0"],
+            ["simulate", "--app", "FFT", "--jobs", "-1"],
+            ["simulate", "--app", "FFT", "--horizon", "-5"],
+            ["simulate", "--app", "FFT", "--sample-every", "0"],
+            ["simulate", "--app", "FFT", "--cell-timeout", "0"],
+        ],
+        ids=["jobs-zero", "jobs-negative", "horizon-negative",
+             "sample-every-zero", "cell-timeout-zero"],
+    )
+    def test_runner_knobs_validated(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(argv)
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_max_retries_validated_at_dispatch(self):
+        with pytest.raises(SystemExit, match="--max-retries"):
+            main(["faults", "--app", "FFT", "--max-retries", "-1",
+                  "--cache-dir", ""])
+
+
+class TestInjectSpecs:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bogus:proc=0",
+            "delay:proc=0",
+            "delay:proc=0,at=1,cycles=-5",
+            "slow:proc=0,start=9,end=1,factor=2",
+        ],
+    )
+    def test_bad_inject_spec_is_a_clean_exit(self, spec):
+        with pytest.raises(SystemExit, match="--inject"):
+            main(["faults", "--app", "FFT", "--app-arg", "points=64",
+                  "--inject", spec, "--cache-dir", ""])
+
+
+class TestFaultsCommand:
+    ARGS = [
+        "faults", "--app", "FFT", "--app-arg", "points=64",
+        "--machines", "1", "--procs-per-machine", "2",
+        "--cache-dir", "",
+    ]
+
+    def test_injected_delay_demo(self, capsys):
+        rc = main(
+            self.ARGS + ["--inject", "delay:proc=0,at=100,cycles=5000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "faulted" in out
+        assert "delay" in out
+
+    def test_generated_plan_demo(self, capsys):
+        assert main(self.ARGS + ["--gen-seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out
+
+    def test_propagation_sweep(self, capsys):
+        rc = main(
+            self.ARGS
+            + ["--inject", "delay:proc=0,at=100,cycles=1000", "--propagation"]
+        )
+        assert rc == 0
+        assert "delay propagation" in capsys.readouterr().out
