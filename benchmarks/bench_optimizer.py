@@ -1,0 +1,180 @@
+"""Design-search throughput: pruned branch-and-bound vs exhaustive Eq. 6.
+
+For every paper workload at several budgets over the *default* candidate
+space, answers the design question three ways -- exhaustive enumeration,
+lower-bound pruned search, and Pareto-front search -- verifies all three
+return the identical optimal configuration (same spec, price and
+bit-identical E(Instr)), and records how many full model evaluations
+each needed.  Results land in ``BENCH_optimizer.json`` next to the
+repository root (or ``--output``).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_optimizer.py [--quick]
+
+``--quick`` trims the budget grid for a CI smoke run; the acceptance
+floor (``--require-reduction``) asserts the pruned search performs at
+least 5x fewer model evaluations than enumeration in aggregate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import platform
+import subprocess
+import sys
+import time
+
+import numpy
+
+from repro.cost.search import DesignQuery, DesignSearch
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.params import PAPER_WORKLOADS
+
+#: Acceptance floor: aggregate model evaluations, exhaustive over pruned.
+REQUIRED_REDUCTION = 5.0
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def provenance() -> dict:
+    """Where and when this benchmark ran, for comparing BENCH files."""
+    return {
+        "git_rev": _git_rev(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "hostname": platform.node(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+    }
+
+
+def _answer(workload, budget: float, method: str) -> tuple:
+    """One fresh-engine query: (best, stats, wall_seconds)."""
+    engine = DesignSearch(method=method, metrics=MetricsRegistry())
+    t0 = time.perf_counter()
+    outcome = engine.search(workload, budget)
+    return outcome.best, outcome.stats, time.perf_counter() - t0
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    budgets = [15_000.0, 40_000.0] if quick else [8_000.0, 15_000.0, 40_000.0, 80_000.0]
+    cells = []
+    totals = {"exhaustive": 0, "pruned": 0, "pareto": 0}
+    for workload in PAPER_WORKLOADS:
+        for budget in budgets:
+            best_ex, stats_ex, t_ex = _answer(workload, budget, "exhaustive")
+            cell = {
+                "workload": workload.name,
+                "budget": budget,
+                "candidates": stats_ex.candidates,
+                "best": {
+                    "name": best_ex.spec.name,
+                    "price": best_ex.price,
+                    "e_instr_seconds": best_ex.e_instr_seconds,
+                },
+                "methods": {},
+            }
+            for method in ("exhaustive", "pruned", "pareto"):
+                if method == "exhaustive":
+                    best, stats, wall = best_ex, stats_ex, t_ex
+                else:
+                    best, stats, wall = _answer(workload, budget, method)
+                    if (
+                        best.spec != best_ex.spec
+                        or best.price != best_ex.price
+                        or best.e_instr_seconds != best_ex.e_instr_seconds
+                    ):
+                        raise AssertionError(
+                            f"{method} search diverged from enumeration on "
+                            f"{workload.name} @ ${budget:,.0f}: "
+                            f"{best.spec.name} != {best_ex.spec.name}"
+                        )
+                totals[method] += stats.evaluated
+                cell["methods"][method] = {
+                    "evaluated": stats.evaluated,
+                    "pruned": stats.pruned,
+                    "pruning_ratio": stats.pruning_ratio,
+                    "wall_seconds": wall,
+                    "identical_best": True,
+                }
+            cells.append(cell)
+
+    return {
+        "benchmark": "optimizer_search",
+        "workloads": [w.name for w in PAPER_WORKLOADS],
+        "budgets": budgets,
+        "quick": quick,
+        "provenance": provenance(),
+        "cells": cells,
+        "totals": {
+            "model_evaluations": totals,
+            "evaluation_reduction_pruned": (
+                totals["exhaustive"] / totals["pruned"] if totals["pruned"] else None
+            ),
+            "evaluation_reduction_pareto": (
+                totals["exhaustive"] / totals["pareto"] if totals["pareto"] else None
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="trimmed budget grid")
+    ap.add_argument("--output", default="BENCH_optimizer.json")
+    ap.add_argument(
+        "--require-reduction", action="store_true",
+        help="exit nonzero unless pruned search does at least "
+        f"{REQUIRED_REDUCTION}x fewer model evaluations in aggregate",
+    )
+    args = ap.parse_args(argv)
+
+    payload = run_benchmark(quick=args.quick)
+    from repro.ioutil import atomic_write_json
+
+    atomic_write_json(args.output, payload)
+
+    for cell in payload["cells"]:
+        m = cell["methods"]
+        print(
+            f"{cell['workload']:>6s} @ ${cell['budget']:>7,.0f}: "
+            f"{cell['candidates']:4d} candidates, evaluated "
+            f"exhaustive {m['exhaustive']['evaluated']:4d} / "
+            f"pruned {m['pruned']['evaluated']:4d} / "
+            f"pareto {m['pareto']['evaluated']:4d}  "
+            f"(pruned ratio {100 * m['pruned']['pruning_ratio']:.0f}%), "
+            f"best identical"
+        )
+    reduction = payload["totals"]["evaluation_reduction_pruned"]
+    print(
+        f"aggregate: {payload['totals']['model_evaluations']['exhaustive']} "
+        f"exhaustive vs {payload['totals']['model_evaluations']['pruned']} pruned "
+        f"model evaluations -> {reduction:.1f}x reduction"
+    )
+    print(f"wrote {args.output}")
+
+    if args.require_reduction and reduction < REQUIRED_REDUCTION:
+        print(
+            f"FAIL: evaluation reduction {reduction:.2f}x < {REQUIRED_REDUCTION}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

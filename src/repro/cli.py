@@ -7,6 +7,8 @@ cluster computing."  This module is that vehicle:
 .. code-block:: bash
 
     python -m repro design --workload Radix --budget 20000
+    python -m repro design --workload LU --budget 8000 --budget 16000 \\
+        --budget 32000 --pareto --jobs 4 --cache-dir .repro_cache
     python -m repro upgrade --workload FFT --budget-increase 3000 \\
         --machines 4 --network ethernet100 --memory-mb 32
     python -m repro characterize --app EDGE --procs 4
@@ -38,7 +40,9 @@ from repro.obs.log import get_logger, set_level
 
 from repro.core.execution import evaluate
 from repro.core.platform import PlatformSpec
-from repro.cost.optimizer import optimize_cluster, optimize_upgrade
+from repro.cost.catalog import DEFAULT_CATALOG
+from repro.cost.configspace import CandidateSpace
+from repro.cost.optimizer import optimize_upgrade
 from repro.cost.recommend import recommend
 from repro.sim.latencies import NetworkKind
 from repro.workloads.params import (
@@ -242,6 +246,113 @@ def _finish_observability(args: argparse.Namespace, runner=None) -> None:
     )
 
 
+def _stats_line(stats) -> str:
+    """One human line of :class:`repro.cost.search.SearchStats`."""
+    line = (
+        f"{stats.candidates} candidates, {stats.evaluated} evaluated, "
+        f"{stats.pruned} pruned ({100 * stats.pruning_ratio:.0f}%), "
+        f"{stats.memo_hits} memo hits"
+    )
+    if stats.from_cache:
+        line += " [cached answer]"
+    return line
+
+
+def _config_payload(r) -> dict:
+    return {
+        "name": r.spec.name,
+        "machines": r.spec.N,
+        "procs_per_machine": r.spec.n,
+        "cache_kb": r.spec.cache_bytes // KB,
+        "memory_mb": r.spec.memory_bytes // MB,
+        "network": r.spec.network.value if r.spec.network else None,
+        "price": r.price,
+        "e_instr_seconds": r.e_instr_seconds,
+    }
+
+
+def _design_payload(outcome, include_frontier: bool) -> dict:
+    from repro.cost.search import upgrade_path
+
+    result, stats = outcome.result, outcome.stats
+    payload = {
+        "workload": result.workload.name,
+        "budget": result.budget,
+        "best": _config_payload(result.best),
+        "stats": {
+            "candidates": stats.candidates,
+            "evaluated": stats.evaluated,
+            "pruned": stats.pruned,
+            "memo_hits": stats.memo_hits,
+            "pruning_ratio": stats.pruning_ratio,
+            "from_cache": stats.from_cache,
+        },
+    }
+    if include_frontier:
+        payload["frontier"] = [_config_payload(r) for r in outcome.frontier]
+        payload["upgrade_path"] = [
+            _config_payload(r) for r in upgrade_path(outcome.frontier)
+        ]
+    return payload
+
+
+def _frontier_text(outcome) -> str:
+    from repro.cost.search import upgrade_path
+
+    path = {r.spec.name for r in upgrade_path(outcome.frontier)}
+    lines = ["price/performance frontier (* = on the incremental upgrade path):"]
+    for r in outcome.frontier:
+        mark = "*" if r.spec.name in path else " "
+        lines.append(
+            f"  {mark} {r.spec.name:<44s} ${r.price:>8,.0f}  "
+            f"E(Instr)={r.e_instr_seconds:.3e}s"
+        )
+    return "\n".join(lines)
+
+
+def _validate_upgrade_args(args: argparse.Namespace) -> None:
+    """Reject upgrade questions no candidate could ever answer.
+
+    The upgrade search only considers configurations that *grow* the
+    current cluster within the candidate space, so a current platform
+    outside the catalog (odd cache size) or already past the space's
+    bounds would silently enumerate nothing (or die deep in pricing).
+    Fail at the CLI boundary with argparse-style messages instead.
+    """
+    space = CandidateSpace()
+    problems: list[str] = []
+    if args.cache_kb not in DEFAULT_CATALOG.cache_prices:
+        problems.append(
+            f"argument --cache-kb: {args.cache_kb} is not a catalog cache "
+            f"option {sorted(DEFAULT_CATALOG.cache_prices)}"
+        )
+    if args.l2_kb is not None and args.l2_kb not in DEFAULT_CATALOG.l2_prices:
+        problems.append(
+            f"argument --l2-kb: {args.l2_kb} is not a catalog L2 "
+            f"option {sorted(DEFAULT_CATALOG.l2_prices)}"
+        )
+    if args.machines > space.max_machines:
+        problems.append(
+            f"argument --machines: {args.machines} already exceeds the "
+            f"candidate space's maximum of {space.max_machines}; "
+            "nothing could grow it"
+        )
+    if args.procs_per_machine > max(space.processor_counts):
+        problems.append(
+            f"argument --procs-per-machine: {args.procs_per_machine} already "
+            f"exceeds the largest candidate SMP ({max(space.processor_counts)}"
+            "-way); nothing could grow it"
+        )
+    if args.memory_mb > max(space.memory_mb_options):
+        problems.append(
+            f"argument --memory-mb: {args.memory_mb} already exceeds the "
+            f"largest candidate memory ({max(space.memory_mb_options)} MB); "
+            "nothing could grow it"
+        )
+    if problems:
+        raise SystemExit("upgrade: error: " + "; ".join(problems))
+
+
 def _platform_from(args: argparse.Namespace, name: str = "platform") -> PlatformSpec:
     return PlatformSpec(
         name=name,
@@ -265,10 +376,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("design", help="optimal platform for a budget (paper Eq. 6)")
+    p = sub.add_parser(
+        "design", help="optimal platform for one or more budgets (paper Eq. 6)"
+    )
     _add_workload_args(p)
-    p.add_argument("--budget", type=_positive_float, required=True, help="dollars")
+    p.add_argument(
+        "--budget", type=_positive_float, action="append", required=True,
+        help="dollars; repeat to answer several budgets in one run",
+    )
     p.add_argument("--top", type=_positive_int, default=5, help="ranking entries to print")
+    p.add_argument(
+        "--method", choices=("pruned", "pareto", "exhaustive"), default="pruned",
+        help="search strategy -- every method returns the identical optimum; "
+        "'pareto' additionally keeps the exact price/time frontier",
+    )
+    p.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the design search (1 = in-process)",
+    )
+    p.add_argument(
+        "--pareto", action="store_true",
+        help="print the price/performance frontier and its upgrade path "
+        "(switches --method pruned to pareto so the frontier is exact)",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of text",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="design-answer disk cache, e.g. .repro_cache (off by default)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write search metrics as JSON to PATH on exit",
+    )
 
     p = sub.add_parser("upgrade", help="best way to spend a budget increase")
     _add_workload_args(p)
@@ -396,14 +538,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         set_level(level)
 
     if args.command == "design":
+        from repro.cost.search import DesignQuery, DesignSearch
+
         workload = _workload_from(args)
-        result = optimize_cluster(workload, args.budget)
-        print(result.describe(top=args.top))
-        print(f"\nSection 6 rule: {recommend(workload).platform}")
+        method = args.method
+        if args.pareto and method == "pruned":
+            method = "pareto"  # the frontier is only exact for pareto/exhaustive
+        engine = DesignSearch(
+            method=method, jobs=args.jobs, cache_dir=args.cache_dir or None
+        )
+        queries = [DesignQuery(workload, budget) for budget in args.budget]
+        try:
+            outcomes = engine.run(queries)
+        except ValueError as exc:
+            raise SystemExit(f"design: {exc}") from None
+        if args.as_json:
+            print(json.dumps(
+                [_design_payload(o, args.pareto) for o in outcomes], indent=2
+            ))
+        else:
+            for i, outcome in enumerate(outcomes):
+                if i:
+                    print()
+                print(outcome.result.describe(top=args.top))
+                print("search: " + _stats_line(outcome.stats))
+                if args.pareto:
+                    print(_frontier_text(outcome))
+            print(f"\nSection 6 rule: {recommend(workload).platform}")
+        _finish_observability(args)
         return 0
 
     if args.command == "upgrade":
         workload = _workload_from(args)
+        _validate_upgrade_args(args)
         current = _platform_from(args, name="current cluster")
         result = optimize_upgrade(workload, current, args.budget_increase)
         print(result.describe(top=args.top))

@@ -37,7 +37,12 @@ from repro.core.contention import (
 from repro.core.hierarchy import LevelKind, MemoryHierarchy
 from repro.core.locality import StackDistanceModel
 
-__all__ = ["LevelContribution", "AmatBreakdown", "average_memory_access_time"]
+__all__ = [
+    "LevelContribution",
+    "AmatBreakdown",
+    "average_memory_access_time",
+    "zero_contention_amat",
+]
 
 #: Level kinds whose request rate receives the paper's coherence
 #: adjustment (Section 5.3.2: remote-memory rate scaled up to absorb the
@@ -299,3 +304,55 @@ def average_memory_access_time(
     if not math.isfinite(result.total_cycles) and on_saturation == "raise":
         raise QueueSaturationError(math.inf, "throttled fixed point failed to stabilize")
     return result
+
+
+def zero_contention_amat(
+    hierarchy: MemoryHierarchy,
+    locality: StackDistanceModel,
+    gamma: float,
+    remote_rate_adjustment: float = 0.0,
+    barrier_scale: float = 1.0,
+    sharing_fraction: float = 0.0,
+    sharing_fresh_fraction: float = 1.0,
+) -> float:
+    """AMAT with every queueing delay removed: an admissible lower bound.
+
+    Replaces each level's M/D/1 response time ``tau + W`` by the bare
+    service time ``tau`` (``W >= 0`` always) and keeps every other term
+    of the model untouched.  Because the throttled fixed point only
+    scales request *rates* (responses still satisfy ``t >= tau``) and the
+    exact-MVA recursion yields ``R_i = s_i (1 + Q_i) >= s_i``, this value
+    never exceeds the true AMAT under any evaluation mode — which is what
+    makes it a sound branch-and-bound pruning bound for the design-space
+    search (see ``docs/COST.md``).  The contention-free relaxation also
+    subsumes the infinite-cache one (dropping a level's traffic entirely
+    would only loosen the bound further).
+
+    This is the scalar reference implementation; the optimizer uses the
+    vectorized :func:`repro.core.batch.e_instr_lower_bounds`, which is
+    tested against this function.
+    """
+    if not (0.0 < gamma <= 1.0):
+        raise ValueError(f"gamma must be in (0, 1], got {gamma!r}")
+    if remote_rate_adjustment < 0.0:
+        raise ValueError("remote_rate_adjustment must be non-negative")
+    if barrier_scale < 0.0:
+        raise ValueError("barrier_scale must be non-negative")
+    if not (0.0 <= sharing_fraction <= 1.0):
+        raise ValueError("sharing_fraction must be in [0, 1]")
+    if not (0.0 <= sharing_fresh_fraction <= 1.0):
+        raise ValueError("sharing_fresh_fraction must be in [0, 1]")
+
+    dist = locality.rescaled(hierarchy.total_processes)
+    cache_boundary = hierarchy.levels[0].boundary_items if hierarchy.levels else 0.0
+    total = hierarchy.base_cycles
+    for level in hierarchy.levels:
+        tail = float(dist.tail(level.boundary_items))
+        if sharing_fraction > 0.0 and level.kind is LevelKind.REMOTE_MEMORY:
+            cache_tail = float(dist.tail(cache_boundary))
+            miss_share = sharing_fresh_fraction + (1.0 - sharing_fresh_fraction) * cache_tail
+            tail = (1.0 - sharing_fraction) * tail + sharing_fraction * miss_share
+        adj = 1.0 + remote_rate_adjustment if level.kind in _REMOTE_KINDS else 1.0
+        total += tail * level.rate_fraction * adj * level.tau_cycles
+    total += barrier_scale * barrier_term(hierarchy.barrier_population) / gamma
+    return total

@@ -9,26 +9,41 @@ can override.
 """
 
 from repro.cost.catalog import PriceCatalog, DEFAULT_CATALOG
-from repro.cost.model import cluster_cost, machine_cost, network_cost
+from repro.cost.model import assert_priceable, cluster_cost, machine_cost, network_cost
 from repro.cost.configspace import CandidateSpace, enumerate_configurations
 from repro.cost.optimizer import (
     DesignResult,
+    ModelOptions,
     RankedConfiguration,
     UpgradeResult,
     optimize_cluster,
     optimize_upgrade,
 )
 from repro.cost.recommend import Recommendation, WorkloadClass, classify_workload, recommend
+from repro.cost.search import (
+    DesignQuery,
+    DesignSearch,
+    SearchOutcome,
+    SearchStats,
+    pareto_frontier,
+    upgrade_path,
+)
 
 __all__ = [
     "CandidateSpace",
     "DEFAULT_CATALOG",
+    "DesignQuery",
     "DesignResult",
+    "DesignSearch",
+    "ModelOptions",
     "PriceCatalog",
     "RankedConfiguration",
     "Recommendation",
+    "SearchOutcome",
+    "SearchStats",
     "UpgradeResult",
     "WorkloadClass",
+    "assert_priceable",
     "classify_workload",
     "cluster_cost",
     "enumerate_configurations",
@@ -36,5 +51,7 @@ __all__ = [
     "network_cost",
     "optimize_cluster",
     "optimize_upgrade",
+    "pareto_frontier",
     "recommend",
+    "upgrade_path",
 ]

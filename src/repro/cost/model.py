@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.core.platform import PlatformSpec
 from repro.cost.catalog import PriceCatalog
 
-__all__ = ["machine_cost", "network_cost", "cluster_cost"]
+__all__ = ["machine_cost", "network_cost", "cluster_cost", "assert_priceable"]
 
 
 def machine_cost(
@@ -49,3 +49,20 @@ def cluster_cost(catalog: PriceCatalog, spec: PlatformSpec) -> float:
         l2_kb=spec.l2_bytes // 1024 if spec.l2_bytes is not None else None,
     )
     return spec.N * (per_machine + network_cost(catalog, spec))
+
+
+def assert_priceable(catalog: PriceCatalog, spec: PlatformSpec) -> None:
+    """Fail fast, with the component named, when a catalog can't price a spec.
+
+    The optimizer's entry points call this on user-supplied platforms
+    (e.g. ``optimize_upgrade``'s current cluster) so a cache size or
+    network missing from the catalog surfaces as a clear ``ValueError``
+    up front instead of a ``KeyError`` deep inside enumeration.
+    """
+    try:
+        cluster_cost(catalog, spec)
+    except KeyError as exc:
+        raise ValueError(
+            f"platform '{spec.name}' cannot be priced by this catalog: "
+            f"{exc.args[0]}"
+        ) from None

@@ -2,12 +2,42 @@
 
 ``optimize_cluster`` solves  minimize E(Instr) s.t. C_cluster <= B  by
 exact enumeration (the paper: "we can determine these integer variables
-and solve the optimization problem by enumerating solutions").
-``optimize_upgrade`` solves the paper's second question -- given an
-existing cluster and a budget increase B', choose the best upgraded
-configuration, constrained to *grow* the current one (same or larger
-n, N, cache, memory; network may be replaced), so the answer is an
-upgrade path rather than a forklift replacement.
+and solve the optimization problem by enumerating solutions"), with the
+per-candidate model calls batched through the vectorized evaluator
+(:mod:`repro.core.batch`) so answers are bit-identical to the scalar
+model but arrive far faster.  ``optimize_upgrade`` solves the paper's
+second question -- given an existing cluster and a budget increase B',
+choose the best upgraded configuration, constrained to *grow* the
+current one (same or larger n, N, cache, memory; network may be
+replaced), so the answer is an upgrade path rather than a forklift
+replacement.  For pruned search, Pareto frontiers, disk caching and
+parallel batch queries, use :class:`repro.cost.search.DesignSearch`,
+which shares these result types.
+
+Example -- the paper's Case 1 question ("what is the best platform this
+budget can buy for this program?") on a small candidate space:
+
+>>> from repro.cost.configspace import CandidateSpace
+>>> from repro.workloads.params import PAPER_LU
+>>> space = CandidateSpace(max_machines=4, memory_mb_options=(32,),
+...                        cache_kb_options=(256,))
+>>> result = optimize_cluster(PAPER_LU, budget=8_000.0, space=space)
+>>> result.best.price <= 8_000.0 and result.best.spec.total_processors >= 2
+True
+>>> result.best.e_instr_seconds == min(r.e_instr_seconds for r in result.ranking)
+True
+
+and the upgrade question ("how should I spend $2,000 more on the
+cluster I own?"), whose answer may only *grow* the current machine:
+
+>>> from repro.core.platform import PlatformSpec
+>>> from repro.sim.latencies import NetworkKind
+>>> owned = PlatformSpec("owned", n=1, N=2, cache_bytes=256 * 1024,
+...                      memory_bytes=32 * 1024**2,
+...                      network=NetworkKind.ETHERNET_10)
+>>> up = optimize_upgrade(PAPER_LU, owned, budget_increase=2_000.0, space=space)
+>>> up.best.spec.N >= owned.N and up.speedup >= 1.0
+True
 """
 
 from __future__ import annotations
@@ -16,11 +46,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.execution import ExecutionEstimate, evaluate
+from repro.core.batch import BatchCase
+from repro.core.execution import ExecutionEstimate, evaluate, evaluate_batch
 from repro.core.platform import PlatformSpec
 from repro.cost.catalog import DEFAULT_CATALOG, PriceCatalog
 from repro.cost.configspace import CandidateSpace, enumerate_configurations
-from repro.cost.model import cluster_cost
+from repro.cost.model import assert_priceable, cluster_cost
 from repro.workloads.params import WorkloadParams
 
 __all__ = [
@@ -64,14 +95,52 @@ def _predict(
     )
 
 
+def _batch_case(
+    spec: PlatformSpec, workload: WorkloadParams, options: ModelOptions
+) -> BatchCase:
+    """The vectorized-lane mirror of :func:`_predict`'s per-spec knobs."""
+    return BatchCase(
+        spec,
+        sharing_fraction=(
+            workload.sharing_at(spec.N) if options.use_sharing else 0.0
+        ),
+        sharing_fresh_fraction=workload.sharing_fresh_fraction,
+        remote_rate_adjustment=(
+            options.remote_rate_adjustment if spec.N > 1 else 0.0
+        ),
+    )
+
+
+def _predict_batch(
+    specs: Sequence[PlatformSpec], workload: WorkloadParams, options: ModelOptions
+):
+    """E(Instr) seconds for many specs, bit-identical to :func:`_predict`."""
+    return evaluate_batch(
+        [_batch_case(spec, workload, options) for spec in specs],
+        workload.locality,
+        workload.gamma,
+        mode=options.mode,  # type: ignore[arg-type]
+        on_saturation="inf",
+        barrier_scale=options.barrier_scale,
+        cache_capacity_factor=options.cache_capacity_factor,
+        contention_boost=options.contention_boost,
+    )
+
+
 @dataclass(frozen=True)
 class RankedConfiguration:
-    """One feasible configuration with its price and predicted time."""
+    """One feasible configuration with its price and predicted time.
+
+    ``estimate`` carries the full per-level model breakdown when the
+    configuration came through the scalar lane (e.g. the current machine
+    in an upgrade query); batched search paths leave it ``None`` -- call
+    :func:`_predict` on the spec to reconstruct it on demand.
+    """
 
     spec: PlatformSpec
     price: float
     e_instr_seconds: float
-    estimate: ExecutionEstimate
+    estimate: ExecutionEstimate | None = None
 
     @property
     def cost_performance(self) -> float:
@@ -109,29 +178,37 @@ def optimize_cluster(
     catalog: PriceCatalog | None = None,
     space: CandidateSpace | None = None,
     options: ModelOptions | None = None,
+    method: str = "exhaustive",
 ) -> DesignResult:
     """Paper Eq. 6: the cheapest-to-run platform a budget can buy.
 
-    Raises ``ValueError`` when no parallel platform fits the budget.
+    ``method="exhaustive"`` (default) evaluates every candidate in one
+    vectorized batch, so ``ranking`` is the *complete* feasible set.
+    ``method="pruned"`` routes through the branch-and-bound engine
+    (:class:`repro.cost.search.DesignSearch`): ``best`` is guaranteed
+    identical, but ``ranking`` only holds the candidates whose lower
+    bound forced an evaluation.  Raises ``ValueError`` when no parallel
+    platform fits the budget.
     """
     catalog = catalog or DEFAULT_CATALOG
     options = options or ModelOptions()
-    ranked: list[RankedConfiguration] = []
-    evaluated = 0
-    for spec, price in enumerate_configurations(budget, catalog=catalog, space=space):
-        evaluated += 1
-        est = _predict(spec, workload, options)
-        if not math.isfinite(est.e_instr_seconds):
-            continue  # saturated => infeasible
-        ranked.append(
-            RankedConfiguration(
-                spec=spec, price=price, e_instr_seconds=est.e_instr_seconds, estimate=est
-            )
-        )
+    if method != "exhaustive":
+        from repro.cost.search import DesignSearch  # circular at import time
+
+        return DesignSearch(catalog, space, options, method=method).search(
+            workload, budget
+        ).result
+    pairs = list(enumerate_configurations(budget, catalog=catalog, space=space))
+    seconds = _predict_batch([spec for spec, _ in pairs], workload, options)
+    ranked = [
+        RankedConfiguration(spec=spec, price=price, e_instr_seconds=float(s))
+        for (spec, price), s in zip(pairs, seconds)
+        if math.isfinite(s)  # saturated => infeasible
+    ]
     if not ranked:
         raise ValueError(
             f"no feasible parallel platform fits ${budget:,.0f} "
-            f"(evaluated {evaluated} candidates)"
+            f"(evaluated {len(pairs)} candidates)"
         )
     ranked.sort(key=lambda r: (r.e_instr_seconds, r.price))
     return DesignResult(
@@ -139,7 +216,7 @@ def optimize_cluster(
         budget=budget,
         best=ranked[0],
         ranking=tuple(ranked),
-        evaluated=evaluated,
+        evaluated=len(pairs),
     )
 
 
@@ -199,6 +276,7 @@ def optimize_upgrade(
     options = options or ModelOptions()
     if budget_increase < 0:
         raise ValueError("budget increase must be non-negative")
+    assert_priceable(catalog, current)
     current_price = cluster_cost(catalog, current)
     current_est = _predict(current, workload, options)
     current_ranked = RankedConfiguration(
@@ -208,18 +286,19 @@ def optimize_upgrade(
         estimate=current_est,
     )
     total_budget = current_price + budget_increase
-    ranked: list[RankedConfiguration] = []
-    for spec, price in enumerate_configurations(total_budget, catalog=catalog, space=space):
-        if not _is_upgrade_of(spec, current):
-            continue
-        est = _predict(spec, workload, options)
-        if not math.isfinite(est.e_instr_seconds):
-            continue
-        ranked.append(
-            RankedConfiguration(
-                spec=spec, price=price, e_instr_seconds=est.e_instr_seconds, estimate=est
-            )
+    pairs = [
+        (spec, price)
+        for spec, price in enumerate_configurations(
+            total_budget, catalog=catalog, space=space
         )
+        if _is_upgrade_of(spec, current)
+    ]
+    seconds = _predict_batch([spec for spec, _ in pairs], workload, options)
+    ranked = [
+        RankedConfiguration(spec=spec, price=price, e_instr_seconds=float(s))
+        for (spec, price), s in zip(pairs, seconds)
+        if math.isfinite(s)
+    ]
     if not ranked:
         ranked = [current_ranked]
     ranked.sort(key=lambda r: (r.e_instr_seconds, r.price))

@@ -7,6 +7,15 @@ paper's thresholds (gamma large/small around its examples, beta 100 for
 locality, very large beta for I/O-heavy commercial loads) and
 :func:`recommend` returns the corresponding platform guidance, quoting
 the paper's own example program for each class.
+
+Example -- Radix (gamma 0.37, beta 121) is memory bound with poor
+locality, so the paper's Section 6 table sends it to an SMP:
+
+>>> from repro.workloads.params import PAPER_RADIX
+>>> classify_workload(PAPER_RADIX).value
+'memory bound, poor locality'
+>>> recommend(PAPER_RADIX).platform
+'an SMP (even though the number of processors could be limited)'
 """
 
 from __future__ import annotations

@@ -31,9 +31,6 @@ import itertools
 import math
 import os
 import pickle
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -49,6 +46,7 @@ from repro.ioutil import atomic_write_bytes
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
 from repro.obs.spans import Span, Tracer, get_tracer
+from repro.pool import FaultTolerantPool
 from repro.sim.engine import SimulationEngine, SimulationResult
 from repro.trace.analysis import analyze_trace, measure_sharing
 from repro.workloads.params import WorkloadParams
@@ -201,14 +199,8 @@ class ExperimentRunner:
             raise ValueError("sample_every must be positive (or None to disable)")
         self.sample_every = sample_every
         self.fault_plan = fault_plan
-        if cell_timeout is not None and cell_timeout <= 0:
-            raise ValueError("cell_timeout must be positive (or None for no limit)")
         self.cell_timeout = cell_timeout
-        if max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
         self.max_retries = max_retries
-        if retry_backoff < 0:
-            raise ValueError("retry_backoff must be >= 0")
         self.retry_backoff = retry_backoff
         self.metrics = metrics if metrics is not None else obs_metrics.REGISTRY
         self._cache_lookups = self.metrics.counter(
@@ -228,6 +220,17 @@ class ExperimentRunner:
         self._pool_degradations = self.metrics.counter(
             "repro_pool_degradations_total",
             "Times a broken or timed-out process pool fell back to serial",
+        )
+        # Knob validation (cell_timeout / max_retries / retry_backoff)
+        # lives in the shared pool since PR 4.
+        self._pool = FaultTolerantPool(
+            self.jobs,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            task_timeout=cell_timeout,
+            retries=self._cell_retries,
+            degradations=self._pool_degradations,
+            kind="cell",
         )
         self._runs: dict[tuple[str, int], ApplicationRun] = {}
         self._chars: dict[str, WorkloadParams] = {}
@@ -448,17 +451,17 @@ class ExperimentRunner:
         tracer = get_tracer()
         _log.debug("prefetching cells", todo=len(todo), jobs=self.jobs)
         with tracer.span(f"prefetch:{len(todo)}cells", jobs=self.jobs):
-            remaining = self._prefetch_pooled(todo, tracer)
-            if remaining:
-                self._pool_degradations.inc()
-                _log.warning(
-                    "process pool degraded; running remaining cells serially",
-                    remaining=len(remaining),
-                )
-                for name, spec in remaining:
-                    self._finish_cell(name, spec, *self._attempt_serial(name, spec), tracer)
+            tasks = [
+                (f"{name}@{spec.name}", self._cell_args(name, spec))
+                for name, spec in todo
+            ]
+            self._pool.run(
+                _simulate_cell,
+                tasks,
+                lambda i, value: self._finish_cell(*todo[i], *value, tracer),
+            )
 
-    # -- fault-tolerant pool machinery ----------------------------------
+    # -- pool plumbing (retry/degrade/kill live in repro.pool) -----------
     def _cell_args(self, name: str, spec: PlatformSpec) -> tuple:
         return (
             name,
@@ -476,127 +479,6 @@ class ExperimentRunner:
         self._store_pickle(self._sim_cache_path(name, spec), result)
         if span_obj is not None:
             tracer.attach(Span.from_obj(span_obj))
-
-    def _backoff(self, attempt: int) -> None:
-        self._cell_retries.inc()
-        delay = self.retry_backoff * (2.0 ** (attempt - 1))
-        if delay > 0:
-            time.sleep(delay)
-
-    def _attempt_serial(self, name: str, spec: PlatformSpec):
-        """Run one cell in-process, with the same retry policy as the pool."""
-        args = self._cell_args(name, spec)
-        attempt = 0
-        while True:
-            try:
-                return _simulate_cell(args)
-            except Exception as exc:
-                attempt += 1
-                if attempt > self.max_retries:
-                    raise RuntimeError(
-                        f"cell {name}@{spec.name} failed after "
-                        f"{attempt} attempt(s): {exc}"
-                    ) from exc
-                _log.warning(
-                    "cell failed; retrying serially",
-                    app=name, spec=spec.name, attempt=attempt, error=str(exc),
-                )
-                self._backoff(attempt)
-
-    @staticmethod
-    def _kill_pool(pool: ProcessPoolExecutor) -> None:
-        """Abandon a pool without waiting on wedged workers."""
-        processes = list(getattr(pool, "_processes", {}).values())
-        pool.shutdown(wait=False, cancel_futures=True)
-        for proc in processes:
-            try:
-                proc.terminate()
-            except Exception:
-                pass
-
-    def _prefetch_pooled(
-        self, todo: list[tuple[str, PlatformSpec]], tracer
-    ) -> list[tuple[str, PlatformSpec]]:
-        """Run ``todo`` on a process pool; return cells left for serial.
-
-        Collection is as-completed so finished cells checkpoint while
-        slower ones still run.  A worker exception retries the cell on
-        the pool (with backoff) up to ``max_retries`` times, then
-        raises.  A broken pool (worker killed mid-cell) or a cell
-        exceeding ``cell_timeout`` abandons the pool -- killing any
-        leftover workers -- and hands every unfinished cell back to the
-        caller.  ``KeyboardInterrupt`` cleans the pool up and
-        propagates: the checkpoints written so far make the rerun cheap.
-        """
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(todo)))
-        pending: dict = {}  # future -> (name, spec)
-        attempts: dict[tuple[str, str], int] = {}
-        deadlines: dict = {}  # future -> monotonic deadline
-        try:
-            for name, spec in todo:
-                fut = pool.submit(_simulate_cell, self._cell_args(name, spec))
-                pending[fut] = (name, spec)
-                if self.cell_timeout is not None:
-                    deadlines[fut] = time.monotonic() + self.cell_timeout
-            while pending:
-                timeout = None
-                if deadlines:
-                    timeout = max(0.0, min(deadlines.values()) - time.monotonic())
-                done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
-                if not done:  # a cell blew its deadline: degrade
-                    cells = [pending[f] for f in sorted(deadlines, key=deadlines.get)]
-                    _log.warning(
-                        "cell exceeded its deadline; abandoning the pool",
-                        app=cells[0][0], spec=cells[0][1].name,
-                        timeout_s=self.cell_timeout,
-                    )
-                    self._kill_pool(pool)
-                    return list(pending.values())
-                for fut in done:
-                    name, spec = pending.pop(fut)
-                    deadlines.pop(fut, None)
-                    try:
-                        result, span_obj = fut.result()
-                    except BrokenProcessPool:
-                        # One dead worker poisons every in-flight future;
-                        # hand all unfinished cells (this one included)
-                        # to the serial fallback.
-                        self._kill_pool(pool)
-                        return [(name, spec), *pending.values()]
-                    except Exception as exc:
-                        key = (name, spec.name)
-                        attempt = attempts.get(key, 0) + 1
-                        attempts[key] = attempt
-                        if attempt > self.max_retries:
-                            raise RuntimeError(
-                                f"cell {name}@{spec.name} failed after "
-                                f"{attempt} attempt(s): {exc}"
-                            ) from exc
-                        _log.warning(
-                            "cell failed; retrying on the pool",
-                            app=name, spec=spec.name, attempt=attempt,
-                            error=str(exc),
-                        )
-                        self._backoff(attempt)
-                        try:
-                            retry = pool.submit(
-                                _simulate_cell, self._cell_args(name, spec)
-                            )
-                        except RuntimeError:  # pool broke underneath us
-                            self._kill_pool(pool)
-                            return [(name, spec), *pending.values()]
-                        pending[retry] = (name, spec)
-                        if self.cell_timeout is not None:
-                            deadlines[retry] = time.monotonic() + self.cell_timeout
-                    else:
-                        self._finish_cell(name, spec, result, span_obj, tracer)
-            pool.shutdown()
-            return []
-        except BaseException:
-            # KeyboardInterrupt or a permanent cell failure: never leak
-            # worker processes, keep every checkpoint written so far.
-            self._kill_pool(pool)
-            raise
 
     def model(
         self, name: str, spec: PlatformSpec, calibration: Calibration

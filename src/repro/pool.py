@@ -1,0 +1,241 @@
+"""Reusable fault-tolerant process pool (the PR-3 harness, generalized).
+
+The experiment runner's pool machinery — retry with exponential backoff,
+per-task wall-clock deadlines, degrade-to-serial on a broken or
+deadline-blown pool, prompt worker cleanup on interrupt — is useful to
+any fan-out of independent, picklable tasks.  :class:`FaultTolerantPool`
+packages it; :class:`repro.experiments.runner.ExperimentRunner` drives
+simulation grids through it and :mod:`repro.cost.search` drives design
+queries through it.
+
+The execution contract:
+
+* ``fn(args)`` must be a module-level (picklable) function of one
+  argument; tasks are independent, so any completion order yields the
+  same results.
+* A task attempt that raises is retried (on the pool when the pool is
+  healthy, in-process otherwise) up to ``max_retries`` times with
+  exponential backoff; a task still failing becomes a ``RuntimeError``
+  naming the task.
+* A worker death (:class:`BrokenProcessPool`) or a task exceeding
+  ``task_timeout`` abandons the pool — terminating leftover workers —
+  and runs every unfinished task serially instead of failing the batch.
+* ``KeyboardInterrupt`` kills the pool and propagates, so callers keep
+  whatever checkpoints ``on_result`` already wrote.
+
+Metrics are injected, not global: pass obs counters as ``retries`` and
+``degradations`` and the pool increments them at the same points the
+experiment harness always has (``repro_cell_retries_total``,
+``repro_pool_degradations_total``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
+
+from repro.obs.log import get_logger
+
+__all__ = ["FaultTolerantPool"]
+
+_log = get_logger("repro.pool")
+
+
+class _NullCounter:
+    """Metrics sink used when no obs counter is injected."""
+
+    def inc(self, amount: float = 1.0) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class FaultTolerantPool:
+    """Run independent picklable tasks with retries and serial fallback."""
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        max_retries: int = 2,
+        retry_backoff: float = 0.25,
+        task_timeout: float | None = None,
+        retries=None,
+        degradations=None,
+        kind: str = "cell",
+    ) -> None:
+        """``jobs`` bounds the worker processes (1 = always in-process).
+
+        ``task_timeout`` (wall seconds, ``None`` = unlimited) bounds each
+        pooled task attempt; a blown deadline degrades the whole batch to
+        serial execution.  ``retries`` / ``degradations`` are optional
+        obs counters; ``kind`` names the task unit in error messages
+        (``"cell"`` for simulation grids, ``"query"`` for design search).
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("cell_timeout must be positive (or None for no limit)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        self.jobs = jobs
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.task_timeout = task_timeout
+        self.kind = kind
+        self._retries = retries if retries is not None else _NullCounter()
+        self._degradations = degradations if degradations is not None else _NullCounter()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable,
+        tasks: Sequence[tuple[str, object]],
+        on_result: Callable[[int, object], None],
+    ) -> None:
+        """Execute ``fn(args)`` for every ``(description, args)`` task.
+
+        ``on_result(index, value)`` fires once per task, as soon as that
+        task finishes (checkpoint-friendly); indices refer to ``tasks``.
+        With one worker or one task everything runs in-process with the
+        same retry policy and no pool is spawned.
+        """
+        if not tasks:
+            return
+        if self.jobs <= 1 or len(tasks) <= 1:
+            for i, (desc, args) in enumerate(tasks):
+                on_result(i, self._attempt_serial(fn, desc, args))
+            return
+        remaining = self._run_pooled(fn, tasks, on_result)
+        if remaining:
+            self._degradations.inc()
+            _log.warning(
+                "process pool degraded; running remaining tasks serially",
+                kind=self.kind, remaining=len(remaining),
+            )
+            for i in remaining:
+                desc, args = tasks[i]
+                on_result(i, self._attempt_serial(fn, desc, args))
+
+    # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        self._retries.inc()
+        delay = self.retry_backoff * (2.0 ** (attempt - 1))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _attempt_serial(self, fn: Callable, desc: str, args):
+        """Run one task in-process, with the same retry policy as the pool."""
+        attempt = 0
+        while True:
+            try:
+                return fn(args)
+            except Exception as exc:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise RuntimeError(
+                        f"{self.kind} {desc} failed after "
+                        f"{attempt} attempt(s): {exc}"
+                    ) from exc
+                _log.warning(
+                    "task failed; retrying serially",
+                    kind=self.kind, task=desc, attempt=attempt, error=str(exc),
+                )
+                self._backoff(attempt)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Abandon a pool without waiting on wedged workers."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+
+    def _run_pooled(
+        self,
+        fn: Callable,
+        tasks: Sequence[tuple[str, object]],
+        on_result: Callable[[int, object], None],
+    ) -> list[int]:
+        """Run tasks on a process pool; return indices left for serial.
+
+        Collection is as-completed so finished tasks reach ``on_result``
+        while slower ones still run.  A worker exception retries the task
+        on the pool (with backoff) up to ``max_retries`` times, then
+        raises.  A broken pool (worker killed mid-task) or a task
+        exceeding ``task_timeout`` abandons the pool — killing any
+        leftover workers — and hands every unfinished task back to the
+        caller.  ``KeyboardInterrupt`` cleans the pool up and propagates.
+        """
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)))
+        pending: dict = {}  # future -> task index
+        attempts: dict[int, int] = {}
+        deadlines: dict = {}  # future -> monotonic deadline
+        try:
+            for i, (_desc, args) in enumerate(tasks):
+                fut = pool.submit(fn, args)
+                pending[fut] = i
+                if self.task_timeout is not None:
+                    deadlines[fut] = time.monotonic() + self.task_timeout
+            while pending:
+                timeout = None
+                if deadlines:
+                    timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+                done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+                if not done:  # a task blew its deadline: degrade
+                    stalled = [pending[f] for f in sorted(deadlines, key=deadlines.get)]
+                    _log.warning(
+                        "task exceeded its deadline; abandoning the pool",
+                        kind=self.kind, task=tasks[stalled[0]][0],
+                        timeout_s=self.task_timeout,
+                    )
+                    self._kill_pool(pool)
+                    return list(pending.values())
+                for fut in done:
+                    i = pending.pop(fut)
+                    deadlines.pop(fut, None)
+                    desc, args = tasks[i]
+                    try:
+                        value = fut.result()
+                    except BrokenProcessPool:
+                        # One dead worker poisons every in-flight future;
+                        # hand all unfinished tasks (this one included)
+                        # to the serial fallback.
+                        self._kill_pool(pool)
+                        return [i, *pending.values()]
+                    except Exception as exc:
+                        attempt = attempts.get(i, 0) + 1
+                        attempts[i] = attempt
+                        if attempt > self.max_retries:
+                            raise RuntimeError(
+                                f"{self.kind} {desc} failed after "
+                                f"{attempt} attempt(s): {exc}"
+                            ) from exc
+                        _log.warning(
+                            "task failed; retrying on the pool",
+                            kind=self.kind, task=desc, attempt=attempt,
+                            error=str(exc),
+                        )
+                        self._backoff(attempt)
+                        try:
+                            retry = pool.submit(fn, args)
+                        except RuntimeError:  # pool broke underneath us
+                            self._kill_pool(pool)
+                            return [i, *pending.values()]
+                        pending[retry] = i
+                        if self.task_timeout is not None:
+                            deadlines[retry] = time.monotonic() + self.task_timeout
+                    else:
+                        on_result(i, value)
+            pool.shutdown()
+            return []
+        except BaseException:
+            # KeyboardInterrupt or a permanent task failure: never leak
+            # worker processes, keep every checkpoint written so far.
+            self._kill_pool(pool)
+            raise

@@ -1,0 +1,287 @@
+"""The batched model evaluator must be bit-identical to scalar ``evaluate``.
+
+Property tests in the style of ``tests/sim/test_fastpath_equivalence``:
+for randomized platforms (SMP / COW / CLUMP, with and without L2, all
+networks), randomized workload parameters (alpha, beta, truncation,
+gamma, sharing, coherence adjustment, burstiness) and both analytic
+modes, ``e_instr_seconds_batch`` must equal per-spec ``evaluate`` with
+``==`` on float64 — including ``inf`` on saturated candidates.  The
+zero-contention lower bound must never exceed the true E(Instr) in any
+mode.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.amat import zero_contention_amat
+from repro.core.batch import BatchCase, e_instr_lower_bounds, e_instr_seconds_batch
+from repro.core.execution import evaluate, evaluate_batch
+from repro.core.locality import StackDistanceModel
+from repro.core.platform import PlatformSpec
+from repro.sim.latencies import NetworkKind
+
+KB = 1024
+MB = 1024 * KB
+
+_NETWORKS = [NetworkKind.ETHERNET_10, NetworkKind.ETHERNET_100, NetworkKind.ATM_155]
+
+
+def _random_spec(rng: np.random.Generator, i: int) -> PlatformSpec:
+    while True:
+        n = int(rng.choice([1, 2, 4, 8]))
+        N = int(rng.choice([1, 2, 4, 8, 16]))
+        if n * N >= 2:
+            break
+    cache_kb = int(rng.choice([2, 64, 256, 512]))
+    memory_mb = int(rng.choice([4, 32, 64, 128]))
+    l2_bytes = None
+    if rng.random() < 0.3:
+        l2_kb = 4 * cache_kb
+        if cache_kb < l2_kb < memory_mb * KB:
+            l2_bytes = l2_kb * KB
+    return PlatformSpec(
+        name=f"rand-{i}",
+        n=n,
+        N=N,
+        cache_bytes=cache_kb * KB,
+        memory_bytes=memory_mb * MB,
+        network=None if N == 1 else _NETWORKS[int(rng.integers(len(_NETWORKS)))],
+        l2_bytes=l2_bytes,
+    )
+
+
+def _random_workload(rng: np.random.Generator) -> tuple[StackDistanceModel, float]:
+    alpha = float(rng.uniform(1.15, 2.6))
+    beta = float(rng.uniform(5.0, 5000.0))
+    max_distance = float(rng.uniform(1e5, 1e8)) if rng.random() < 0.5 else None
+    gamma = float(rng.uniform(0.05, 1.0))
+    return StackDistanceModel(alpha=alpha, beta=beta, max_distance=max_distance), gamma
+
+
+def _random_kwargs(rng: np.random.Generator) -> dict:
+    return dict(
+        remote_rate_adjustment=float(rng.choice([0.0, 0.124, 0.5])),
+        barrier_scale=float(rng.choice([0.0, 1.0, 2.5])),
+        sharing_fraction=float(rng.choice([0.0, 0.1, 0.6])),
+        sharing_fresh_fraction=float(rng.choice([0.0, 0.35, 1.0])),
+        cache_capacity_factor=float(rng.choice([0.5, 1.0])),
+        contention_boost=float(rng.choice([1.0, 2.0])),
+    )
+
+
+def _scalar_reference(specs, locality, gamma, mode, **kwargs):
+    return [
+        evaluate(
+            spec, locality, gamma, mode=mode, on_saturation="inf", **kwargs
+        ).e_instr_seconds
+        for spec in specs
+    ]
+
+
+@pytest.mark.parametrize("mode", ["open", "throttled"])
+@pytest.mark.parametrize("seed", range(8))
+def test_batch_matches_scalar_bitwise(mode: str, seed: int) -> None:
+    rng = np.random.default_rng(1234 + seed)
+    specs = [_random_spec(rng, i) for i in range(12)]
+    locality, gamma = _random_workload(rng)
+    kwargs = _random_kwargs(rng)
+    expected = _scalar_reference(specs, locality, gamma, mode, **kwargs)
+    got = e_instr_seconds_batch(
+        specs, locality, gamma, mode=mode, on_saturation="inf", **kwargs
+    )
+    assert got.dtype == np.float64
+    for j, (want, have) in enumerate(zip(expected, got)):
+        assert want == have, (
+            f"mismatch at candidate {j} ({specs[j].describe()}): "
+            f"scalar={want!r} batch={have!r}"
+        )
+
+
+@pytest.mark.parametrize("mode", ["open", "throttled", "mva"])
+def test_lower_bound_is_admissible(mode: str) -> None:
+    rng = np.random.default_rng(99)
+    for trial in range(6):
+        specs = [_random_spec(rng, i) for i in range(10)]
+        locality, gamma = _random_workload(rng)
+        kwargs = _random_kwargs(rng)
+        boost = kwargs.pop("contention_boost")
+        bounds = e_instr_lower_bounds(specs, locality, gamma, **kwargs)
+        truth = _scalar_reference(
+            specs, locality, gamma, mode, contention_boost=boost, **kwargs
+        )
+        for j, (lb, t) in enumerate(zip(bounds, truth)):
+            assert math.isfinite(lb)
+            assert lb <= t, (
+                f"bound not admissible for candidate {j} in mode {mode}: "
+                f"LB={lb!r} > E={t!r} ({specs[j].describe()})"
+            )
+
+
+def test_lower_bound_matches_scalar_reference() -> None:
+    rng = np.random.default_rng(7)
+    specs = [_random_spec(rng, i) for i in range(10)]
+    locality, gamma = _random_workload(rng)
+    kwargs = _random_kwargs(rng)
+    kwargs.pop("contention_boost")
+    ccf = kwargs.pop("cache_capacity_factor")
+    bounds = e_instr_lower_bounds(
+        specs, locality, gamma, cache_capacity_factor=ccf, **kwargs
+    )
+    for spec, lb in zip(specs, bounds):
+        amat = zero_contention_amat(
+            spec.hierarchy(cache_capacity_factor=ccf), locality, gamma, **kwargs
+        )
+        want = ((1.0 + gamma * amat) / spec.total_processors) / spec.cpu_hz
+        assert lb == pytest.approx(want, rel=1e-12)
+
+
+def test_per_case_knobs_match_scalar() -> None:
+    """BatchCase carries per-candidate sharing / coherence adjustments."""
+    rng = np.random.default_rng(21)
+    locality, gamma = _random_workload(rng)
+    cases = []
+    for i in range(8):
+        spec = _random_spec(rng, i)
+        cases.append(
+            BatchCase(
+                spec,
+                sharing_fraction=float(rng.choice([0.0, 0.25, 0.8])),
+                sharing_fresh_fraction=float(rng.uniform(0.0, 1.0)),
+                remote_rate_adjustment=0.124 if spec.N > 1 else 0.0,
+            )
+        )
+    got = e_instr_seconds_batch(
+        cases, locality, gamma, mode="throttled", on_saturation="inf"
+    )
+    for case, have in zip(cases, got):
+        want = evaluate(
+            case.spec,
+            locality,
+            gamma,
+            mode="throttled",
+            on_saturation="inf",
+            remote_rate_adjustment=case.remote_rate_adjustment,
+            sharing_fraction=case.sharing_fraction,
+            sharing_fresh_fraction=case.sharing_fresh_fraction,
+        ).e_instr_seconds
+        assert want == have
+
+
+def test_mva_mode_falls_back_to_scalar() -> None:
+    loc = StackDistanceModel(alpha=1.6, beta=800.0)
+    smp = PlatformSpec("mva-smp", n=4, N=1, cache_bytes=256 * KB, memory_bytes=64 * MB)
+    cow = PlatformSpec(
+        "mva-cow", n=1, N=4, cache_bytes=256 * KB, memory_bytes=64 * MB,
+        network=NetworkKind.ATM_155,
+    )
+    got = e_instr_seconds_batch(
+        [smp, cow], loc, 0.3, mode="mva", on_saturation="inf"
+    )
+    for spec, have in zip([smp, cow], got):
+        want = evaluate(spec, loc, 0.3, mode="mva", on_saturation="inf").e_instr_seconds
+        assert want == have
+
+
+def test_force_scalar_lane_identical() -> None:
+    rng = np.random.default_rng(4)
+    specs = [_random_spec(rng, i) for i in range(6)]
+    locality, gamma = _random_workload(rng)
+    fast = e_instr_seconds_batch(
+        specs, locality, gamma, mode="throttled", on_saturation="inf"
+    )
+    slow = e_instr_seconds_batch(
+        specs, locality, gamma, mode="throttled", on_saturation="inf", force_scalar=True
+    )
+    assert np.array_equal(fast, slow)
+
+
+def test_saturation_raise_matches_scalar() -> None:
+    """A saturating batch raises the same error the scalar lane raises."""
+    from repro.core.contention import QueueSaturationError
+
+    loc = StackDistanceModel(alpha=1.2, beta=5000.0)
+    hot = PlatformSpec(
+        "hot", n=1, N=16, cache_bytes=2 * KB, memory_bytes=4 * MB,
+        network=NetworkKind.ETHERNET_10,
+    )
+    with pytest.raises(QueueSaturationError):
+        evaluate(hot, loc, 0.9, mode="open")
+    with pytest.raises(QueueSaturationError):
+        e_instr_seconds_batch([hot], loc, 0.9, mode="open")
+
+
+def test_empty_batch_and_validation() -> None:
+    loc = StackDistanceModel(alpha=1.6, beta=800.0)
+    assert e_instr_seconds_batch([], loc, 0.3).size == 0
+    assert e_instr_lower_bounds([], loc, 0.3).size == 0
+    smp = PlatformSpec("v", n=2, N=1, cache_bytes=256 * KB, memory_bytes=64 * MB)
+    with pytest.raises(ValueError, match="gamma"):
+        e_instr_seconds_batch([smp], loc, 0.0)
+    with pytest.raises(ValueError, match="mode"):
+        e_instr_seconds_batch([smp], loc, 0.3, mode="bogus")
+    with pytest.raises(ValueError, match="sharing_fraction"):
+        e_instr_seconds_batch([smp], loc, 0.3, sharing_fraction=1.5)
+    with pytest.raises(ValueError, match="contention_boost"):
+        e_instr_seconds_batch([smp], loc, 0.3, contention_boost=0.5)
+
+
+def test_mixed_locality_falls_back_to_scalar() -> None:
+    """Duck-typed localities (workload mixtures) must keep working.
+
+    ``MixedLocality`` only promises ``tail``/``cdf``/``rescaled``, so the
+    batch lane must route it through scalar ``evaluate`` and the lower
+    bound through scalar ``zero_contention_amat`` — bit-identical and
+    admissible, exactly like the power-law path.
+    """
+    from repro.workloads.mix import mix_workloads
+    from repro.workloads.params import PAPER_FFT, PAPER_RADIX
+
+    mixed = mix_workloads([PAPER_FFT, PAPER_RADIX], [0.7, 0.3], name="blend")
+    rng = np.random.default_rng(17)
+    specs = [_random_spec(rng, i) for i in range(8)]
+    for mode in ("open", "throttled"):
+        got = e_instr_seconds_batch(
+            specs, mixed.locality, mixed.gamma, mode=mode, on_saturation="inf"
+        )
+        want = _scalar_reference(specs, mixed.locality, mixed.gamma, mode)
+        assert list(got) == want
+    bounds = e_instr_lower_bounds(specs, mixed.locality, mixed.gamma)
+    truth = _scalar_reference(specs, mixed.locality, mixed.gamma, "throttled")
+    for spec, lb, t in zip(specs, bounds, truth):
+        assert math.isfinite(lb) and lb <= t
+        amat = zero_contention_amat(spec.hierarchy(), mixed.locality, mixed.gamma)
+        assert lb == ((1.0 + mixed.gamma * amat) / spec.total_processors) / spec.cpu_hz
+
+
+def test_optimizer_accepts_workload_mixture() -> None:
+    """The pruned search answers mixture queries identically to exhaustive."""
+    from repro.cost import DesignSearch, optimize_cluster
+    from repro.workloads.mix import mix_workloads
+    from repro.workloads.params import PAPER_EDGE, PAPER_LU
+
+    mixed = mix_workloads([PAPER_LU, PAPER_EDGE], [0.5, 0.5], name="lu-edge")
+    exhaustive = optimize_cluster(mixed, budget=12_000.0)
+    outcome = DesignSearch(method="pruned").search(mixed, budget=12_000.0)
+    assert outcome.best.spec == exhaustive.best.spec
+    assert outcome.best.e_instr_seconds == exhaustive.best.e_instr_seconds
+
+
+def test_evaluate_batch_wrapper_round_trip() -> None:
+    loc = StackDistanceModel(alpha=1.7, beta=400.0)
+    specs = [
+        PlatformSpec("w1", n=4, N=1, cache_bytes=256 * KB, memory_bytes=64 * MB),
+        PlatformSpec(
+            "w2", n=2, N=4, cache_bytes=512 * KB, memory_bytes=128 * MB,
+            network=NetworkKind.ATM_155,
+        ),
+    ]
+    got = evaluate_batch(specs, loc, 0.25, mode="throttled", on_saturation="inf")
+    for spec, have in zip(specs, got):
+        want = evaluate(
+            spec, loc, 0.25, mode="throttled", on_saturation="inf"
+        ).e_instr_seconds
+        assert want == have

@@ -1,0 +1,353 @@
+"""The pruned/parallel/batched search must answer exactly like enumeration.
+
+Property tests over randomized price catalogs, candidate spaces and
+budgets: branch-and-bound pruning (any method, any sharding) returns the
+identical optimal configuration -- same spec, same price, bit-identical
+E(Instr) -- as exhaustive enumeration, and ``method="pareto"`` returns
+the exact price/time frontier.  Plus unit coverage of the disk cache
+(hits, quarantine), the evaluation memo, the obs counters, and the
+upgrade-path emitter.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cost.catalog import PriceCatalog
+from repro.cost.configspace import CandidateSpace
+from repro.cost.optimizer import ModelOptions, optimize_cluster
+from repro.cost.search import (
+    DesignQuery,
+    DesignSearch,
+    SearchOutcome,
+    _ParetoFront,
+    pareto_frontier,
+    upgrade_path,
+)
+from repro.core.platform import PlatformSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.latencies import NetworkKind
+from repro.workloads.params import (
+    PAPER_EDGE,
+    PAPER_FFT,
+    PAPER_LU,
+    PAPER_RADIX,
+    WorkloadParams,
+)
+
+KB, MB = 1024, 1024 * 1024
+
+SMALL_SPACE = CandidateSpace(
+    max_machines=6, memory_mb_options=(32, 64), cache_kb_options=(256,)
+)
+
+
+def _random_catalog(rng: np.random.Generator) -> PriceCatalog:
+    return PriceCatalog(
+        workstation_base=float(rng.uniform(500, 2000)),
+        smp_cpu=float(rng.uniform(800, 2500)),
+        smp_chassis_per_socket=float(rng.uniform(500, 2500)),
+        memory_per_mb=float(rng.uniform(0.5, 3.0)),
+        cache_prices={256: float(rng.uniform(40, 150)), 512: float(rng.uniform(150, 400))},
+        network_prices={
+            NetworkKind.ETHERNET_10: float(rng.uniform(20, 90)),
+            NetworkKind.ETHERNET_100: float(rng.uniform(90, 250)),
+            NetworkKind.ATM_155: float(rng.uniform(250, 700)),
+        },
+    )
+
+
+def _random_space(rng: np.random.Generator) -> CandidateSpace:
+    extra = (int(rng.choice([2, 4])),) if rng.random() < 0.7 else ()
+    return CandidateSpace(
+        max_machines=int(rng.integers(3, 10)),
+        processor_counts=(1, *extra),
+        memory_mb_options=(32, 64),
+        cache_kb_options=(256, 512),
+    )
+
+
+def _random_workload(rng: np.random.Generator, i: int) -> WorkloadParams:
+    return WorkloadParams(
+        name=f"w{i}",
+        alpha=float(rng.uniform(1.15, 2.2)),
+        beta=float(rng.uniform(20.0, 2000.0)),
+        gamma=float(rng.uniform(0.1, 0.6)),
+        max_distance=float(rng.uniform(1e4, 1e7)) if rng.random() < 0.5 else None,
+        sharing_fraction=float(rng.choice([0.0, 0.2])),
+        sharing_procs=4,
+    )
+
+
+def _same_best(outcome: SearchOutcome, reference) -> None:
+    assert outcome.best.spec == reference.best.spec
+    assert outcome.best.price == reference.best.price
+    assert outcome.best.e_instr_seconds == reference.best.e_instr_seconds
+
+
+class TestPrunedMatchesExhaustive:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_catalogs_and_budgets(self, seed: int) -> None:
+        rng = np.random.default_rng(5000 + seed)
+        catalog = _random_catalog(rng)
+        space = _random_space(rng)
+        workload = _random_workload(rng, seed)
+        budget = float(rng.uniform(4_000, 40_000))
+        try:
+            exhaustive = optimize_cluster(
+                workload, budget, catalog=catalog, space=space
+            )
+        except ValueError:  # budget drawn below this catalog's cheapest rig
+            for method in ("pruned", "pareto"):
+                with pytest.raises(ValueError, match="no feasible"):
+                    DesignSearch(
+                        catalog, space, method=method, metrics=MetricsRegistry()
+                    ).search(workload, budget)
+            return
+        for method in ("pruned", "pareto"):
+            engine = DesignSearch(
+                catalog, space, method=method, metrics=MetricsRegistry()
+            )
+            outcome = engine.search(workload, budget)
+            _same_best(outcome, exhaustive)
+            assert outcome.stats.candidates == exhaustive.evaluated
+            assert outcome.stats.evaluated <= outcome.stats.candidates
+
+    def test_paper_workloads_prune_and_agree(self) -> None:
+        for workload in (PAPER_FFT, PAPER_LU, PAPER_RADIX, PAPER_EDGE):
+            exhaustive = optimize_cluster(workload, 20_000.0)
+            engine = DesignSearch(method="pruned", metrics=MetricsRegistry())
+            outcome = engine.search(workload, 20_000.0)
+            _same_best(outcome, exhaustive)
+            assert outcome.stats.pruned > 0, "default space should prune"
+
+    def test_infeasible_budget_raises_like_optimizer(self) -> None:
+        engine = DesignSearch(space=SMALL_SPACE, metrics=MetricsRegistry())
+        with pytest.raises(ValueError, match="no feasible"):
+            engine.search(PAPER_LU, 100.0)
+        with pytest.raises(ValueError, match="budget must be positive"):
+            engine.search(PAPER_LU, -5.0)
+
+    def test_optimizer_method_pruned_routes_through_engine(self) -> None:
+        exhaustive = optimize_cluster(PAPER_LU, 9_000.0, space=SMALL_SPACE)
+        pruned = optimize_cluster(
+            PAPER_LU, 9_000.0, space=SMALL_SPACE, method="pruned"
+        )
+        assert pruned.best.spec == exhaustive.best.spec
+        assert pruned.best.e_instr_seconds == exhaustive.best.e_instr_seconds
+        assert pruned.evaluated <= exhaustive.evaluated
+
+
+class TestParetoFrontier:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pareto_method_keeps_exact_frontier(self, seed: int) -> None:
+        rng = np.random.default_rng(7000 + seed)
+        catalog = _random_catalog(rng)
+        space = _random_space(rng)
+        workload = _random_workload(rng, seed)
+        budget = float(rng.uniform(6_000, 30_000))
+        try:
+            exhaustive = optimize_cluster(
+                workload, budget, catalog=catalog, space=space
+            )
+        except ValueError:
+            pytest.skip("budget drawn below this catalog's cheapest rig")
+        truth = pareto_frontier(exhaustive.ranking)
+        outcome = DesignSearch(
+            catalog, space, method="pareto", metrics=MetricsRegistry()
+        ).search(workload, budget)
+        got = outcome.frontier
+        assert [(r.spec, r.price, r.e_instr_seconds) for r in got] == [
+            (r.spec, r.price, r.e_instr_seconds) for r in truth
+        ]
+
+    def test_frontier_is_clean(self) -> None:
+        outcome = DesignSearch(
+            space=SMALL_SPACE, method="pareto", metrics=MetricsRegistry()
+        ).search(PAPER_EDGE, 15_000.0)
+        prices = [r.price for r in outcome.frontier]
+        times = [r.e_instr_seconds for r in outcome.frontier]
+        assert prices == sorted(prices)
+        assert times == sorted(times, reverse=True)
+        assert outcome.frontier[-1].e_instr_seconds == outcome.best.e_instr_seconds
+
+    def test_running_front_structure(self) -> None:
+        front = _ParetoFront()
+        assert front.min_seconds_at(1e9) == math.inf
+        front.add(100.0, 5.0)
+        front.add(200.0, 7.0)  # dearer and slower: ignored
+        front.add(200.0, 3.0)
+        front.add(50.0, 2.0)  # cheaper and faster: supersedes everything
+        assert front.points() == [(50.0, 2.0)]
+        assert front.min_seconds_at(49.0) == math.inf
+        assert front.min_seconds_at(60.0) == 2.0
+
+    def test_upgrade_path_grows_monotonically(self) -> None:
+        outcome = DesignSearch(
+            method="pareto", metrics=MetricsRegistry()
+        ).search(PAPER_LU, 25_000.0)
+        path = upgrade_path(outcome.frontier)
+        assert path, "frontier is non-empty, so is the path"
+        for earlier, later in zip(path, path[1:]):
+            assert later.price >= earlier.price
+            assert later.e_instr_seconds < earlier.e_instr_seconds
+            assert later.spec.n >= earlier.spec.n
+            assert later.spec.N >= earlier.spec.N
+            assert later.spec.cache_bytes >= earlier.spec.cache_bytes
+            assert later.spec.memory_bytes >= earlier.spec.memory_bytes
+
+
+class TestParallelSharding:
+    @pytest.mark.parametrize("method", ["pruned", "pareto"])
+    def test_sharded_search_identical_to_serial(self, method: str) -> None:
+        serial = DesignSearch(
+            method=method, metrics=MetricsRegistry()
+        ).search(PAPER_RADIX, 30_000.0)
+        sharded = DesignSearch(
+            method=method, jobs=3, metrics=MetricsRegistry()
+        ).search(PAPER_RADIX, 30_000.0)
+        _same_best(sharded, serial)
+        assert sharded.stats.candidates == serial.stats.candidates
+        if method == "pareto":
+            assert [r.spec for r in sharded.frontier] == [
+                r.spec for r in serial.frontier
+            ]
+
+    def test_batch_queries_match_single_queries(self) -> None:
+        queries = [
+            DesignQuery(PAPER_LU, 8_000.0),
+            DesignQuery(PAPER_EDGE, 12_000.0),
+            DesignQuery(PAPER_LU, 20_000.0),
+        ]
+        engine = DesignSearch(
+            space=SMALL_SPACE, jobs=2, metrics=MetricsRegistry()
+        )
+        batch = engine.run(queries)
+        assert len(batch) == 3
+        for q, outcome in zip(queries, batch):
+            single = DesignSearch(
+                space=SMALL_SPACE, metrics=MetricsRegistry()
+            ).search(q.workload, q.budget)
+            _same_best(outcome, single)
+
+
+class TestCachesAndMetrics:
+    def test_disk_cache_round_trip(self, tmp_path) -> None:
+        registry = MetricsRegistry()
+        engine = DesignSearch(
+            space=SMALL_SPACE, cache_dir=tmp_path, metrics=registry
+        )
+        first = engine.search(PAPER_LU, 9_000.0)
+        assert not first.stats.from_cache
+        second = DesignSearch(
+            space=SMALL_SPACE, cache_dir=tmp_path, metrics=registry
+        ).search(PAPER_LU, 9_000.0)
+        assert second.stats.from_cache
+        _same_best(second, first)
+        lookups = registry.get("repro_cache_lookups_total")
+        assert lookups.labels(kind="design", outcome="hit").value == 1
+        assert lookups.labels(kind="design", outcome="miss").value == 1
+
+    def test_corrupt_cache_entry_quarantined(self, tmp_path) -> None:
+        registry = MetricsRegistry()
+        engine = DesignSearch(
+            space=SMALL_SPACE, cache_dir=tmp_path, metrics=registry
+        )
+        first = engine.search(PAPER_LU, 9_000.0)
+        [entry] = list((tmp_path / "design").glob("*.pkl"))
+        entry.write_bytes(b"not a pickle")
+        again = DesignSearch(
+            space=SMALL_SPACE, cache_dir=tmp_path, metrics=registry
+        ).search(PAPER_LU, 9_000.0)
+        assert not again.stats.from_cache
+        _same_best(again, first)
+        assert registry.get("repro_cache_corrupt_total").labels(kind="design").value == 1
+        assert list((tmp_path / "quarantine").glob("design-*.pkl"))
+
+    def test_memo_reused_across_budgets(self) -> None:
+        registry = MetricsRegistry()
+        engine = DesignSearch(
+            space=SMALL_SPACE, method="exhaustive", metrics=registry
+        )
+        engine.search(PAPER_LU, 9_000.0)
+        hits_before = registry.get("design_memo_hits_total").value
+        engine.search(PAPER_LU, 12_000.0)  # superset of the same candidates
+        assert registry.get("design_memo_hits_total").value > hits_before
+
+    def test_counters_add_up(self) -> None:
+        registry = MetricsRegistry()
+        outcome = DesignSearch(
+            space=SMALL_SPACE, metrics=registry
+        ).search(PAPER_RADIX, 10_000.0)
+        stats = outcome.stats
+        assert stats.candidates == stats.evaluated + stats.pruned + stats.memo_hits
+        assert registry.get("design_candidates_total").value == stats.candidates
+        assert registry.get("design_evaluations_total").value == stats.evaluated
+        assert registry.get("design_pruned_total").value == stats.pruned
+        assert 0.0 <= stats.pruning_ratio <= 1.0
+
+
+class TestUpgradeSearch:
+    CURRENT = PlatformSpec(
+        name="owned", n=1, N=2, cache_bytes=256 * KB, memory_bytes=32 * MB,
+        network=NetworkKind.ETHERNET_10,
+    )
+
+    def test_upgrade_search_matches_optimizer_best(self) -> None:
+        from repro.cost.optimizer import optimize_upgrade
+
+        reference = optimize_upgrade(
+            PAPER_LU, self.CURRENT, 3_000.0, space=SMALL_SPACE
+        )
+        outcome = DesignSearch(
+            space=SMALL_SPACE, metrics=MetricsRegistry()
+        ).search_upgrade(PAPER_LU, self.CURRENT, 3_000.0)
+        assert outcome.best.e_instr_seconds == reference.best.e_instr_seconds
+        assert outcome.best.spec == reference.best.spec
+
+    def test_upgrade_candidates_grow_current(self) -> None:
+        outcome = DesignSearch(
+            space=SMALL_SPACE, metrics=MetricsRegistry()
+        ).search_upgrade(PAPER_EDGE, self.CURRENT, 2_000.0)
+        for r in outcome.result.ranking:
+            assert r.spec.N >= 2
+            assert r.spec.cache_bytes >= 256 * KB
+            assert r.spec.memory_bytes >= 32 * MB
+
+    def test_unpriceable_current_rejected_up_front(self) -> None:
+        odd = PlatformSpec(
+            name="odd-cache", n=1, N=2, cache_bytes=128 * KB,
+            memory_bytes=32 * MB, network=NetworkKind.ETHERNET_10,
+        )
+        with pytest.raises(ValueError, match="cannot be priced"):
+            DesignSearch(
+                space=SMALL_SPACE, metrics=MetricsRegistry()
+            ).search_upgrade(PAPER_LU, odd, 1_000.0)
+
+    def test_negative_increase_rejected(self) -> None:
+        with pytest.raises(ValueError, match="non-negative"):
+            DesignSearch(metrics=MetricsRegistry()).search_upgrade(
+                PAPER_LU, self.CURRENT, -1.0
+            )
+
+
+class TestValidation:
+    def test_bad_method_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown search method"):
+            DesignSearch(method="genetic", metrics=MetricsRegistry())
+        engine = DesignSearch(metrics=MetricsRegistry())
+        with pytest.raises(ValueError, match="unknown search method"):
+            engine.search(PAPER_LU, 9_000.0, method="genetic")
+
+    def test_bad_chunk_rejected(self) -> None:
+        with pytest.raises(ValueError, match="chunk"):
+            DesignSearch(chunk=0, metrics=MetricsRegistry())
+
+    def test_pool_knobs_validated(self) -> None:
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            DesignSearch(jobs=0, metrics=MetricsRegistry())
+        with pytest.raises(ValueError, match="max_retries"):
+            DesignSearch(max_retries=-1, metrics=MetricsRegistry())

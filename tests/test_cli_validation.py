@@ -90,6 +90,90 @@ class TestNumericValidation:
                   "--cache-dir", ""])
 
 
+class TestDesignBatchOptions:
+    def test_repeated_budgets_answered_in_order(self, capsys):
+        rc = main(
+            ["design", "--workload", "LU", "--budget", "8000",
+             "--budget", "16000", "--top", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.index("$8,000") < out.index("$16,000")
+        assert out.count("search:") == 2
+
+    def test_json_output_is_machine_readable(self, capsys):
+        import json
+
+        rc = main(
+            ["design", "--workload", "Radix", "--budget", "9000",
+             "--budget", "15000", "--json", "--pareto"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [q["budget"] for q in payload] == [9000.0, 15000.0]
+        for q in payload:
+            assert q["best"]["price"] <= q["budget"]
+            assert q["stats"]["candidates"] > 0
+            prices = [c["price"] for c in q["frontier"]]
+            assert prices == sorted(prices)
+            assert q["upgrade_path"]
+
+    def test_pareto_flag_prints_frontier(self, capsys):
+        rc = main(
+            ["design", "--workload", "EDGE", "--budget", "12000",
+             "--pareto", "--top", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "price/performance frontier" in out
+
+    def test_method_choices_enforced(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(["design", "--workload", "LU", "--budget", "8000",
+                    "--method", "genetic"])
+        assert exc.value.code == 2
+        assert "--method" in capsys.readouterr().err
+
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(["design", "--workload", "LU", "--budget", "8000",
+                    "--jobs", "0"])
+        assert exc.value.code == 2
+
+    def test_infeasible_budget_is_a_clean_exit(self):
+        with pytest.raises(SystemExit, match="no feasible"):
+            main(["design", "--workload", "LU", "--budget", "50"])
+
+
+class TestUpgradeGrowthValidation:
+    BASE = ["upgrade", "--workload", "FFT", "--budget-increase", "2000"]
+
+    def test_odd_cache_size_rejected_at_cli(self):
+        with pytest.raises(SystemExit, match="--cache-kb"):
+            main(self.BASE + ["--cache-kb", "128"])
+
+    def test_odd_l2_size_rejected_at_cli(self):
+        with pytest.raises(SystemExit, match="--l2-kb"):
+            main(self.BASE + ["--l2-kb", "333"])
+
+    def test_too_many_machines_rejected_at_cli(self):
+        with pytest.raises(SystemExit, match="--machines"):
+            main(self.BASE + ["--machines", "99"])
+
+    def test_too_many_procs_rejected_at_cli(self):
+        with pytest.raises(SystemExit, match="--procs-per-machine"):
+            main(self.BASE + ["--procs-per-machine", "8"])
+
+    def test_oversized_memory_rejected_at_cli(self):
+        with pytest.raises(SystemExit, match="--memory-mb"):
+            main(self.BASE + ["--memory-mb", "4096"])
+
+    def test_growable_current_still_accepted(self, capsys):
+        rc = main(self.BASE + ["--machines", "2", "--memory-mb", "32"])
+        assert rc == 0
+        assert "upgrade for FFT" in capsys.readouterr().out
+
+
 class TestInjectSpecs:
     @pytest.mark.parametrize(
         "spec",
