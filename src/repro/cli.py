@@ -118,6 +118,41 @@ def _fraction(text: str) -> float:
     return value
 
 
+def _rack_size(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 2:
+        raise argparse.ArgumentTypeError(f"a rack holds >= 2 machines, got {value}")
+    return value
+
+
+def _platform_arg(text: str) -> PlatformSpec:
+    """Resolve ``--platform``: a built-in name or a topology JSON/YAML file.
+
+    Malformed files die here, at the argparse layer, with the loader's
+    pointed message -- never as a traceback from inside the simulator.
+    """
+    from pathlib import Path
+
+    from repro.topology import BUILTIN_PLATFORMS, builtin_platform, load_platform_file
+
+    if text in BUILTIN_PLATFORMS:
+        return builtin_platform(text)
+    path = Path(text)
+    if path.exists() or path.suffix.lower() in (".json", ".yaml", ".yml"):
+        try:
+            return load_platform_file(path)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    known = ", ".join(sorted(BUILTIN_PLATFORMS))
+    raise argparse.ArgumentTypeError(
+        f"{text!r} is neither a built-in platform ({known}) nor a "
+        "platform file (.json/.yaml/.yml)"
+    )
+
+
 def _workload_from(args: argparse.Namespace) -> WorkloadParams:
     if args.workload:
         try:
@@ -160,6 +195,12 @@ def _add_platform_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--l2-kb", type=_positive_int, default=None,
         help="optional per-machine shared L2 (KB; hierarchy-length extension)",
+    )
+    p.add_argument(
+        "--platform", type=_platform_arg, default=None, metavar="NAME_OR_FILE",
+        help="declarative platform: a built-in name (clump-of-smps, "
+        "cow-of-racks) or a topology JSON/YAML file; overrides the shape "
+        "flags above",
     )
 
 
@@ -354,6 +395,8 @@ def _validate_upgrade_args(args: argparse.Namespace) -> None:
 
 
 def _platform_from(args: argparse.Namespace, name: str = "platform") -> PlatformSpec:
+    if getattr(args, "platform", None) is not None:
+        return args.platform
     return PlatformSpec(
         name=name,
         n=args.procs_per_machine,
@@ -398,6 +441,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--pareto", action="store_true",
         help="print the price/performance frontier and its upgrade path "
         "(switches --method pruned to pareto so the frontier is exact)",
+    )
+    p.add_argument(
+        "--rack-size", type=_rack_size, action="append", default=[],
+        metavar="M",
+        help="also enumerate each flat cluster re-wired as switched racks "
+        "of M machines (topology mutation; repeatable)",
+    )
+    p.add_argument(
+        "--add-platform", type=_platform_arg, action="append", default=[],
+        metavar="NAME_OR_FILE",
+        help="extra candidate platform (built-in name or topology file) "
+        "competing with the enumerated grid; must be catalog-priceable "
+        "(repeatable)",
     )
     p.add_argument(
         "--json", action="store_true", dest="as_json",
@@ -544,8 +600,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         method = args.method
         if args.pareto and method == "pruned":
             method = "pareto"  # the frontier is only exact for pareto/exhaustive
+        space = None
+        if args.rack_size or args.add_platform:
+            from repro.cost.model import assert_priceable
+
+            for extra in args.add_platform:
+                try:
+                    assert_priceable(DEFAULT_CATALOG, extra)
+                except ValueError as exc:
+                    raise SystemExit(f"--add-platform: {exc}") from None
+            space = CandidateSpace(
+                rack_sizes=tuple(args.rack_size),
+                extra_platforms=tuple(args.add_platform),
+            )
         engine = DesignSearch(
-            method=method, jobs=args.jobs, cache_dir=args.cache_dir or None
+            space=space, method=method, jobs=args.jobs,
+            cache_dir=args.cache_dir or None,
         )
         queries = [DesignQuery(workload, budget) for budget in args.budget]
         try:

@@ -176,17 +176,6 @@ def _switch_population(n_per_node: int) -> int:
     return n_per_node + 1
 
 
-def _l2_level(l2_items: float, boundary: float, sharers: int, latencies: LatencyTable) -> MemoryLevel:
-    """Shared second-level cache (extension; see LatencyTable.l2_hit)."""
-    return MemoryLevel(
-        name="shared L2 cache",
-        kind=LevelKind.L2_CACHE,
-        boundary_items=boundary,
-        tau_cycles=latencies.l2_hit,
-        population=sharers,
-    )
-
-
 def smp_hierarchy(
     n: int,
     cache_items: float,
@@ -202,54 +191,23 @@ def smp_hierarchy(
     sharers) -> disk (I/O bus, n sharers).  ``include_peer_cache`` adds
     the 15-cycle cache-to-cache level the simulator has but the paper's
     analytical formula omits; it is off by default for fidelity.
+
+    Thin wrapper over the generic topology fold
+    (:func:`repro.topology.build.build_hierarchy`); the canned tree
+    reproduces the historical level structure exactly.
     """
+    from repro.topology.build import build_hierarchy
+    from repro.topology.canned import smp_topology
+
     if n < 1:
         raise ValueError(f"SMP needs n >= 1 processors, got {n}")
     if memory_items <= cache_items:
         raise ValueError("memory must be larger than the cache")
-    cache_items = _effective_cache(cache_items, cache_capacity_factor)
-    levels: list[MemoryLevel] = []
-    memory_boundary = cache_items
-    if include_peer_cache and n > 1:
-        levels.append(
-            MemoryLevel(
-                name="peer caches (bus snoop)",
-                kind=LevelKind.PEER_CACHE,
-                boundary_items=cache_items,
-                tau_cycles=latencies.remote_cache_smp,
-                population=n,
-            )
-        )
-        memory_boundary = n * cache_items
-    if l2_items is not None:
-        if l2_items <= memory_boundary or l2_items >= memory_items:
-            raise ValueError("L2 must sit strictly between the caches and memory")
-        levels.append(_l2_level(l2_items, memory_boundary, n, latencies))
-        memory_boundary = l2_items
-    levels.append(
-        MemoryLevel(
-            name="shared memory (memory bus)",
-            kind=LevelKind.LOCAL_MEMORY,
-            boundary_items=memory_boundary,
-            tau_cycles=latencies.cache_to_memory,
-            population=n,
-        )
-    )
-    levels.append(
-        MemoryLevel(
-            name="local disk (I/O bus)",
-            kind=LevelKind.LOCAL_DISK,
-            boundary_items=memory_items,
-            tau_cycles=latencies.memory_to_disk,
-            population=n,
-        )
-    )
-    return MemoryHierarchy(
-        platform=PlatformKind.SMP,
-        base_cycles=latencies.cache_hit,
-        levels=tuple(levels),
-        barrier_population=n,
-        total_processes=n,
+    topo = smp_topology(n, cache_items, memory_items, latencies, l2_items=l2_items)
+    return build_hierarchy(
+        topo,
+        include_peer_cache=include_peer_cache,
+        cache_capacity_factor=cache_capacity_factor,
     )
 
 
@@ -271,77 +229,21 @@ def cow_hierarchy(
     (population N); on a switch, contention is only at the destination
     module (population 2).  ``remote_cached_fraction`` routes that share
     of remote traffic to the dearer remotely-cached-data cost.
+
+    Thin wrapper over the generic topology fold.
     """
+    from repro.topology.build import build_hierarchy
+    from repro.topology.canned import cow_topology
+
     if N < 2:
         raise ValueError(f"a cluster needs N >= 2 machines, got {N}")
     if memory_items <= cache_items:
         raise ValueError("memory must be larger than the cache")
-    cache_items = _effective_cache(cache_items, cache_capacity_factor)
-    lat = latencies.with_network(network, clump=False)
-    net_population = N if network.is_bus else _switch_population(1)
-    remote_fraction = 1.0 - remote_cached_fraction
-    local_boundary = cache_items
-    levels = []
-    if l2_items is not None:
-        if l2_items <= cache_items or l2_items >= memory_items:
-            raise ValueError("L2 must sit strictly between the cache and memory")
-        levels.append(_l2_level(l2_items, cache_items, 1, lat))
-        local_boundary = l2_items
-    levels += [
-        MemoryLevel(
-            name="local memory",
-            kind=LevelKind.LOCAL_MEMORY,
-            boundary_items=local_boundary,
-            tau_cycles=lat.cache_to_memory,
-            population=1,
-        ),
-        MemoryLevel(
-            name=f"remote memory ({network.value})",
-            kind=LevelKind.REMOTE_MEMORY,
-            boundary_items=memory_items,
-            tau_cycles=lat.remote_node,
-            population=net_population,
-            rate_fraction=remote_fraction,
-        ),
-    ]
-    if remote_cached_fraction > 0.0:
-        levels.append(
-            MemoryLevel(
-                name=f"remotely cached data ({network.value})",
-                kind=LevelKind.REMOTE_MEMORY,
-                boundary_items=memory_items,
-                tau_cycles=lat.remote_cached,
-                population=net_population,
-                rate_fraction=remote_cached_fraction,
-            )
-        )
-    aggregate_memory = N * memory_items
-    levels.append(
-        MemoryLevel(
-            name="local disk",
-            kind=LevelKind.LOCAL_DISK,
-            boundary_items=aggregate_memory,
-            tau_cycles=lat.memory_to_disk,
-            population=1,
-            rate_fraction=1.0 / N,
-        )
-    )
-    levels.append(
-        MemoryLevel(
-            name=f"remote disks ({network.value})",
-            kind=LevelKind.REMOTE_DISK,
-            boundary_items=aggregate_memory,
-            tau_cycles=lat.memory_to_disk + lat.remote_disk_extra,
-            population=net_population,
-            rate_fraction=(N - 1) / N,
-        )
-    )
-    return MemoryHierarchy(
-        platform=PlatformKind.COW,
-        base_cycles=lat.cache_hit,
-        levels=tuple(levels),
-        barrier_population=N,
-        total_processes=N,
+    topo = cow_topology(N, cache_items, memory_items, network, latencies, l2_items=l2_items)
+    return build_hierarchy(
+        topo,
+        remote_cached_fraction=remote_cached_fraction,
+        cache_capacity_factor=cache_capacity_factor,
     )
 
 
@@ -364,91 +266,22 @@ def clump_hierarchy(
     cluster network, disk split).  Bus networks are shared by all n*N
     processors; a switch queues only at the destination SMP (population
     n + 1).
+
+    Thin wrapper over the generic topology fold.
     """
+    from repro.topology.build import build_hierarchy
+    from repro.topology.canned import clump_topology
+
     if n < 2:
         raise ValueError(f"a cluster of SMPs needs n >= 2 per node, got {n}")
     if N < 2:
         raise ValueError(f"a cluster needs N >= 2 machines, got {N}")
     if memory_items <= cache_items:
         raise ValueError("memory must be larger than the cache")
-    cache_items = _effective_cache(cache_items, cache_capacity_factor)
-    lat = latencies.with_network(network, clump=True)
-    total = n * N
-    net_population = total if network.is_bus else _switch_population(n)
-    levels: list[MemoryLevel] = []
-    memory_boundary = cache_items
-    if include_peer_cache:
-        levels.append(
-            MemoryLevel(
-                name="peer caches (SMP snoop)",
-                kind=LevelKind.PEER_CACHE,
-                boundary_items=cache_items,
-                tau_cycles=lat.remote_cache_smp,
-                population=n,
-            )
-        )
-        memory_boundary = n * cache_items
-    if l2_items is not None:
-        if l2_items <= memory_boundary or l2_items >= memory_items:
-            raise ValueError("L2 must sit strictly between the caches and memory")
-        levels.append(_l2_level(l2_items, memory_boundary, n, lat))
-        memory_boundary = l2_items
-    levels.append(
-        MemoryLevel(
-            name="SMP shared memory (memory bus)",
-            kind=LevelKind.LOCAL_MEMORY,
-            boundary_items=memory_boundary,
-            tau_cycles=lat.cache_to_memory,
-            population=n,
-        )
-    )
-    remote_fraction = 1.0 - remote_cached_fraction
-    levels.append(
-        MemoryLevel(
-            name=f"remote SMP memory ({network.value})",
-            kind=LevelKind.REMOTE_MEMORY,
-            boundary_items=memory_items,
-            tau_cycles=lat.remote_node,
-            population=net_population,
-            rate_fraction=remote_fraction,
-        )
-    )
-    if remote_cached_fraction > 0.0:
-        levels.append(
-            MemoryLevel(
-                name=f"remotely cached data ({network.value})",
-                kind=LevelKind.REMOTE_MEMORY,
-                boundary_items=memory_items,
-                tau_cycles=lat.remote_cached,
-                population=net_population,
-                rate_fraction=remote_cached_fraction,
-            )
-        )
-    aggregate_memory = N * memory_items
-    levels.append(
-        MemoryLevel(
-            name="local disk (I/O bus)",
-            kind=LevelKind.LOCAL_DISK,
-            boundary_items=aggregate_memory,
-            tau_cycles=lat.memory_to_disk,
-            population=n,
-            rate_fraction=1.0 / N,
-        )
-    )
-    levels.append(
-        MemoryLevel(
-            name=f"remote disks ({network.value})",
-            kind=LevelKind.REMOTE_DISK,
-            boundary_items=aggregate_memory,
-            tau_cycles=lat.memory_to_disk + lat.remote_disk_extra,
-            population=net_population,
-            rate_fraction=(N - 1) / N,
-        )
-    )
-    return MemoryHierarchy(
-        platform=PlatformKind.CLUMP,
-        base_cycles=lat.cache_hit,
-        levels=tuple(levels),
-        barrier_population=total,
-        total_processes=total,
+    topo = clump_topology(n, N, cache_items, memory_items, network, latencies, l2_items=l2_items)
+    return build_hierarchy(
+        topo,
+        include_peer_cache=include_peer_cache,
+        remote_cached_fraction=remote_cached_fraction,
+        cache_capacity_factor=cache_capacity_factor,
     )

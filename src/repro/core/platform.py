@@ -9,7 +9,7 @@ classification (Table 1), and is the unit the cost optimizer enumerates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from enum import Enum
 
 from repro.core.hierarchy import (
@@ -20,6 +20,8 @@ from repro.core.hierarchy import (
     smp_hierarchy,
 )
 from repro.sim.latencies import CPU_HZ, ITEM_BYTES, LatencyTable, NetworkKind, PAPER_LATENCIES
+from repro.topology.build import build_hierarchy, classify
+from repro.topology.ir import ClusterNode, MachineNode, Topology, topology_from_dict
 
 __all__ = ["NetworkTopology", "NetworkSpec", "PlatformSpec"]
 
@@ -90,6 +92,13 @@ class PlatformSpec:
     #: Optional per-machine shared L2 capacity (extension: lengthens the
     #: hierarchy by one level; the paper's 1999 platforms have none).
     l2_bytes: int | None = None
+    #: Optional declarative topology tree (:mod:`repro.topology`).  When
+    #: set, the interconnects live in the tree (``network`` must stay
+    #: ``None``) and the scalar shape fields (n, N, capacities) must
+    #: agree with it -- build via :meth:`from_topology` so they cannot
+    #: drift.  Enables shapes the flat fields cannot express, e.g. a
+    #: two-level intra-rack-switch / inter-rack-bus cluster.
+    topology: Topology | None = None
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -102,7 +111,7 @@ class PlatformSpec:
             raise ValueError(f"cache must hold at least one {ITEM_BYTES}-byte line")
         if self.memory_bytes <= self.cache_bytes:
             raise ValueError("memory must be larger than the cache")
-        if self.N > 1 and self.network is None:
+        if self.topology is None and self.N > 1 and self.network is None:
             raise ValueError("a multi-machine cluster needs a network")
         if self.N == 1 and self.network is not None:
             raise ValueError("a single SMP has no cluster network")
@@ -114,11 +123,75 @@ class PlatformSpec:
             self.cache_bytes < self.l2_bytes < self.memory_bytes
         ):
             raise ValueError("l2_bytes must sit strictly between cache and memory")
+        if self.topology is not None:
+            self._check_topology_consistency()
+
+    def _check_topology_consistency(self) -> None:
+        t = self.topology
+        if not isinstance(t, (MachineNode, ClusterNode)):
+            raise ValueError(
+                f"topology must be a MachineNode or ClusterNode, got {type(t).__name__}"
+            )
+        if self.network is not None:
+            raise ValueError(
+                "a topology-defined platform carries its interconnects in the "
+                "tree; leave network=None"
+            )
+        m = t.machine
+        if self.n != m.processors or self.N != t.total_machines:
+            raise ValueError(
+                f"spec shape (n={self.n}, N={self.N}) disagrees with its topology "
+                f"(n={m.processors}, N={t.total_machines}); build via from_topology()"
+            )
+        pairs = (
+            ("cache_bytes", self.cache_bytes, m.cache.capacity_items),
+            ("memory_bytes", self.memory_bytes, m.memory.capacity_items),
+        )
+        for field_name, byte_value, items in pairs:
+            if byte_value != int(items * ITEM_BYTES):
+                raise ValueError(f"spec {field_name} disagrees with its topology tree")
+        l2b = int(m.l2.capacity_items * ITEM_BYTES) if m.l2 is not None else None
+        if self.l2_bytes != l2b:
+            raise ValueError("spec l2_bytes disagrees with its topology tree")
+        if self.cache_ways != m.cache.ways:
+            raise ValueError("spec cache_ways disagrees with its topology tree")
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_topology(
+        cls,
+        name: str,
+        topology: Topology,
+        cpu_hz: float = CPU_HZ,
+        latencies: LatencyTable = PAPER_LATENCIES,
+    ) -> "PlatformSpec":
+        """Build a spec from a topology tree, deriving the flat shape
+        fields (n, N, capacities, associativity) from the tree so the
+        two representations can never disagree."""
+        if not isinstance(topology, (MachineNode, ClusterNode)):
+            raise ValueError(
+                f"topology must be a MachineNode or ClusterNode, got {type(topology).__name__}"
+            )
+        m = topology.machine
+        return cls(
+            name=name,
+            n=m.processors,
+            N=topology.total_machines,
+            cache_bytes=int(m.cache.capacity_items * ITEM_BYTES),
+            memory_bytes=int(m.memory.capacity_items * ITEM_BYTES),
+            network=None,
+            cpu_hz=cpu_hz,
+            latencies=latencies,
+            cache_ways=m.cache.ways,
+            l2_bytes=int(m.l2.capacity_items * ITEM_BYTES) if m.l2 is not None else None,
+            topology=topology,
+        )
+
     @property
     def kind(self) -> PlatformKind:
-        """Table 1 classification from the (n, N) shape."""
+        """Table 1 classification from the (n, N) shape (or the tree)."""
+        if self.topology is not None:
+            return classify(self.topology)
         if self.N == 1:
             return PlatformKind.SMP
         return PlatformKind.COW if self.n == 1 else PlatformKind.CLUMP
@@ -154,6 +227,13 @@ class PlatformSpec:
         cache_capacity_factor: float = 1.0,
     ) -> MemoryHierarchy:
         """Build the modeled memory hierarchy for this platform."""
+        if self.topology is not None:
+            return build_hierarchy(
+                self.topology,
+                include_peer_cache=include_peer_cache,
+                remote_cached_fraction=remote_cached_fraction,
+                cache_capacity_factor=cache_capacity_factor,
+            )
         kind = self.kind
         if kind is PlatformKind.SMP:
             return smp_hierarchy(
@@ -199,16 +279,114 @@ class PlatformSpec:
         """
         if size_divisor < 1:
             raise ValueError("size_divisor must be >= 1")
+        scaled_name = f"{self.name}/{size_divisor}" if size_divisor > 1 else self.name
+        if self.topology is not None:
+            from repro.topology.canned import scaled_topology
+
+            topo = scaled_topology(self.topology, size_divisor)
+            m = topo.machine
+            return replace(
+                self,
+                name=scaled_name,
+                cache_bytes=int(m.cache.capacity_items) * ITEM_BYTES,
+                memory_bytes=int(m.memory.capacity_items) * ITEM_BYTES,
+                l2_bytes=(
+                    int(m.l2.capacity_items) * ITEM_BYTES if m.l2 is not None else None
+                ),
+                topology=topo,
+            )
         return replace(
             self,
-            name=f"{self.name}/{size_divisor}" if size_divisor > 1 else self.name,
+            name=scaled_name,
             cache_bytes=max(ITEM_BYTES, self.cache_bytes // size_divisor),
             memory_bytes=max(2 * ITEM_BYTES, self.memory_bytes // size_divisor),
         )
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe form; the canonical sim/design cache-key
+        material (see ``SIM_CACHE_VERSION``/``DESIGN_CACHE_VERSION``)."""
+        return {
+            "name": self.name,
+            "n": self.n,
+            "N": self.N,
+            "cache_bytes": self.cache_bytes,
+            "memory_bytes": self.memory_bytes,
+            "network": self.network.value if self.network is not None else None,
+            "cpu_hz": self.cpu_hz,
+            "latencies": {
+                f.name: getattr(self.latencies, f.name)
+                for f in fields(self.latencies)
+            },
+            "cache_ways": self.cache_ways,
+            "l2_bytes": self.l2_bytes,
+            "topology": self.topology.to_dict() if self.topology is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PlatformSpec":
+        """Inverse of :meth:`to_dict`; raises ValueError on bad payloads."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"platform spec must be a mapping, got {type(payload).__name__}")
+        known = {
+            "name", "n", "N", "cache_bytes", "memory_bytes", "network",
+            "cpu_hz", "latencies", "cache_ways", "l2_bytes", "topology",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown platform spec keys: {', '.join(sorted(unknown))}")
+        try:
+            name = payload["name"]
+            n = payload["n"]
+            N = payload["N"]
+            cache_bytes = payload["cache_bytes"]
+            memory_bytes = payload["memory_bytes"]
+        except KeyError as exc:
+            raise ValueError(f"platform spec is missing required key {exc.args[0]!r}") from None
+        network = payload.get("network")
+        if network is not None:
+            try:
+                network = NetworkKind(network)
+            except ValueError:
+                known_nets = ", ".join(repr(k.value) for k in NetworkKind)
+                raise ValueError(f"unknown network {network!r}; known: {known_nets}") from None
+        latencies = payload.get("latencies")
+        if latencies is None:
+            latencies = PAPER_LATENCIES
+        elif isinstance(latencies, dict):
+            try:
+                latencies = LatencyTable(**latencies)
+            except TypeError as exc:
+                raise ValueError(f"bad latencies table: {exc}") from None
+        else:
+            raise ValueError("latencies must be a mapping of cost names to cycles")
+        topology = payload.get("topology")
+        if topology is not None:
+            topology = topology_from_dict(topology)
+        try:
+            return cls(
+                name=name,
+                n=n,
+                N=N,
+                cache_bytes=cache_bytes,
+                memory_bytes=memory_bytes,
+                network=network,
+                cpu_hz=payload.get("cpu_hz", CPU_HZ),
+                latencies=latencies,
+                cache_ways=payload.get("cache_ways", 2),
+                l2_bytes=payload.get("l2_bytes"),
+                topology=topology,
+            )
+        except TypeError as exc:
+            raise ValueError(f"bad platform spec: {exc}") from None
+
     def describe(self) -> str:
         """One-line summary in the style of the paper's config tables."""
-        net = f", {self.network.value}" if self.network else ""
+        if self.topology is not None and self.topology.depth > 0:
+            nets = " + ".join(ic.label for ic, _ in self.topology.interconnects)
+            net = f", {nets}"
+        else:
+            net = f", {self.network.value}" if self.network else ""
         return (
             f"{self.name}: {self.kind.value}, n={self.n}, N={self.N}, "
             f"cache {self.cache_bytes // 1024}KB, memory {self.memory_bytes // 1024}KB"

@@ -14,8 +14,9 @@ from typing import Iterator
 
 from repro.core.platform import PlatformSpec
 from repro.cost.catalog import PriceCatalog
-from repro.cost.model import cluster_cost
+from repro.cost.model import assert_priceable, cluster_cost
 from repro.sim.latencies import CPU_HZ, NetworkKind
+from repro.topology.canned import deepen_spec
 
 __all__ = ["CandidateSpace", "enumerate_configurations"]
 
@@ -41,6 +42,18 @@ class CandidateSpace:
     #: lets the cost study run against scaled-down workloads (prices are
     #: still quoted for the full-size parts).
     size_scale: int = 1
+    #: Topology mutations: for every flat cluster of N >= 4 machines,
+    #: additionally offer it re-wired as racks of each of these sizes
+    #: (an intra-rack network level is inserted; the flat network moves
+    #: to the inter-rack level).  Empty default keeps the paper's flat
+    #: space.
+    rack_sizes: tuple[int, ...] = ()
+    #: Intra-rack networks tried for each rack size.
+    rack_networks: tuple[NetworkKind, ...] = (NetworkKind.ATM_155,)
+    #: Hand-picked platforms (e.g. a topology file or a built-in deep
+    #: platform) competing alongside the enumerated grid.  They must be
+    #: priceable by the catalog.
+    extra_platforms: tuple[PlatformSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.max_machines < 1:
@@ -49,6 +62,8 @@ class CandidateSpace:
             raise ValueError("processor_counts must be positive")
         if self.size_scale < 1:
             raise ValueError("size_scale must be >= 1")
+        if self.rack_sizes and min(self.rack_sizes) < 2:
+            raise ValueError("rack sizes must be >= 2 machines")
 
 
 def enumerate_configurations(
@@ -94,21 +109,56 @@ def enumerate_configurations(
                                 ),
                             )
                             # Price the full-size parts regardless of scaling.
-                            price = cluster_cost(
-                                catalog,
-                                PlatformSpec(
-                                    name=spec.name,
-                                    n=n,
-                                    N=N,
-                                    cache_bytes=cache_kb * 1024,
-                                    memory_bytes=memory_mb * 1024 * 1024,
-                                    network=net,
-                                    cpu_hz=space.cpu_hz,
-                                    l2_bytes=l2_kb * 1024 if l2_kb is not None else None,
-                                ),
+                            full = PlatformSpec(
+                                name=spec.name,
+                                n=n,
+                                N=N,
+                                cache_bytes=cache_kb * 1024,
+                                memory_bytes=memory_mb * 1024 * 1024,
+                                network=net,
+                                cpu_hz=space.cpu_hz,
+                                l2_bytes=l2_kb * 1024 if l2_kb is not None else None,
                             )
+                            price = cluster_cost(catalog, full)
                             if price <= budget:
                                 yield spec, price
+                            if net is None:
+                                continue
+                            yield from _deepened(budget, catalog, space, spec, full)
+    for extra in space.extra_platforms:
+        assert_priceable(catalog, extra)
+        price = cluster_cost(catalog, extra)
+        if price <= budget:
+            candidate = (
+                extra.scaled(space.size_scale) if space.size_scale > 1 else extra
+            )
+            yield candidate, price
+
+
+def _deepened(
+    budget: float,
+    catalog: PriceCatalog,
+    space: CandidateSpace,
+    spec: PlatformSpec,
+    full: PlatformSpec,
+) -> Iterator[tuple[PlatformSpec, float]]:
+    """The "deepen the tree" mutations of one flat cluster candidate.
+
+    Each valid rack size re-wires the N machines into switched racks
+    behind the candidate's network; the price re-derives from the
+    deepened full-size spec (per-level attachments), so a deep variant
+    within budget competes on exactly the same footing.
+    """
+    for rack_size in space.rack_sizes:
+        if spec.N < 4 or rack_size < 2 or spec.N % rack_size or spec.N // rack_size < 2:
+            continue
+        for rack_net in space.rack_networks:
+            deep = deepen_spec(spec, rack_size, intra_network=rack_net)
+            deep_price = cluster_cost(
+                catalog, deepen_spec(full, rack_size, intra_network=rack_net)
+            )
+            if deep_price <= budget:
+                yield deep, deep_price
 
 
 def _config_name(

@@ -39,8 +39,25 @@ def network_cost(catalog: PriceCatalog, spec: PlatformSpec) -> float:
     return catalog.network_price(spec.network)
 
 
+def _topology_network_cost(catalog: PriceCatalog, spec: PlatformSpec) -> float:
+    """Total network price of a topology-defined platform.
+
+    Each interconnect level charges one attachment per subtree it joins:
+    the innermost level needs an adapter per machine, an inter-rack
+    level one uplink per rack, and so on up the tree.  For a flat
+    one-level cluster this reduces exactly to Eq. 5's ``N * C_net``.
+    """
+    total = spec.topology.total_machines
+    cost = 0.0
+    subtree = 1  # machines under one unit joined at the current level
+    for level, under in spec.topology.interconnects:
+        cost += (total // subtree) * catalog.network_price(level.network)
+        subtree = under
+    return cost
+
+
 def cluster_cost(catalog: PriceCatalog, spec: PlatformSpec) -> float:
-    """Eq. 5: total platform price."""
+    """Eq. 5: total platform price (per-level for deep topologies)."""
     per_machine = machine_cost(
         catalog,
         n=spec.n,
@@ -48,6 +65,8 @@ def cluster_cost(catalog: PriceCatalog, spec: PlatformSpec) -> float:
         memory_mb=max(1, spec.memory_bytes // (1024 * 1024)),
         l2_kb=spec.l2_bytes // 1024 if spec.l2_bytes is not None else None,
     )
+    if spec.topology is not None:
+        return spec.N * per_machine + _topology_network_cost(catalog, spec)
     return spec.N * (per_machine + network_cost(catalog, spec))
 
 

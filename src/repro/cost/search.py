@@ -79,7 +79,9 @@ _log = get_logger("repro.cost.search")
 
 #: Bump when the pickled :class:`SearchOutcome` layout or anything that
 #: determines a search answer changes shape without changing the key.
-DESIGN_CACHE_VERSION = 1
+#: 2: candidate spaces can enumerate topology mutations (rack_sizes /
+#:    extra_platforms) and specs may carry a declarative topology tree.
+DESIGN_CACHE_VERSION = 2
 
 #: Lowest-bound candidates evaluated serially to seed shard incumbents.
 _PROBE = 32

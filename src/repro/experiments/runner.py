@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import json
 import math
 import os
 import pickle
@@ -56,7 +57,9 @@ __all__ = ["Calibration", "ExperimentRunner", "DEFAULT_CALIBRATION"]
 #: Bump when simulator changes invalidate previously cached results.
 #: 2: SimulationResult grew a ``timeline`` field (PR 2).
 #: 3: SimulationResult grew fault fields; the key covers the fault plan.
-SIM_CACHE_VERSION = 3
+#: 4: platforms may carry a declarative topology tree; the spec enters
+#:    the key as canonical ``to_dict`` JSON instead of dataclass repr.
+SIM_CACHE_VERSION = 4
 
 _log = get_logger("repro.experiments.runner")
 
@@ -250,7 +253,7 @@ class ExperimentRunner:
                 sorted(self.app_kwargs.get(name, {}).items()),
                 self.seed,
                 float(self.horizon),
-                spec,
+                json.dumps(spec.to_dict(), sort_keys=True),
                 None if self.sample_every is None else float(self.sample_every),
                 self.fault_plan.cache_key() if self.fault_plan else None,
             )

@@ -33,7 +33,7 @@ def __getattr__(name):
         from repro.sim import engine
 
         return getattr(engine, name)
-    if name in ("BackendStats", "MemoryBackend", "make_backend", "SmpBackend", "CowBackend", "ClumpBackend"):
+    if name in ("BackendStats", "MemoryBackend", "make_backend", "SmpBackend", "CowBackend", "ClumpBackend", "ComposedBackend", "Fabric"):
         from repro.sim import backends
 
         return getattr(backends, name)
@@ -45,8 +45,10 @@ __all__ = [
     "CACHE_LINE_BYTES",
     "CPU_HZ",
     "ClumpBackend",
+    "ComposedBackend",
     "CowBackend",
     "DIRECTORY_BLOCK_BYTES",
+    "Fabric",
     "ITEM_BYTES",
     "LatencyTable",
     "MemoryBackend",

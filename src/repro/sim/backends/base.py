@@ -199,14 +199,23 @@ class MemoryBackend(ABC):
 
 
 def make_backend(spec: PlatformSpec, home_machine_of_line: np.ndarray) -> MemoryBackend:
-    """Instantiate the right back-end for a platform spec."""
-    from repro.sim.backends.clump import ClumpBackend
-    from repro.sim.backends.cow import CowBackend
-    from repro.sim.backends.smp import SmpBackend
+    """Instantiate the back-end for a platform spec.
+
+    Every platform -- the paper's three flat shapes and any deeper
+    declarative topology -- is served by the one topology-driven
+    :class:`~repro.sim.backends.composed.ComposedBackend`; the legacy
+    ``SmpBackend``/``CowBackend``/``ClumpBackend`` classes remain as
+    the bit-identity reference implementations.  An unrecognized
+    classification raises a :class:`ValueError` naming the platform and
+    its kind instead of silently falling through to a wrong model.
+    """
+    from repro.sim.backends.composed import ComposedBackend
 
     kind = spec.kind
-    if kind is PlatformKind.SMP:
-        return SmpBackend(spec, home_machine_of_line)
-    if kind is PlatformKind.COW:
-        return CowBackend(spec, home_machine_of_line)
-    return ClumpBackend(spec, home_machine_of_line)
+    if kind not in (PlatformKind.SMP, PlatformKind.COW, PlatformKind.CLUMP):
+        raise ValueError(
+            f"no simulator back-end for platform {spec.name!r}: "
+            f"unsupported platform kind {kind!r} (supported: "
+            f"{', '.join(k.name for k in PlatformKind)})"
+        )
+    return ComposedBackend(spec, home_machine_of_line)

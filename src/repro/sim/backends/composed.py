@@ -1,0 +1,584 @@
+"""Topology-driven back-end: one cycle-accounting engine for any tree.
+
+:class:`ComposedBackend` instantiates a platform's memory system from
+its declarative topology (:mod:`repro.topology`) instead of picking one
+of three bespoke classes.  The shape of the tree selects the coherence
+machinery -- a snooping bus inside each multi-processor machine, a
+home-based directory across machines, both for SMP nodes (the paper's
+hybrid protocol) -- and a :class:`Fabric` routes every inter-machine
+message through the interconnect level that is the lowest common
+ancestor of source and destination.
+
+For the paper's three shapes (one machine; flat cluster of
+uniprocessors; flat cluster of SMPs) the composed back-end is
+bit-identical to the legacy ``SmpBackend``/``CowBackend``/
+``ClumpBackend`` in both execution lanes -- same ``SimulationResult``,
+same statistics, same resource counters (property-tested in
+``tests/sim/test_fastpath_equivalence.py``).  Deeper trees -- e.g. a
+CLUMP of SMPs with an intra-rack switch and an inter-rack bus -- are
+expressible only here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.platform import PlatformSpec
+from repro.sim.backends.base import (
+    MemoryBackend,
+    SMP_INVALIDATE_CYCLES,
+    eligible_prefix,
+)
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.directory import LINES_PER_BLOCK, block_of, first_unowned_write
+from repro.sim.hybrid import HybridProtocol, HybridServe
+from repro.sim.memory import PagedMemory, Server, page_of
+from repro.sim.network import BusNetwork, SwitchNetwork
+from repro.sim.snoop import SnoopSource, SnoopingBus
+from repro.topology.canned import topology_for_spec
+from repro.topology.ir import ClusterNode, Contention, Topology
+
+__all__ = ["ComposedBackend", "Fabric"]
+
+
+class Fabric:
+    """The interconnect levels of a topology tree, with LCA routing.
+
+    Level ``j`` (innermost first) joins groups of ``child_size[j]``
+    machines into clusters of ``under[j]``; the whole platform holds
+    ``total // under[j]`` independent instances of that level.  A
+    message between machines ``a`` and ``b`` crosses exactly one level:
+    the innermost one whose instance contains both -- and is queued on
+    that instance's bus (one server) or destination switch port,
+    charged that level's remote cost.  For a flat cluster (depth 1)
+    this reduces exactly to the legacy single ``make_network`` model.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        if not isinstance(topology, ClusterNode):
+            raise ValueError("a Fabric needs at least one interconnect level")
+        total = topology.total_machines
+        self.total_machines = total
+        self._under: list[int] = []
+        self._child_size: list[int] = []
+        self._count: list[int] = []
+        self._instances: list[list] = []
+        self.t_remote: list[float] = []
+        self.t_remote_dirty: list[float] = []
+        self.labels: list[str] = []
+        child_size = 1
+        for ic, under in topology.interconnects:
+            count = under // child_size
+            net_cls = BusNetwork if ic.contention is Contention.BUS else SwitchNetwork
+            self._under.append(under)
+            self._child_size.append(child_size)
+            self._count.append(count)
+            self._instances.append(
+                [net_cls(ic.network, count) for _ in range(total // under)]
+            )
+            self.t_remote.append(ic.remote_node_cycles)
+            self.t_remote_dirty.append(ic.remote_cached_cycles)
+            self.labels.append(ic.label)
+            child_size = under
+
+    @property
+    def depth(self) -> int:
+        return len(self._under)
+
+    def _route(self, a: int, b: int):
+        """(level, instance, src port, dst port) for a cross-machine pair."""
+        for j, under in enumerate(self._under):
+            if a // under == b // under:
+                child = self._child_size[j]
+                count = self._count[j]
+                return (
+                    j,
+                    self._instances[j][a // under],
+                    (a // child) % count,
+                    (b // child) % count,
+                )
+        raise AssertionError("machines share the tree root by construction")
+
+    # -- message interface (mirrors ClusterNetwork) ---------------------
+    def transfer(self, now: float, src: int, dst: int, dirty: bool = False) -> float:
+        """Move one block from machine src to dst; return the finish time."""
+        j, net, sp, dp = self._route(src, dst)
+        cycles = self.t_remote_dirty[j] if dirty else self.t_remote[j]
+        return net.transfer(now, sp, dp, cycles)
+
+    def control(self, now: float, src: int, dst: int) -> float:
+        """Send a short address-only message (invalidate / ack)."""
+        j, net, sp, dp = self._route(src, dst)
+        return net.control(now, sp, dp, self.t_remote[j])
+
+    # -- aggregate bookkeeping ------------------------------------------
+    def install_latency_extra(self, extra_of_time) -> None:
+        for nets in self._instances:
+            for net in nets:
+                net.latency_extra = extra_of_time
+
+    @property
+    def busy_cycles(self) -> float:
+        return sum(net.busy_cycles for nets in self._instances for net in nets)
+
+    @property
+    def messages(self) -> int:
+        return sum(net.messages for nets in self._instances for net in nets)
+
+    @property
+    def control_messages(self) -> int:
+        return sum(net.control_messages for nets in self._instances for net in nets)
+
+    def level_busy_cycles(self, j: int) -> float:
+        return sum(net.busy_cycles for net in self._instances[j])
+
+    def level_requests(self, j: int) -> int:
+        return sum(net.messages + net.control_messages for net in self._instances[j])
+
+    @property
+    def outer_t_remote(self) -> float:
+        """Uncontended block cost of the outermost (root) level."""
+        return self.t_remote[-1]
+
+
+class ComposedBackend(MemoryBackend):
+    """Cycle accounting for any declarative topology tree.
+
+    One class, three access shapes picked by the tree, not by a kind
+    enum: a lone machine uses the snooping bus alone; a cluster of
+    uniprocessor machines uses the directory through the same hybrid
+    protocol (each node's "snoop group" is a single cache); a cluster
+    of SMP machines uses both layers.  All cross-machine timing flows
+    through the :class:`Fabric`, which works at any depth.
+    """
+
+    def __init__(self, spec: PlatformSpec, home_machine_of_line: np.ndarray) -> None:
+        super().__init__(spec, home_machine_of_line)
+        topo = topology_for_spec(spec)
+        self.topology = topo
+        machine = topo.machine
+        n = machine.processors
+        N = topo.total_machines
+        self.t_hit = float(machine.cache.tau_cycles)
+        self.t_peer = float(machine.cache.peer_tau_cycles)
+        self.t_mem = float(machine.memory.tau_cycles)
+        self.t_disk = float(machine.disk.tau_cycles)
+        self.t_l2 = (
+            float(machine.l2.tau_cycles)
+            if machine.l2 is not None
+            else float(spec.latencies.l2_hit)
+        )
+
+        if N == 1:
+            # -- one machine: snooping bus, shared memory, shared disk --
+            self.caches = [
+                SetAssociativeCache(spec.cache_items, ways=spec.cache_ways)
+                for _ in range(n)
+            ]
+            self.snoop = SnoopingBus(self.caches)
+            self.l2 = (
+                SetAssociativeCache(spec.l2_items, ways=8)
+                if spec.l2_items is not None
+                else None
+            )
+            self.bus = Server()
+            self.memory = PagedMemory(spec.memory_items)
+            self.disk = Server()
+            self.fabric = None
+            self._access_impl = self._access_smp
+            self._batch_impl = self._batch_smp
+            return
+
+        # -- multi-machine: hybrid protocol over a routed fabric --------
+        self.fabric = Fabric(topo)
+        self.t_remote = self.fabric.outer_t_remote
+        self.l2s = (
+            [SetAssociativeCache(spec.l2_items, ways=8) for _ in range(N)]
+            if spec.l2_items is not None
+            else None
+        )
+        self.memories = [PagedMemory(spec.memory_items) for _ in range(N)]
+        self.disks = [Server() for _ in range(N)]
+        if n == 1:
+            self.caches = [
+                SetAssociativeCache(spec.cache_items, ways=spec.cache_ways)
+                for _ in range(N)
+            ]
+            snoops = [SnoopingBus([c]) for c in self.caches]
+            self._access_impl = self._access_cow
+            self._batch_impl = self._batch_cow
+        else:
+            self.caches = [
+                [
+                    SetAssociativeCache(spec.cache_items, ways=spec.cache_ways)
+                    for _ in range(n)
+                ]
+                for _ in range(N)
+            ]
+            snoops = [SnoopingBus(self.caches[m]) for m in range(N)]
+            self.buses = [Server() for _ in range(N)]  # per-SMP memory bus
+            self._access_impl = self._access_clump
+            self._batch_impl = self._batch_clump
+        self.protocol = HybridProtocol(snoops, self.home_of_line_block, N)
+
+    def home_of_line_block(self, block: int) -> int:
+        return self.home_of_line(block * LINES_PER_BLOCK)
+
+    # ------------------------------------------------------------------
+    def access(self, proc: int, line: int, is_write: bool, now: float) -> float:
+        return self._access_impl(proc, line, is_write, now)
+
+    def access_batch(
+        self, proc: int, lines: np.ndarray, writes: np.ndarray, now: float
+    ) -> tuple[int, int]:
+        """Vectorized run of pure-local hits (see the base-class contract)."""
+        return self._batch_impl(proc, lines, writes, now)
+
+    # ------------------------------------------------------------------
+    # one machine (the legacy SMP shape)
+    # ------------------------------------------------------------------
+    def _access_smp(self, proc: int, line: int, is_write: bool, now: float) -> float:
+        st = self.stats
+        st.references += 1
+        t = now + self.t_hit
+        outcome = self.snoop.access(proc, line, is_write)
+        if is_write and self.l2 is not None:
+            # a store makes any L2 copy stale; the dirty line lives in L1
+            self.l2.invalidate(line)
+        if outcome.invalidated:
+            st.invalidations += len(outcome.invalidated)
+        if outcome.writeback:
+            st.writebacks += 1
+            self.bus.request(t, self.t_mem)  # background write-back traffic
+
+        if outcome.source is SnoopSource.OWN_CACHE:
+            st.cache_hits += 1
+            if is_write and outcome.invalidated:
+                t = self.bus.request(t, SMP_INVALIDATE_CYCLES)
+            return t
+        if outcome.source is SnoopSource.PEER_CACHE:
+            st.peer_cache += 1
+            return self.bus.request(t, self.t_peer)
+
+        # Served past the L1s: the shared L2 (if any) filters, then the
+        # page capacity decides memory vs disk.
+        if self.l2 is not None and not is_write:
+            if self.l2.lookup(line):
+                st.l2_hits += 1
+                return self.bus.request(t, self.t_l2)
+            self.l2.fill(line)
+        st.local_memory += 1
+        if self.memory.access(page_of(line)):
+            return self.bus.request(t, self.t_mem)
+        st.disk += 1  # sub-stage: the access also visited memory
+        t = self.bus.request(t, self.t_mem)
+        return self.disk.request(t, self.t_disk)
+
+    def _batch_smp(
+        self, proc: int, lines: np.ndarray, writes: np.ndarray, now: float
+    ) -> tuple[int, int]:
+        # Eligible: own-cache read hits, plus (no shared L2) write hits
+        # to lines no peer holds -- already-dirty lines wholesale, clean
+        # upgrades peer-checked individually (see SmpBackend history).
+        cache = self.caches[proc]
+        ok, slots = cache.residency(lines)
+        k, skip = eligible_prefix(ok)
+        if k == 0:
+            return 0, skip
+        dirty_marks = None
+        if self.l2 is not None:
+            bad = writes[:k]
+            if bad.any():
+                k = int(bad.argmax())
+                if k == 0:
+                    return 0, 1
+        else:
+            bad = writes[:k] & ~cache.dirty_at(slots[:k])
+            if bad.any():
+                first_bad = -1
+                caches = self.caches
+                for j in np.flatnonzero(bad).tolist():
+                    line = int(lines[j])
+                    if any(
+                        c.contains(line) for q, c in enumerate(caches) if q != proc
+                    ):
+                        k = j  # held elsewhere: invalidate needed, go scalar
+                        break
+                    if first_bad < 0:
+                        first_bad = j
+                if k == 0:
+                    return 0, 1
+                if 0 <= first_bad < k:
+                    # consumed clean-line upgrades: set their dirty bits
+                    dirty_marks = writes[:k]
+        cache.touch_positions(slots[:k], dirty=dirty_marks)
+        st = self.stats
+        st.references += k
+        st.cache_hits += k
+        return k, k + 1 if k < lines.size else k
+
+    # ------------------------------------------------------------------
+    # cluster of uniprocessor machines (the legacy COW shape)
+    # ------------------------------------------------------------------
+    def _invalidate_l2_block(self, machine: int, block: int) -> None:
+        l2 = self.l2s[machine]
+        base = block * LINES_PER_BLOCK
+        for l in range(base, base + LINES_PER_BLOCK):
+            l2.invalidate(l)
+
+    def _home_memory_time(self, t: float, home: int, line: int) -> float:
+        """Charge the home machine's memory (and disk on a page fault)."""
+        if self.memories[home].access(page_of(line)):
+            return t
+        self.stats.disk += 1
+        return self.disks[home].request(t, self.t_disk)
+
+    def _access_cow(self, proc: int, line: int, is_write: bool, now: float) -> float:
+        st = self.stats
+        st.references += 1
+        machine = proc  # one process per machine
+        t = now + self.t_hit
+        block = block_of(line)
+        out = self.protocol.access(machine, 0, line, is_write)
+
+        if out.serve is HybridServe.OWN_CACHE:
+            st.cache_hits += 1
+            if is_write:
+                if self.l2s is not None:
+                    self.l2s[machine].invalidate(line)
+                if out.invalidated_machines or out.data_source is not None:
+                    st.invalidations += len(out.invalidated_machines)
+                    if self.l2s is not None:
+                        for m in out.invalidated_machines:
+                            self._invalidate_l2_block(m, block)
+                    if out.data_source is not None:
+                        st.writebacks += 1
+                        if self.l2s is not None:
+                            self._invalidate_l2_block(out.data_source, block)
+                        t = self.fabric.transfer(t, out.data_source, machine, dirty=True)
+                    else:
+                        # Invalidation round trips; the writer waits for
+                        # the last acknowledgement.
+                        last = t
+                        for m in out.invalidated_machines:
+                            last = max(last, self.fabric.control(t, machine, m))
+                        t = last
+            return t
+
+        # Cache miss: the protocol already ran the directory transition
+        # and the L1 invalidations; mirror them in the L2s and settle the
+        # eviction the fill may have caused.
+        st.invalidations += len(out.invalidated_machines)
+        if self.l2s is not None:
+            for m in out.invalidated_machines:
+                self._invalidate_l2_block(m, block)
+        if out.evicted is not None and out.evicted[1]:
+            st.writebacks += 1
+            ev_home = self.home_of_line(out.evicted[0])
+            if ev_home != machine:
+                # Background write-back over the network.
+                self.fabric.transfer(t, machine, ev_home)
+            self.protocol.directory.drop_owner(block_of(out.evicted[0]), machine)
+
+        if out.serve is HybridServe.REMOTE_DIRTY:
+            st.remote_dirty += 1
+            if is_write and self.l2s is not None:
+                self._invalidate_l2_block(out.data_source, block)
+            return self.fabric.transfer(t, out.data_source, machine, dirty=True)
+        if out.serve is HybridServe.LOCAL_MEMORY:
+            if self.l2s is not None and not is_write:
+                if self.l2s[machine].lookup(line):
+                    st.l2_hits += 1
+                    return t + self.t_l2
+                self.l2s[machine].fill(line)
+            st.local_memory += 1
+            t += self.t_mem
+            return self._home_memory_time(t, machine, line)
+        st.remote_clean += 1
+        t = self.fabric.transfer(t, machine, out.home)
+        return self._home_memory_time(t, out.home, line)
+
+    def _batch_cow(
+        self, proc: int, lines: np.ndarray, writes: np.ndarray, now: float
+    ) -> tuple[int, int]:
+        # Eligible: read hits, plus write hits to directory-exclusive
+        # blocks (silent upgrade) when there is no L2.  The L1 dirty bit
+        # is not a valid shortcut: a remote read drops exclusivity
+        # without clearing the reader-side flag.
+        machine = proc  # one process per machine
+        cache = self.caches[machine]
+        ok, slots = cache.residency(lines)
+        k, skip = eligible_prefix(ok)
+        if k == 0:
+            return 0, skip
+        wr = writes[:k]
+        if wr.any():
+            if self.l2s is not None:
+                k = int(wr.argmax())  # first write cuts the run
+            else:
+                k = first_unowned_write(
+                    self.protocol.directory.exclusive_owner, machine, lines, wr, k
+                )
+            if k == 0:
+                return 0, 1
+            wr = writes[:k]
+        cache.touch_positions(slots[:k], dirty=wr if wr.any() else None)
+        st = self.stats
+        st.references += k
+        st.cache_hits += k
+        return k, k + 1 if k < lines.size else k
+
+    # ------------------------------------------------------------------
+    # cluster of SMP machines (the legacy CLUMP shape, any depth)
+    # ------------------------------------------------------------------
+    def _access_clump(self, proc: int, line: int, is_write: bool, now: float) -> float:
+        st = self.stats
+        st.references += 1
+        machine = proc // self.spec.n
+        local_proc = proc % self.spec.n
+        bus = self.buses[machine]
+        t = now + self.t_hit
+
+        out = self.protocol.access(machine, local_proc, line, is_write)
+        if self.l2s is not None and is_write:
+            self.l2s[machine].invalidate(line)
+            base = (line // LINES_PER_BLOCK) * LINES_PER_BLOCK
+            for m in out.invalidated_machines:
+                for l in range(base, base + LINES_PER_BLOCK):
+                    self.l2s[m].invalidate(l)
+        st.invalidations += len(out.invalidated_machines) + out.local_invalidations
+        if out.writeback:
+            st.writebacks += 1
+            bus.request(t, self.t_mem)  # background write-back on the SMP bus
+
+        if out.serve is HybridServe.OWN_CACHE:
+            st.cache_hits += 1
+            if is_write and out.local_invalidations:
+                t = bus.request(t, SMP_INVALIDATE_CYCLES)
+            if is_write and out.invalidated_machines:
+                last = t
+                for m in out.invalidated_machines:
+                    last = max(last, self.fabric.control(t, machine, m))
+                t = last
+            return t
+        if out.serve is HybridServe.PEER_CACHE:
+            st.peer_cache += 1
+            return bus.request(t, self.t_peer)
+        if out.serve is HybridServe.LOCAL_MEMORY:
+            if self.l2s is not None and not is_write:
+                if self.l2s[machine].lookup(line):
+                    st.l2_hits += 1
+                    return bus.request(t, self.t_l2)
+                self.l2s[machine].fill(line)
+            st.local_memory += 1
+            t = bus.request(t, self.t_mem)
+            return self._home_memory_time(t, machine, line)
+        if out.serve is HybridServe.REMOTE_DIRTY:
+            st.remote_dirty += 1
+            assert out.data_source is not None
+            return self.fabric.transfer(t, out.data_source, machine, dirty=True)
+        st.remote_clean += 1
+        t = self.fabric.transfer(t, machine, out.home)
+        return self._home_memory_time(t, out.home, line)
+
+    def _batch_clump(
+        self, proc: int, lines: np.ndarray, writes: np.ndarray, now: float
+    ) -> tuple[int, int]:
+        # Both coherence layers must be quiet: read hits always are; a
+        # write hit needs the line dirty in the issuing cache (no snoop
+        # broadcast) AND the node directory-exclusive (silent upgrade),
+        # with no L2 to invalidate.
+        n = self.spec.n
+        machine = proc // n
+        cache = self.caches[machine][proc % n]
+        ok, slots = cache.residency(lines)
+        k, skip = eligible_prefix(ok)
+        if k == 0:
+            return 0, skip
+        w = writes[:k]
+        if w.any():
+            if self.l2s is not None:
+                k = int(w.argmax())  # first write cuts the run
+            else:
+                bad = w & ~cache.dirty_at(slots[:k])
+                if bad.any():
+                    k = int(bad.argmax())
+                if k:
+                    k = first_unowned_write(
+                        self.protocol.directory.exclusive_owner,
+                        machine,
+                        lines,
+                        writes,
+                        k,
+                    )
+            if k == 0:
+                return 0, 1
+        cache.touch_positions(slots[:k])
+        st = self.stats
+        st.references += k
+        st.cache_hits += k
+        return k, k + 1 if k < lines.size else k
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+    def install_network_spikes(self, extra_of_time) -> None:
+        if self.fabric is not None:
+            self.fabric.install_latency_extra(extra_of_time)
+
+    def barrier_overhead(self) -> float:
+        """Barrier exit cost: the release round trip of the outermost
+        shared medium (plus the SMP bus release inside SMP nodes)."""
+        self.stats.barrier_count += 1
+        if self.fabric is None:
+            return 2.0 * self.t_mem
+        network_part = 2.0 * self.fabric.outer_t_remote * 0.25  # address-only
+        if self.spec.n == 1:
+            return network_part
+        return network_part + 2.0 * self.t_mem
+
+    def resource_busy_cycles(self) -> dict[str, float]:
+        if self.fabric is None:
+            return {"memory bus": self.bus.busy_cycles, "disk": self.disk.busy_cycles}
+        out = {"network": self.fabric.busy_cycles}
+        if self.spec.n > 1:
+            out["memory buses"] = sum(b.busy_cycles for b in self.buses)
+        out["disks"] = sum(d.busy_cycles for d in self.disks)
+        if self.fabric.depth > 1:
+            for j, label in enumerate(self.fabric.labels):
+                out[f"network[{label}]"] = self.fabric.level_busy_cycles(j)
+        return out
+
+    def resource_requests(self) -> dict[str, int]:
+        if self.fabric is None:
+            return {"memory bus": self.bus.requests, "disk": self.disk.requests}
+        out = {"network": self.fabric.messages + self.fabric.control_messages}
+        if self.spec.n > 1:
+            out["memory buses"] = sum(b.requests for b in self.buses)
+        out["disks"] = sum(d.requests for d in self.disks)
+        if self.fabric.depth > 1:
+            for j, label in enumerate(self.fabric.labels):
+                out[f"network[{label}]"] = self.fabric.level_requests(j)
+        return out
+
+    # ------------------------------------------------------------------
+    def bus_utilization(self, total_cycles: float) -> float:
+        """Fraction of simulated time the (single machine's) memory bus
+        was busy."""
+        if self.fabric is not None or total_cycles <= 0:
+            return 0.0
+        return self.bus.busy_cycles / total_cycles
+
+    def network_utilization(self, total_cycles: float) -> float:
+        if self.fabric is None or total_cycles <= 0:
+            return 0.0
+        return self.fabric.busy_cycles / total_cycles
+
+    def coherence_traffic_fraction(self) -> float:
+        """Share of bus transactions that are protocol-induced
+        (invalidate broadcasts + cache-to-cache transfers); capacity
+        write-backs excluded.  Meaningful for the one-machine shape."""
+        st = self.stats
+        coherent = st.invalidations + st.peer_cache
+        total = coherent + st.local_memory + st.writebacks
+        return coherent / total if total else 0.0

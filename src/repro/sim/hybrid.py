@@ -45,6 +45,10 @@ class HybridOutcome:
     invalidated_machines: tuple[int, ...]
     local_invalidations: int  #: intra-SMP copies killed by a write upgrade
     writeback: bool  #: dirty line evicted while filling
+    #: ``(line, was_dirty)`` evicted from the issuing cache by the fill,
+    #: or None.  Uniprocessor-node back-ends use the identity to retire
+    #: directory ownership and route the write-back over the network.
+    evicted: tuple[int, bool] | None = None
 
 
 class HybridProtocol:
@@ -118,4 +122,5 @@ class HybridProtocol:
             invalidated_machines=out.invalidated,
             local_invalidations=len(local.invalidated),
             writeback=local.writeback,
+            evicted=local.evicted,
         )

@@ -35,6 +35,11 @@ class SnoopOutcome:
     source: SnoopSource
     invalidated: tuple[int, ...]  #: local processor ids whose copy died
     writeback: bool  #: a dirty eviction occurred while filling
+    #: The line the fill evicted from the issuing cache, as
+    #: ``(line, was_dirty)`` -- None on a hit or an eviction-free fill.
+    #: Back-ends that track per-line ownership elsewhere (the cluster
+    #: directory) need the identity, not just the ``writeback`` bit.
+    evicted: tuple[int, bool] | None = None
 
 
 class SnoopingBus:
@@ -91,8 +96,8 @@ class SnoopingBus:
             writeback = True
         if peer_has:
             self.cache_to_cache += 1
-            return SnoopOutcome(SnoopSource.PEER_CACHE, tuple(invalidated), writeback)
-        return SnoopOutcome(SnoopSource.MEMORY, tuple(invalidated), writeback)
+            return SnoopOutcome(SnoopSource.PEER_CACHE, tuple(invalidated), writeback, evicted)
+        return SnoopOutcome(SnoopSource.MEMORY, tuple(invalidated), writeback, evicted)
 
     # ------------------------------------------------------------------
     def holds(self, line: int) -> bool:

@@ -1,0 +1,79 @@
+"""Declarative platform topology IR (clusters as composable trees).
+
+The paper's three platform classes (SMP, COW, CLUMP) are special cases
+of one structure: a tree whose leaves are machines (processors behind a
+cache/memory/disk stack) and whose interior nodes are interconnects
+(bus or switch) joining identical subtrees.  This package is the single
+source of truth for that structure:
+
+* :mod:`repro.topology.ir` -- the frozen level dataclasses
+  (:class:`CacheLevel`, :class:`MemoryLevel`, :class:`DiskLevel`,
+  :class:`InterconnectLevel`) and tree nodes (:class:`MachineNode`,
+  :class:`ClusterNode`), with lossless ``to_dict``/``from_dict``.
+* :mod:`repro.topology.canned` -- builders for the paper's canned
+  shapes plus the new two-level CLUMP-of-SMPs scenario, and the
+  CLI-facing built-in platform registry.
+* :mod:`repro.topology.build` -- the generic fold from a topology tree
+  to the analytical :class:`~repro.core.hierarchy.MemoryHierarchy`
+  (replaces the three bespoke constructors) and the Table-1
+  classification.
+* :mod:`repro.topology.io` -- JSON/YAML platform files for the CLI.
+
+Every layer that used to switch on ``PlatformKind`` -- the hierarchy
+builders, the simulator back-ends (:class:`~repro.sim.backends.composed.
+ComposedBackend`), the cost enumeration -- now consumes this IR.
+"""
+
+from repro.topology.build import build_hierarchy, classify
+from repro.topology.canned import (
+    BUILTIN_PLATFORMS,
+    builtin_platform,
+    clump_of_smps_spec,
+    clump_of_smps_topology,
+    clump_topology,
+    cow_topology,
+    deepen_spec,
+    interconnect_for,
+    scaled_topology,
+    smp_topology,
+    topology_for_spec,
+)
+from repro.topology.io import load_platform_file, platform_from_dict
+from repro.topology.ir import (
+    CacheLevel,
+    ClusterNode,
+    Contention,
+    DiskLevel,
+    InterconnectLevel,
+    MachineNode,
+    MemoryLevel,
+    Topology,
+    topology_from_dict,
+)
+
+__all__ = [
+    "CacheLevel",
+    "MemoryLevel",
+    "DiskLevel",
+    "InterconnectLevel",
+    "Contention",
+    "MachineNode",
+    "ClusterNode",
+    "Topology",
+    "topology_from_dict",
+    "build_hierarchy",
+    "classify",
+    "smp_topology",
+    "cow_topology",
+    "clump_topology",
+    "clump_of_smps_topology",
+    "clump_of_smps_spec",
+    "deepen_spec",
+    "interconnect_for",
+    "topology_for_spec",
+    "scaled_topology",
+    "builtin_platform",
+    "BUILTIN_PLATFORMS",
+    "load_platform_file",
+    "platform_from_dict",
+]

@@ -1,0 +1,205 @@
+"""Generic fold: topology tree -> analytical :class:`MemoryHierarchy`.
+
+One walk replaces the three bespoke constructors of
+:mod:`repro.core.hierarchy` (which now delegate here).  The fold
+reproduces their output *exactly* for the paper's depth-0/1 shapes --
+level names, boundaries, populations and rate fractions -- so every
+pre-refactor analytical result is bit-identical, and generalizes to
+arbitrary depth:
+
+* one REMOTE_MEMORY level per interconnect, carrying that level's
+  uncontended cost and the share of remote traffic whose lowest common
+  ancestor is that level (uniform homes: ``(M_j - M_{j-1}) / (M - 1)``
+  for ``M_j`` machines under level j);
+* bus levels are contended by every processor underneath them, switch
+  levels only at the destination subtree (``procs-per-subtree + 1``);
+* the disk boundary aggregates over all machines, split into a local
+  share ``1/M`` and one REMOTE_DISK level per interconnect.
+"""
+
+from __future__ import annotations
+
+from repro.core.hierarchy import (
+    LevelKind,
+    MemoryHierarchy,
+    MemoryLevel as ModelLevel,
+    PlatformKind,
+    _effective_cache,
+)
+from repro.topology.ir import ClusterNode, Contention, MachineNode, Topology
+
+__all__ = ["classify", "build_hierarchy"]
+
+
+def classify(topology: Topology) -> PlatformKind:
+    """Paper Table 1 classification, generalized to any depth.
+
+    A lone machine is an SMP; a networked tree of uniprocessor machines
+    is (a generalization of) a COW; a networked tree of SMP machines is
+    (a generalization of) a CLUMP.
+    """
+    if isinstance(topology, MachineNode):
+        return PlatformKind.SMP
+    return PlatformKind.COW if topology.procs_per_machine == 1 else PlatformKind.CLUMP
+
+
+def _level_population(contention: Contention, procs_below: int, procs_per_child: int) -> int:
+    """M/D/1 population of one interconnect level.
+
+    A bus is one medium shared by every processor underneath the level;
+    a switch provides contention-free pairwise paths, so queueing
+    happens at the destination subtree -- with uniform traffic the
+    interference equals one subtree's emission rate, i.e. population
+    ``procs_per_child + 1`` (see ``_switch_population``).
+    """
+    if contention is Contention.BUS:
+        return procs_below
+    return procs_per_child + 1
+
+
+def build_hierarchy(
+    topology: Topology,
+    include_peer_cache: bool = False,
+    remote_cached_fraction: float = 0.0,
+    cache_capacity_factor: float = 1.0,
+) -> MemoryHierarchy:
+    """Fold a topology tree into the paper's Eq. 7/11 level structure."""
+    if not isinstance(topology, (MachineNode, ClusterNode)):
+        raise ValueError(
+            f"cannot build a hierarchy from {type(topology).__name__!r}; "
+            "expected a MachineNode or ClusterNode topology"
+        )
+    if not (0.0 <= remote_cached_fraction <= 1.0):
+        raise ValueError(
+            f"remote_cached_fraction must be in [0, 1], got {remote_cached_fraction!r}"
+        )
+    machine = topology.machine
+    n = machine.processors
+    depth = topology.depth
+    total_machines = topology.total_machines
+    cache_items = _effective_cache(machine.cache.capacity_items, cache_capacity_factor)
+    memory_items = machine.memory.capacity_items
+
+    levels: list[ModelLevel] = []
+    memory_boundary = cache_items
+
+    # -- intra-machine levels -----------------------------------------
+    if include_peer_cache and n > 1:
+        levels.append(
+            ModelLevel(
+                name=("peer caches (bus snoop)" if depth == 0 else "peer caches (SMP snoop)"),
+                kind=LevelKind.PEER_CACHE,
+                boundary_items=cache_items,
+                tau_cycles=machine.cache.peer_tau_cycles,
+                population=n,
+            )
+        )
+        memory_boundary = n * cache_items
+    if machine.l2 is not None:
+        l2_items = machine.l2.capacity_items
+        if l2_items <= memory_boundary or l2_items >= memory_items:
+            raise ValueError("L2 must sit strictly between the caches and memory")
+        levels.append(
+            ModelLevel(
+                name="shared L2 cache",
+                kind=LevelKind.L2_CACHE,
+                boundary_items=memory_boundary,
+                tau_cycles=machine.l2.tau_cycles,
+                population=n,
+            )
+        )
+        memory_boundary = l2_items
+    if depth == 0:
+        memory_name = "shared memory (memory bus)"
+    elif n == 1:
+        memory_name = "local memory"
+    else:
+        memory_name = "SMP shared memory (memory bus)"
+    levels.append(
+        ModelLevel(
+            name=memory_name,
+            kind=LevelKind.LOCAL_MEMORY,
+            boundary_items=memory_boundary,
+            tau_cycles=machine.memory.tau_cycles,
+            population=n,
+        )
+    )
+
+    # -- one remote-memory level per interconnect, innermost first ----
+    remote_fraction = 1.0 - remote_cached_fraction
+    machines_prev = 1
+    for ic, machines_below in topology.interconnects:
+        population = _level_population(ic.contention, n * machines_below, n * machines_prev)
+        # Share of remote traffic whose lowest common ancestor is this
+        # level, under uniform home placement over the other machines.
+        share = (machines_below - machines_prev) / (total_machines - 1)
+        levels.append(
+            ModelLevel(
+                name=(f"remote memory ({ic.label})" if n == 1
+                      else f"remote SMP memory ({ic.label})"),
+                kind=LevelKind.REMOTE_MEMORY,
+                boundary_items=memory_items,
+                tau_cycles=ic.remote_node_cycles,
+                population=population,
+                rate_fraction=share * remote_fraction,
+            )
+        )
+        if remote_cached_fraction > 0.0:
+            levels.append(
+                ModelLevel(
+                    name=f"remotely cached data ({ic.label})",
+                    kind=LevelKind.REMOTE_MEMORY,
+                    boundary_items=memory_items,
+                    tau_cycles=ic.remote_cached_cycles,
+                    population=population,
+                    rate_fraction=share * remote_cached_fraction,
+                )
+            )
+        machines_prev = machines_below
+
+    # -- disks ---------------------------------------------------------
+    if depth == 0:
+        levels.append(
+            ModelLevel(
+                name="local disk (I/O bus)",
+                kind=LevelKind.LOCAL_DISK,
+                boundary_items=memory_items,
+                tau_cycles=machine.disk.tau_cycles,
+                population=n,
+            )
+        )
+    else:
+        aggregate_memory = total_machines * memory_items
+        levels.append(
+            ModelLevel(
+                name=("local disk" if n == 1 else "local disk (I/O bus)"),
+                kind=LevelKind.LOCAL_DISK,
+                boundary_items=aggregate_memory,
+                tau_cycles=machine.disk.tau_cycles,
+                population=n,
+                rate_fraction=1.0 / total_machines,
+            )
+        )
+        machines_prev = 1
+        for ic, machines_below in topology.interconnects:
+            population = _level_population(ic.contention, n * machines_below, n * machines_prev)
+            levels.append(
+                ModelLevel(
+                    name=f"remote disks ({ic.label})",
+                    kind=LevelKind.REMOTE_DISK,
+                    boundary_items=aggregate_memory,
+                    tau_cycles=machine.disk.tau_cycles + ic.remote_disk_extra_cycles,
+                    population=population,
+                    rate_fraction=(machines_below - machines_prev) / total_machines,
+                )
+            )
+            machines_prev = machines_below
+
+    total = topology.total_processors
+    return MemoryHierarchy(
+        platform=classify(topology),
+        base_cycles=machine.cache.tau_cycles,
+        levels=tuple(levels),
+        barrier_population=total,
+        total_processes=total,
+    )

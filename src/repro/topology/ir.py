@@ -1,0 +1,323 @@
+"""The topology IR: composable levels and the platform tree.
+
+A platform is a tree.  Leaves are :class:`MachineNode`\\ s -- a group of
+processors behind one cache/L2/memory/disk stack.  Interior nodes are
+:class:`ClusterNode`\\ s -- ``count`` identical subtrees joined by an
+:class:`InterconnectLevel` (bus or switch).  Because a cluster node
+replicates a *single* child, every tree is uniform by construction:
+``procs_per_machine`` is well defined and the simulator's
+``machine = proc // n`` arithmetic stays valid at any depth.
+
+Sizes are measured in 64-byte *items* (the library's stack-distance
+unit, :data:`repro.sim.latencies.ITEM_BYTES`) and every ``tau`` is an
+uncontended cost in CPU cycles, exactly the (s_i, tau_i) pairs of the
+paper's Eq. 7.  All classes are frozen dataclasses: topologies hash
+stably, compare by value, and round-trip losslessly through
+``to_dict``/``from_dict`` (the canonical cache-key material).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Union
+
+from repro.sim.latencies import NetworkKind
+
+__all__ = [
+    "CacheLevel",
+    "MemoryLevel",
+    "DiskLevel",
+    "Contention",
+    "InterconnectLevel",
+    "MachineNode",
+    "ClusterNode",
+    "Topology",
+    "topology_from_dict",
+]
+
+
+class Contention(str, Enum):
+    """How an interconnect serializes traffic (its M/D/1 shape)."""
+
+    BUS = "bus"  #: one shared medium; every message under the level queues
+    SWITCH = "switch"  #: pairwise paths; queueing only at the destination
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """A per-processor cache: capacity, hit cost, peer-transfer cost."""
+
+    capacity_items: float
+    tau_cycles: float = 1.0  #: hit cost (the hierarchy's base access time)
+    ways: int = 2
+    peer_tau_cycles: float = 15.0  #: cache-to-cache cost within a snoop group
+
+    def __post_init__(self) -> None:
+        if self.capacity_items < 1:
+            raise ValueError(f"cache must hold at least one item, got {self.capacity_items!r}")
+        if self.tau_cycles < 0 or self.peer_tau_cycles < 0:
+            raise ValueError("cache costs must be non-negative")
+        if self.ways < 1:
+            raise ValueError(f"ways must be >= 1, got {self.ways!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity_items": self.capacity_items,
+            "tau_cycles": self.tau_cycles,
+            "ways": self.ways,
+            "peer_tau_cycles": self.peer_tau_cycles,
+        }
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """A machine's main memory: capacity and miss-to-memory cost."""
+
+    capacity_items: float
+    tau_cycles: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_items < 1:
+            raise ValueError(f"memory must hold at least one item, got {self.capacity_items!r}")
+        if self.tau_cycles < 0:
+            raise ValueError("memory cost must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {"capacity_items": self.capacity_items, "tau_cycles": self.tau_cycles}
+
+
+@dataclass(frozen=True)
+class DiskLevel:
+    """A machine's disk behind its I/O bus: memory-miss cost."""
+
+    tau_cycles: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.tau_cycles < 0:
+            raise ValueError("disk cost must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {"tau_cycles": self.tau_cycles}
+
+
+@dataclass(frozen=True)
+class InterconnectLevel:
+    """One network level joining the subtrees of a :class:`ClusterNode`.
+
+    Carries fully resolved cycle costs: ``remote_node_cycles`` (a miss
+    served by another subtree's memory across this level),
+    ``remote_cached_cycles`` (served by remotely cached dirty data) and
+    ``remote_disk_extra_cycles`` (surcharge of a remote over a local
+    disk access).  The canned builders derive these from the paper's
+    Section 5.1 network table (including the +3-cycle intra-SMP hop);
+    custom topologies may state any costs directly.
+    """
+
+    network: NetworkKind  #: base hardware (used for pricing and labels)
+    contention: Contention
+    remote_node_cycles: float
+    remote_cached_cycles: float
+    remote_disk_extra_cycles: float
+    label: str  #: report label, e.g. ``"155Mb switch"`` or ``"inter-rack 100Mb bus"``
+
+    def __post_init__(self) -> None:
+        if min(self.remote_node_cycles, self.remote_cached_cycles,
+               self.remote_disk_extra_cycles) < 0:
+            raise ValueError("interconnect costs must be non-negative")
+        if not self.label:
+            raise ValueError("an interconnect level needs a label")
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network.value,
+            "contention": self.contention.value,
+            "remote_node_cycles": self.remote_node_cycles,
+            "remote_cached_cycles": self.remote_cached_cycles,
+            "remote_disk_extra_cycles": self.remote_disk_extra_cycles,
+            "label": self.label,
+        }
+
+
+@dataclass(frozen=True)
+class MachineNode:
+    """A leaf: ``processors`` CPUs behind one cache/memory/disk stack."""
+
+    processors: int
+    cache: CacheLevel
+    memory: MemoryLevel
+    disk: DiskLevel
+    l2: CacheLevel | None = None
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError(f"a machine needs >= 1 processor, got {self.processors!r}")
+        if self.memory.capacity_items <= self.cache.capacity_items:
+            raise ValueError("memory must be larger than the cache")
+        if self.l2 is not None and not (
+            self.cache.capacity_items < self.l2.capacity_items < self.memory.capacity_items
+        ):
+            raise ValueError("L2 must sit strictly between the cache and memory")
+
+    # -- tree queries --------------------------------------------------
+    @property
+    def machine(self) -> "MachineNode":
+        return self
+
+    @property
+    def procs_per_machine(self) -> int:
+        return self.processors
+
+    @property
+    def total_machines(self) -> int:
+        return 1
+
+    @property
+    def total_processors(self) -> int:
+        return self.processors
+
+    @property
+    def depth(self) -> int:
+        """Number of interconnect levels above the machines."""
+        return 0
+
+    @property
+    def interconnects(self) -> tuple[tuple[InterconnectLevel, int], ...]:
+        """``(level, machines_below)`` pairs, innermost first.
+
+        ``machines_below`` is the machine count of one subtree joined at
+        that level -- the cumulative product of cluster ``count``\\ s.
+        """
+        return ()
+
+    def to_dict(self) -> dict:
+        d = {
+            "type": "machine",
+            "processors": self.processors,
+            "cache": self.cache.to_dict(),
+            "memory": self.memory.to_dict(),
+            "disk": self.disk.to_dict(),
+        }
+        if self.l2 is not None:
+            d["l2"] = self.l2.to_dict()
+        return d
+
+
+@dataclass(frozen=True)
+class ClusterNode:
+    """An interior node: ``count`` identical children on one interconnect."""
+
+    count: int
+    child: "Topology"
+    interconnect: InterconnectLevel
+
+    def __post_init__(self) -> None:
+        if self.count < 2:
+            raise ValueError(f"a cluster level joins >= 2 subtrees, got {self.count!r}")
+
+    # -- tree queries --------------------------------------------------
+    @property
+    def machine(self) -> MachineNode:
+        return self.child.machine
+
+    @property
+    def procs_per_machine(self) -> int:
+        return self.machine.processors
+
+    @property
+    def total_machines(self) -> int:
+        return self.count * self.child.total_machines
+
+    @property
+    def total_processors(self) -> int:
+        return self.procs_per_machine * self.total_machines
+
+    @property
+    def depth(self) -> int:
+        return 1 + self.child.depth
+
+    @property
+    def interconnects(self) -> tuple[tuple[InterconnectLevel, int], ...]:
+        return self.child.interconnects + ((self.interconnect, self.total_machines),)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "cluster",
+            "count": self.count,
+            "interconnect": self.interconnect.to_dict(),
+            "child": self.child.to_dict(),
+        }
+
+
+Topology = Union[MachineNode, ClusterNode]
+
+
+# -- deserialization ---------------------------------------------------
+def _require(d: dict, key: str, context: str):
+    if not isinstance(d, dict):
+        raise ValueError(f"{context} must be a mapping, got {type(d).__name__}")
+    if key not in d:
+        raise ValueError(f"{context} is missing required key {key!r}")
+    return d[key]
+
+
+def _cache_from_dict(d: dict, context: str) -> CacheLevel:
+    return CacheLevel(
+        capacity_items=_require(d, "capacity_items", context),
+        tau_cycles=d.get("tau_cycles", 1.0),
+        ways=d.get("ways", 2),
+        peer_tau_cycles=d.get("peer_tau_cycles", 15.0),
+    )
+
+
+def _interconnect_from_dict(d: dict) -> InterconnectLevel:
+    raw_net = _require(d, "network", "interconnect")
+    try:
+        network = NetworkKind(raw_net)
+    except ValueError:
+        known = ", ".join(repr(k.value) for k in NetworkKind)
+        raise ValueError(f"unknown network {raw_net!r}; known: {known}") from None
+    raw_cont = d.get("contention", Contention.BUS.value if network.is_bus else Contention.SWITCH.value)
+    try:
+        contention = Contention(raw_cont)
+    except ValueError:
+        raise ValueError(f"contention must be 'bus' or 'switch', got {raw_cont!r}") from None
+    remote_node = _require(d, "remote_node_cycles", "interconnect")
+    return InterconnectLevel(
+        network=network,
+        contention=contention,
+        remote_node_cycles=remote_node,
+        remote_cached_cycles=d.get("remote_cached_cycles", 2 * remote_node),
+        remote_disk_extra_cycles=d.get("remote_disk_extra_cycles", remote_node),
+        label=d.get("label", network.value),
+    )
+
+
+def topology_from_dict(d: dict) -> Topology:
+    """Reconstruct a topology tree from its ``to_dict`` form.
+
+    Raises :class:`ValueError` with a pointed message on any malformed
+    payload (missing keys, unknown node types, bad enum values), so the
+    CLI can surface file problems at the argparse layer.
+    """
+    kind = _require(d, "type", "topology node")
+    if kind == "machine":
+        l2 = d.get("l2")
+        return MachineNode(
+            processors=_require(d, "processors", "machine node"),
+            cache=_cache_from_dict(_require(d, "cache", "machine node"), "cache"),
+            memory=MemoryLevel(
+                capacity_items=_require(_require(d, "memory", "machine node"),
+                                        "capacity_items", "memory"),
+                tau_cycles=d["memory"].get("tau_cycles", 50.0),
+            ),
+            disk=DiskLevel(tau_cycles=d.get("disk", {}).get("tau_cycles", 2000.0)),
+            l2=_cache_from_dict(l2, "l2") if l2 is not None else None,
+        )
+    if kind == "cluster":
+        return ClusterNode(
+            count=_require(d, "count", "cluster node"),
+            child=topology_from_dict(_require(d, "child", "cluster node")),
+            interconnect=_interconnect_from_dict(_require(d, "interconnect", "cluster node")),
+        )
+    raise ValueError(f"topology node type must be 'machine' or 'cluster', got {kind!r}")

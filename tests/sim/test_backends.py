@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.platform import PlatformSpec
-from repro.sim.backends import ClumpBackend, CowBackend, SmpBackend, make_backend
+from repro.sim.backends import (
+    ClumpBackend,
+    ComposedBackend,
+    CowBackend,
+    SmpBackend,
+    make_backend,
+)
 from repro.sim.latencies import NetworkKind
 
 KB = 1024
@@ -41,9 +47,26 @@ def clump_backend(net=NetworkKind.ETHERNET_100):
 class TestFactory:
     def test_dispatch(self, smp_spec, cow_spec, clump_spec):
         home = _home_all_zero()
-        assert isinstance(make_backend(smp_spec, home), SmpBackend)
-        assert isinstance(make_backend(cow_spec, home), CowBackend)
-        assert isinstance(make_backend(clump_spec, home), ClumpBackend)
+        for spec in (smp_spec, cow_spec, clump_spec):
+            backend = make_backend(spec, home)
+            assert isinstance(backend, ComposedBackend)
+            assert backend.topology.total_machines == spec.N
+            assert backend.topology.procs_per_machine == spec.n
+
+    def test_unsupported_kind_raises_precisely(self, smp_spec):
+        """An unclassifiable platform must fail loudly, naming itself,
+        instead of falling through to a wrong back-end."""
+
+        class AlienSpec:
+            name = "alien-platform"
+            kind = "a hypercube of accelerators"
+
+        with pytest.raises(ValueError) as err:
+            make_backend(AlienSpec(), _home_all_zero())
+        msg = str(err.value)
+        assert "alien-platform" in msg
+        assert "a hypercube of accelerators" in msg
+        assert "SMP" in msg and "COW" in msg and "CLUMP" in msg
 
     def test_shape_validation(self, smp_spec, cow_spec, clump_spec):
         home = _home_all_zero()

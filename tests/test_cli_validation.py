@@ -174,6 +174,74 @@ class TestUpgradeGrowthValidation:
         assert "upgrade for FFT" in capsys.readouterr().out
 
 
+class TestPlatformArg:
+    """``--platform`` resolves built-in names and topology files at the
+    argparse layer; anything malformed dies as SystemExit 2 there."""
+
+    def test_builtin_name_accepted(self):
+        args = _parse(["simulate", "--app", "FFT", "--platform", "clump-of-smps"])
+        assert args.platform.name == "clump-of-smps"
+        assert args.platform.topology is not None
+        assert args.platform.topology.depth == 2
+
+    def test_platform_file_accepted(self, tmp_path):
+        import json
+
+        from repro.topology import clump_of_smps_spec
+
+        p = tmp_path / "plat.json"
+        p.write_text(json.dumps(clump_of_smps_spec().to_dict()))
+        args = _parse(["simulate", "--app", "FFT", "--platform", str(p)])
+        assert args.platform == clump_of_smps_spec()
+
+    def test_unknown_name_lists_builtins(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(["simulate", "--app", "FFT", "--platform", "hypercube"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "clump-of-smps" in err
+
+    def test_malformed_file_rejected_at_parse_time(self, tmp_path, capsys):
+        p = tmp_path / "broken.json"
+        p.write_text("{not json")
+        with pytest.raises(SystemExit) as exc:
+            _parse(["simulate", "--app", "FFT", "--platform", str(p)])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "invalid JSON" in err
+
+    def test_bad_topology_file_rejected_at_parse_time(self, tmp_path, capsys):
+        import json
+
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"name": "x", "topology": {"type": "torus"}}))
+        with pytest.raises(SystemExit) as exc:
+            _parse(["faults", "--app", "FFT", "--platform", str(p)])
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDesignTopologyOptions:
+    def test_rack_size_must_hold_two_machines(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(["design", "--workload", "LU", "--budget", "9000",
+                    "--rack-size", "1"])
+        assert exc.value.code == 2
+        assert "--rack-size" in capsys.readouterr().err
+
+    def test_unpriceable_extra_platform_is_clean_exit(self):
+        # the demo platform's 2KB cache is not a catalog option
+        with pytest.raises(SystemExit, match="--add-platform"):
+            main(["design", "--workload", "LU", "--budget", "9000",
+                  "--add-platform", "clump-of-smps"])
+
+    def test_rack_mutation_competes(self, capsys):
+        rc = main(["design", "--workload", "LU", "--budget", "9000",
+                   "--rack-size", "2", "--top", "1"])
+        assert rc == 0
+        assert "optimal platform" in capsys.readouterr().out
+
+
 class TestInjectSpecs:
     @pytest.mark.parametrize(
         "spec",

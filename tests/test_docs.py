@@ -83,7 +83,8 @@ class TestDocsMatchCode:
     def test_architecture_doc_names_real_packages(self):
         doc = (ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for package in ("core", "sim", "apps", "trace", "cost",
-                        "experiments", "obs", "faults", "workloads"):
+                        "experiments", "obs", "faults", "workloads",
+                        "topology"):
             assert (ROOT / "src/repro" / package / "__init__.py").exists()
             assert f"{package}/" in doc, f"ARCHITECTURE.md misses {package}/"
 

@@ -1,0 +1,95 @@
+"""Platform files: JSON/YAML loading and pointed rejection."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.core.platform import PlatformSpec
+from repro.topology import clump_of_smps_spec, load_platform_file, platform_from_dict
+
+
+def _short_form() -> dict:
+    spec = clump_of_smps_spec()
+    return {"name": "from-file", "topology": spec.topology.to_dict()}
+
+
+class TestJson:
+    def test_short_form(self, tmp_path):
+        p = tmp_path / "plat.json"
+        p.write_text(json.dumps(_short_form()))
+        spec = load_platform_file(p)
+        assert spec.name == "from-file"
+        assert spec.topology is not None and spec.topology.depth == 2
+        assert spec.total_processors == clump_of_smps_spec().total_processors
+
+    def test_full_spec_round_trip(self, tmp_path):
+        original = clump_of_smps_spec()
+        p = tmp_path / "plat.json"
+        p.write_text(json.dumps(original.to_dict()))
+        assert load_platform_file(p) == original
+
+    def test_invalid_json_names_file(self, tmp_path):
+        p = tmp_path / "broken.json"
+        p.write_text("{not json")
+        with pytest.raises(ValueError, match="invalid JSON") as err:
+            load_platform_file(p)
+        assert str(p) in str(err.value)
+
+    def test_bad_topology_names_file(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"name": "x", "topology": {"type": "torus"}}))
+        with pytest.raises(ValueError, match="'machine' or 'cluster'") as err:
+            load_platform_file(p)
+        assert str(p) in str(err.value)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read platform file"):
+            load_platform_file(tmp_path / "nope.json")
+
+
+class TestYaml:
+    def test_yaml_loads_when_available(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        p = tmp_path / "plat.yaml"
+        p.write_text(yaml.safe_dump(_short_form()))
+        assert load_platform_file(p).name == "from-file"
+
+    def test_yaml_gated_without_pyyaml(self, tmp_path, monkeypatch):
+        """Without PyYAML the loader refuses .yaml files with a pointed
+        message instead of crashing -- PyYAML is not a dependency."""
+        monkeypatch.setitem(sys.modules, "yaml", None)
+        p = tmp_path / "plat.yaml"
+        p.write_text("name: x\n")
+        with pytest.raises(ValueError, match="PyYAML.*not.*installed"):
+            load_platform_file(p)
+
+
+class TestPayloadValidation:
+    def test_not_a_mapping(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            platform_from_dict(["nope"])
+
+    def test_needs_name(self):
+        with pytest.raises(ValueError, match="non-empty string 'name'"):
+            platform_from_dict({"topology": _short_form()["topology"]})
+
+    def test_unknown_keys_rejected(self):
+        payload = _short_form()
+        payload["colour"] = "blue"
+        with pytest.raises(ValueError, match="unknown platform keys: colour"):
+            platform_from_dict(payload)
+
+    def test_spec_dict_unknown_keys_rejected(self):
+        payload = clump_of_smps_spec().to_dict()
+        payload["frobnicate"] = 1
+        with pytest.raises(ValueError, match="unknown platform spec keys"):
+            PlatformSpec.from_dict(payload)
+
+    def test_spec_dict_missing_key_rejected(self):
+        payload = clump_of_smps_spec().to_dict()
+        del payload["memory_bytes"]
+        with pytest.raises(ValueError, match="missing required key"):
+            PlatformSpec.from_dict(payload)

@@ -1,0 +1,179 @@
+"""Property tests for the topology IR: round-trips, hashing, validation.
+
+Topologies are the canonical cache-key material (``PlatformSpec.to_dict``
+embeds them), so ``to_dict``/``from_dict`` must be lossless and the
+frozen trees must hash stably -- two equal trees, built independently,
+must serialize to the same JSON text.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.latencies import NetworkKind
+from repro.topology import (
+    CacheLevel,
+    ClusterNode,
+    Contention,
+    DiskLevel,
+    InterconnectLevel,
+    MachineNode,
+    MemoryLevel,
+    clump_of_smps_topology,
+    clump_topology,
+    cow_topology,
+    smp_topology,
+    topology_from_dict,
+)
+
+CANNED = {
+    "smp": lambda: smp_topology(8, 64, 4096),
+    "smp-l2": lambda: smp_topology(8, 64, 4096, l2_items=256),
+    "cow-bus": lambda: cow_topology(4, 64, 4096, NetworkKind.ETHERNET_100),
+    "cow-switch": lambda: cow_topology(4, 64, 4096, NetworkKind.ATM_155),
+    "clump": lambda: clump_topology(2, 4, 64, 4096, NetworkKind.ATM_155),
+    "clump-of-smps": lambda: clump_of_smps_topology(2, 2, 2, 64, 4096),
+    "cos-l2": lambda: clump_of_smps_topology(2, 2, 2, 64, 4096, l2_items=256),
+}
+
+
+@pytest.mark.parametrize("make", CANNED.values(), ids=CANNED.keys())
+class TestRoundTrip:
+    def test_to_dict_from_dict_lossless(self, make):
+        topo = make()
+        assert topology_from_dict(topo.to_dict()) == topo
+
+    def test_dict_survives_json(self, make):
+        """The cache key serializes through real JSON text, so the dict
+        itself must survive a dumps/loads cycle."""
+        topo = make()
+        payload = json.loads(json.dumps(topo.to_dict()))
+        assert topology_from_dict(payload) == topo
+
+    def test_hash_and_serialization_stable(self, make):
+        """Two independently built equal trees are interchangeable as
+        dict keys and produce byte-identical canonical JSON."""
+        a, b = make(), make()
+        assert a == b and a is not b
+        assert hash(a) == hash(b)
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+
+class TestTreeQueries:
+    def test_flat_shapes(self):
+        smp = smp_topology(8, 64, 4096)
+        assert (smp.depth, smp.total_machines, smp.total_processors) == (0, 1, 8)
+        assert smp.interconnects == ()
+        cow = cow_topology(4, 64, 4096, NetworkKind.ATM_155)
+        assert (cow.depth, cow.total_machines, cow.total_processors) == (1, 4, 4)
+        clump = clump_topology(2, 4, 64, 4096, NetworkKind.ETHERNET_100)
+        assert (clump.depth, clump.total_machines, clump.total_processors) == (1, 4, 8)
+
+    def test_two_level_interconnects_innermost_first(self):
+        topo = clump_of_smps_topology(3, 4, 2, 64, 4096)
+        assert topo.depth == 2
+        assert topo.total_machines == 12
+        assert topo.total_processors == 24
+        (intra, under_intra), (inter, under_inter) = topo.interconnects
+        assert under_intra == 4 and under_inter == 12
+        assert intra.contention is Contention.SWITCH
+        assert inter.contention is Contention.BUS
+        assert "intra-rack" in intra.label and "inter-rack" in inter.label
+
+    def test_smp_nodes_surcharge(self):
+        """Racks of SMPs pay the paper's +3-cycle intra-node hop on both
+        network levels; racks of uniprocessors do not."""
+        smps = clump_of_smps_topology(2, 2, 2, 64, 4096)
+        unis = clump_of_smps_topology(2, 2, 1, 64, 4096)
+        for (ic_s, _), (ic_u, _) in zip(smps.interconnects, unis.interconnects):
+            assert ic_s.remote_node_cycles == ic_u.remote_node_cycles + 3
+            assert ic_s.remote_cached_cycles == ic_u.remote_cached_cycles + 3
+
+
+class TestValidation:
+    def test_memory_must_exceed_cache(self):
+        with pytest.raises(ValueError, match="memory must be larger than the cache"):
+            MachineNode(
+                processors=2,
+                cache=CacheLevel(capacity_items=64),
+                memory=MemoryLevel(capacity_items=64),
+                disk=DiskLevel(),
+            )
+
+    def test_l2_must_sit_between(self):
+        with pytest.raises(ValueError, match="L2 must sit strictly between"):
+            MachineNode(
+                processors=2,
+                cache=CacheLevel(capacity_items=64),
+                memory=MemoryLevel(capacity_items=4096),
+                disk=DiskLevel(),
+                l2=CacheLevel(capacity_items=64),
+            )
+
+    def test_cluster_needs_two_subtrees(self):
+        with pytest.raises(ValueError, match=">= 2 subtrees"):
+            ClusterNode(
+                count=1,
+                child=smp_topology(2, 64, 4096),
+                interconnect=InterconnectLevel(
+                    network=NetworkKind.ATM_155,
+                    contention=Contention.SWITCH,
+                    remote_node_cycles=100.0,
+                    remote_cached_cycles=200.0,
+                    remote_disk_extra_cycles=100.0,
+                    label="switch",
+                ),
+            )
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError, match="at least one item"):
+            CacheLevel(capacity_items=0)
+        with pytest.raises(ValueError, match="at least one item"):
+            MemoryLevel(capacity_items=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            DiskLevel(tau_cycles=-1.0)
+
+
+class TestFromDictErrors:
+    def test_missing_type(self):
+        with pytest.raises(ValueError, match="missing required key 'type'"):
+            topology_from_dict({})
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="'machine' or 'cluster'"):
+            topology_from_dict({"type": "torus"})
+
+    def test_missing_machine_keys(self):
+        with pytest.raises(ValueError, match="machine node is missing required key"):
+            topology_from_dict({"type": "machine", "processors": 2})
+
+    def test_unknown_network(self):
+        payload = clump_topology(2, 2, 64, 4096, NetworkKind.ATM_155).to_dict()
+        payload["interconnect"]["network"] = "carrier-pigeon"
+        with pytest.raises(ValueError, match="unknown network 'carrier-pigeon'"):
+            topology_from_dict(payload)
+
+    def test_bad_contention(self):
+        payload = cow_topology(2, 64, 4096, NetworkKind.ATM_155).to_dict()
+        payload["interconnect"]["contention"] = "worm-hole"
+        with pytest.raises(ValueError, match="'bus' or 'switch'"):
+            topology_from_dict(payload)
+
+    def test_interconnect_defaults_follow_network(self):
+        """A hand-written minimal interconnect gets the bus/switch class
+        and cost defaults from its network row."""
+        payload = {
+            "type": "cluster",
+            "count": 2,
+            "interconnect": {"network": "100Mb bus", "remote_node_cycles": 4575},
+            "child": smp_topology(1, 64, 4096).to_dict(),
+        }
+        topo = topology_from_dict(payload)
+        ic = topo.interconnect
+        assert ic.contention is Contention.BUS
+        assert ic.remote_cached_cycles == 2 * 4575
+        assert ic.remote_disk_extra_cycles == 4575
