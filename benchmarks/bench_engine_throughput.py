@@ -1,4 +1,4 @@
-"""Engine throughput: scalar lane vs vectorized fast path.
+"""Engine throughput: scalar lane vs vectorized fast path, plus grids.
 
 Measures references simulated per second for the FFT workload on the
 paper's three platform families, with ``fastpath`` off and on, and
@@ -6,9 +6,31 @@ verifies on every cell that the two lanes return bit-identical
 :class:`SimulationResult`s.  Results land in ``BENCH_engine.json``
 next to the repository root (or ``--output``).
 
+``--grid`` adds the grid-throughput comparison (cells per second for
+the process-pool lane vs the stacked tensor lane) in two sections:
+
+* ``sim_grid`` -- a quick-scale experiment grid run end-to-end through
+  :class:`~repro.experiments.runner.ExperimentRunner` under
+  ``lane="pool"`` and ``lane="tensor"``, with cross-lane result
+  identity verified cell by cell.
+* ``design_wave`` -- a workloads x budgets design-search wave through
+  :class:`~repro.cost.search.DesignSearch` under both lanes at matched
+  ``jobs=1`` (core-count independent), with answer identity verified.
+
+Honest numbers, honestly framed: simulation compute is *lane-invariant
+by construction* (the three-lane bit-identity guarantee means the
+tensor lane runs the same per-cell coherence simulation), so the
+tensor lane's win is everything *around* the sims -- process-pool
+spawn, per-cell trace regeneration in workers, and result pickling.
+At quick scale that overhead is most of the pool lane's cost and the
+tensor lane wins by ~3-5x on a single-core host (more when the pool is
+cold, less when cells are simulation-heavy).  The ``--require-grid-
+speedup`` floor is set at a level every supported host clears with
+margin; per-host peaks belong in the JSON, not in the gate.
+
 Run::
 
-    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--quick] [--grid]
 
 ``--quick`` shrinks the workload for a sub-minute smoke run (used by
 CI); the default size matches the paper-scale platform parameters
@@ -37,6 +59,30 @@ KB, MB = 1024, 1024 * 1024
 #: Acceptance floor: the batched lane must beat the scalar lane by this
 #: factor on at least the SMP cell (the paper's primary platform).
 REQUIRED_SPEEDUP = 3.0
+
+#: Acceptance floor for ``--require-grid-speedup``: the tensor lane
+#: must beat the process pool by this factor on the quick-scale
+#: ``sim_grid`` section.  Single-core hosts measure ~3-5x (the pool's
+#: spawn + per-cell regeneration + IPC are pure overhead there); the
+#: floor sits well below the typical measurement so the CI gate fails
+#: on regressions, not on scheduler noise or extra cores speeding the
+#: pool up.
+GRID_REQUIRED_SPEEDUP = 2.0
+
+#: The full-scale floor is lower by design, not by accident: big cells
+#: are simulation-bound, simulation compute is lane-invariant (the
+#: bit-identity guarantee), and the tensor lane can only remove the
+#: orchestration overhead around it.  Measured ~1.8x on a single-core
+#: host; the gate catches lane regressions without pretending the
+#: sims themselves got faster.
+FULL_GRID_REQUIRED_SPEEDUP = 1.3
+
+#: Same idea for the ``design_wave`` section: the tensor lane shares
+#: per-budget enumeration and the evaluation memo across a wave's
+#: queries, which the pool's per-query workers cannot.  Measured ~2x
+#: on quick waves (growing with budgets per workload); gated at a
+#: conservative floor.
+WAVE_REQUIRED_SPEEDUP = 1.3
 
 
 def _git_rev() -> str | None:
@@ -155,6 +201,158 @@ def run_benchmark(quick: bool = False, horizon: float = 200.0) -> dict:
     }
 
 
+def _grid_specs(quick: bool) -> list[PlatformSpec]:
+    """The sim-grid's platform sweep: small caches-and-cells so the
+    grid is orchestration-bound (the regime the tensor lane targets)."""
+    cache, mem = 256 * KB, 8 * MB
+    specs = [
+        PlatformSpec(name="grid-smp2", n=2, N=1, cache_bytes=cache, memory_bytes=mem),
+        PlatformSpec(
+            name="grid-smp2-l2", n=2, N=1, cache_bytes=cache, memory_bytes=mem,
+            l2_bytes=1024 * KB,
+        ),
+        PlatformSpec(
+            name="grid-cow2", n=1, N=2, cache_bytes=cache, memory_bytes=mem,
+            network=NetworkKind.ATM_155,
+        ),
+        PlatformSpec(name="grid-smp4", n=4, N=1, cache_bytes=cache, memory_bytes=mem),
+        PlatformSpec(
+            name="grid-cow4", n=1, N=4, cache_bytes=cache, memory_bytes=mem,
+            network=NetworkKind.ATM_155,
+        ),
+        PlatformSpec(
+            name="grid-clump2x2", n=2, N=2, cache_bytes=cache, memory_bytes=mem,
+            network=NetworkKind.ATM_155,
+        ),
+        PlatformSpec(
+            name="grid-cow4-eth", n=1, N=4, cache_bytes=cache, memory_bytes=mem,
+            network=NetworkKind.ETHERNET_100,
+        ),
+        PlatformSpec(
+            name="grid-smp4-big", n=4, N=1, cache_bytes=2 * cache, memory_bytes=2 * mem,
+        ),
+    ]
+    return specs[:4] if quick else specs
+
+
+def _run_sim_grid(lane: str, jobs: int, cells, app_kwargs, repeats: int):
+    """Best-of-``repeats`` wall time for one lane over the grid, plus
+    the per-cell results for cross-lane identity checking.
+
+    Each repeat uses a fresh runner (no disk cache), so the pool lane
+    pays exactly what a user-invoked grid pays: worker spawn, per-cell
+    trace regeneration in the workers, and result pickling.  Keeping
+    the best time per lane is conservative for the tensor lane's
+    claimed speedup (it forgives the pool its slowest spawn).
+    """
+    from repro.experiments.runner import ExperimentRunner
+    from repro.obs.metrics import MetricsRegistry
+
+    best = float("inf")
+    rows = None
+    for _ in range(repeats):
+        runner = ExperimentRunner(
+            app_kwargs=app_kwargs, lane=lane, jobs=jobs,
+            metrics=MetricsRegistry(), cache_dir=None,
+        )
+        t0 = time.perf_counter()
+        runner.prefetch_simulations(cells)
+        # The serial lane defers compute to simulate(); include it so
+        # every lane's clock covers the full grid.
+        results = [runner.simulate(name, spec) for name, spec in cells]
+        best = min(best, time.perf_counter() - t0)
+        rows = results
+    return best, rows
+
+
+def run_grid_benchmark(quick: bool = False) -> dict:
+    """Grid throughput, pool vs tensor: sim grids and design waves."""
+    from repro.cost import CandidateSpace
+    from repro.cost.search import DesignQuery, DesignSearch
+    from repro.obs.metrics import MetricsRegistry
+    from repro.workloads.params import PAPER_WORKLOADS
+
+    # --- sim grid -----------------------------------------------------
+    app_kwargs = {"FFT": {"points": 16 if quick else 64}}
+    cells = [("FFT", spec) for spec in _grid_specs(quick)]
+    repeats = 2 if quick else 3
+    jobs = 4  # what a multicore user would configure; pool spawns this many
+
+    pool_t, pool_rows = _run_sim_grid("pool", jobs, cells, app_kwargs, repeats)
+    tensor_t, tensor_rows = _run_sim_grid("tensor", 1, cells, app_kwargs, repeats)
+    serial_t, serial_rows = _run_sim_grid("serial", 1, cells, app_kwargs, repeats)
+
+    def _same(a, b) -> bool:
+        return all(_identical(x, y) for x, y in zip(a, b))
+
+    sim_identical = _same(pool_rows, tensor_rows) and _same(serial_rows, tensor_rows)
+    if not sim_identical:
+        raise AssertionError("sim-grid lanes diverged: pool/tensor/serial results differ")
+
+    sim_grid = {
+        "cells": len(cells),
+        "application": "FFT",
+        "app_kwargs": app_kwargs["FFT"],
+        "pool_jobs": jobs,
+        "pool_seconds": pool_t,
+        "tensor_seconds": tensor_t,
+        "serial_seconds": serial_t,
+        "pool_cells_per_second": len(cells) / pool_t,
+        "tensor_cells_per_second": len(cells) / tensor_t,
+        "serial_cells_per_second": len(cells) / serial_t,
+        "tensor_vs_pool_speedup": pool_t / tensor_t,
+        "tensor_vs_serial_speedup": serial_t / tensor_t,
+        "identical": True,
+    }
+
+    # --- design wave --------------------------------------------------
+    budgets = [6000.0 + 1500.0 * k for k in range(10 if quick else 40)]
+    space = CandidateSpace(
+        max_machines=6, memory_mb_options=(32, 64), cache_kb_options=(256,)
+    )
+    queries = [DesignQuery(w, b) for w in PAPER_WORKLOADS for b in budgets]
+
+    def _run_wave(lane: str):
+        engine = DesignSearch(
+            space=space, jobs=1, lane=lane, metrics=MetricsRegistry()
+        )
+        t0 = time.perf_counter()
+        outcomes = engine.run(queries)
+        return time.perf_counter() - t0, outcomes
+
+    wave_pool_t, wave_pool = _run_wave("pool")
+    wave_tensor_t, wave_tensor = _run_wave("tensor")
+    wave_identical = all(
+        a.best.spec == b.best.spec
+        and a.best.e_instr_seconds == b.best.e_instr_seconds
+        for a, b in zip(wave_pool, wave_tensor)
+    )
+    if not wave_identical:
+        raise AssertionError("design-wave lanes diverged: pool vs tensor answers differ")
+
+    design_wave = {
+        "queries": len(queries),
+        "workloads": len(PAPER_WORKLOADS),
+        "budgets": len(budgets),
+        "pool_seconds": wave_pool_t,
+        "tensor_seconds": wave_tensor_t,
+        "pool_queries_per_second": len(queries) / wave_pool_t,
+        "tensor_queries_per_second": len(queries) / wave_tensor_t,
+        "tensor_vs_pool_speedup": wave_pool_t / wave_tensor_t,
+        "identical": True,
+    }
+
+    return {
+        "required_speedup": (
+            GRID_REQUIRED_SPEEDUP if quick else FULL_GRID_REQUIRED_SPEEDUP
+        ),
+        "wave_required_speedup": WAVE_REQUIRED_SPEEDUP,
+        "quick": quick,
+        "sim_grid": sim_grid,
+        "design_wave": design_wave,
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="small FFT, one repeat")
@@ -164,9 +362,23 @@ def main(argv=None) -> int:
         "--require-speedup", action="store_true",
         help=f"exit nonzero unless the SMP cell reaches {REQUIRED_SPEEDUP}x",
     )
+    ap.add_argument(
+        "--grid", action="store_true",
+        help="also run the grid-throughput comparison (pool vs tensor lane)",
+    )
+    ap.add_argument(
+        "--require-grid-speedup", action="store_true",
+        help=(
+            "exit nonzero unless the tensor lane beats the pool by "
+            f"{GRID_REQUIRED_SPEEDUP}x on the sim grid and "
+            f"{WAVE_REQUIRED_SPEEDUP}x on the design wave (implies --grid)"
+        ),
+    )
     args = ap.parse_args(argv)
 
     payload = run_benchmark(quick=args.quick, horizon=args.horizon)
+    if args.grid or args.require_grid_speedup:
+        payload["grid"] = run_grid_benchmark(quick=args.quick)
     from repro.ioutil import atomic_write_json
 
     atomic_write_json(args.output, payload)
@@ -177,8 +389,23 @@ def main(argv=None) -> int:
             f"  batched {cell['batched_refs_per_second']:>10,.0f} refs/s"
             f"  speedup {cell['speedup']:.2f}x  identical={cell['identical']}"
         )
+    if "grid" in payload:
+        sg, dw = payload["grid"]["sim_grid"], payload["grid"]["design_wave"]
+        print(
+            f"sim grid   pool {sg['pool_cells_per_second']:>8.1f} cells/s"
+            f"  tensor {sg['tensor_cells_per_second']:>8.1f} cells/s"
+            f"  speedup {sg['tensor_vs_pool_speedup']:.2f}x"
+            f"  identical={sg['identical']}"
+        )
+        print(
+            f"design wave pool {dw['pool_queries_per_second']:>7.1f} q/s"
+            f"  tensor {dw['tensor_queries_per_second']:>8.1f} q/s"
+            f"  speedup {dw['tensor_vs_pool_speedup']:.2f}x"
+            f"  identical={dw['identical']}"
+        )
     print(f"wrote {args.output}")
 
+    failed = False
     if args.require_speedup:
         smp = next(c for c in payload["cells"] if c["platform"] == "smp")
         if smp["speedup"] < REQUIRED_SPEEDUP:
@@ -186,8 +413,25 @@ def main(argv=None) -> int:
                 f"FAIL: SMP speedup {smp['speedup']:.2f}x < {REQUIRED_SPEEDUP}x",
                 file=sys.stderr,
             )
-            return 1
-    return 0
+            failed = True
+    if args.require_grid_speedup:
+        sg, dw = payload["grid"]["sim_grid"], payload["grid"]["design_wave"]
+        floor = payload["grid"]["required_speedup"]
+        if sg["tensor_vs_pool_speedup"] < floor:
+            print(
+                f"FAIL: sim-grid tensor speedup {sg['tensor_vs_pool_speedup']:.2f}x"
+                f" < {floor}x",
+                file=sys.stderr,
+            )
+            failed = True
+        if dw["tensor_vs_pool_speedup"] < WAVE_REQUIRED_SPEEDUP:
+            print(
+                f"FAIL: design-wave tensor speedup {dw['tensor_vs_pool_speedup']:.2f}x"
+                f" < {WAVE_REQUIRED_SPEEDUP}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -10,8 +10,9 @@ mechanisms:
 1. **Batched evaluation** — candidates are evaluated through
    :func:`repro.core.batch.e_instr_seconds_batch` (bit-identical to
    scalar :func:`~repro.core.execution.evaluate`) in chunks, and a
-   per-engine memo keyed on ``(spec, sharing, fresh, rra)`` reuses
-   evaluations across queries (many budgets share most candidates).
+   per-engine memo keyed on ``(workload locality/gamma, spec, sharing,
+   fresh, rra)`` reuses evaluations across queries (many budgets of one
+   workload share most candidates).
 2. **Branch-and-bound pruning** — candidates are visited in ascending
    order of the admissible zero-contention lower bound
    (:func:`repro.core.batch.e_instr_lower_bounds`); a candidate whose
@@ -95,6 +96,11 @@ _FIRST_CHUNK = 8
 _MIN_SHARD_WORK = 128
 
 _METHODS = ("pruned", "pareto", "exhaustive")
+#: How :meth:`DesignSearch.run` executes an evaluation wave: ``tensor``
+#: answers every query in-process through one shared-memo batched
+#: evaluation pass; ``pool`` fans one query per worker; ``auto`` picks
+#: ``tensor`` for ``jobs <= 1`` and ``pool`` otherwise.
+_LANES = ("auto", "tensor", "pool")
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +287,11 @@ def _search_core(
     exact time <= incumbent — is always evaluated.
     """
     locality, gamma = workload.locality, workload.gamma
+    # The memo must key on the *workload* too, not just the candidate:
+    # two workloads can share a spec and all sharing parameters while
+    # differing in locality (alpha/beta/max_distance) or gamma, and the
+    # memo outlives a single query.
+    wkey = (locality, gamma)
     cases = [_case_for(spec, workload, options) for _, spec, _ in candidates]
     feasible: list[tuple[int, float, float]] = []
     evaluated = 0
@@ -293,6 +304,7 @@ def _search_core(
         for p in positions:
             case = cases[p]
             key = (
+                wkey,
                 case.spec,
                 case.sharing_fraction,
                 case.sharing_fresh_fraction,
@@ -315,6 +327,7 @@ def _search_core(
                 if memo is not None:
                     case = cases[p]
                     memo[(
+                        wkey,
                         case.spec,
                         case.sharing_fraction,
                         case.sharing_fresh_fraction,
@@ -446,6 +459,14 @@ class DesignSearch:
         single queries and fans out batch queries via
         :class:`repro.pool.FaultTolerantPool` (retry / degrade-to-serial
         semantics included).
+    ``lane``
+        How :meth:`run` executes an evaluation wave: ``"tensor"``
+        answers every query in one in-process batched pass sharing the
+        evaluation memo and per-budget enumeration across queries,
+        ``"pool"`` fans one query per worker, and ``"auto"`` (default)
+        picks ``tensor`` when ``jobs <= 1`` and ``pool`` otherwise.
+        Answers are identical across lanes; the choice is counted in
+        ``design_wave_lane_total{lane}``.
     ``cache_dir``
         Optional ``.repro_cache`` root; answers are pickled under
         ``design/<sha256>.pkl`` keyed on everything that determines them.
@@ -459,6 +480,7 @@ class DesignSearch:
         *,
         method: str = "pruned",
         jobs: int = 1,
+        lane: str = "auto",
         cache_dir: str | os.PathLike | None = None,
         chunk: int = _CHUNK,
         metrics: obs_metrics.MetricsRegistry | None = None,
@@ -468,8 +490,11 @@ class DesignSearch:
     ) -> None:
         if method not in _METHODS:
             raise ValueError(f"unknown search method {method!r}; use one of {_METHODS}")
+        if lane not in _LANES:
+            raise ValueError(f"unknown lane {lane!r}; use one of {_LANES}")
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
+        self.lane = lane
         self.catalog = catalog or DEFAULT_CATALOG
         self.space = space
         self.options = options or ModelOptions()
@@ -517,6 +542,11 @@ class DesignSearch:
                 "Times a broken or timed-out process pool fell back to serial",
             ),
             kind="query",
+        )
+        self._wave_lane_total = self.metrics.counter(
+            "design_wave_lane_total",
+            "Design evaluation waves executed, by chosen lane",
+            labelnames=("lane",),
         )
         self._memo: dict = {}
 
@@ -654,10 +684,18 @@ class DesignSearch:
         )
 
     def run(self, queries: Sequence[DesignQuery]) -> list[SearchOutcome]:
-        """Answer a batch of queries, one pool worker per uncached query.
+        """Answer a batch of queries through the configured lane.
 
-        Workers solve serially (sharding and fan-out don't compose);
-        cached answers never hit the pool.  Results align with
+        The tensor lane solves every uncached query in-process as one
+        batched evaluation wave: the candidate enumeration is shared
+        per budget and the evaluation memo is shared across queries
+        (same-workload queries at different budgets overlap almost
+        completely), so a wave costs roughly one query's evaluations
+        instead of Q.  The pool lane fans one query per worker --
+        workers solve serially (sharding and fan-out don't compose)
+        and cannot share the memo across processes.  Answers are
+        identical either way (the memo only replays exact floats);
+        cached answers never hit either lane.  Results align with
         ``queries`` by position.
         """
         results: dict[int, SearchOutcome] = {}
@@ -678,6 +716,36 @@ class DesignSearch:
                  self.options, method, self.chunk),
             ))
             task_meta.append((i, q, path))
+
+        if tasks:
+            lane = (
+                "tensor"
+                if self.lane == "tensor"
+                or (self.lane == "auto" and self._pool.jobs <= 1)
+                else "pool"
+            )
+            self._wave_lane_total.labels(lane=lane).inc()
+            if lane == "tensor":
+                enum_memo: dict[float, list] = {}
+                for (_desc, args), (i, q, path) in zip(tasks, task_meta):
+                    workload, budget, _catalog, _space, options, method, chunk = args
+                    key = float(budget)
+                    if key not in enum_memo:
+                        enum_memo[key] = _materialize(
+                            budget, self.catalog, self.space
+                        )
+                    candidates = enum_memo[key]
+                    feasible, evaluated, memo_hits = _search_core(
+                        workload, candidates, options, method,
+                        memo=self._memo, chunk=chunk,
+                    )
+                    outcome = self._finish(
+                        q.workload, q.budget, candidates, feasible,
+                        evaluated, memo_hits,
+                    )
+                    self._cache_store(path, outcome)
+                    results[i] = outcome
+                return [results[i] for i in range(len(queries))]
 
         def collect(t: int, value) -> None:
             i, q, path = task_meta[t]

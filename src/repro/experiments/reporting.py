@@ -118,8 +118,35 @@ def generate_report(
     header = (
         "# Experiment report (auto-generated)\n\n"
         "Regenerate with `python -m repro.experiments.reporting > report.md`.\n"
+        + _lane_summary(runner)
     )
     return header + "\n\n" + "\n\n".join(sections) + "\n"
+
+
+def _lane_summary(runner) -> str:
+    """One header line recording which execution lanes the grids used.
+
+    Degrades to nothing for runner doubles that don't expose lanes, so
+    report assembly stays testable with stubs.
+    """
+    lane = getattr(runner, "lane", None)
+    metrics = getattr(runner, "metrics", None)
+    if lane is None or metrics is None:
+        return ""
+    counter = metrics.get("repro_grid_lane_total")
+    counts = (
+        ", ".join(
+            f"{labels['lane']}: {int(series.value)}"
+            for labels, series in counter.samples()
+        )
+        if counter is not None
+        else ""
+    )
+    return (
+        f"\nGrid execution lane: configured `{lane}`"
+        + (f"; grids ran ({counts})" if counts else "; no grid ran")
+        + ".\n"
+    )
 
 
 if __name__ == "__main__":

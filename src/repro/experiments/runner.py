@@ -59,7 +59,15 @@ __all__ = ["Calibration", "ExperimentRunner", "DEFAULT_CALIBRATION"]
 #: 3: SimulationResult grew fault fields; the key covers the fault plan.
 #: 4: platforms may carry a declarative topology tree; the spec enters
 #:    the key as canonical ``to_dict`` JSON instead of dataclass repr.
-SIM_CACHE_VERSION = 4
+#: 5: the stacked tensor lane lands (PR 6).  Results are lane-invariant
+#:    (the three-lane bit-identity property), but the bump cleanly
+#:    separates entries written by pre-lane builds; per-cell keys are
+#:    otherwise unchanged, so cache hits still work cell-wise whichever
+#:    lane computed them.
+SIM_CACHE_VERSION = 5
+
+#: Grid execution lanes the runner can route uncached cells through.
+LANES = ("auto", "tensor", "pool", "serial")
 
 _log = get_logger("repro.experiments.runner")
 
@@ -166,6 +174,7 @@ class ExperimentRunner:
         cell_timeout: float | None = None,
         max_retries: int = 2,
         retry_backoff: float = 0.25,
+        lane: str = "auto",
     ) -> None:
         """``app_kwargs`` overrides application constructor arguments per
         name (e.g. smaller problem sizes in the test suite).
@@ -190,7 +199,22 @@ class ExperimentRunner:
         cells run serially.  A cell attempt that fails is retried up to
         ``max_retries`` times with exponential backoff starting at
         ``retry_backoff`` seconds before the failure becomes an error.
+
+        ``lane`` picks how a grid's uncached cells execute (see
+        ``docs/SIMULATOR.md``, "Execution lanes"): ``"tensor"`` stacks
+        shape-compatible cells into one batched in-process NumPy pass
+        (:func:`repro.sim.stacked.simulate_grid` -- application runs
+        and clock schedules shared across cells, no pool spawn, no
+        IPC), ``"pool"`` fans cells out over the process pool,
+        ``"serial"`` leaves them to lazy in-process :meth:`simulate`
+        calls, and ``"auto"`` (default) picks ``tensor`` when
+        ``jobs <= 1``, ``pool`` when ``jobs > 1`` and more than one
+        cell needs simulating, ``serial`` otherwise.  All lanes return
+        bit-identical results; the choice per grid is recorded in
+        ``repro_grid_lane_total{lane}`` and :attr:`last_grid_lane`.
         """
+        if lane not in LANES:
+            raise ValueError(f"unknown lane {lane!r}; use one of {LANES}")
         self.seed = seed
         self.horizon = horizon
         self.app_kwargs = app_kwargs or {}
@@ -223,6 +247,16 @@ class ExperimentRunner:
         self._pool_degradations = self.metrics.counter(
             "repro_pool_degradations_total",
             "Times a broken or timed-out process pool fell back to serial",
+        )
+        self.lane = lane
+        #: Lane the most recent :meth:`prefetch_simulations` grid used
+        #: (``None`` until a grid ran); also recorded per grid in the
+        #: ``repro_grid_lane_total{lane}`` counter.
+        self.last_grid_lane: str | None = None
+        self._grid_lane_total = self.metrics.counter(
+            "repro_grid_lane_total",
+            "Experiment grids executed, by chosen execution lane",
+            labelnames=("lane",),
         )
         # Knob validation (cell_timeout / max_retries / retry_backoff)
         # lives in the shared pool since PR 4.
@@ -423,16 +457,21 @@ class ExperimentRunner:
         """Fill the simulation memo for every (app, spec) cell, using the
         disk cache first and a process pool for whatever remains.
 
-        Cells are independent simulations, so parallel execution returns
-        results identical to serial ``simulate`` calls; with ``jobs=1``
-        (or a single uncached cell) everything stays in-process.
+        Cells are independent simulations, so every lane returns
+        results bit-identical to serial ``simulate`` calls.  Uncached
+        cells route through the lane chosen at construction (see the
+        ``lane`` parameter): the stacked tensor lane runs the whole
+        grid as one in-process batched pass, the pool lane fans cells
+        out over worker processes, and the serial lane leaves them to
+        lazy ``simulate`` calls.  ``jobs=1`` grids never spawn a pool.
 
         The pool path is fault tolerant: every finished cell is
         checkpointed to the disk cache *immediately* (an interrupted
         grid resumes from exactly the cells it completed), failed cell
         attempts are retried with exponential backoff, and a broken or
         deadline-blown pool degrades to serial execution of the
-        remaining cells instead of failing the grid.
+        remaining cells instead of failing the grid.  The tensor lane
+        checkpoints cells the same way, as each group completes.
         """
         todo: list[tuple[str, PlatformSpec]] = []
         seen: set[tuple[str, str]] = set()
@@ -449,11 +488,17 @@ class ExperimentRunner:
             else:
                 seen.add(key)
                 todo.append((name, spec))
-        if self.jobs <= 1 or len(todo) <= 1:
+        lane = self._choose_lane(len(todo))
+        self.last_grid_lane = lane
+        self._grid_lane_total.labels(lane=lane).inc()
+        if lane == "serial":
             return  # lazy simulate() handles the rest
         tracer = get_tracer()
-        _log.debug("prefetching cells", todo=len(todo), jobs=self.jobs)
-        with tracer.span(f"prefetch:{len(todo)}cells", jobs=self.jobs):
+        _log.debug("prefetching cells", todo=len(todo), jobs=self.jobs, lane=lane)
+        with tracer.span(f"prefetch:{len(todo)}cells", jobs=self.jobs, lane=lane):
+            if lane == "tensor":
+                self._prefetch_stacked(todo, tracer)
+                return
             tasks = [
                 (f"{name}@{spec.name}", self._cell_args(name, spec))
                 for name, spec in todo
@@ -463,6 +508,52 @@ class ExperimentRunner:
                 tasks,
                 lambda i, value: self._finish_cell(*todo[i], *value, tracer),
             )
+
+    def _choose_lane(self, n_todo: int) -> str:
+        """Resolve the configured lane for a grid of ``n_todo`` uncached
+        cells.  ``auto`` keeps the historical multi-core behavior (pool
+        when ``jobs > 1`` and more than one cell needs work) and routes
+        single-worker grids through the stacked tensor lane -- which,
+        being in-process, also guarantees ``jobs=1`` never spawns a
+        pool.  An explicitly requested pool degrades to serial when it
+        could not actually parallelize anything."""
+        if n_todo == 0:
+            return "serial"
+        if self.lane == "auto":
+            if n_todo <= 1:
+                return "serial"
+            return "tensor" if self.jobs <= 1 else "pool"
+        if self.lane == "pool" and (self.jobs <= 1 or n_todo <= 1):
+            return "serial"
+        return self.lane
+
+    def _prefetch_stacked(self, todo, tracer) -> None:
+        """Run a grid's uncached cells through the stacked tensor lane
+        (one batched in-process pass; see :mod:`repro.sim.stacked`),
+        checkpointing each cell into the memo and disk cache."""
+        from repro.sim.stacked import StackedCell, simulate_grid
+
+        cells = [
+            StackedCell.make(
+                name,
+                spec,
+                seed=self.seed,
+                app_kwargs=self.app_kwargs.get(name, {}),
+                fault_plan=self.fault_plan,
+            )
+            for name, spec in todo
+        ]
+        results = simulate_grid(
+            cells,
+            horizon=self.horizon,
+            sample_every=self.sample_every,
+            run_provider=lambda name, procs, _seed, _kw: self.application_run(
+                name, procs
+            ),
+            metrics=self.metrics,
+        )
+        for (name, spec), result in zip(todo, results):
+            self._finish_cell(name, spec, result, None, tracer)
 
     # -- pool plumbing (retry/degrade/kill live in repro.pool) -----------
     def _cell_args(self, name: str, spec: PlatformSpec) -> tuple:

@@ -87,6 +87,11 @@ class FaultTolerantPool:
         self.kind = kind
         self._retries = retries if retries is not None else _NullCounter()
         self._degradations = degradations if degradations is not None else _NullCounter()
+        #: Worker pools actually created over this object's lifetime.
+        #: Stays 0 for every in-process run (``jobs=1``, single task,
+        #: or a caller routing around the pool), which is how the lane
+        #: tests assert "a jobs=1 grid never spawns a pool".
+        self.pools_spawned = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -173,6 +178,7 @@ class FaultTolerantPool:
         caller.  ``KeyboardInterrupt`` cleans the pool up and propagates.
         """
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks)))
+        self.pools_spawned += 1
         pending: dict = {}  # future -> task index
         attempts: dict[int, int] = {}
         deadlines: dict = {}  # future -> monotonic deadline

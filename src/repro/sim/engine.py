@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -134,6 +135,7 @@ class SimulationEngine:
         fastpath: bool = True,
         sample_every: float | None = None,
         fault_plan: FaultPlan | None = None,
+        scheds: "Sequence[np.ndarray] | None" = None,
     ) -> None:
         """``sample_every`` (simulated cycles) turns on interval sampling:
         the result carries a :class:`~repro.obs.timeline.Timeline` whose
@@ -147,6 +149,14 @@ class SimulationEngine:
         cuts every batch at the next pending trigger so both lanes stay
         bit-identical under any plan.  The default ``None`` adds no
         per-step cost.
+
+        ``scheds`` optionally supplies the per-trace all-hit clock
+        schedules -- each must equal ``(trace.work + 1.0 +
+        backend.t_hit).cumsum()`` exactly.  The stacked tensor lane
+        (:mod:`repro.sim.stacked`) computes them for a whole grid in
+        one batched prefix-sum pass and hands each cell views, so the
+        engine skips the per-cell cumsum; results are bit-identical
+        because the arrays are.  Ignored when the fast path is off.
         """
         if run.num_procs != spec.total_processors:
             raise ValueError(
@@ -202,8 +212,16 @@ class SimulationEngine:
             and hasattr(self.backend, "t_hit")
         )
         if self._batch_ready:
-            step = 1.0 + float(self.backend.t_hit)
-            self._scheds = [(t.work + step).cumsum() for t in run.traces]
+            if scheds is not None:
+                if len(scheds) != run.num_procs:
+                    raise ValueError(
+                        f"scheds must carry one array per process: "
+                        f"{len(scheds)} != {run.num_procs}"
+                    )
+                self._scheds = list(scheds)
+            else:
+                step = 1.0 + float(self.backend.t_hit)
+                self._scheds = [(t.work + step).cumsum() for t in run.traces]
         else:
             self._scheds = None
 

@@ -1,0 +1,373 @@
+"""The stacked tensor lane: one batched NumPy pass over a grid of cells.
+
+The paper's results are all *grids* -- every table and figure sweeps
+(platform, workload, node-count) cells -- and until now the execution
+story was "vectorize inside one cell, process-pool across cells".  A
+process pool is the wrong tool for this container class of grids: each
+worker pays fork/IPC, re-generates the application run from scratch
+(trace generation is a deterministic function of (name, procs, seed,
+kwargs), so every worker repeats it), and re-derives the engine's
+clock-schedule prefix sums per cell.
+
+This module is the third execution lane.  :func:`simulate_grid` takes a
+sequence of :class:`StackedCell` descriptions, groups compatible cells
+by *shape signature* (processor count, topology kind, fault-plan
+presence), stacks each group's per-process issue costs into one padded
+``(rows, procs, max_len)`` float64 tensor, and computes every cell's
+clock-schedule prefix sums -- the arrays the vectorized fast path cuts
+with ``searchsorted`` -- in a single batched ``cumsum`` over the
+trailing axis (:func:`stacked_schedules`).  Application runs are
+generated once per unique (name, procs, seed, kwargs) and shared by
+every cell that replays them.  Each cell's dynamic event loop then runs
+over *views* into the stacked tensors, so results, stats, timelines and
+fault accounting are bit-identical to the scalar and vectorized lanes
+by construction:
+
+* ``np.cumsum`` accumulates strictly sequentially along the last axis,
+  so row ``[r, p, :L]`` of the stacked pass equals the per-trace 1-D
+  ``(work + step).cumsum()`` bit for bit; and
+* padding only ever *trails* a cell's live prefix -- no padded element
+  participates in any consumed slice -- so group composition cannot
+  perturb a cell.
+
+RNG discipline: anything a cell derives randomness from (generated
+fault plans, workload seeds) must key off the *cell identity*, never
+the batch position, so regrouping or padding a grid can never change a
+cell's stream.  :meth:`StackedCell.cell_key` is that identity and
+:func:`derive_cell_seed` is the only sanctioned seed derivation.
+
+Incompatible cells degrade gracefully: a cell whose backend cannot
+batch (or a group of one) still executes through the ordinary engine
+inside the same in-process loop -- the lane never produces different
+results, only different sharing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.apps.base import ApplicationRun
+from repro.apps.registry import make_application
+from repro.core.platform import PlatformSpec
+from repro.faults.plan import FaultPlan
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.spans import get_tracer
+from repro.sim.engine import SimulationEngine, SimulationResult
+
+__all__ = [
+    "StackedCell",
+    "StackedGroup",
+    "derive_cell_seed",
+    "group_cells",
+    "simulate_grid",
+    "stacked_schedules",
+]
+
+_log = get_logger("repro.sim.stacked")
+
+#: Cells-per-batch histogram buckets: 1 .. 4096, three per decade.
+_BATCH_BUCKETS = obs_metrics.log_buckets(1.0, 4096.0)
+
+
+# ----------------------------------------------------------------------
+# Cell identity and RNG discipline
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StackedCell:
+    """One (workload, seed, platform, fault plan) grid cell.
+
+    ``app_kwargs`` is a tuple of sorted ``(key, value)`` pairs (use
+    :meth:`make` to build one from a dict) so cells hash and compare;
+    it feeds :func:`repro.apps.registry.make_application` verbatim.
+    """
+
+    name: str  #: application name (registry key)
+    seed: int  #: application trace seed
+    spec: PlatformSpec
+    app_kwargs: tuple = ()
+    fault_plan: FaultPlan | None = None
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        spec: PlatformSpec,
+        *,
+        seed: int = 0,
+        app_kwargs: dict | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> "StackedCell":
+        return cls(
+            name=name,
+            seed=seed,
+            spec=spec,
+            app_kwargs=tuple(sorted((app_kwargs or {}).items())),
+            fault_plan=fault_plan,
+        )
+
+    @property
+    def procs(self) -> int:
+        return self.spec.total_processors
+
+    def run_key(self) -> tuple:
+        """What determines the application run (shared across platforms)."""
+        return (self.name, self.procs, self.seed, self.app_kwargs)
+
+    def cell_key(self) -> str:
+        """Stable content hash of everything that makes this cell *this*
+        cell -- independent of grid composition, ordering, or padding."""
+        payload = repr((
+            self.name,
+            self.seed,
+            self.app_kwargs,
+            json.dumps(self.spec.to_dict(), sort_keys=True),
+            self.fault_plan.cache_key() if self.fault_plan else None,
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def derive_cell_seed(cell: "StackedCell | str", purpose: str = "") -> int:
+    """A deterministic 63-bit seed derived from a cell's identity.
+
+    The only sanctioned way for the stacked lane to seed randomness
+    (fault-plan generation, workload perturbations): the stream depends
+    on the *cell key* and the stated ``purpose``, never on where the
+    cell landed in a batch, so regrouping a grid -- adding cells,
+    removing cells, reordering, padding -- can never change what any
+    individual cell experiences.
+    """
+    key = cell if isinstance(cell, str) else cell.cell_key()
+    digest = hashlib.sha256(f"{key}:{purpose}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+# ----------------------------------------------------------------------
+# The batched prefix-sum kernel
+# ----------------------------------------------------------------------
+def stacked_schedules(works: np.ndarray, steps: np.ndarray) -> np.ndarray:
+    """All-hit clock schedules for a stack of traces, in one pass.
+
+    ``works`` is a ``(rows, procs, max_len)`` float64 tensor of
+    per-reference issue costs (padded with anything beyond each trace's
+    live length); ``steps`` gives each row's fixed per-reference step
+    (compute padding + 1-cycle issue + the backend's ``t_hit``).
+    Returns ``cumsum(works + steps, axis=-1)``: row ``[r, p, :L]`` is
+    bit-identical to the engine's per-trace ``(work + step).cumsum()``
+    because NumPy's ``cumsum`` accumulates strictly sequentially along
+    the axis and padding only trails the live prefix.
+    """
+    if works.ndim != 3:
+        raise ValueError(f"works must be (rows, procs, max_len), got {works.shape}")
+    steps = np.asarray(steps, dtype=np.float64)
+    if steps.shape != (works.shape[0],):
+        raise ValueError(
+            f"steps must have one entry per row: {steps.shape} vs {works.shape}"
+        )
+    return np.cumsum(works + steps[:, None, None], axis=-1)
+
+
+# ----------------------------------------------------------------------
+# Grouping
+# ----------------------------------------------------------------------
+def _topology_kind(spec: PlatformSpec) -> str:
+    if spec.N == 1:
+        return "smp"
+    return "cow" if spec.n == 1 else "clump"
+
+
+def shape_signature(cell: StackedCell) -> tuple:
+    """What must match for two cells to stack into one tensor group:
+    the processor count (the tensor's middle axis), the topology kind
+    (rows of like platforms pad against comparable lengths) and whether
+    the cell is fault-injected (so clean grids never pay trigger-cut
+    bookkeeping introduced by a faulted neighbor's group)."""
+    return (cell.procs, _topology_kind(cell.spec), cell.fault_plan is not None)
+
+
+@dataclass
+class StackedGroup:
+    """One shape-compatible batch: its cells and their shared tensors."""
+
+    signature: tuple
+    cells: list[StackedCell] = field(default_factory=list)
+    #: positions of ``cells`` in the original grid (results re-slot here)
+    positions: list[int] = field(default_factory=list)
+
+
+def group_cells(cells: Sequence[StackedCell]) -> list[StackedGroup]:
+    """Partition a grid into shape-compatible groups, stable order."""
+    groups: dict[tuple, StackedGroup] = {}
+    for i, cell in enumerate(cells):
+        sig = shape_signature(cell)
+        group = groups.get(sig)
+        if group is None:
+            group = groups[sig] = StackedGroup(signature=sig)
+        group.cells.append(cell)
+        group.positions.append(i)
+    return list(groups.values())
+
+
+# ----------------------------------------------------------------------
+# The lane
+# ----------------------------------------------------------------------
+def _default_run_provider() -> Callable[[str, int, int, tuple], ApplicationRun]:
+    memo: dict[tuple, ApplicationRun] = {}
+
+    def provide(name: str, procs: int, seed: int, app_kwargs: tuple) -> ApplicationRun:
+        key = (name, procs, seed, app_kwargs)
+        if key not in memo:
+            app = make_application(
+                name, num_procs=procs, seed=seed, **dict(app_kwargs)
+            )
+            run = app.run()
+            if not run.verified:
+                raise RuntimeError(
+                    f"{name} at {procs} processes failed its numeric oracle"
+                )
+            memo[key] = run
+        return memo[key]
+
+    return provide
+
+
+def _step_prober() -> Callable[[StackedCell], float | None]:
+    """Per-call memo of each platform's fixed all-hit step cost
+    (compute padding + 1-cycle issue + ``t_hit``), read off the
+    topology IR -- the same source the default back-end's ``t_hit``
+    comes from -- without constructing a back-end.  ``None`` marks a
+    platform whose step cannot be derived; its cells fall back to an
+    ordinary per-cell engine inside the same loop."""
+    from repro.topology.canned import topology_for_spec
+
+    memo: dict[PlatformSpec, float | None] = {}
+
+    def step_of(cell: StackedCell) -> float | None:
+        spec = cell.spec
+        if spec not in memo:
+            try:
+                memo[spec] = 1.0 + float(
+                    topology_for_spec(spec).machine.cache.tau_cycles
+                )
+            except Exception:
+                memo[spec] = None
+        return memo[spec]
+
+    return step_of
+
+
+def _group_schedules(
+    group: StackedGroup,
+    runs: dict[tuple, ApplicationRun],
+    step_of: Callable[[StackedCell], float | None],
+) -> dict[tuple, list[np.ndarray]]:
+    """Build every distinct (run, step) schedule of a group in one
+    stacked prefix-sum pass; return per-(run_key, step) row views."""
+    # Distinct rows: cells sharing an application run *and* a hit
+    # latency share schedule arrays outright.
+    row_keys: list[tuple] = []
+    steps: list[float] = []
+    for cell in group.cells:
+        step = step_of(cell)
+        if step is None:
+            continue
+        key = (cell.run_key(), step)
+        if key not in row_keys:
+            row_keys.append(key)
+            steps.append(step)
+    if not row_keys:
+        return {}
+    procs = group.signature[0]
+    lengths = {
+        key: [t.memory_instructions for t in runs[key[0]].traces]
+        for key in row_keys
+    }
+    max_len = max(max(ls) for ls in lengths.values())
+    works = np.zeros((len(row_keys), procs, max_len), dtype=np.float64)
+    for r, key in enumerate(row_keys):
+        for p, trace in enumerate(runs[key[0]].traces):
+            works[r, p, : trace.memory_instructions] = trace.work
+    tensor = stacked_schedules(works, np.asarray(steps, dtype=np.float64))
+    return {
+        key: [tensor[r, p, : lengths[key][p]] for p in range(procs)]
+        for r, key in enumerate(row_keys)
+    }
+
+
+def simulate_grid(
+    cells: Sequence[StackedCell],
+    *,
+    horizon: float = 200.0,
+    sample_every: float | None = None,
+    run_provider: Callable[[str, int, int, tuple], ApplicationRun] | None = None,
+    metrics: obs_metrics.MetricsRegistry | None = None,
+) -> list[SimulationResult]:
+    """Execute a whole grid through the stacked tensor lane.
+
+    Returns one :class:`SimulationResult` per cell, aligned with
+    ``cells`` -- bit-identical to simulating each cell alone in either
+    of the engine's per-cell lanes.  ``run_provider(name, procs, seed,
+    app_kwargs)`` lets a caller (the experiment runner) share its
+    application-run memo; the default generates and memoizes runs
+    internally for the duration of the call.
+    """
+    registry = metrics if metrics is not None else obs_metrics.REGISTRY
+    cells_total = registry.counter(
+        "repro_stacked_cells_total",
+        "Simulation cells executed via the stacked tensor lane",
+    )
+    batch_sizes = registry.histogram(
+        "repro_stacked_cells_per_batch",
+        "Shape-compatible cells stacked into one tensor batch",
+        buckets=_BATCH_BUCKETS,
+    )
+    provide = run_provider if run_provider is not None else _default_run_provider()
+    step_of = _step_prober()
+    tracer = get_tracer()
+
+    results: list[SimulationResult | None] = [None] * len(cells)
+    groups = group_cells(cells)
+    for gi, group in enumerate(groups):
+        runs = {
+            cell.run_key(): provide(cell.name, cell.procs, cell.seed, cell.app_kwargs)
+            for cell in group.cells
+        }
+        with tracer.span(
+            f"stacked:{len(group.cells)}cells",
+            group=gi,
+            procs=group.signature[0],
+            kind=group.signature[1],
+            faulted=group.signature[2],
+        ):
+            schedules = _group_schedules(group, runs, step_of)
+            batch_sizes.observe(len(group.cells))
+            cells_total.inc(len(group.cells))
+            for cell, position in zip(group.cells, group.positions):
+                run = runs[cell.run_key()]
+                step = step_of(cell)
+                scheds = (
+                    schedules.get((cell.run_key(), step))
+                    if step is not None
+                    else None
+                )
+                engine = SimulationEngine(
+                    cell.spec,
+                    run,
+                    horizon=horizon,
+                    sample_every=sample_every,
+                    fault_plan=cell.fault_plan,
+                    scheds=scheds,
+                )
+                results[position] = engine.execute()
+        _log.debug(
+            "stacked batch complete",
+            group=gi,
+            cells=len(group.cells),
+            signature=str(group.signature),
+        )
+    return results  # type: ignore[return-value]

@@ -277,6 +277,24 @@ class TestCachesAndMetrics:
         engine.search(PAPER_LU, 12_000.0)  # superset of the same candidates
         assert registry.get("design_memo_hits_total").value > hits_before
 
+    def test_memo_never_crosses_workloads(self) -> None:
+        """Regression: the evaluation memo must key on the workload's
+        locality/gamma, not just the candidate's spec and sharing
+        parameters.  Two workloads differing only in locality share
+        every candidate and every sharing parameter; a shared engine
+        must still answer exactly like a fresh one."""
+        from dataclasses import replace
+
+        other = replace(PAPER_LU, name="LU-bigbeta", beta=PAPER_LU.beta * 4)
+        shared = DesignSearch(space=SMALL_SPACE, metrics=MetricsRegistry())
+        shared.search(PAPER_LU, 9_000.0)  # warms the memo with PAPER_LU
+        polluted = shared.search(other, 9_000.0)
+        fresh = DesignSearch(
+            space=SMALL_SPACE, metrics=MetricsRegistry()
+        ).search(other, 9_000.0)
+        assert polluted.best.spec == fresh.best.spec
+        assert polluted.best.e_instr_seconds == fresh.best.e_instr_seconds
+
     def test_counters_add_up(self) -> None:
         registry = MetricsRegistry()
         outcome = DesignSearch(

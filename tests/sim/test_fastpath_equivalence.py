@@ -158,6 +158,40 @@ def test_composed_matches_legacy_on_fft(spec, fft_run_4):
 
 
 @pytest.mark.parametrize("spec", SPECS, ids=_SPEC_IDS)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_three_lane_identity(spec, seed):
+    """The two-lane invariant extended to three: the stacked tensor
+    lane (grouped, padded, batch-scheduled) returns the same bits as
+    the scalar and vectorized lanes for every backend family."""
+    from repro.sim.stacked import StackedCell, simulate_grid
+
+    run = _random_run(spec.total_processors, seed)
+    scalar = SimulationEngine(spec, run, fastpath=False).execute()
+    batched = SimulationEngine(spec, run, fastpath=True).execute()
+    (stacked,) = simulate_grid(
+        [StackedCell.make("random", spec, seed=seed)],
+        run_provider=lambda name, procs, s, kw: _random_run(procs, s),
+    )
+    _assert_identical(scalar, batched)
+    _assert_identical(scalar, stacked)
+
+
+def test_three_lane_identity_on_mixed_grid():
+    """One grid spanning every spec family at once still slices back
+    per-cell bit-identical results."""
+    from repro.sim.stacked import StackedCell, simulate_grid
+
+    cells = [StackedCell.make("random", spec, seed=0) for spec in SPECS]
+    results = simulate_grid(
+        cells, run_provider=lambda name, procs, s, kw: _random_run(procs, s)
+    )
+    for cell, got in zip(cells, results):
+        run = _random_run(cell.procs, cell.seed)
+        scalar = SimulationEngine(cell.spec, run, fastpath=False).execute()
+        _assert_identical(scalar, got)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=_SPEC_IDS)
 def test_fast_path_actually_engages(spec, fft_run_4):
     """Guard against silent fallback: every backend family advertises a
     batch kernel, and disabling ``fastpath`` really disables it."""

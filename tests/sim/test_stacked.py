@@ -1,0 +1,294 @@
+"""The stacked tensor lane: grouping, kernels, and the three-lane
+bit-identity invariant (scalar == vectorized == stacked).
+
+The stacked lane's contract is that *batch composition is invisible*:
+a cell's result depends only on the cell, never on which cells happen
+to share its grid, its group, or its padded tensor.  These tests
+attack that contract from every angle the ISSUE names -- randomized
+topologies (including deepened CLUMP-of-SMPs), localities, seeds,
+fault plans, timelines, resource counters, and the RNG discipline
+(seeds derive from cell identity, not batch position).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.base import AddressSpace, ApplicationRun
+from repro.core.platform import PlatformSpec
+from repro.faults.plan import FaultPlan
+from repro.sim.engine import SimulationEngine
+from repro.sim.latencies import NetworkKind
+from repro.sim.stacked import (
+    StackedCell,
+    derive_cell_seed,
+    group_cells,
+    shape_signature,
+    simulate_grid,
+    stacked_schedules,
+)
+from repro.topology.canned import deepen_spec
+from repro.trace.events import Trace
+
+KB = 1024
+
+SPECS = [
+    PlatformSpec(name="st-smp", n=4, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB),
+    PlatformSpec(
+        name="st-smp-l2", n=4, N=1, cache_bytes=2 * KB, memory_bytes=256 * KB,
+        l2_bytes=8 * KB,
+    ),
+    PlatformSpec(
+        name="st-cow", n=1, N=4, cache_bytes=2 * KB, memory_bytes=256 * KB,
+        network=NetworkKind.ATM_155,
+    ),
+    PlatformSpec(
+        name="st-clump", n=2, N=2, cache_bytes=2 * KB, memory_bytes=256 * KB,
+        network=NetworkKind.ATM_155,
+    ),
+]
+
+#: A two-level CLUMP-of-SMPs (racks of switched machines) -- the
+#: deepest topology the repo can express, exercising the stacked
+#: lane's step probe on a non-flat hierarchy.
+DEEP = deepen_spec(
+    PlatformSpec(
+        name="st-flat8", n=2, N=4, cache_bytes=2 * KB, memory_bytes=256 * KB,
+        network=NetworkKind.ETHERNET_100,
+    ),
+    rack_size=2,
+)
+
+
+def _random_run(procs: int, seed: int, refs: int = 400) -> ApplicationRun:
+    """Synthetic SPMD run mixing private streaks (fastpath segments)
+    with shared lines and writes (scalar coherence fallbacks)."""
+    rng = np.random.default_rng(seed)
+    space = AddressSpace(procs)
+    space.alloc("data", (100_000,), element_bytes=64)
+    n_barriers = int(rng.integers(1, 4))
+    traces = []
+    for p in range(procs):
+        blocks = rng.integers(p * 128, p * 128 + 96, size=refs // 4 + 1)
+        addrs = np.repeat(blocks, 4)[:refs].copy()
+        shared = rng.random(refs) < 0.08
+        addrs[shared] = rng.integers(0, 64, size=int(shared.sum()))
+        barriers = np.sort(
+            rng.choice(np.arange(1, refs), size=n_barriers, replace=False)
+        )
+        traces.append(
+            Trace(
+                addresses=addrs.astype(np.int64),
+                is_write=rng.random(refs) < 0.3,
+                work=rng.integers(0, 4, size=refs).astype(np.int64),
+                barriers=barriers.astype(np.int64),
+                tail_work=int(rng.integers(0, 50)),
+            )
+        )
+    return ApplicationRun(
+        name="random", problem_size=f"seed={seed}", num_procs=procs,
+        traces=tuple(traces), address_space=space, verified=True,
+    )
+
+
+def _provider(name, procs, seed, app_kwargs):
+    return _random_run(procs, seed)
+
+
+def _reference(cell: StackedCell, **kw):
+    """Scalar-lane reference result for one cell, computed in isolation."""
+    run = _random_run(cell.procs, cell.seed)
+    return SimulationEngine(
+        cell.spec, run, fastpath=False, fault_plan=cell.fault_plan, **kw
+    ).execute()
+
+
+def _assert_identical(a, b) -> None:
+    assert a.total_cycles == b.total_cycles
+    assert a.per_process_cycles == b.per_process_cycles
+    assert a.barrier_wait_cycles == b.barrier_wait_cycles
+    assert a.stats.as_dict() == b.stats.as_dict()
+
+
+# ----------------------------------------------------------------------
+# The stacked-schedule kernel
+# ----------------------------------------------------------------------
+def test_stacked_schedules_bit_identical_to_per_trace_cumsum():
+    """One batched cumsum over (R, P, Lmax) rows == R*P separate 1-D
+    cumsums, bit for bit, including ragged live prefixes."""
+    rng = np.random.default_rng(0)
+    R, P, Lmax = 5, 3, 64
+    lengths = rng.integers(1, Lmax + 1, size=R)
+    works = np.zeros((R, P, Lmax))
+    for r in range(R):
+        works[r, :, : lengths[r]] = rng.integers(0, 5, size=(P, lengths[r]))
+    steps = rng.uniform(1.0, 3.0, size=R)
+    stacked = stacked_schedules(works, steps)
+    for r in range(R):
+        for p in range(P):
+            expect = (works[r, p, : lengths[r]] + steps[r]).cumsum()
+            got = stacked[r, p, : lengths[r]]
+            assert got.tolist() == expect.tolist()
+
+
+def test_stacked_schedules_padding_never_leaks():
+    """Garbage beyond a row's live prefix cannot perturb the prefix:
+    cumsum accumulates left to right, so two tensors agreeing on
+    [:L] agree on the schedule's [:L] exactly."""
+    rng = np.random.default_rng(1)
+    works = rng.integers(0, 5, size=(2, 2, 32)).astype(float)
+    L = 10
+    dirty = works.copy()
+    dirty[:, :, L:] = 1e12  # hostile padding
+    steps = np.array([1.5, 2.0])
+    a = stacked_schedules(works, steps)[:, :, :L]
+    b = stacked_schedules(dirty, steps)[:, :, :L]
+    assert a.tolist() == b.tolist()
+
+
+def test_stacked_schedules_validates_shapes():
+    with pytest.raises(ValueError):
+        stacked_schedules(np.zeros((2, 2)), np.zeros(2))
+    with pytest.raises(ValueError):
+        stacked_schedules(np.zeros((2, 2, 4)), np.zeros(3))
+
+
+# ----------------------------------------------------------------------
+# Grouping
+# ----------------------------------------------------------------------
+def test_group_cells_partitions_by_signature():
+    cells = [StackedCell.make("random", spec, seed=s) for spec in SPECS for s in (0, 1)]
+    cells.append(StackedCell.make(
+        "random", SPECS[0], seed=0,
+        fault_plan=FaultPlan.generate(seed=3, num_procs=4, span=5e4),
+    ))
+    groups = group_cells(cells)
+    # every cell lands in exactly one group, at its original index
+    seen = sorted(pos for g in groups for pos in g.positions)
+    assert seen == list(range(len(cells)))
+    for g in groups:
+        assert len(g.cells) == len(g.positions)
+        for cell in g.cells:
+            assert shape_signature(cell) == g.signature
+    # the faulted cell must not share a group with its clean twin
+    faulted = [g for g in groups if g.signature[2]]
+    assert len(faulted) == 1 and len(faulted[0].cells) == 1
+
+
+def test_signature_separates_topology_kinds():
+    smp, cow, clump = SPECS[0], SPECS[2], SPECS[3]
+    sigs = {shape_signature(StackedCell.make("x", s)) for s in (smp, cow, clump)}
+    assert len(sigs) == 3
+
+
+# ----------------------------------------------------------------------
+# Three-lane bit-identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec", SPECS + [DEEP], ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_three_lanes_identical(spec, seed):
+    """scalar == vectorized == stacked for every topology family,
+    including the deepened CLUMP-of-SMPs."""
+    cell = StackedCell.make("random", spec, seed=seed)
+    run = _random_run(cell.procs, seed)
+    scalar = SimulationEngine(spec, run, fastpath=False).execute()
+    batched = SimulationEngine(spec, run, fastpath=True).execute()
+    (stacked,) = simulate_grid([cell], run_provider=_provider)
+    _assert_identical(scalar, batched)
+    _assert_identical(scalar, stacked)
+
+
+def test_mixed_grid_matches_isolated_references():
+    """A heterogeneous grid -- all topology kinds, multiple seeds, a
+    fault-injected cell -- slices back to exactly what each cell
+    computes alone in the scalar lane."""
+    plan = FaultPlan.generate(seed=11, num_procs=4, span=5e4)
+    cells = [StackedCell.make("random", spec, seed=s) for spec in SPECS for s in (0, 1)]
+    cells.append(StackedCell.make("random", SPECS[0], seed=0, fault_plan=plan))
+    cells.append(StackedCell.make("random", DEEP, seed=2))
+    results = simulate_grid(cells, run_provider=_provider)
+    assert len(results) == len(cells)
+    for cell, got in zip(cells, results):
+        _assert_identical(_reference(cell), got)
+
+
+def test_fault_injected_cells_identical_across_lanes():
+    plan = FaultPlan.generate(seed=5, num_procs=4, span=5e4)
+    cell = StackedCell.make("random", SPECS[0], seed=3, fault_plan=plan)
+    run = _random_run(4, 3)
+    scalar = SimulationEngine(
+        SPECS[0], run, fastpath=False, fault_plan=plan
+    ).execute()
+    (stacked,) = simulate_grid([cell], run_provider=_provider)
+    _assert_identical(scalar, stacked)
+    assert stacked.fault_cycles == scalar.fault_cycles
+    assert stacked.fault_events == scalar.fault_events
+
+
+def test_timelines_identical_across_lanes():
+    cells = [StackedCell.make("random", spec, seed=0) for spec in SPECS]
+    results = simulate_grid(cells, run_provider=_provider, sample_every=5000.0)
+    for cell, got in zip(cells, results):
+        ref = _reference(cell, sample_every=5000.0)
+        assert got.timeline == ref.timeline
+
+
+# ----------------------------------------------------------------------
+# Batch composition is invisible
+# ----------------------------------------------------------------------
+def test_grid_composition_never_changes_a_cell():
+    """The same cell alone, permuted, and padded against strangers
+    yields the same bits."""
+    probe = StackedCell.make("random", SPECS[0], seed=7)
+    (alone,) = simulate_grid([probe], run_provider=_provider)
+    strangers = [
+        StackedCell.make("random", SPECS[0], seed=s) for s in (8, 9)
+    ] + [StackedCell.make("random", SPECS[3], seed=1)]
+    for arrangement in ([probe, *strangers], [*strangers, probe]):
+        results = simulate_grid(arrangement, run_provider=_provider)
+        got = results[arrangement.index(probe)]
+        _assert_identical(alone, got)
+
+
+def test_derive_cell_seed_ignores_batch_position():
+    """Seeds derive from cell identity (the cell key), never from where
+    the cell sits in a batch -- the ISSUE's RNG-discipline regression."""
+    a = StackedCell.make("random", SPECS[0], seed=1)
+    b = StackedCell.make("random", SPECS[2], seed=1)
+    # same cell, any context: same derived stream
+    assert derive_cell_seed(a) == derive_cell_seed(a)
+    assert derive_cell_seed(a, "faults") == derive_cell_seed(a, "faults")
+    # different cells or purposes: different streams
+    assert derive_cell_seed(a) != derive_cell_seed(b)
+    assert derive_cell_seed(a) != derive_cell_seed(a, "faults")
+    # and the key itself is positionless: rebuilding the cell gives the
+    # same key, so grouping/regrouping cannot perturb the stream
+    assert StackedCell.make("random", SPECS[0], seed=1).cell_key() == a.cell_key()
+
+
+def test_cell_key_distinguishes_fault_plans_and_kwargs():
+    base = StackedCell.make("random", SPECS[0], seed=1)
+    keys = {
+        base.cell_key(),
+        StackedCell.make("random", SPECS[0], seed=2).cell_key(),
+        StackedCell.make("random", SPECS[1], seed=1).cell_key(),
+        StackedCell.make("random", SPECS[0], seed=1,
+                         app_kwargs={"points": 64}).cell_key(),
+        StackedCell.make(
+            "random", SPECS[0], seed=1,
+            fault_plan=FaultPlan.generate(seed=1, num_procs=4, span=1e4),
+        ).cell_key(),
+    }
+    assert len(keys) == 5
+
+
+def test_stacked_metrics_observable():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    cells = [StackedCell.make("random", spec, seed=0) for spec in SPECS]
+    simulate_grid(cells, run_provider=_provider, metrics=registry)
+    counter = registry.get("repro_stacked_cells_total")
+    assert counter is not None
+    assert sum(s.value for _, s in counter.samples()) == len(cells)
