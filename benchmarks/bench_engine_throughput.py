@@ -353,6 +353,48 @@ def run_grid_benchmark(quick: bool = False) -> dict:
     }
 
 
+#: Prior-run summaries kept in the output JSON's ``history`` list.
+HISTORY_LIMIT = 20
+
+
+def _history_entry(payload: dict) -> dict:
+    """The compact per-run record appended to the output's history."""
+    entry = {
+        "provenance": payload.get("provenance", {}),
+        "quick": payload.get("quick"),
+        "cells": [
+            {"platform": c["platform"], "speedup": c["speedup"]}
+            for c in payload.get("cells", [])
+        ],
+    }
+    grid = payload.get("grid")
+    if grid:
+        entry["grid"] = {
+            "sim_grid_speedup": grid["sim_grid"]["tensor_vs_pool_speedup"],
+            "design_wave_speedup": grid["design_wave"]["tensor_vs_pool_speedup"],
+        }
+    return entry
+
+
+def _attach_history(payload: dict, output: str, limit: int = HISTORY_LIMIT) -> None:
+    """Carry forward the previous output's run history, bounded.
+
+    Each benchmark run *appends* a provenance-stamped summary instead of
+    overwriting the file's past, so ``BENCH_engine.json`` accumulates a
+    comparable trajectory across commits.  A missing, corrupt, or
+    pre-history output simply starts a fresh list.
+    """
+    history: list = []
+    try:
+        with open(output, encoding="utf-8") as fh:
+            prev = json.load(fh)
+        history = list(prev.get("history", []))
+    except (OSError, ValueError):
+        pass
+    history.append(_history_entry(payload))
+    payload["history"] = history[-limit:]
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="small FFT, one repeat")
@@ -381,6 +423,7 @@ def main(argv=None) -> int:
         payload["grid"] = run_grid_benchmark(quick=args.quick)
     from repro.ioutil import atomic_write_json
 
+    _attach_history(payload, args.output)
     atomic_write_json(args.output, payload)
 
     for cell in payload["cells"]:

@@ -16,9 +16,13 @@ cluster computing."  This module is that vehicle:
     python -m repro recommend --alpha 1.3 --beta 90 --gamma 0.31
     python -m repro simulate --app FFT --machines 1 --procs-per-machine 4 \\
         --sample-every 50000 --metrics-out metrics.json
+    python -m repro profile --app FFT --machines 4 --out prof.json \\
+        --flamegraph-out prof.folded --trace-out trace.json
+    python -m repro profile --diff prof_a.json prof_b.json
     python -m repro faults --app FFT --machines 4 \\
         --inject delay:proc=0,at=1e5,cycles=5e4 --propagation
     python -m repro obs summary metrics.json
+    python -m repro obs ledger --last 10
 
 Workloads can be the paper's Table 2 names (FFT, LU, Radix, EDGE,
 TPC-C) or explicit ``--alpha/--beta/--gamma`` triples.
@@ -37,6 +41,7 @@ import sys
 from typing import Sequence
 
 from repro.obs.log import get_logger, set_level
+from repro.obs.profile import CAUSES
 
 from repro.core.execution import evaluate
 from repro.core.platform import PlatformSpec
@@ -126,6 +131,34 @@ def _rack_size(text: str) -> int:
     if value < 2:
         raise argparse.ArgumentTypeError(f"a rack holds >= 2 machines, got {value}")
     return value
+
+
+def _out_path(text: str) -> str:
+    """An output file path: parent must exist, target must not be a dir.
+
+    Catching this at the argparse layer means a long simulation never
+    completes only to die on the final write.
+    """
+    from pathlib import Path
+
+    path = Path(text)
+    if path.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is a directory, not a writable file path"
+        )
+    if not path.parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"parent directory {str(path.parent)!r} does not exist"
+        )
+    return str(path)
+
+
+def _existing_file(text: str) -> str:
+    from pathlib import Path
+
+    if not Path(text).is_file():
+        raise argparse.ArgumentTypeError(f"no such file: {text!r}")
+    return str(text)
 
 
 def _platform_arg(text: str) -> PlatformSpec:
@@ -289,9 +322,68 @@ def _finish_observability(args: argparse.Namespace, runner=None) -> None:
     from repro.obs.summary import write_payload
 
     timelines = runner.timelines() if runner is not None else None
-    write_payload(args.metrics_out, timelines=timelines)
+    profiles = runner.profiles() if runner is not None else None
+    write_payload(args.metrics_out, timelines=timelines, profiles=profiles)
     get_logger("repro.cli").info(
         "wrote observability payload", path=args.metrics_out
+    )
+
+
+def _export_profile(
+    profile, out=None, flamegraph_out=None, trace_out=None
+) -> None:
+    """Write a profile's JSON / collapsed-stack / Chrome-trace exports."""
+    from repro.ioutil import atomic_write_json, atomic_write_text
+    from repro.obs.spans import get_tracer
+
+    log = get_logger("repro.cli")
+    if out is not None:
+        atomic_write_json(out, profile.to_obj())
+        log.info("wrote cycle-attribution profile", path=out)
+    if flamegraph_out is not None:
+        atomic_write_text(flamegraph_out, profile.to_collapsed())
+        log.info("wrote collapsed-stack flamegraph", path=flamegraph_out)
+    if trace_out is not None:
+        atomic_write_json(
+            trace_out, profile.to_trace_events(spans=get_tracer().roots)
+        )
+        log.info("wrote Chrome trace_event JSON", path=trace_out)
+
+
+def _ledger_record(args: argparse.Namespace, runner, spec, res) -> None:
+    """Append one ``ledger.jsonl`` line for a simulating CLI run.
+
+    Only runs with a cache directory leave a ledger trail; the config
+    hash covers everything that determines the outcome (app + overrides,
+    seed, horizon, the full platform spec, the fault plan).
+    """
+    if not getattr(args, "cache_dir", None):
+        return
+    import hashlib
+
+    from repro.obs.ledger import record_run
+
+    plan = _fault_plan_from(args)
+    payload = json.dumps(
+        {
+            "app": args.app,
+            "app_args": sorted(getattr(args, "app_arg", []) or []),
+            "seed": args.seed,
+            "horizon": args.horizon,
+            "spec": spec.to_dict(),
+            "faults": plan.cache_key() if plan else None,
+        },
+        sort_keys=True,
+    )
+    record_run(
+        args.cache_dir,
+        app=args.app,
+        platform=spec.name,
+        lane=runner.last_grid_lane or "serial",
+        config_hash=hashlib.sha256(payload.encode()).hexdigest(),
+        total_cycles=res.total_cycles,
+        references=res.total_references,
+        profile=getattr(res, "profile", None),
     )
 
 
@@ -541,6 +633,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_platform_args(p)
     _add_runner_args(p)
+    p.add_argument(
+        "--profile-out", type=_out_path, default=None, metavar="PATH",
+        help="profile the run (exact cycle attribution) and write the "
+        "profile JSON to PATH (render/compare with 'repro profile')",
+    )
+
+    p = sub.add_parser(
+        "profile",
+        help="exact cycle attribution: where did the simulated cycles go?",
+    )
+    p.add_argument(
+        "--app", default=None, help="FFT, LU, Radix, EDGE or TPC-C"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--app-arg", action="append", default=[], metavar="KEY=VALUE",
+        help="application constructor override (repeatable)",
+    )
+    p.add_argument(
+        "--cause", action="append", default=[], choices=CAUSES, metavar="CAUSE",
+        help="restrict the printed table to these causes (repeatable; "
+        "one of: " + ", ".join(CAUSES) + ")",
+    )
+    p.add_argument(
+        "--out", type=_out_path, default=None, metavar="PATH",
+        help="write the profile as JSON (exact values; diffable later)",
+    )
+    p.add_argument(
+        "--flamegraph-out", type=_out_path, default=None, metavar="PATH",
+        help="write collapsed-stack text ('node;cause cycles') for "
+        "flamegraph.pl / speedscope",
+    )
+    p.add_argument(
+        "--trace-out", type=_out_path, default=None, metavar="PATH",
+        help="write Chrome trace_event JSON combining simulated-cycle "
+        "attribution with the run's wall-clock spans",
+    )
+    p.add_argument(
+        "--diff", nargs=2, type=_existing_file, default=None,
+        metavar=("A.json", "B.json"),
+        help="instead of running, render the per-bucket difference "
+        "between two profile JSONs (A - B)",
+    )
+    _add_platform_args(p)
+    _add_runner_args(p)
 
     p = sub.add_parser(
         "faults",
@@ -574,6 +711,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-windows", type=int, default=24,
         help="timeline rows per table (adjacent windows merge beyond this)",
+    )
+    p = obs_sub.add_parser(
+        "ledger", help="show the append-only run ledger of a cache dir"
+    )
+    p.add_argument(
+        "--cache-dir", default=".repro_cache",
+        help="cache directory whose ledger.jsonl to read",
+    )
+    p.add_argument(
+        "--last", type=_positive_int, default=20, metavar="N",
+        help="most recent entries to show",
     )
     return parser
 
@@ -725,6 +873,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args,
             seed=args.seed,
             app_kwargs={args.app: app_kwargs} if app_kwargs else None,
+            profile=args.profile_out is not None,
         )
         spec = _platform_from(args, name="cli")
         res = runner.simulate(args.app, spec)
@@ -732,6 +881,58 @@ def main(argv: Sequence[str] | None = None) -> int:
         if res.timeline is not None:
             print()
             print(res.timeline.describe())
+        if res.profile is not None:
+            print()
+            print(res.profile.describe())
+            _export_profile(res.profile, out=args.profile_out)
+        _ledger_record(args, runner, spec, res)
+        _finish_observability(args, runner)
+        return 0
+
+    if args.command == "profile":
+        from repro.obs.profile import CycleProfile, describe_diff
+
+        if args.diff is not None:
+            profs = []
+            for path in args.diff:
+                with open(path, encoding="utf-8") as fh:
+                    obj = json.load(fh)
+                try:
+                    profs.append(CycleProfile.from_obj(obj))
+                except ValueError as exc:
+                    raise SystemExit(f"--diff: {path}: {exc}") from None
+            print(describe_diff(profs[0], profs[1]))
+            return 0
+        if not args.app:
+            raise SystemExit(
+                "profile: provide --app NAME to profile a run, "
+                "or --diff A.json B.json to compare two saved profiles"
+            )
+        app_kwargs = _parse_app_args(args.app_arg)
+        runner = _runner_from(
+            args,
+            seed=args.seed,
+            app_kwargs={args.app: app_kwargs} if app_kwargs else None,
+            profile=True,
+        )
+        spec = _platform_from(args, name="cli")
+        res = runner.simulate(args.app, spec)
+        prof = res.profile
+        if prof is None:  # can only happen via a stale/foreign cache entry
+            raise SystemExit(
+                "profile: the simulation result carries no profile "
+                "(stale cache entry?); clear the cache dir and rerun"
+            )
+        print(res.describe())
+        print()
+        print(prof.describe(causes=args.cause or None))
+        _export_profile(
+            prof,
+            out=args.out,
+            flamegraph_out=args.flamegraph_out,
+            trace_out=args.trace_out,
+        )
+        _ledger_record(args, runner, spec, res)
         _finish_observability(args, runner)
         return 0
 
@@ -793,6 +994,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "obs":
+        if args.obs_command == "ledger":
+            from repro.obs.ledger import describe_entries, ledger_path, read_entries
+
+            entries = read_entries(ledger_path(args.cache_dir))
+            print(describe_entries(entries, last=args.last))
+            return 0
         from repro.obs.summary import summarize
 
         with open(args.payload, encoding="utf-8") as fh:

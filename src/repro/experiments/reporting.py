@@ -113,6 +113,9 @@ def generate_report(
                 for key in ("figure2", "figure3", "figure4"):
                     write_text(base / f"{key}.csv", figure_to_csv(exports[key]))
             log(f"wrote CSV exports to {base}", phase="csv_export")
+        prof_section = _profile_section(runner)
+        if prof_section:
+            sections.append(prof_section)
     log(f"report complete in {time.perf_counter() - t0:.0f}s")
 
     header = (
@@ -121,6 +124,23 @@ def generate_report(
         + _lane_summary(runner)
     )
     return header + "\n\n" + "\n\n".join(sections) + "\n"
+
+
+def _profile_section(runner) -> str:
+    """Cycle-attribution section over every profiled cell of the report.
+
+    Empty unless the runner profiled (``profile=True``) -- and degrades
+    to nothing for runner doubles without a :meth:`merged_profile`, so
+    report assembly stays testable with stubs.
+    """
+    merged = getattr(runner, "merged_profile", lambda: None)()
+    if merged is None:
+        return ""
+    return (
+        "## Where the cycles went -- exact attribution\n\n```\n"
+        + merged.describe()
+        + "\n```"
+    )
 
 
 def _lane_summary(runner) -> str:

@@ -64,7 +64,10 @@ __all__ = ["Calibration", "ExperimentRunner", "DEFAULT_CALIBRATION"]
 #:    separates entries written by pre-lane builds; per-cell keys are
 #:    otherwise unchanged, so cache hits still work cell-wise whichever
 #:    lane computed them.
-SIM_CACHE_VERSION = 5
+#: 6: SimulationResult grew a ``profile`` field (PR 7); the key covers
+#:    the profile flag so profiled and unprofiled cells never shadow
+#:    each other.
+SIM_CACHE_VERSION = 6
 
 #: Grid execution lanes the runner can route uncached cells through.
 LANES = ("auto", "tensor", "pool", "serial")
@@ -93,7 +96,9 @@ def _chaos_fire(var: str) -> bool:
 
 
 def _simulate_cell(
-    args: tuple[str, int, dict, PlatformSpec, float, float | None, FaultPlan | None]
+    args: tuple[
+        str, int, dict, PlatformSpec, float, float | None, FaultPlan | None, bool
+    ]
 ) -> tuple[SimulationResult, dict]:
     """Pool worker: one (app, config) simulation.  Module-level for
     pickling.  The application run is regenerated in the worker rather
@@ -113,7 +118,7 @@ def _simulate_cell(
         raise RuntimeError("injected failure (REPRO_CHAOS_RAISE_ONCE)")
     if _chaos_fire("REPRO_CHAOS_INTERRUPT_ONCE"):
         raise KeyboardInterrupt
-    name, seed, kwargs, spec, horizon, sample_every, fault_plan = args
+    name, seed, kwargs, spec, horizon, sample_every, fault_plan, profile = args
     tracer = Tracer()
     with tracer.span(
         f"simulate:{name}@{spec.name}", worker=os.getpid(), procs=spec.total_processors
@@ -125,7 +130,12 @@ def _simulate_cell(
         if not run.verified:
             raise RuntimeError(f"{name} at {run.num_procs} processes failed its numeric oracle")
         result = SimulationEngine(
-            spec, run, horizon=horizon, sample_every=sample_every, fault_plan=fault_plan
+            spec,
+            run,
+            horizon=horizon,
+            sample_every=sample_every,
+            fault_plan=fault_plan,
+            profile=profile,
         ).execute()
     return result, tracer.roots[0].to_obj()
 
@@ -175,6 +185,7 @@ class ExperimentRunner:
         max_retries: int = 2,
         retry_backoff: float = 0.25,
         lane: str = "auto",
+        profile: bool = False,
     ) -> None:
         """``app_kwargs`` overrides application constructor arguments per
         name (e.g. smaller problem sizes in the test suite).
@@ -212,6 +223,10 @@ class ExperimentRunner:
         cell needs simulating, ``serial`` otherwise.  All lanes return
         bit-identical results; the choice per grid is recorded in
         ``repro_grid_lane_total{lane}`` and :attr:`last_grid_lane`.
+
+        ``profile=True`` makes every simulation carry an exact
+        :class:`~repro.obs.profile.CycleProfile` (see
+        :meth:`profiles`); it is part of the disk-cache key.
         """
         if lane not in LANES:
             raise ValueError(f"unknown lane {lane!r}; use one of {LANES}")
@@ -226,6 +241,7 @@ class ExperimentRunner:
             raise ValueError("sample_every must be positive (or None to disable)")
         self.sample_every = sample_every
         self.fault_plan = fault_plan
+        self.profile = bool(profile)
         self.cell_timeout = cell_timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
@@ -290,6 +306,7 @@ class ExperimentRunner:
                 json.dumps(spec.to_dict(), sort_keys=True),
                 None if self.sample_every is None else float(self.sample_every),
                 self.fault_plan.cache_key() if self.fault_plan else None,
+                self.profile,
             )
         )
         digest = hashlib.sha256(payload.encode()).hexdigest()
@@ -433,6 +450,7 @@ class ExperimentRunner:
                         horizon=self.horizon,
                         sample_every=self.sample_every,
                         fault_plan=self.fault_plan,
+                        profile=self.profile,
                     )
                     result = engine.execute()
                 _log.debug(
@@ -450,6 +468,27 @@ class ExperimentRunner:
             for (app, spec_name), r in sorted(self._sims.items())
             if r.timeline is not None
         }
+
+    def profiles(self) -> dict[str, "object"]:
+        """``app@platform -> CycleProfile`` for every profiled cell so far.
+
+        Results loaded from a pre-profile disk cache entry carry no
+        profile; such cells are simply absent (``getattr`` tolerant,
+        like :meth:`timelines`)."""
+        return {
+            f"{app}@{spec_name}": r.profile
+            for (app, spec_name), r in sorted(self._sims.items())
+            if getattr(r, "profile", None) is not None
+        }
+
+    def merged_profile(self) -> "object | None":
+        """One :class:`~repro.obs.profile.CycleProfile` over every
+        profiled cell so far (``None`` when nothing was profiled).
+        Bucket-wise sums stay exact, so the merged profile's attributed
+        cycles still equal the summed per-cell totals bit-exactly."""
+        from repro.obs.profile import CycleProfile
+
+        return CycleProfile.merged(self.profiles().values())
 
     def prefetch_simulations(
         self, cells: Sequence[tuple[str, PlatformSpec]]
@@ -551,6 +590,7 @@ class ExperimentRunner:
                 name, procs
             ),
             metrics=self.metrics,
+            profile=self.profile,
         )
         for (name, spec), result in zip(todo, results):
             self._finish_cell(name, spec, result, None, tracer)
@@ -565,6 +605,7 @@ class ExperimentRunner:
             self.horizon,
             self.sample_every,
             self.fault_plan,
+            self.profile,
         )
 
     def _finish_cell(self, name, spec, result, span_obj, tracer) -> None:

@@ -17,7 +17,12 @@ import json
 import os
 from pathlib import Path
 
-__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "append_jsonl",
+]
 
 
 def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> Path:
@@ -48,3 +53,23 @@ def atomic_write_text(path: str | os.PathLike, text: str, encoding: str = "utf-8
 def atomic_write_json(path: str | os.PathLike, obj, indent: int = 2) -> Path:
     """Serialize ``obj`` as indented JSON and write it atomically."""
     return atomic_write_text(path, json.dumps(obj, indent=indent) + "\n")
+
+
+def append_jsonl(path: str | os.PathLike, obj) -> Path:
+    """Append ``obj`` as one JSON line, creating parent dirs.
+
+    The append-only analogue of the atomic writes above: the whole
+    line goes down in a single ``O_APPEND`` write, so concurrent
+    appenders (pool workers, parallel CLI runs) interleave at line
+    granularity and a reader never sees half a record.  Used by the
+    run ledger (``.repro_cache/ledger.jsonl``).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(obj, separators=(",", ":"), sort_keys=True) + "\n"
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+    return path

@@ -15,13 +15,19 @@ totals answer *what happened*; this package answers *when* and *where*:
 * :mod:`repro.obs.log` -- a structured stderr logger replacing ad-hoc
   ``print(..., file=sys.stderr)`` calls;
 * :mod:`repro.obs.summary` -- the ``repro obs summary`` payload format
-  and its text renderer.
+  and its text renderer;
+* :mod:`repro.obs.profile` -- exact simulated-cycle attribution: every
+  cycle of ``P * total_cycles`` lands in one (topology node, cause)
+  bucket, with flamegraph and Chrome-trace exporters;
+* :mod:`repro.obs.ledger` -- the append-only ``.repro_cache`` run
+  ledger behind ``repro obs ledger``.
 
 Nothing here imports the simulator: ``repro.sim`` depends on
 ``repro.obs``, never the reverse.  All instrumentation is opt-in and
 zero-cost when disabled.
 """
 
+from repro.obs.ledger import make_entry, read_entries, record_run
 from repro.obs.log import configure, get_logger, set_level
 from repro.obs.metrics import (
     Counter,
@@ -31,6 +37,7 @@ from repro.obs.metrics import (
     REGISTRY,
     log_buckets,
 )
+from repro.obs.profile import CAUSES, CycleProfile, describe_diff
 from repro.obs.spans import Span, Tracer, get_tracer, span
 from repro.obs.timeline import Timeline, TimelineRecorder, TimelineWindow
 
@@ -48,6 +55,12 @@ __all__ = [
     "Timeline",
     "TimelineRecorder",
     "TimelineWindow",
+    "CAUSES",
+    "CycleProfile",
+    "describe_diff",
+    "make_entry",
+    "read_entries",
+    "record_run",
     "configure",
     "get_logger",
     "set_level",

@@ -1,0 +1,138 @@
+"""The run ledger: one append-only JSONL line per simulation run.
+
+``.repro_cache/ledger.jsonl`` accumulates a queryable perf trajectory:
+every ``repro simulate``/``repro profile`` invocation that has a cache
+directory appends one line recording the config hash, execution lane,
+total cycles, reference count, the top-3 cycle-attribution causes and
+the benchmark floors in force at the time -- so "did this config get
+slower since last month, and where?" is a ``repro obs ledger`` away
+instead of an archaeology project.
+
+Lines are written via :func:`repro.ioutil.append_jsonl` (single
+``O_APPEND`` write per line), so concurrent runs interleave at line
+granularity and a crashed run never leaves half a record.  Corrupt or
+foreign lines are skipped on read, never fatal: the ledger is an
+accumulating log, not a database.
+
+Like the rest of ``repro.obs``, nothing here imports the simulator;
+callers pass plain values and a :class:`~repro.obs.profile.CycleProfile`.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.ioutil import append_jsonl
+from repro.obs.profile import CycleProfile
+
+__all__ = [
+    "SCHEMA",
+    "LEDGER_BASENAME",
+    "BENCH_FLOORS",
+    "ledger_path",
+    "make_entry",
+    "record_run",
+    "read_entries",
+    "describe_entries",
+]
+
+SCHEMA = "repro-ledger/1"
+LEDGER_BASENAME = "ledger.jsonl"
+
+#: The CI benchmark floors in force, recorded into every ledger line so
+#: a historical entry carries the acceptance regime it ran under.
+#: Mirrors the gates in ``benchmarks/bench_engine_throughput.py``
+#: (engine/grid/wave speedups) and ``benchmarks/bench_obs_overhead.py``
+#: (profiling overhead ceiling), which imports its ceiling from here.
+BENCH_FLOORS = {
+    "engine_speedup": 3.0,
+    "grid_speedup": 2.0,
+    "wave_speedup": 1.3,
+    "obs_overhead_pct": 10.0,
+}
+
+
+def ledger_path(cache_dir: str | Path) -> Path:
+    return Path(cache_dir) / LEDGER_BASENAME
+
+
+def make_entry(
+    *,
+    app: str,
+    platform: str,
+    lane: str,
+    config_hash: str,
+    total_cycles: float,
+    references: int | None = None,
+    profile: CycleProfile | None = None,
+    created: str | None = None,
+) -> dict:
+    """Build one ledger line (a plain JSON-ready dict)."""
+    entry = {
+        "schema": SCHEMA,
+        "created": created
+        or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "app": app,
+        "platform": platform,
+        "lane": lane,
+        "config_hash": config_hash,
+        "total_cycles": total_cycles,
+        "floors": dict(BENCH_FLOORS),
+    }
+    if references is not None:
+        entry["references"] = references
+    if profile is not None:
+        entry["top_causes"] = [
+            {"cause": cause, "cycles": float(cycles)}
+            for cause, cycles in profile.top_causes(3)
+        ]
+        entry["exact"] = bool(profile.check_exact())
+    return entry
+
+
+def record_run(cache_dir: str | Path, **kwargs) -> Path:
+    """Append one run (see :func:`make_entry`) to the cache's ledger."""
+    return append_jsonl(ledger_path(cache_dir), make_entry(**kwargs))
+
+
+def read_entries(path: str | Path) -> list[dict]:
+    """All well-formed ledger lines, oldest first; corrupt lines skipped."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue  # a torn or foreign line; the log marches on
+        if isinstance(obj, dict) and obj.get("schema") == SCHEMA:
+            entries.append(obj)
+    return entries
+
+
+def describe_entries(entries: list[dict], last: int = 20) -> str:
+    """Render the most recent ``last`` entries as a text table."""
+    if not entries:
+        return "ledger is empty (runs with a cache dir append to it)"
+    shown = entries[-last:]
+    lines = [
+        f"run ledger: {len(entries)} entr{'ies' if len(entries) != 1 else 'y'}"
+        f" (showing last {len(shown)})",
+        f"  {'created':<25} {'app':<6} {'platform':<20} {'lane':<7} "
+        f"{'cycles':>14} {'top causes':<36} hash",
+    ]
+    for e in shown:
+        top = ",".join(c["cause"] for c in e.get("top_causes", [])) or "-"
+        lines.append(
+            f"  {e.get('created', '?'):<25} {e.get('app', '?'):<6} "
+            f"{str(e.get('platform', '?'))[:20]:<20} {e.get('lane', '?'):<7} "
+            f"{e.get('total_cycles', 0.0):>14,.0f} {top:<36} "
+            f"{str(e.get('config_hash', ''))[:12]}"
+        )
+    return "\n".join(lines)

@@ -231,6 +231,29 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
 
 
+def _escape_csv_label(value: str) -> str:
+    """Escape a label *value* for the ``k=v;k=v`` CSV labels cell.
+
+    Backslash-escapes the cell's own structural characters (``;`` pair
+    separator, ``=`` key separator, and ``\\`` itself) so values
+    containing them round-trip unambiguously.  Values without them are
+    returned byte-identical.
+    """
+    return value.replace("\\", r"\\").replace(";", r"\;").replace("=", r"\=")
+
+
+def _csv_cell(text: str) -> str:
+    """RFC 4180 field quoting, applied only when the cell needs it.
+
+    Cells containing a comma, double quote, or line break are wrapped
+    in double quotes with inner quotes doubled; anything else stays
+    byte-identical, so simple exports are unchanged.
+    """
+    if any(ch in text for ch in (",", '"', "\n", "\r")):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
 def _labelset(labels: dict, extra: tuple[tuple[str, str], ...] = ()) -> str:
     items = [*labels.items(), *extra]
     if not items:
@@ -321,12 +344,25 @@ class MetricsRegistry:
         return json.dumps(self.as_obj(), indent=indent)
 
     def to_csv(self) -> str:
-        """Flat ``metric,kind,labels,field,value`` rows."""
+        """Flat ``metric,kind,labels,field,value`` rows.
+
+        The labels cell renders as ``k=v;k=v`` with ``\\``/``;``/``=``
+        backslash-escaped inside values, and is RFC 4180-quoted when a
+        value contains a comma, quote, or newline -- so arbitrary label
+        values survive a round trip through any CSV reader while simple
+        exports stay byte-identical to what they always were.
+        """
         lines = ["metric,kind,labels,field,value"]
 
         def row(metric, labels, field, value):
-            rendered = ";".join(f"{k}={v}" for k, v in labels.items())
-            lines.append(f"{metric.name},{metric.kind},{rendered},{field},{_fmt(value)}")
+            rendered = ";".join(
+                f"{k}={_escape_csv_label(str(v))}" for k, v in labels.items()
+            )
+            lines.append(
+                ",".join(
+                    (metric.name, metric.kind, _csv_cell(rendered), field, _fmt(value))
+                )
+            )
 
         for metric in self:
             for labels, s in metric.samples():

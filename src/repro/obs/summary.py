@@ -10,7 +10,8 @@ payload bundling the three observability artifacts of a run:
       "created": "2026-08-05T12:00:00+00:00",
       "metrics": {"metrics": [...]},          // MetricsRegistry.as_obj()
       "spans": [...],                         // Tracer.to_obj()
-      "timelines": {"FFT@C1": {...}}          // Timeline.to_obj() per cell
+      "timelines": {"FFT@C1": {...}},         // Timeline.to_obj() per cell
+      "profiles": {"FFT@C1": {...}}           // CycleProfile.to_obj(), optional
     }
 
 ``repro obs summary PATH`` renders it back as a text report:
@@ -29,6 +30,7 @@ from pathlib import Path
 from repro.ioutil import atomic_write_text
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
+from repro.obs.profile import CycleProfile
 from repro.obs.timeline import Timeline
 
 __all__ = ["SCHEMA", "build_payload", "write_payload", "summarize"]
@@ -40,12 +42,17 @@ def build_payload(
     registry: "_metrics.MetricsRegistry | None" = None,
     tracer: "_spans.Tracer | None" = None,
     timelines: dict | None = None,
+    profiles: dict | None = None,
 ) -> dict:
     """Bundle registry + tracer + timelines into the summary schema.
 
     ``timelines`` maps cell labels (``app@platform``) to
     :class:`~repro.obs.timeline.Timeline` objects (or pre-serialized
-    dicts).  Defaults: the process-default registry and tracer.
+    dicts); ``profiles`` likewise maps labels to
+    :class:`~repro.obs.profile.CycleProfile` objects (or their
+    ``to_obj`` dicts) and only enters the payload when non-empty, so
+    pre-profile consumers see an unchanged shape.  Defaults: the
+    process-default registry and tracer.
     """
     registry = registry if registry is not None else _metrics.REGISTRY
     tracer = tracer if tracer is not None else _spans.get_tracer()
@@ -53,23 +60,33 @@ def build_payload(
         label: tl.to_obj() if isinstance(tl, Timeline) else tl
         for label, tl in (timelines or {}).items()
     }
-    return {
+    payload = {
         "schema": SCHEMA,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "metrics": registry.as_obj(),
         "spans": tracer.to_obj(),
         "timelines": serialized,
     }
+    if profiles:
+        payload["profiles"] = {
+            label: p.to_obj() if isinstance(p, CycleProfile) else p
+            for label, p in profiles.items()
+        }
+    return payload
 
 
-def write_payload(path, registry=None, tracer=None, timelines=None) -> Path:
+def write_payload(
+    path, registry=None, tracer=None, timelines=None, profiles=None
+) -> Path:
     """Serialize :func:`build_payload` to ``path`` as indented JSON.
 
     The write is atomic (temp + rename): a run killed mid-export leaves
     either the previous payload or the complete new one, never a
     truncated JSON file.
     """
-    payload = build_payload(registry=registry, tracer=tracer, timelines=timelines)
+    payload = build_payload(
+        registry=registry, tracer=tracer, timelines=timelines, profiles=profiles
+    )
     return atomic_write_text(Path(path), json.dumps(payload, indent=2) + "\n")
 
 
@@ -137,4 +154,16 @@ def summarize(payload: dict, max_windows: int = 24) -> str:
             lines.append(Timeline.from_obj(timelines[label]).describe(max_rows=max_windows))
     else:
         lines.append("  (none recorded; rerun with --sample-every N)")
+
+    profiles = payload.get("profiles") or {}
+    if profiles:
+        lines.append("")
+        lines.append(
+            f"## Cycle attribution ({len(profiles)} "
+            f"cell{'s' if len(profiles) != 1 else ''})"
+        )
+        for label in sorted(profiles):
+            lines.append("")
+            lines.append(f"### {label}")
+            lines.append(CycleProfile.from_obj(profiles[label]).describe())
     return "\n".join(lines) + "\n"

@@ -35,6 +35,8 @@ __all__ = [
     "make_backend",
     "eligible_prefix",
     "BATCH_CHUNK",
+    "_acc",
+    "timed_request",
 ]
 
 #: Bus occupancy (cycles) of an address-only invalidate on an SMP bus.
@@ -42,6 +44,35 @@ SMP_INVALIDATE_CYCLES = 2.0
 
 #: One ``access_batch`` call evaluates at most this many references.
 BATCH_CHUNK = 4096
+
+
+def _acc(prof: dict, node: str, cause: str, cycles: float) -> None:
+    """Attribute ``cycles`` to one ``(node, cause)`` profile bucket.
+
+    The sink is a plain dict so the hot path stays a hash update; zero
+    amounts (e.g. a contention-free server request) are skipped so
+    profiles only carry buckets that actually happened.
+    """
+    if cycles != 0.0:
+        key = (node, cause)
+        prof[key] = prof.get(key, 0.0) + cycles
+
+
+def timed_request(prof, server, t: float, service: float, node: str, cause: str,
+                  wait_node: str | None = None) -> float:
+    """A profiled FCFS server request: attribute service and wait.
+
+    Splits the request's elapsed time into its service (to ``(node,
+    cause)``) and its queueing wait (to ``(wait_node or node,
+    "contention")``).  ``finish - t - service`` is exact on the 2^-6
+    cycle grid, so the two buckets reassemble the elapsed time
+    bit-exactly.  With ``prof is None`` this is just ``server.request``.
+    """
+    finish = server.request(t, service)
+    if prof is not None:
+        _acc(prof, node, cause, service)
+        _acc(prof, wait_node or node, "contention", finish - t - service)
+    return finish
 
 
 def eligible_prefix(ok: np.ndarray) -> tuple[int, int]:
@@ -114,10 +145,24 @@ class BackendStats:
 class MemoryBackend(ABC):
     """One platform's cycle-accounting memory system."""
 
+    #: Cycle-attribution sink: ``None`` (the default, zero hot-path
+    #: cost) or a ``dict`` mapping ``(node, cause)`` to cycles that
+    #: every timed path feeds via :func:`_acc`.  Class attribute so
+    #: unprofiled back-ends pay only an attribute read per miss.
+    profiler: dict | None = None
+
     def __init__(self, spec: PlatformSpec, home_machine_of_line: np.ndarray) -> None:
         self.spec = spec
         self.home_machine = home_machine_of_line
         self.stats = BackendStats()
+
+    def install_profiler(self, sink: dict | None) -> None:
+        """Start attributing cycles into ``sink`` (``None`` detaches).
+
+        Sub-backends with owned timing components (e.g. the composed
+        back-end's fabric) override to forward the sink.
+        """
+        self.profiler = sink
 
     @abstractmethod
     def access(self, proc: int, line: int, is_write: bool, now: float) -> float:

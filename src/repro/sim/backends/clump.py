@@ -15,7 +15,9 @@ from repro.core.platform import PlatformSpec
 from repro.sim.backends.base import (
     MemoryBackend,
     SMP_INVALIDATE_CYCLES,
+    _acc,
     eligible_prefix,
+    timed_request,
 )
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.directory import LINES_PER_BLOCK, first_unowned_write
@@ -67,7 +69,22 @@ class ClumpBackend(MemoryBackend):
         if self.memories[home].access(page_of(line)):
             return t
         self.stats.disk += 1
-        return self.disks[home].request(t, self.t_disk)
+        return timed_request(
+            self.profiler, self.disks[home], t, self.t_disk, "disk", "disk"
+        )
+
+    def _net_transfer(
+        self, t: float, src: int, dst: int, cycles: float, cause: str
+    ) -> float:
+        """A profiled foreground network transfer (service + wait split)."""
+        prof = self.profiler
+        if prof is None:
+            return self.network.transfer(t, src, dst, cycles)
+        service = self.network.service_of(t, cycles)
+        finish = self.network.transfer(t, src, dst, cycles)
+        _acc(prof, "network", cause, service)
+        _acc(prof, "network", "contention", finish - t - service)
+        return finish
 
     def access(self, proc: int, line: int, is_write: bool, now: float) -> float:
         st = self.stats
@@ -89,34 +106,49 @@ class ClumpBackend(MemoryBackend):
             st.writebacks += 1
             bus.request(t, self.t_mem)  # background write-back on the SMP bus
 
+        prof = self.profiler
         if out.serve is HybridServe.OWN_CACHE:
             st.cache_hits += 1
             if is_write and out.local_invalidations:
-                t = bus.request(t, SMP_INVALIDATE_CYCLES)
+                t = timed_request(
+                    prof, bus, t, SMP_INVALIDATE_CYCLES, "memory bus", "coherence"
+                )
             if is_write and out.invalidated_machines:
                 last = t
                 for m in out.invalidated_machines:
-                    last = max(last, self.network.control(t, machine, m, self.t_remote))
+                    fin = self.network.control(t, machine, m, self.t_remote)
+                    if fin > last:
+                        last = fin
+                if prof is not None:
+                    _acc(prof, "network", "coherence", last - t)
                 t = last
             return t
         if out.serve is HybridServe.PEER_CACHE:
             st.peer_cache += 1
-            return bus.request(t, self.t_peer)
+            return timed_request(
+                prof, bus, t, self.t_peer, "cache", "peer_cache", "memory bus"
+            )
         if out.serve is HybridServe.LOCAL_MEMORY:
             if self.l2s is not None and not is_write:
                 if self.l2s[machine].lookup(line):
                     st.l2_hits += 1
-                    return bus.request(t, self.t_l2)
+                    return timed_request(
+                        prof, bus, t, self.t_l2, "l2", "l2", "memory bus"
+                    )
                 self.l2s[machine].fill(line)
             st.local_memory += 1
-            t = bus.request(t, self.t_mem)
+            t = timed_request(
+                prof, bus, t, self.t_mem, "memory", "local_memory", "memory bus"
+            )
             return self._home_memory_time(t, machine, line)
         if out.serve is HybridServe.REMOTE_DIRTY:
             st.remote_dirty += 1
             assert out.data_source is not None
-            return self.network.transfer(t, out.data_source, machine, self.t_remote_dirty)
+            return self._net_transfer(
+                t, out.data_source, machine, self.t_remote_dirty, "remote_dirty"
+            )
         st.remote_clean += 1
-        t = self.network.transfer(t, machine, out.home, self.t_remote)
+        t = self._net_transfer(t, machine, out.home, self.t_remote, "remote_clean")
         return self._home_memory_time(t, out.home, line)
 
     def access_batch(

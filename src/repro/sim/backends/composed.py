@@ -27,7 +27,9 @@ from repro.core.platform import PlatformSpec
 from repro.sim.backends.base import (
     MemoryBackend,
     SMP_INVALIDATE_CYCLES,
+    _acc,
     eligible_prefix,
+    timed_request,
 )
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.directory import LINES_PER_BLOCK, block_of, first_unowned_write
@@ -80,6 +82,17 @@ class Fabric:
             self.t_remote_dirty.append(ic.remote_cached_cycles)
             self.labels.append(ic.label)
             child_size = under
+        #: Cycle-attribution sink (shared with the owning back-end).
+        self.profiler: dict | None = None
+        #: Profile node id per level.  A flat cluster keeps the legacy
+        #: ``"network"`` name (so legacy-vs-composed profiles compare
+        #: equal); deeper trees name each level by its IR label, which
+        #: is how a CLUMP-of-SMPs profile shows the intra-rack switch
+        #: separately from the inter-rack bus.
+        if len(self._under) == 1:
+            self.node_names = ["network"]
+        else:
+            self.node_names = [f"network[{label}]" for label in self.labels]
 
     @property
     def depth(self) -> int:
@@ -100,16 +113,41 @@ class Fabric:
         raise AssertionError("machines share the tree root by construction")
 
     # -- message interface (mirrors ClusterNetwork) ---------------------
-    def transfer(self, now: float, src: int, dst: int, dirty: bool = False) -> float:
-        """Move one block from machine src to dst; return the finish time."""
+    def transfer(
+        self, now: float, src: int, dst: int, dirty: bool = False,
+        cause: str | None = None,
+    ) -> float:
+        """Move one block from machine src to dst; return the finish time.
+
+        With a profiler installed and a ``cause`` given, the message's
+        service (including any injected spike extra) lands in the
+        routing level's ``(node, cause)`` bucket and its queueing wait
+        in ``(node, "contention")``.  Background traffic (capacity
+        write-backs that never advance a process clock) passes no
+        cause and is not attributed -- its queueing effect shows up as
+        later foreground contention, which is where the waiting
+        actually happens.
+        """
         j, net, sp, dp = self._route(src, dst)
         cycles = self.t_remote_dirty[j] if dirty else self.t_remote[j]
-        return net.transfer(now, sp, dp, cycles)
+        prof = self.profiler
+        if prof is None or cause is None:
+            return net.transfer(now, sp, dp, cycles)
+        service = net.service_of(now, cycles)
+        finish = net.transfer(now, sp, dp, cycles)
+        node = self.node_names[j]
+        _acc(prof, node, cause, service)
+        _acc(prof, node, "contention", finish - now - service)
+        return finish
 
     def control(self, now: float, src: int, dst: int) -> float:
         """Send a short address-only message (invalidate / ack)."""
         j, net, sp, dp = self._route(src, dst)
         return net.control(now, sp, dp, self.t_remote[j])
+
+    def node_of(self, a: int, b: int) -> str:
+        """Profile node id of the level a ``(a, b)`` message crosses."""
+        return self.node_names[self._route(a, b)[0]]
 
     # -- aggregate bookkeeping ------------------------------------------
     def install_latency_extra(self, extra_of_time) -> None:
@@ -224,6 +262,11 @@ class ComposedBackend(MemoryBackend):
     def home_of_line_block(self, block: int) -> int:
         return self.home_of_line(block * LINES_PER_BLOCK)
 
+    def install_profiler(self, sink: dict | None) -> None:
+        super().install_profiler(sink)
+        if self.fabric is not None:
+            self.fabric.profiler = sink
+
     # ------------------------------------------------------------------
     def access(self, proc: int, line: int, is_write: bool, now: float) -> float:
         return self._access_impl(proc, line, is_write, now)
@@ -251,28 +294,40 @@ class ComposedBackend(MemoryBackend):
             st.writebacks += 1
             self.bus.request(t, self.t_mem)  # background write-back traffic
 
+        prof = self.profiler
         if outcome.source is SnoopSource.OWN_CACHE:
             st.cache_hits += 1
             if is_write and outcome.invalidated:
-                t = self.bus.request(t, SMP_INVALIDATE_CYCLES)
+                t = timed_request(
+                    prof, self.bus, t, SMP_INVALIDATE_CYCLES,
+                    "memory bus", "coherence",
+                )
             return t
         if outcome.source is SnoopSource.PEER_CACHE:
             st.peer_cache += 1
-            return self.bus.request(t, self.t_peer)
+            return timed_request(
+                prof, self.bus, t, self.t_peer, "cache", "peer_cache", "memory bus"
+            )
 
         # Served past the L1s: the shared L2 (if any) filters, then the
         # page capacity decides memory vs disk.
         if self.l2 is not None and not is_write:
             if self.l2.lookup(line):
                 st.l2_hits += 1
-                return self.bus.request(t, self.t_l2)
+                return timed_request(
+                    prof, self.bus, t, self.t_l2, "l2", "l2", "memory bus"
+                )
             self.l2.fill(line)
         st.local_memory += 1
         if self.memory.access(page_of(line)):
-            return self.bus.request(t, self.t_mem)
+            return timed_request(
+                prof, self.bus, t, self.t_mem, "memory", "local_memory", "memory bus"
+            )
         st.disk += 1  # sub-stage: the access also visited memory
-        t = self.bus.request(t, self.t_mem)
-        return self.disk.request(t, self.t_disk)
+        t = timed_request(
+            prof, self.bus, t, self.t_mem, "memory", "local_memory", "memory bus"
+        )
+        return timed_request(prof, self.disk, t, self.t_disk, "disk", "disk")
 
     def _batch_smp(
         self, proc: int, lines: np.ndarray, writes: np.ndarray, now: float
@@ -331,7 +386,9 @@ class ComposedBackend(MemoryBackend):
         if self.memories[home].access(page_of(line)):
             return t
         self.stats.disk += 1
-        return self.disks[home].request(t, self.t_disk)
+        return timed_request(
+            self.profiler, self.disks[home], t, self.t_disk, "disk", "disk"
+        )
 
     def _access_cow(self, proc: int, line: int, is_write: bool, now: float) -> float:
         st = self.stats
@@ -355,13 +412,27 @@ class ComposedBackend(MemoryBackend):
                         st.writebacks += 1
                         if self.l2s is not None:
                             self._invalidate_l2_block(out.data_source, block)
-                        t = self.fabric.transfer(t, out.data_source, machine, dirty=True)
+                        t = self.fabric.transfer(
+                            t, out.data_source, machine, dirty=True,
+                            cause="coherence",
+                        )
                     else:
                         # Invalidation round trips; the writer waits for
-                        # the last acknowledgement.
-                        last = t
+                        # the last acknowledgement.  The whole elapsed
+                        # wait is attributed to the level that carried
+                        # the last-finishing ack -- same server call
+                        # order with or without a profiler.
+                        last, slowest = t, None
                         for m in out.invalidated_machines:
-                            last = max(last, self.fabric.control(t, machine, m))
+                            fin = self.fabric.control(t, machine, m)
+                            if fin > last:
+                                last, slowest = fin, m
+                        prof = self.profiler
+                        if prof is not None and slowest is not None:
+                            _acc(
+                                prof, self.fabric.node_of(machine, slowest),
+                                "coherence", last - t,
+                            )
                         t = last
             return t
 
@@ -380,22 +451,29 @@ class ComposedBackend(MemoryBackend):
                 self.fabric.transfer(t, machine, ev_home)
             self.protocol.directory.drop_owner(block_of(out.evicted[0]), machine)
 
+        prof = self.profiler
         if out.serve is HybridServe.REMOTE_DIRTY:
             st.remote_dirty += 1
             if is_write and self.l2s is not None:
                 self._invalidate_l2_block(out.data_source, block)
-            return self.fabric.transfer(t, out.data_source, machine, dirty=True)
+            return self.fabric.transfer(
+                t, out.data_source, machine, dirty=True, cause="remote_dirty"
+            )
         if out.serve is HybridServe.LOCAL_MEMORY:
             if self.l2s is not None and not is_write:
                 if self.l2s[machine].lookup(line):
                     st.l2_hits += 1
+                    if prof is not None:
+                        _acc(prof, "l2", "l2", self.t_l2)
                     return t + self.t_l2
                 self.l2s[machine].fill(line)
             st.local_memory += 1
+            if prof is not None:
+                _acc(prof, "memory", "local_memory", self.t_mem)
             t += self.t_mem
             return self._home_memory_time(t, machine, line)
         st.remote_clean += 1
-        t = self.fabric.transfer(t, machine, out.home)
+        t = self.fabric.transfer(t, machine, out.home, cause="remote_clean")
         return self._home_memory_time(t, out.home, line)
 
     def _batch_cow(
@@ -451,34 +529,52 @@ class ComposedBackend(MemoryBackend):
             st.writebacks += 1
             bus.request(t, self.t_mem)  # background write-back on the SMP bus
 
+        prof = self.profiler
         if out.serve is HybridServe.OWN_CACHE:
             st.cache_hits += 1
             if is_write and out.local_invalidations:
-                t = bus.request(t, SMP_INVALIDATE_CYCLES)
+                t = timed_request(
+                    prof, bus, t, SMP_INVALIDATE_CYCLES, "memory bus", "coherence"
+                )
             if is_write and out.invalidated_machines:
-                last = t
+                last, slowest = t, None
                 for m in out.invalidated_machines:
-                    last = max(last, self.fabric.control(t, machine, m))
+                    fin = self.fabric.control(t, machine, m)
+                    if fin > last:
+                        last, slowest = fin, m
+                if prof is not None and slowest is not None:
+                    _acc(
+                        prof, self.fabric.node_of(machine, slowest),
+                        "coherence", last - t,
+                    )
                 t = last
             return t
         if out.serve is HybridServe.PEER_CACHE:
             st.peer_cache += 1
-            return bus.request(t, self.t_peer)
+            return timed_request(
+                prof, bus, t, self.t_peer, "cache", "peer_cache", "memory bus"
+            )
         if out.serve is HybridServe.LOCAL_MEMORY:
             if self.l2s is not None and not is_write:
                 if self.l2s[machine].lookup(line):
                     st.l2_hits += 1
-                    return bus.request(t, self.t_l2)
+                    return timed_request(
+                        prof, bus, t, self.t_l2, "l2", "l2", "memory bus"
+                    )
                 self.l2s[machine].fill(line)
             st.local_memory += 1
-            t = bus.request(t, self.t_mem)
+            t = timed_request(
+                prof, bus, t, self.t_mem, "memory", "local_memory", "memory bus"
+            )
             return self._home_memory_time(t, machine, line)
         if out.serve is HybridServe.REMOTE_DIRTY:
             st.remote_dirty += 1
             assert out.data_source is not None
-            return self.fabric.transfer(t, out.data_source, machine, dirty=True)
+            return self.fabric.transfer(
+                t, out.data_source, machine, dirty=True, cause="remote_dirty"
+            )
         st.remote_clean += 1
-        t = self.fabric.transfer(t, machine, out.home)
+        t = self.fabric.transfer(t, machine, out.home, cause="remote_clean")
         return self._home_memory_time(t, out.home, line)
 
     def _batch_clump(

@@ -18,7 +18,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.platform import PlatformSpec
-from repro.sim.backends.base import MemoryBackend, eligible_prefix
+from repro.sim.backends.base import (
+    MemoryBackend,
+    _acc,
+    eligible_prefix,
+    timed_request,
+)
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.directory import (
     Directory,
@@ -77,7 +82,22 @@ class CowBackend(MemoryBackend):
         if self.memories[home].access(page_of(line)):
             return t
         self.stats.disk += 1
-        return self.disks[home].request(t, self.t_disk)
+        return timed_request(
+            self.profiler, self.disks[home], t, self.t_disk, "disk", "disk"
+        )
+
+    def _net_transfer(
+        self, t: float, src: int, dst: int, cycles: float, cause: str
+    ) -> float:
+        """A profiled foreground network transfer (service + wait split)."""
+        prof = self.profiler
+        if prof is None:
+            return self.network.transfer(t, src, dst, cycles)
+        service = self.network.service_of(t, cycles)
+        finish = self.network.transfer(t, src, dst, cycles)
+        _acc(prof, "network", cause, service)
+        _acc(prof, "network", "contention", finish - t - service)
+        return finish
 
     def access(self, proc: int, line: int, is_write: bool, now: float) -> float:
         st = self.stats
@@ -104,13 +124,23 @@ class CowBackend(MemoryBackend):
                 if out.dirty_owner is not None:
                     st.writebacks += 1
                     self._invalidate_block_at(out.dirty_owner, block)
-                    t = self.network.transfer(t, out.dirty_owner, machine, self.t_remote_dirty)
+                    t = self._net_transfer(
+                        t, out.dirty_owner, machine, self.t_remote_dirty,
+                        "coherence",
+                    )
                 else:
                     # Invalidation round trips; the writer waits for the
-                    # last acknowledgement.
+                    # last acknowledgement.  The elapsed wait is profiled
+                    # as coherence in one piece (same server call order
+                    # with or without a profiler).
                     last = t
                     for m in out.invalidated:
-                        last = max(last, self.network.control(t, machine, m, self.t_remote))
+                        fin = self.network.control(t, machine, m, self.t_remote)
+                        if fin > last:
+                            last = fin
+                    prof = self.profiler
+                    if prof is not None:
+                        _acc(prof, "network", "coherence", last - t)
                     t = last
             return t
 
@@ -132,22 +162,29 @@ class CowBackend(MemoryBackend):
                 self.network.transfer(t, machine, ev_home, self.t_remote)
             self.directory.drop_owner(block_of(evicted[0]), machine)
 
+        prof = self.profiler
         if out.dirty_owner is not None:
             st.remote_dirty += 1
             if is_write:
                 self._invalidate_block_at(out.dirty_owner, block)
-            return self.network.transfer(t, out.dirty_owner, machine, self.t_remote_dirty)
+            return self._net_transfer(
+                t, out.dirty_owner, machine, self.t_remote_dirty, "remote_dirty"
+            )
         if out.home == machine:
             if self.l2s is not None and not is_write:
                 if self.l2s[machine].lookup(line):
                     st.l2_hits += 1
+                    if prof is not None:
+                        _acc(prof, "l2", "l2", self.t_l2)
                     return t + self.t_l2
                 self.l2s[machine].fill(line)
             st.local_memory += 1
+            if prof is not None:
+                _acc(prof, "memory", "local_memory", self.t_mem)
             t += self.t_mem
             return self._home_memory_time(t, machine, line)
         st.remote_clean += 1
-        t = self.network.transfer(t, machine, out.home, self.t_remote)
+        t = self._net_transfer(t, machine, out.home, self.t_remote, "remote_clean")
         return self._home_memory_time(t, out.home, line)
 
     def access_batch(

@@ -22,6 +22,7 @@ from repro.sim.backends.base import (
     MemoryBackend,
     SMP_INVALIDATE_CYCLES,
     eligible_prefix,
+    timed_request,
 )
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.memory import PagedMemory, Server, page_of
@@ -67,28 +68,40 @@ class SmpBackend(MemoryBackend):
             st.writebacks += 1
             self.bus.request(t, self.t_mem)  # background write-back traffic
 
+        prof = self.profiler
         if outcome.source is SnoopSource.OWN_CACHE:
             st.cache_hits += 1
             if is_write and outcome.invalidated:
-                t = self.bus.request(t, SMP_INVALIDATE_CYCLES)
+                t = timed_request(
+                    prof, self.bus, t, SMP_INVALIDATE_CYCLES,
+                    "memory bus", "coherence",
+                )
             return t
         if outcome.source is SnoopSource.PEER_CACHE:
             st.peer_cache += 1
-            return self.bus.request(t, self.t_peer)
+            return timed_request(
+                prof, self.bus, t, self.t_peer, "cache", "peer_cache", "memory bus"
+            )
 
         # Served past the L1s: the shared L2 (if any) filters, then the
         # page capacity decides memory vs disk.
         if self.l2 is not None and not is_write:
             if self.l2.lookup(line):
                 st.l2_hits += 1
-                return self.bus.request(t, self.t_l2)
+                return timed_request(
+                    prof, self.bus, t, self.t_l2, "l2", "l2", "memory bus"
+                )
             self.l2.fill(line)
         st.local_memory += 1
         if self.memory.access(page_of(line)):
-            return self.bus.request(t, self.t_mem)
+            return timed_request(
+                prof, self.bus, t, self.t_mem, "memory", "local_memory", "memory bus"
+            )
         st.disk += 1  # sub-stage: the access also visited memory
-        t = self.bus.request(t, self.t_mem)
-        return self.disk.request(t, self.t_disk)
+        t = timed_request(
+            prof, self.bus, t, self.t_mem, "memory", "local_memory", "memory bus"
+        )
+        return timed_request(prof, self.disk, t, self.t_disk, "disk", "disk")
 
     def access_batch(
         self, proc: int, lines: np.ndarray, writes: np.ndarray, now: float

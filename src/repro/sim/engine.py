@@ -38,11 +38,13 @@ from repro.apps.base import ApplicationRun
 from repro.core.platform import PlatformSpec
 from repro.faults.inject import F_DELAY, F_STALL, F_SLOW, compile_triggers
 from repro.faults.plan import FaultPlan
+from repro.obs.profile import CycleProfile
 from repro.obs.timeline import Timeline, TimelineRecorder
 from repro.sim.backends.base import (
     BATCH_CHUNK,
     BackendStats,
     MemoryBackend,
+    _acc,
     make_backend,
 )
 
@@ -72,6 +74,10 @@ class SimulationResult:
     #: Per-window counter history when the engine ran with
     #: ``sample_every``; ``None`` otherwise (sampling is opt-in).
     timeline: Timeline | None = field(default=None, repr=False)
+    #: Exact cycle attribution when the engine ran with ``profile=True``;
+    #: ``None`` otherwise (profiling is opt-in).  Per-(topology node,
+    #: cause) buckets that sum bit-exactly to ``P * total_cycles``.
+    profile: CycleProfile | None = field(default=None, repr=False)
 
     @property
     def e_app_seconds(self) -> float:
@@ -136,6 +142,7 @@ class SimulationEngine:
         sample_every: float | None = None,
         fault_plan: FaultPlan | None = None,
         scheds: "Sequence[np.ndarray] | None" = None,
+        profile: bool = False,
     ) -> None:
         """``sample_every`` (simulated cycles) turns on interval sampling:
         the result carries a :class:`~repro.obs.timeline.Timeline` whose
@@ -157,6 +164,12 @@ class SimulationEngine:
         one batched prefix-sum pass and hands each cell views, so the
         engine skips the per-cell cumsum; results are bit-identical
         because the arrays are.  Ignored when the fast path is off.
+
+        ``profile=True`` turns on exact cycle attribution: the result
+        carries a :class:`~repro.obs.profile.CycleProfile` whose
+        per-(topology node, cause) buckets sum bit-exactly to
+        ``P * total_cycles`` in every lane (see docs/OBSERVABILITY.md).
+        The default ``False`` records nothing and adds no per-miss cost.
         """
         if run.num_procs != spec.total_processors:
             raise ValueError(
@@ -173,6 +186,7 @@ class SimulationEngine:
         self.fastpath = fastpath
         self.sample_every = sample_every
         self.fault_plan = fault_plan
+        self.profile = profile
         # Compiled per-process trigger schedules (None when the plan has
         # no engine-side events); network spikes go to the back-end hook.
         self._fault_triggers = (
@@ -246,6 +260,21 @@ class SimulationEngine:
             if self.sample_every is not None
             else None
         )
+        # Cycle attribution: the back-end feeds (node, cause) buckets of
+        # the sink dict on every miss path; the engine accounts for the
+        # remaining advances itself -- compute, cache-hit time (folded
+        # once at the end as references * t_hit), fault stalls, barrier
+        # and finish waiting.  All quantities are multiples of 2^-6
+        # cycles, so every accumulation below is exact and the buckets
+        # reassemble P * total_cycles bit-exactly in every lane.
+        profiling = self.profile
+        if profiling:
+            sink: dict = {}
+            backend.install_profiler(sink)
+            refs_before = backend.stats.references
+        compute_cycles = 0.0  #: issue + padding work attributed to "cpu"
+        slow_extra = 0.0  #: extra compute charged by F_SLOW windows
+        t_hit_f = float(getattr(backend, "t_hit", 0.0))
 
         clock = [0.0] * P
         index = [0] * P
@@ -341,7 +370,16 @@ class SimulationEngine:
                     blocked = True
                     break
                 if i >= n_i:
-                    t += tail_works[p] * factor if factor != 1.0 else tail_works[p]
+                    tw = tail_works[p]
+                    if factor != 1.0:
+                        t += tw * factor
+                        if profiling:
+                            compute_cycles += tw
+                            slow_extra += tw * factor - tw
+                    else:
+                        t += tw
+                        if profiling:
+                            compute_cycles += tw
                     finished += 1
                     done = True
                     break
@@ -392,7 +430,13 @@ class SimulationEngine:
                                     # times the scalar lane would realize.
                                     rec.record_batch(t + (sc[i:i + k] - base))
                                 i += k
-                                t += float(sc[i - 1] - base)
+                                adv = float(sc[i - 1] - base)
+                                t += adv
+                                if profiling:
+                                    # The run's compute share: the batch
+                                    # advance minus k hit latencies (the
+                                    # hits are folded once at the end).
+                                    compute_cycles += adv - k * t_hit_f
                                 if t > limit:
                                     break
                                 continue
@@ -400,9 +444,17 @@ class SimulationEngine:
                         retry = stop
                 # one instruction-stream step: compute, then the reference
                 if factor != 1.0:
-                    t += wk[i] * factor + 1.0
+                    full = wk[i] * factor + 1.0
+                    t += full
+                    if profiling:
+                        base = wk[i] + 1.0
+                        compute_cycles += base
+                        slow_extra += full - base
                 else:
-                    t += wk[i] + 1.0
+                    step = wk[i] + 1.0
+                    t += step
+                    if profiling:
+                        compute_cycles += step
                 t = backend.access(p, int(addr[i]), bool(wr[i]), t)
                 i += 1
                 if rec is not None:
@@ -442,6 +494,30 @@ class SimulationEngine:
                 backend.stats.extra[f"utilization:{name}"] = busy / total_cycles
         total_instr = run.total_instructions
         e_cycles = total_cycles / total_instr if total_instr else 0.0
+        profile = None
+        if profiling:
+            # Engine-side folds.  Cache hits are attributed once from the
+            # back-end's reference counter: every access -- hit or miss,
+            # scalar or batched -- begins with exactly one t_hit that the
+            # back-end never attributes itself.  references * t_hit is a
+            # product of an integer and a grid value, hence exact.
+            _acc(sink, "cpu", "compute", compute_cycles)
+            _acc(
+                sink,
+                "cache",
+                "cache_hit",
+                float(backend.stats.references - refs_before) * t_hit_f,
+            )
+            _acc(sink, "engine", "barrier_wait", barrier_wait)
+            _acc(sink, "engine", "fault_stall", fault_cycles + slow_extra)
+            _acc(
+                sink,
+                "engine",
+                "finish_wait",
+                sum(total_cycles - c for c in clock),
+            )
+            backend.install_profiler(None)  # detach: later runs attribute nothing
+            profile = CycleProfile.from_sink(sink, float(P) * total_cycles)
         return SimulationResult(
             platform_name=self.spec.name,
             application=run.name,
@@ -456,4 +532,5 @@ class SimulationEngine:
             fault_cycles=fault_cycles,
             fault_events=fault_events,
             timeline=rec.finish(total_cycles) if rec is not None else None,
+            profile=profile,
         )

@@ -44,6 +44,17 @@ class ClusterNetwork:
             return cycles + self.latency_extra(now)
         return cycles
 
+    def service_of(self, now: float, cycles: float) -> float:
+        """The service time a ``transfer`` issued at ``now`` would get.
+
+        A pure function of the issue time (spikes are deterministic in
+        ``now``), exposed so the cycle-attribution profiler can split a
+        message's finish time into service vs. queueing wait without
+        touching any server state.  For ``control`` messages pass
+        ``cycles * CONTROL_FRACTION``.
+        """
+        return self._service(now, cycles)
+
     # -- interface ------------------------------------------------------
     def transfer(self, now: float, src: int, dst: int, cycles: float) -> float:
         """Move one block from src to dst starting at ``now``; return finish."""

@@ -306,6 +306,7 @@ def simulate_grid(
     sample_every: float | None = None,
     run_provider: Callable[[str, int, int, tuple], ApplicationRun] | None = None,
     metrics: obs_metrics.MetricsRegistry | None = None,
+    profile: bool = False,
 ) -> list[SimulationResult]:
     """Execute a whole grid through the stacked tensor lane.
 
@@ -362,6 +363,7 @@ def simulate_grid(
                     sample_every=sample_every,
                     fault_plan=cell.fault_plan,
                     scheds=scheds,
+                    profile=profile,
                 )
                 results[position] = engine.execute()
         _log.debug(

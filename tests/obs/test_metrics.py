@@ -148,6 +148,67 @@ def test_csv_export(populated):
     assert "repro_span_seconds,histogram,,count,2" in lines
 
 
+def test_csv_escapes_label_structural_characters():
+    """`;` and `=` inside label values are backslash-escaped so the
+    ``k=v;k=v`` cell parses unambiguously."""
+    reg = MetricsRegistry()
+    reg.counter("c_total", labelnames=("p",)).labels(p="a=b;c\\d").inc()
+    lines = reg.to_csv().strip().split("\n")
+    assert r"c_total,counter,p=a\=b\;c\\d,value,1" in lines
+
+
+def test_csv_quotes_cells_with_commas_and_quotes():
+    """Label values containing CSV's own structural characters get the
+    whole labels cell RFC 4180-quoted, inner quotes doubled."""
+    reg = MetricsRegistry()
+    reg.counter("c_total", labelnames=("p",)).labels(p='x,y "z"').inc()
+    line = [l for l in reg.to_csv().split("\n") if l.startswith("c_total")][0]
+    assert line == 'c_total,counter,"p=x,y ""z""",value,1'
+
+
+def test_csv_quotes_cells_with_newlines():
+    # the quoted newline keeps the row count honest for a CSV parser
+    import csv
+    import io
+
+    reg = MetricsRegistry()
+    reg.counter("c_total", labelnames=("p",)).labels(p="a\nb").inc()
+    assert '"p=a\nb"' in reg.to_csv()
+    rows = list(csv.reader(io.StringIO(reg.to_csv())))
+    assert len(rows) == 2
+    assert rows[1][2] == "p=a\nb"
+
+
+def test_csv_simple_labels_stay_byte_identical():
+    reg = MetricsRegistry()
+    reg.counter("c_total", labelnames=("kind", "outcome")).labels(
+        kind="sim", outcome="hit"
+    ).inc()
+    lines = reg.to_csv().strip().split("\n")
+    assert "c_total,counter,kind=sim;outcome=hit,value,1" in lines
+
+
+def test_csv_label_round_trip():
+    """A parser reversing the documented escaping recovers the exact
+    original label values, however hostile."""
+    import csv
+    import io
+    import re as _re
+
+    def unescape_labels(cell):
+        out = {}
+        for pair in _re.split(r"(?<!\\);", cell):
+            k, v = _re.split(r"(?<!\\)=", pair, maxsplit=1)
+            out[k] = _re.sub(r"\\(.)", r"\1", v)
+        return out
+
+    hostile = {"a": "x=y;z\\w", "b": 'comma, "quote"\nnewline'}
+    reg = MetricsRegistry()
+    reg.counter("c_total", labelnames=tuple(hostile)).labels(**hostile).inc()
+    rows = list(csv.reader(io.StringIO(reg.to_csv())))
+    assert unescape_labels(rows[1][2]) == hostile
+
+
 # -- Prometheus text-format lint ---------------------------------------
 _COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
 _SAMPLE = re.compile(

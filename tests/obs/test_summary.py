@@ -77,6 +77,46 @@ def test_write_payload_round_trip(tmp_path, payload):
     assert restored["timelines"]["FFT@smp"] == payload["timelines"]["FFT@smp"]
 
 
+def test_payload_profiles_section(payload):
+    """Profiles enter the payload only when present, survive the JSON
+    round trip bit-exactly, and render their own summary section."""
+    from repro.obs.profile import CycleProfile
+
+    assert "profiles" not in payload  # absent when none were recorded
+    prof = CycleProfile(
+        cycles={("cpu", "compute"): 2.5, ("memory", "local_memory"): 1.5},
+        proc_cycles=4.0,
+    )
+    reg = MetricsRegistry()
+    with_prof = build_payload(registry=reg, profiles={"FFT@smp": prof})
+    json.dumps(with_prof)
+    back = CycleProfile.from_obj(with_prof["profiles"]["FFT@smp"])
+    assert back.cycles == prof.cycles
+    assert back.proc_cycles == prof.proc_cycles
+
+    text = summarize(with_prof)
+    assert "## Cycle attribution" in text
+    assert "FFT@smp" in text
+    assert "compute" in text
+
+    # a payload without the key renders without the section
+    assert "## Cycle attribution" not in summarize(
+        build_payload(registry=reg, tracer=Tracer())
+    )
+
+
+def test_profiles_accepts_pre_rendered_objects():
+    """write_payload callers may pass already-serialized profile dicts
+    (the CLI does after a cache hit); they pass through untouched."""
+    from repro.obs.profile import CycleProfile
+
+    prof = CycleProfile(cycles={("cpu", "compute"): 1.0}, proc_cycles=1.0)
+    payload = build_payload(
+        registry=MetricsRegistry(), profiles={"a": prof.to_obj()}
+    )
+    assert payload["profiles"]["a"] == prof.to_obj()
+
+
 def test_cli_simulate_and_obs_summary(tmp_path, capsys):
     """End-to-end: simulate a tiny cell with sampling, render the payload."""
     out = tmp_path / "metrics.json"

@@ -285,6 +285,72 @@ class TestInjectSpecs:
                   "--inject", spec, "--cache-dir", ""])
 
 
+class TestProfileValidation:
+    """`repro profile` / `--profile-out`: bad paths and unknown causes
+    die at the argparse layer, and the diff/app requirement is a clean
+    SystemExit, never a traceback."""
+
+    def test_profile_out_parent_must_exist(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(["simulate", "--app", "FFT", "--profile-out",
+                    str(tmp_path / "missing" / "prof.json")])
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_out_must_not_be_a_directory(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(["profile", "--app", "FFT", "--out", str(tmp_path)])
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_out_in_existing_dir_accepted(self, tmp_path):
+        target = tmp_path / "prof.json"
+        args = _parse(["profile", "--app", "FFT", "--out", str(target)])
+        assert str(args.out) == str(target)
+
+    def test_diff_files_must_exist(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(["profile", "--diff", str(tmp_path / "a.json"),
+                    str(tmp_path / "b.json")])
+        assert exc.value.code == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_diff_wants_exactly_two_files(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        a.write_text("{}")
+        with pytest.raises(SystemExit) as exc:
+            _parse(["profile", "--diff", str(a)])
+        assert exc.value.code == 2
+
+    def test_unknown_cause_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(["profile", "--app", "FFT", "--cause", "vibes"])
+        assert exc.value.code == 2
+        assert "--cause" in capsys.readouterr().err
+
+    def test_known_causes_accepted(self):
+        args = _parse(["profile", "--app", "FFT",
+                       "--cause", "compute", "--cause", "contention"])
+        assert args.cause == ["compute", "contention"]
+
+    def test_app_or_diff_required_at_dispatch(self):
+        with pytest.raises(SystemExit, match="--app"):
+            main(["profile"])
+
+    def test_diff_rejects_non_profile_json(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text('{"schema": "not-a-profile"}')
+        b.write_text('{"schema": "not-a-profile"}')
+        with pytest.raises(SystemExit, match="--diff"):
+            main(["profile", "--diff", str(a), str(b)])
+
+    def test_ledger_last_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse(["obs", "ledger", "--last", "0"])
+        assert exc.value.code == 2
+
+
 class TestFaultsCommand:
     ARGS = [
         "faults", "--app", "FFT", "--app-arg", "points=64",

@@ -97,6 +97,19 @@ class TestDocsMatchCode:
         assert isinstance(DESIGN_CACHE_VERSION, int)
         assert isinstance(SIM_CACHE_VERSION, int)
 
+    def test_observability_doc_covers_every_profile_cause(self):
+        from repro.obs.ledger import BENCH_FLOORS, SCHEMA as LEDGER_SCHEMA
+        from repro.obs.profile import CAUSES, SCHEMA as PROFILE_SCHEMA
+
+        doc = (ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+        for cause in CAUSES:
+            assert f"`{cause}`" in doc, (
+                f"OBSERVABILITY.md's cause taxonomy misses {cause!r}"
+            )
+        assert PROFILE_SCHEMA in doc and LEDGER_SCHEMA in doc
+        assert "BENCH_FLOORS" in doc
+        assert "obs_overhead_pct" in BENCH_FLOORS
+
     def test_cost_doc_examples_name_real_api(self):
         import repro.cost as cost
 
