@@ -1,0 +1,251 @@
+"""Overload bench: the real query service at 1x and 5x capacity.
+
+Boots the real :class:`repro.service.server.QueryService` on an
+ephemeral localhost port, fires a seeded Poisson query stream at it at
+an estimated-capacity rate (the "1x" phase) and again at five times
+that rate (the "5x" phase, optionally with injected service faults such
+as a worker kill), and records every request's fate: delivered full-
+fidelity, delivered degraded, shed with which reason, at what latency.
+
+The floors are the ISSUE's acceptance criteria, checked under
+``--require-floors`` (CI's service-smoke job does):
+
+* p99 latency of *admitted* requests stays under the worst configured
+  endpoint deadline in both phases (nothing hangs);
+* goodput at 5x holds at >= ``--goodput-floor`` (default 0.70) of the
+  1x delivered throughput (overload sheds load, it does not collapse);
+* with a worker-kill fault injected, at least one answer is explicitly
+  flagged ``degraded`` (the breaker path really ran).
+
+Results land in ``BENCH_service.json`` (or ``--output``).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --quick \
+        --inject workerkill:after=1 --require-floors
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import concurrent.futures
+import functools
+import sys
+
+from bench_engine_throughput import provenance
+from repro.obs.metrics import MetricsRegistry
+from repro.service.api import QueryAPI
+from repro.service.chaos import service_plan_from_specs
+from repro.service.config import ENDPOINTS, ServiceConfig
+from repro.service.loadgen import generate_stream, http_request, percentile
+from repro.service.server import QueryService
+
+GOODPUT_FLOOR = 0.70
+
+
+def _classify(status: int, obj: object) -> tuple[str, str | None]:
+    """(outcome, shed_reason) for one HTTP response."""
+    if isinstance(obj, dict) and obj.get("shed"):
+        return "shed", obj.get("reason")
+    if status == 200 and isinstance(obj, dict):
+        return ("degraded", None) if obj.get("degraded") else ("ok", None)
+    return "error", None
+
+
+async def _run_phase(
+    stream, config: ServiceConfig, inject: list[str], seed: int
+) -> list[dict]:
+    chaos = service_plan_from_specs(inject)
+    service = QueryService(
+        QueryAPI(cache_dir=None),
+        config,
+        chaos=chaos,
+        metrics=MetricsRegistry(),
+    )
+    await service.start(port=0)
+    loop = asyncio.get_running_loop()
+    clients = concurrent.futures.ThreadPoolExecutor(max_workers=64)
+    results: list[dict | None] = [None] * len(stream)
+    t0 = loop.time()
+
+    async def fire(i, q):
+        await asyncio.sleep(max(0.0, t0 + q.t - loop.time()))
+        start = loop.time()
+        try:
+            status, obj = await loop.run_in_executor(
+                clients,
+                functools.partial(
+                    http_request,
+                    "127.0.0.1",
+                    service.port,
+                    "POST",
+                    f"/v1/{q.endpoint}",
+                    q.body,
+                    60.0,
+                ),
+            )
+        except Exception as exc:  # transport failure: count, don't crash
+            results[i] = {
+                "endpoint": q.endpoint, "outcome": "error", "reason": None,
+                "status": 0, "latency_s": loop.time() - start,
+                "detail": str(exc),
+            }
+            return
+        outcome, reason = _classify(status, obj)
+        results[i] = {
+            "endpoint": q.endpoint, "outcome": outcome, "reason": reason,
+            "status": status, "latency_s": loop.time() - start,
+        }
+
+    try:
+        await asyncio.gather(*(fire(i, q) for i, q in enumerate(stream)))
+    finally:
+        await service.stop()
+        clients.shutdown(wait=False)
+    return [r for r in results if r is not None]
+
+
+def _aggregate(label: str, records: list[dict], duration: float) -> dict:
+    delivered = [r for r in records if r["outcome"] in ("ok", "degraded")]
+    admitted = [
+        r for r in records if r["reason"] not in ("rate_limited", "queue_full")
+    ]
+    sheds: dict[str, int] = {}
+    for r in records:
+        if r["outcome"] == "shed":
+            sheds[r["reason"]] = sheds.get(r["reason"], 0) + 1
+    latencies = [r["latency_s"] for r in admitted]
+    return {
+        "phase": label,
+        "duration_s": duration,
+        "offered": len(records),
+        "delivered": len(delivered),
+        "degraded": sum(1 for r in records if r["outcome"] == "degraded"),
+        "errors": sum(1 for r in records if r["outcome"] == "error"),
+        "goodput_rps": len(delivered) / duration,
+        "sheds": sheds,
+        "p99_admitted_s": percentile(latencies, 99.0) if latencies else None,
+        "max_admitted_s": max(latencies) if latencies else None,
+    }
+
+
+def run_benchmark(
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    rate_1x: float | None = None,
+    duration: float | None = None,
+    inject: list[str] | None = None,
+) -> dict:
+    duration = duration if duration is not None else (4.0 if quick else 10.0)
+    rate_1x = rate_1x if rate_1x is not None else (5.0 if quick else 10.0)
+    inject = inject or []
+    config = ServiceConfig(jobs=1)
+
+    async def _both():
+        phases = []
+        for label, rate, faults in (
+            ("1x", rate_1x, []),
+            ("5x", 5.0 * rate_1x, inject),
+        ):
+            stream = generate_stream(seed, duration=duration, rate=rate)
+            records = await _run_phase(stream, config, faults, seed)
+            phases.append(_aggregate(label, records, duration))
+        return phases
+
+    phases = asyncio.run(_both())
+    deadline_bound = max(config.policy(ep).deadline for ep in ENDPOINTS)
+    return {
+        "benchmark": "service_overload",
+        "seed": seed,
+        "quick": quick,
+        "duration_s": duration,
+        "rate_1x_rps": rate_1x,
+        "inject": list(inject),
+        "goodput_floor": GOODPUT_FLOOR,
+        "deadline_bound_s": deadline_bound,
+        "provenance": provenance(),
+        "phases": phases,
+    }
+
+
+def check_floors(payload: dict, goodput_floor: float) -> list[str]:
+    """Every floor violation, as a human-readable complaint."""
+    by_label = {p["phase"]: p for p in payload["phases"]}
+    base, over = by_label["1x"], by_label["5x"]
+    bound = payload["deadline_bound_s"]
+    problems = []
+    for phase in (base, over):
+        p99 = phase["p99_admitted_s"]
+        if p99 is not None and p99 > bound:
+            problems.append(
+                f"{phase['phase']}: p99 of admitted requests {p99:.3f}s "
+                f"exceeds the {bound:.0f}s deadline bound"
+            )
+    floor = goodput_floor * base["goodput_rps"]
+    if over["goodput_rps"] < floor:
+        problems.append(
+            f"5x goodput {over['goodput_rps']:.2f} rps below "
+            f"{goodput_floor:.0%} of 1x ({floor:.2f} rps)"
+        )
+    if any(s.startswith("workerkill") for s in payload["inject"]):
+        if over["degraded"] < 1:
+            problems.append(
+                "a worker kill was injected but no answer was flagged degraded"
+            )
+    if base["errors"] or over["errors"]:
+        problems.append(
+            f"unlabeled errors: 1x={base['errors']} 5x={over['errors']}"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="tiny stream for a sub-minute smoke run")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--duration", type=float, default=None,
+                    help="seconds per phase (default 10, or 4 with --quick)")
+    ap.add_argument("--rate", type=float, default=None,
+                    help="the 1x request rate (default 10 rps, 5 with --quick)")
+    ap.add_argument("--inject", action="append", default=[], metavar="SPEC",
+                    help="service fault spec for the 5x phase (repeatable), "
+                         "e.g. workerkill:after=1")
+    ap.add_argument("--goodput-floor", type=float, default=GOODPUT_FLOOR)
+    ap.add_argument("--require-floors", action="store_true",
+                    help="exit non-zero if any overload floor is violated")
+    ap.add_argument("--output", default="BENCH_service.json")
+    args = ap.parse_args(argv)
+
+    payload = run_benchmark(
+        quick=args.quick, seed=args.seed, rate_1x=args.rate,
+        duration=args.duration, inject=args.inject,
+    )
+
+    from repro.ioutil import atomic_write_json
+
+    atomic_write_json(args.output, payload)
+
+    for phase in payload["phases"]:
+        p99 = phase["p99_admitted_s"]
+        p99_text = f"{p99:.3f}s" if p99 is not None else "n/a"
+        print(
+            f"{phase['phase']:>3}: offered {phase['offered']:>4}, "
+            f"delivered {phase['delivered']:>4} "
+            f"({phase['degraded']} degraded), "
+            f"goodput {phase['goodput_rps']:6.2f} rps, "
+            f"p99 {p99_text}, sheds {phase['sheds'] or '{}'}"
+        )
+    problems = check_floors(payload, args.goodput_floor)
+    for problem in problems:
+        print(f"FLOOR VIOLATION: {problem}", file=sys.stderr)
+    if problems and args.require_floors:
+        return 1
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

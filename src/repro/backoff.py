@@ -1,0 +1,117 @@
+"""Seeded, jittered exponential backoff and retry budgets.
+
+Retries are a double-edged sword: they paper over transient worker
+deaths (good) but under sustained overload every retry is *extra*
+offered load hitting an already-saturated system (bad, and exactly the
+amplification mechanism Afzal et al. observe for one-off delays
+propagating through a cluster).  This module provides the two
+primitives the rest of the tree shares to keep retries safe:
+
+* :func:`backoff_delay` -- full-jitter exponential backoff whose jitter
+  is *derived*, not drawn: a SHA-256 hash of ``(seed, attempt, tokens)``
+  maps to a uniform fraction, so two runs with the same seed sleep for
+  bit-identical durations.  Jitter decorrelates retry storms without
+  sacrificing the reproducibility contract that every other seeded
+  subsystem (``repro.faults``, ``repro.experiments``) already honours.
+
+* :class:`RetryBudget` -- a global cap on the *ratio* of retries to
+  requests.  A fixed per-request retry count multiplies offered load by
+  ``1 + max_retries`` at the worst possible moment; a budget instead
+  guarantees retries can never exceed ``floor + ratio * requests``, so
+  under overload the retry stream asymptotically costs ``ratio`` extra
+  capacity, never a multiple.
+
+Used by :class:`repro.pool.FaultTolerantPool` (seeded from the
+experiment cell seed via :class:`repro.experiments.runner.ExperimentRunner`)
+and by the query service's retry path (``repro.service``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["jitter_fraction", "backoff_delay", "RetryBudget"]
+
+
+def jitter_fraction(seed: int, *tokens: object) -> float:
+    """Deterministic uniform fraction in ``[0, 1)`` from a seed + context.
+
+    The context tokens (attempt number, task description, pool kind...)
+    decorrelate concurrent retriers that share one seed; hashing keeps
+    the stream independent of call order, unlike a shared RNG.
+    """
+    payload = repr((int(seed),) + tokens).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def backoff_delay(
+    base: float,
+    attempt: int,
+    *,
+    seed: int | None = None,
+    tokens: tuple = (),
+    cap: float = 30.0,
+) -> float:
+    """Delay in seconds before retry ``attempt`` (1-based).
+
+    Without a seed this is plain exponential backoff
+    (``base * 2**(attempt-1)``, capped).  With a seed the delay is
+    drawn uniformly from the upper half of the exponential window --
+    ``[0.5, 1.0) * base * 2**(attempt-1)`` -- using the derived jitter
+    stream, so it is reproducible yet decorrelated across tasks.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    window = float(base) * (2.0 ** (attempt - 1))
+    if seed is None:
+        return min(float(cap), window)
+    frac = jitter_fraction(seed, attempt, *tokens)
+    return min(float(cap), window * (0.5 + 0.5 * frac))
+
+
+@dataclass
+class RetryBudget:
+    """Token-less retry budget: retries may consume at most ``ratio``
+    of observed request volume (plus a small ``floor`` so cold starts
+    can still retry at all).
+
+    The invariant -- checked, not hoped for -- is
+    ``granted <= floor + ratio * requests`` at every point in time,
+    which bounds retry amplification at ``1 + ratio`` regardless of
+    failure rate.
+    """
+
+    ratio: float = 0.1
+    floor: int = 3
+    requests: int = field(default=0, init=False)
+    granted: int = field(default=0, init=False)
+    denied: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ValueError(f"retry ratio must be in [0, 1], got {self.ratio}")
+        if self.floor < 0:
+            raise ValueError(f"retry floor must be >= 0, got {self.floor}")
+
+    def note_request(self, n: int = 1) -> None:
+        """Record ``n`` first-try requests (they fund the budget)."""
+        self.requests += int(n)
+
+    def allow_retry(self) -> bool:
+        """True (and charges the budget) if a retry is affordable now."""
+        if self.granted < self.floor + self.ratio * self.requests:
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "granted": self.granted,
+            "denied": self.denied,
+            "ratio": self.ratio,
+            "floor": self.floor,
+        }

@@ -723,6 +723,85 @@ def build_parser() -> argparse.ArgumentParser:
         "--last", type=_positive_int, default=20, metavar="N",
         help="most recent entries to show",
     )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the overload-hardened query service (see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321, help="0 = ephemeral")
+    p.add_argument(
+        "--jobs", type=_positive_int, default=2,
+        help="simulation worker processes behind the circuit breaker",
+    )
+    p.add_argument("--seed", type=int, default=0, help="backoff-jitter seed")
+    p.add_argument(
+        "--cache-dir", default=".repro_cache",
+        help="design/simulation disk cache ('' disables)",
+    )
+    p.add_argument(
+        "--inject", action="append", default=[], metavar="SPEC",
+        help="service fault spec (repeatable): workerkill:after=N, "
+        "poolstall:after=N,duration=S, slowdep:at=T,duration=S,extra=S",
+    )
+    p.add_argument(
+        "--rate", type=_positive_float, default=None,
+        help="token-bucket refill (requests/s) applied to every endpoint",
+    )
+    p.add_argument(
+        "--burst", type=_positive_float, default=None,
+        help="token-bucket burst capacity applied to every endpoint",
+    )
+    p.add_argument(
+        "--queue-depth", type=_positive_int, default=None,
+        help="admission watermark applied to every endpoint",
+    )
+    p.add_argument(
+        "--coalesce-ms", type=_positive_float, default=None,
+        help="coalescing window (milliseconds) for predict/design waves",
+    )
+    p.add_argument(
+        "--deadline-s", type=_positive_float, default=None,
+        help="default per-request deadline applied to every endpoint",
+    )
+    p.add_argument(
+        "--breaker-threshold", type=_positive_int, default=3,
+        help="consecutive simulate failures that open the breaker",
+    )
+    p.add_argument(
+        "--breaker-recovery", type=_positive_float, default=5.0,
+        help="seconds the breaker stays open before a half-open probe",
+    )
+
+    p = sub.add_parser(
+        "query", help="ask a running 'repro serve' one question"
+    )
+    p.add_argument(
+        "endpoint", choices=("predict", "design", "simulate"),
+        help="which /v1/ endpoint to call",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321)
+    p.add_argument(
+        "--deadline-s", type=_positive_float, default=None,
+        help="relative request deadline (server default when omitted)",
+    )
+    p.add_argument(
+        "--mode", choices=("open", "throttled", "mva"), default="throttled",
+        help="evaluation mode (predict only)",
+    )
+    p.add_argument(
+        "--budget", type=_positive_float, default=None,
+        help="dollars (design only)",
+    )
+    p.add_argument("--app", default="FFT", help="application (simulate only)")
+    p.add_argument("--seed", type=int, default=0, help="trace seed (simulate only)")
+    p.add_argument(
+        "--app-arg", action="append", default=[], metavar="KEY=VALUE",
+        help="application constructor override (simulate only; repeatable)",
+    )
+    _add_workload_args(p)
+    _add_platform_args(p)
     return parser
 
 
@@ -995,10 +1074,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "obs":
         if args.obs_command == "ledger":
-            from repro.obs.ledger import describe_entries, ledger_path, read_entries
+            from repro.obs.ledger import describe_entries, ledger_path, read_ledger
 
-            entries = read_entries(ledger_path(args.cache_dir))
-            print(describe_entries(entries, last=args.last))
+            entries, malformed = read_ledger(ledger_path(args.cache_dir))
+            print(describe_entries(entries, last=args.last, malformed=malformed))
             return 0
         from repro.obs.summary import summarize
 
@@ -1006,6 +1085,100 @@ def main(argv: Sequence[str] | None = None) -> int:
             payload = json.load(fh)
         print(summarize(payload, max_windows=args.max_windows))
         return 0
+
+    if args.command == "serve":
+        import asyncio
+
+        from repro.service.api import QueryAPI
+        from repro.service.chaos import service_plan_from_specs
+        from repro.service.config import ENDPOINTS, ServiceConfig
+        from repro.service.server import run_service
+
+        try:
+            chaos = service_plan_from_specs(args.inject)
+        except ValueError as exc:
+            raise SystemExit(f"--inject: {exc}") from None
+        config = ServiceConfig(
+            breaker_threshold=args.breaker_threshold,
+            breaker_recovery=args.breaker_recovery,
+            jobs=args.jobs,
+            seed=args.seed,
+        )
+        overrides = {
+            "rate": args.rate,
+            "burst": args.burst,
+            "queue_depth": args.queue_depth,
+            "deadline": args.deadline_s,
+        }
+        if args.coalesce_ms is not None:
+            overrides["coalesce_window"] = args.coalesce_ms / 1000.0
+        overrides = {k: v for k, v in overrides.items() if v is not None}
+        for endpoint in ENDPOINTS:
+            applicable = dict(overrides)
+            if endpoint == "simulate":
+                applicable.pop("coalesce_window", None)  # never coalesced
+            if applicable:
+                config = config.with_policy(endpoint, **applicable)
+        api = QueryAPI(cache_dir=args.cache_dir or None, jobs=1)
+        if chaos:
+            print(chaos.describe(), file=sys.stderr)
+        try:
+            asyncio.run(
+                run_service(
+                    api, config, host=args.host, port=args.port, chaos=chaos
+                )
+            )
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    if args.command == "query":
+        from repro.service.loadgen import http_request
+
+        body: dict[str, object] = {}
+        if args.endpoint in ("predict", "design"):
+            if args.workload:
+                body["workload"] = args.workload
+            else:
+                if args.alpha is None or args.beta is None or args.gamma is None:
+                    raise SystemExit(
+                        "provide --workload NAME or all of --alpha/--beta/--gamma"
+                    )
+                body.update(alpha=args.alpha, beta=args.beta, gamma=args.gamma)
+        if args.endpoint == "predict":
+            body["mode"] = args.mode
+        if args.endpoint == "design":
+            if args.budget is None:
+                raise SystemExit("design queries need --budget DOLLARS")
+            body["budget"] = args.budget
+        if args.endpoint in ("predict", "simulate"):
+            body.update(
+                machines=args.machines,
+                procs_per_machine=args.procs_per_machine,
+                cache_kb=args.cache_kb,
+                memory_mb=args.memory_mb,
+                network=args.network,
+            )
+            if args.l2_kb is not None:
+                body["l2_kb"] = args.l2_kb
+        if args.endpoint == "simulate":
+            body["app"] = args.app
+            body["seed"] = args.seed
+            app_args = _parse_app_args(args.app_arg)
+            if app_args:
+                body["app_args"] = app_args
+        if args.deadline_s is not None:
+            body["deadline_s"] = args.deadline_s
+        try:
+            status, answer = http_request(
+                args.host, args.port, "POST", f"/v1/{args.endpoint}", body
+            )
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot reach service at {args.host}:{args.port}: {exc}"
+            ) from None
+        print(json.dumps(answer, indent=2, sort_keys=True))
+        return 0 if status == 200 else 1
 
     raise AssertionError(f"unhandled command {args.command!r}")
 

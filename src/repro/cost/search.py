@@ -542,6 +542,9 @@ class DesignSearch:
                 "Times a broken or timed-out process pool fell back to serial",
             ),
             kind="query",
+            # Design queries carry no user seed; any fixed seed makes the
+            # retry schedule reproducible while still decorrelated per task.
+            jitter_seed=0,
         )
         self._wave_lane_total = self.metrics.counter(
             "design_wave_lane_total",

@@ -275,7 +275,8 @@ class ExperimentRunner:
             labelnames=("lane",),
         )
         # Knob validation (cell_timeout / max_retries / retry_backoff)
-        # lives in the shared pool since PR 4.
+        # lives in the shared pool since PR 4.  Backoff jitter is seeded
+        # from the cell seed so retry timing replays bit-identically.
         self._pool = FaultTolerantPool(
             self.jobs,
             max_retries=max_retries,
@@ -284,6 +285,7 @@ class ExperimentRunner:
             retries=self._cell_retries,
             degradations=self._pool_degradations,
             kind="cell",
+            jitter_seed=self.seed,
         )
         self._runs: dict[tuple[str, int], ApplicationRun] = {}
         self._chars: dict[str, WorkloadParams] = {}

@@ -34,6 +34,7 @@ __all__ = [
     "ledger_path",
     "make_entry",
     "record_run",
+    "read_ledger",
     "read_entries",
     "describe_entries",
 ]
@@ -97,33 +98,61 @@ def record_run(cache_dir: str | Path, **kwargs) -> Path:
     return append_jsonl(ledger_path(cache_dir), make_entry(**kwargs))
 
 
-def read_entries(path: str | Path) -> list[dict]:
-    """All well-formed ledger lines, oldest first; corrupt lines skipped."""
+def read_ledger(path: str | Path) -> tuple[list[dict], int]:
+    """Well-formed ledger lines (oldest first) plus a malformed-line count.
+
+    A run killed mid-append can leave a truncated last line, and a torn
+    multi-byte character would make whole-file UTF-8 decoding raise — so
+    the file is read as bytes and each line is decoded and parsed
+    independently.  Lines that fail to decode, fail to parse, or are not
+    JSON objects count as *malformed*; well-formed foreign-schema lines
+    (someone else's log sharing the file) are skipped silently as before.
+    """
     path = Path(path)
     if not path.exists():
-        return []
-    entries = []
-    for line in path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if not line:
+        return [], 0
+    entries: list[dict] = []
+    malformed = 0
+    for raw in path.read_bytes().splitlines():
+        if not raw.strip():
             continue
         try:
-            obj = json.loads(line)
-        except ValueError:
-            continue  # a torn or foreign line; the log marches on
-        if isinstance(obj, dict) and obj.get("schema") == SCHEMA:
+            obj = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            malformed += 1  # a torn line; the log marches on
+            continue
+        if not isinstance(obj, dict):
+            malformed += 1
+            continue
+        if obj.get("schema") == SCHEMA:
             entries.append(obj)
-    return entries
+    return entries, malformed
 
 
-def describe_entries(entries: list[dict], last: int = 20) -> str:
-    """Render the most recent ``last`` entries as a text table."""
+def read_entries(path: str | Path) -> list[dict]:
+    """All well-formed ledger lines, oldest first; corrupt lines skipped."""
+    return read_ledger(path)[0]
+
+
+def describe_entries(entries: list[dict], last: int = 20, *, malformed: int = 0) -> str:
+    """Render the most recent ``last`` entries as a text table.
+
+    ``malformed`` (from :func:`read_ledger`) is surfaced in the summary
+    line so torn writes are visible rather than silently dropped.
+    """
+    skipped = (
+        f", {malformed} malformed line{'s' if malformed != 1 else ''} skipped"
+        if malformed
+        else ""
+    )
     if not entries:
-        return "ledger is empty (runs with a cache dir append to it)"
+        return (
+            "ledger is empty (runs with a cache dir append to it)" + skipped
+        )
     shown = entries[-last:]
     lines = [
         f"run ledger: {len(entries)} entr{'ies' if len(entries) != 1 else 'y'}"
-        f" (showing last {len(shown)})",
+        f" (showing last {len(shown)}{skipped})",
         f"  {'created':<25} {'app':<6} {'platform':<20} {'lane':<7} "
         f"{'cycles':>14} {'top causes':<36} hash",
     ]

@@ -36,6 +36,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
+from repro.backoff import backoff_delay
 from repro.obs.log import get_logger
 
 __all__ = ["FaultTolerantPool"]
@@ -63,6 +64,7 @@ class FaultTolerantPool:
         retries=None,
         degradations=None,
         kind: str = "cell",
+        jitter_seed: int | None = None,
     ) -> None:
         """``jobs`` bounds the worker processes (1 = always in-process).
 
@@ -71,6 +73,10 @@ class FaultTolerantPool:
         serial execution.  ``retries`` / ``degradations`` are optional
         obs counters; ``kind`` names the task unit in error messages
         (``"cell"`` for simulation grids, ``"query"`` for design search).
+        ``jitter_seed`` enables seeded full-jitter backoff (see
+        :func:`repro.backoff.backoff_delay`): retry sleeps decorrelate
+        across tasks yet replay bit-identically for a given seed.
+        ``None`` keeps the legacy unjittered exponential schedule.
         """
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -85,6 +91,7 @@ class FaultTolerantPool:
         self.retry_backoff = retry_backoff
         self.task_timeout = task_timeout
         self.kind = kind
+        self.jitter_seed = jitter_seed
         self._retries = retries if retries is not None else _NullCounter()
         self._degradations = degradations if degradations is not None else _NullCounter()
         #: Worker pools actually created over this object's lifetime.
@@ -125,11 +132,20 @@ class FaultTolerantPool:
                 on_result(i, self._attempt_serial(fn, desc, args))
 
     # ------------------------------------------------------------------
-    def _backoff(self, attempt: int) -> None:
+    def _backoff(self, attempt: int, desc: str = "") -> None:
         self._retries.inc()
-        delay = self.retry_backoff * (2.0 ** (attempt - 1))
+        delay = self.backoff_delay(attempt, desc)
         if delay > 0:
             time.sleep(delay)
+
+    def backoff_delay(self, attempt: int, desc: str = "") -> float:
+        """The (deterministic) sleep before retry ``attempt`` of ``desc``."""
+        return backoff_delay(
+            self.retry_backoff,
+            attempt,
+            seed=self.jitter_seed,
+            tokens=(self.kind, desc),
+        )
 
     def _attempt_serial(self, fn: Callable, desc: str, args):
         """Run one task in-process, with the same retry policy as the pool."""
@@ -148,7 +164,7 @@ class FaultTolerantPool:
                     "task failed; retrying serially",
                     kind=self.kind, task=desc, attempt=attempt, error=str(exc),
                 )
-                self._backoff(attempt)
+                self._backoff(attempt, desc)
 
     @staticmethod
     def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -227,7 +243,7 @@ class FaultTolerantPool:
                             kind=self.kind, task=desc, attempt=attempt,
                             error=str(exc),
                         )
-                        self._backoff(attempt)
+                        self._backoff(attempt, desc)
                         try:
                             retry = pool.submit(fn, args)
                         except RuntimeError:  # pool broke underneath us

@@ -1,0 +1,481 @@
+"""The pure query API: predict / design / simulate, no CLI, no sockets.
+
+Every service endpoint bottoms out here, and everything here is a plain
+synchronous function over the same model entry points the CLI prints
+from — :func:`repro.core.batch.e_instr_seconds_batch` for predictions,
+:class:`repro.cost.search.DesignSearch` for design queries, and the
+experiment runner's simulation path for submissions.  The serving layer
+(:mod:`repro.service.server`) adds queues, deadlines and breakers on
+top; tests call this module directly to establish the bit-identity
+contracts the server then inherits:
+
+* ``predict`` answers are computed through the batched evaluator, and
+  every batched call is per-case independent (property-tested against
+  the scalar :func:`repro.core.execution.evaluate` in
+  ``tests/cost/test_batch_eval.py``), so a request coalesced into a
+  100-wide wave returns the **bit-identical** float it would get alone.
+* ``design`` answers route through one shared :class:`DesignSearch`
+  engine whose memo replays exact floats, so coalesced design waves are
+  likewise bit-identical to one-at-a-time calls.
+* ``predict_degraded`` answers are *exactly*
+  :func:`repro.core.amat.zero_contention_amat` — an admissible lower
+  bound with every queueing delay removed — flagged ``degraded: true``
+  so a client can tell a best-effort floor from a full model answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.amat import zero_contention_amat
+from repro.core.batch import BatchCase, e_instr_seconds_batch
+from repro.core.execution import e_instr_seconds
+from repro.core.platform import PlatformSpec
+from repro.sim.latencies import NetworkKind
+from repro.workloads.params import (
+    PAPER_EDGE,
+    PAPER_FFT,
+    PAPER_LU,
+    PAPER_RADIX,
+    PAPER_TPCC,
+    WorkloadParams,
+)
+
+__all__ = [
+    "QueryError",
+    "QueryAPI",
+    "PredictRequest",
+    "PredictAnswer",
+    "DesignAnswer",
+    "SimulateAnswer",
+    "WORKLOADS",
+    "NETWORKS",
+    "workload_from_obj",
+    "platform_from_obj",
+]
+
+KB, MB = 1024, 1024 * 1024
+
+#: The named Table 2 workloads a request may ask for by name.
+WORKLOADS: dict[str, WorkloadParams] = {
+    "FFT": PAPER_FFT,
+    "LU": PAPER_LU,
+    "Radix": PAPER_RADIX,
+    "EDGE": PAPER_EDGE,
+    "TPC-C": PAPER_TPCC,
+}
+
+NETWORKS: dict[str, NetworkKind] = {
+    "ethernet10": NetworkKind.ETHERNET_10,
+    "ethernet100": NetworkKind.ETHERNET_100,
+    "atm": NetworkKind.ATM_155,
+}
+
+_MODES = ("open", "throttled", "mva")
+
+
+class QueryError(ValueError):
+    """A malformed or unanswerable query (the service's 400)."""
+
+
+# ---------------------------------------------------------------------------
+# request / answer shapes
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One predict question: a workload on a platform, under a mode."""
+
+    workload: WorkloadParams
+    spec: PlatformSpec
+    mode: str = "throttled"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise QueryError(f"mode must be one of {_MODES}, got {self.mode!r}")
+
+
+def _finite_or_none(x: float) -> float | None:
+    return x if math.isfinite(x) else None
+
+
+@dataclass(frozen=True)
+class PredictAnswer:
+    """E(Instr) for one (workload, platform) pair.
+
+    ``degraded`` answers carry ``amat_cycles`` — the exact
+    :func:`~repro.core.amat.zero_contention_amat` value the seconds were
+    derived from — so clients (and tests) can audit the bound.
+    """
+
+    workload: str
+    platform: str
+    e_instr_seconds: float
+    feasible: bool
+    mode: str
+    degraded: bool = False
+    amat_cycles: float | None = None
+
+    def to_obj(self) -> dict:
+        obj = {
+            "workload": self.workload,
+            "platform": self.platform,
+            "e_instr_seconds": _finite_or_none(self.e_instr_seconds),
+            "feasible": self.feasible,
+            "mode": self.mode,
+            "degraded": self.degraded,
+        }
+        if self.amat_cycles is not None:
+            obj["amat_cycles"] = self.amat_cycles
+        return obj
+
+
+@dataclass(frozen=True)
+class DesignAnswer:
+    """The optimal platform for a (workload, budget) design query."""
+
+    workload: str
+    budget: float
+    best: dict
+    stats: dict
+    degraded: bool = False
+
+    def to_obj(self) -> dict:
+        return {
+            "workload": self.workload,
+            "budget": self.budget,
+            "best": dict(self.best),
+            "stats": dict(self.stats),
+            "degraded": self.degraded,
+        }
+
+
+@dataclass(frozen=True)
+class SimulateAnswer:
+    """Outcome of one submitted simulation run."""
+
+    app: str
+    platform: str
+    seed: int
+    total_cycles: float
+    total_references: int
+    e_instr_seconds: float
+    degraded: bool = False
+
+    def to_obj(self) -> dict:
+        return {
+            "app": self.app,
+            "platform": self.platform,
+            "seed": self.seed,
+            "total_cycles": self.total_cycles,
+            "total_references": self.total_references,
+            "e_instr_seconds": self.e_instr_seconds,
+            "degraded": self.degraded,
+        }
+
+
+# ---------------------------------------------------------------------------
+# wire-shape parsing (shared by the server, the load generator and
+# ``repro query``); raises QueryError so the server can answer 400
+
+
+def workload_from_obj(obj: Mapping) -> WorkloadParams:
+    """A workload from ``{"workload": NAME}`` or explicit parameters."""
+    name = obj.get("workload")
+    if name is not None:
+        try:
+            return WORKLOADS[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}"
+            ) from None
+    try:
+        return WorkloadParams(
+            "custom",
+            alpha=float(obj["alpha"]),
+            beta=float(obj["beta"]),
+            gamma=float(obj["gamma"]),
+        )
+    except KeyError as exc:
+        raise QueryError(
+            "provide 'workload' or all of 'alpha'/'beta'/'gamma'"
+        ) from exc
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"bad workload parameters: {exc}") from exc
+
+
+def platform_from_obj(obj: Mapping, name: str = "query") -> PlatformSpec:
+    """A platform from the CLI's flag vocabulary as JSON keys."""
+
+    def _pos_int(key: str, default: int) -> int:
+        value = obj.get(key, default)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise QueryError(f"{key!r} must be a positive integer, got {value!r}")
+        return value
+
+    machines = _pos_int("machines", 4)
+    network = obj.get("network", "ethernet100")
+    if network not in NETWORKS:
+        raise QueryError(
+            f"unknown network {network!r}; known: {', '.join(sorted(NETWORKS))}"
+        )
+    l2_kb = obj.get("l2_kb")
+    try:
+        return PlatformSpec(
+            name=str(obj.get("name", name)),
+            n=_pos_int("procs_per_machine", 1),
+            N=machines,
+            cache_bytes=_pos_int("cache_kb", 256) * KB,
+            memory_bytes=_pos_int("memory_mb", 64) * MB,
+            network=NETWORKS[network] if machines > 1 else None,
+            l2_bytes=_pos_int("l2_kb", 1) * KB if l2_kb is not None else None,
+        )
+    except ValueError as exc:
+        raise QueryError(f"bad platform: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+
+
+class QueryAPI:
+    """The service's brain: pure, deterministic, transport-free.
+
+    One instance is shared by every request the server handles; the
+    only mutable state is the design engine's evaluation memo and the
+    per-seed simulation runners, both of which replay exact values, so
+    answers are independent of request interleaving.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: str | None = None,
+        horizon: float = 200.0,
+        jobs: int = 1,
+        metrics=None,
+    ) -> None:
+        from repro.cost.search import DesignSearch
+
+        self.cache_dir = cache_dir
+        self.horizon = horizon
+        kwargs = {"metrics": metrics} if metrics is not None else {}
+        self._search = DesignSearch(
+            jobs=jobs, lane="tensor", cache_dir=cache_dir, **kwargs
+        )
+        self._metrics = metrics
+        self._runners: dict[tuple, object] = {}
+
+    # -- predict --------------------------------------------------------
+    @staticmethod
+    def predict_request(workload: WorkloadParams, spec: PlatformSpec, mode: str = "throttled") -> PredictRequest:
+        return PredictRequest(workload, spec, mode)
+
+    def predict(
+        self, workload: WorkloadParams, spec: PlatformSpec, mode: str = "throttled"
+    ) -> PredictAnswer:
+        """E(Instr) with the CLI ``repro predict`` knobs, as an answer."""
+        return self.predict_batch([PredictRequest(workload, spec, mode)])[0]
+
+    def predict_batch(self, requests: Sequence[PredictRequest]) -> list[PredictAnswer]:
+        """Answer many predict requests in one tensor evaluation wave.
+
+        Requests sharing a (workload, mode) evaluate as a single
+        :func:`e_instr_seconds_batch` call; per-case independence makes
+        each answer bit-identical to a batch of one — which is why
+        ``predict`` itself routes through here and the server's
+        coalescer can't change any answer.
+        """
+        answers: list[PredictAnswer | None] = [None] * len(requests)
+        groups: dict[tuple[WorkloadParams, str], list[int]] = {}
+        for i, req in enumerate(requests):
+            groups.setdefault((req.workload, req.mode), []).append(i)
+        for (workload, mode), indices in groups.items():
+            cases = [
+                BatchCase(
+                    requests[i].spec,
+                    sharing_fraction=workload.sharing_at(requests[i].spec.N),
+                    sharing_fresh_fraction=workload.sharing_fresh_fraction,
+                    remote_rate_adjustment=(
+                        0.124 if requests[i].spec.N > 1 else 0.0
+                    ),
+                )
+                for i in indices
+            ]
+            seconds = e_instr_seconds_batch(
+                cases,
+                workload.locality,
+                workload.gamma,
+                mode=mode,
+                on_saturation="inf",
+            )
+            for pos, i in enumerate(indices):
+                value = float(seconds[pos])
+                answers[i] = PredictAnswer(
+                    workload=workload.name,
+                    platform=requests[i].spec.name,
+                    e_instr_seconds=value,
+                    feasible=math.isfinite(value),
+                    mode=mode,
+                )
+        return answers  # type: ignore[return-value]
+
+    def predict_degraded(
+        self, workload: WorkloadParams, spec: PlatformSpec, mode: str = "throttled"
+    ) -> PredictAnswer:
+        """The zero-contention lower bound, explicitly flagged degraded.
+
+        Used when the breaker is open: no queueing solve, no pool — just
+        the admissible bound :func:`zero_contention_amat`, always finite
+        and never above the true answer.
+        """
+        bound = zero_contention_amat(
+            spec.hierarchy(),
+            workload.locality,
+            workload.gamma,
+            remote_rate_adjustment=0.124 if spec.N > 1 else 0.0,
+            sharing_fraction=workload.sharing_at(spec.N),
+            sharing_fresh_fraction=workload.sharing_fresh_fraction,
+        )
+        return PredictAnswer(
+            workload=workload.name,
+            platform=spec.name,
+            e_instr_seconds=e_instr_seconds(
+                spec.total_processors, workload.gamma, bound, spec.cpu_hz
+            ),
+            feasible=True,
+            mode=mode,
+            degraded=True,
+            amat_cycles=bound,
+        )
+
+    # -- design ---------------------------------------------------------
+    def design(
+        self, workload: WorkloadParams, budget: float, method: str | None = None
+    ) -> DesignAnswer:
+        return self.design_batch([(workload, budget, method)])[0]
+
+    def design_batch(
+        self, queries: Sequence[tuple[WorkloadParams, float, str | None]]
+    ) -> list[DesignAnswer]:
+        """Answer design queries through one shared tensor-lane engine.
+
+        The engine's evaluation memo is shared across the batch (and
+        across batches), and memo hits replay exact floats, so batching
+        never changes an answer — only how much work it costs.
+        """
+        from repro.cost.search import DesignQuery
+
+        if not queries:
+            return []
+        for _workload, budget, _method in queries:
+            if not (isinstance(budget, (int, float)) and budget > 0):
+                raise QueryError(f"budget must be a positive number, got {budget!r}")
+        try:
+            outcomes = self._search.run(
+                [DesignQuery(w, float(b), m) for w, b, m in queries]
+            )
+        except ValueError as exc:
+            raise QueryError(str(exc)) from exc
+        return [
+            DesignAnswer(
+                workload=o.result.workload.name,
+                budget=o.result.budget,
+                best=self.config_payload(o.result.best),
+                stats={
+                    "candidates": o.stats.candidates,
+                    "evaluated": o.stats.evaluated,
+                    "pruned": o.stats.pruned,
+                    "memo_hits": o.stats.memo_hits,
+                    "from_cache": o.stats.from_cache,
+                },
+            )
+            for o in outcomes
+        ]
+
+    @staticmethod
+    def config_payload(r) -> dict:
+        """A ranked configuration as the CLI's JSON shape."""
+        return {
+            "name": r.spec.name,
+            "machines": r.spec.N,
+            "procs_per_machine": r.spec.n,
+            "cache_kb": r.spec.cache_bytes // KB,
+            "memory_mb": r.spec.memory_bytes // MB,
+            "network": r.spec.network.value if r.spec.network else None,
+            "price": r.price,
+            "e_instr_seconds": r.e_instr_seconds,
+        }
+
+    # -- simulate -------------------------------------------------------
+    def _runner_for(self, seed: int, app_args_key: tuple, app_kwargs: dict | None):
+        key = (seed, app_args_key)
+        runner = self._runners.get(key)
+        if runner is None:
+            from repro.experiments.runner import ExperimentRunner
+
+            kwargs = {"metrics": self._metrics} if self._metrics is not None else {}
+            runner = ExperimentRunner(
+                seed=seed,
+                horizon=self.horizon,
+                jobs=1,
+                lane="serial",
+                cache_dir=self.cache_dir,
+                app_kwargs=app_kwargs,
+                **kwargs,
+            )
+            self._runners[key] = runner
+        return runner
+
+    def simulate_args(
+        self,
+        app: str,
+        spec: PlatformSpec,
+        *,
+        seed: int = 0,
+        app_args: Mapping | None = None,
+    ) -> tuple:
+        """Validated args for :func:`repro.experiments.runner._simulate_cell`.
+
+        The server ships this tuple to its worker pool; in-process
+        callers use :meth:`simulate_submit` instead.  Raises
+        :class:`QueryError` for an unknown application so the 400 fires
+        before any worker is touched.
+        """
+        from repro.apps.registry import APPLICATIONS
+
+        if app not in APPLICATIONS:
+            raise QueryError(
+                f"unknown application {app!r}; known: {', '.join(sorted(APPLICATIONS))}"
+            )
+        kwargs = dict(app_args or {})
+        return (app, int(seed), kwargs, spec, self.horizon, None, None, False)
+
+    def simulate_submit(
+        self,
+        app: str,
+        spec: PlatformSpec,
+        *,
+        seed: int = 0,
+        app_args: Mapping | None = None,
+    ) -> SimulateAnswer:
+        """Run one simulation in-process (the no-pool path)."""
+        args = self.simulate_args(app, spec, seed=seed, app_args=app_args)
+        app_args_key = tuple(sorted((args[2]).items()))
+        runner = self._runner_for(
+            seed, app_args_key, {app: args[2]} if args[2] else None
+        )
+        res = runner.simulate(app, spec)
+        return self.simulate_answer(res, seed=seed)
+
+    @staticmethod
+    def simulate_answer(res, *, seed: int) -> SimulateAnswer:
+        return SimulateAnswer(
+            app=res.application,
+            platform=res.platform_name,
+            seed=seed,
+            total_cycles=float(res.total_cycles),
+            total_references=int(res.total_references),
+            e_instr_seconds=float(res.e_instr_seconds),
+        )

@@ -1,0 +1,102 @@
+"""A circuit breaker around the simulation worker pool.
+
+State machine (exported as the ``service_breaker_state`` gauge):
+
+* **closed (0)** — requests flow; failures are counted, and either
+  ``failure_threshold`` consecutive soft failures or a single *hard*
+  failure (a :class:`BrokenProcessPool` — the pool is gone, more
+  traffic cannot help) opens the breaker.
+* **open (1)** — simulate work is shed with reason ``breaker_open``
+  and predict queries fall back to degraded-mode answers; after
+  ``recovery`` seconds the next :meth:`allow` call becomes a half-open
+  probe.
+* **half-open (2)** — exactly one in-flight probe is admitted; its
+  success closes the breaker, its failure re-opens it (restarting the
+  recovery clock).
+
+Clock-explicit like the rest of the service core: every transition is
+a pure function of (state, now), so the overload property tests replay
+the exact open/half-open/closed trajectory on a virtual clock.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN", "STATE_NAMES"]
+
+CLOSED, OPEN, HALF_OPEN = 0, 1, 2
+STATE_NAMES = {CLOSED: "closed", OPEN: "open", HALF_OPEN: "half_open"}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open recovery."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        recovery: float = 5.0,
+        on_transition=None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery <= 0:
+            raise ValueError("recovery must be positive")
+        self.failure_threshold = failure_threshold
+        self.recovery = recovery
+        self._on_transition = on_transition
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    # ------------------------------------------------------------------
+    def state(self, now: float) -> int:
+        """The externally visible state at time ``now``."""
+        if self._state == OPEN and now - self._opened_at >= self.recovery:
+            return HALF_OPEN
+        return self._state
+
+    def state_name(self, now: float) -> str:
+        return STATE_NAMES[self.state(now)]
+
+    def allow(self, now: float) -> bool:
+        """May a (simulate) request proceed at ``now``?
+
+        In half-open state only the first caller wins the probe slot;
+        everyone else stays shed until the probe reports back.
+        """
+        state = self.state(now)
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probing:
+            self._transition(HALF_OPEN)
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self, now: float) -> None:
+        self._failures = 0
+        self._probing = False
+        self._transition(CLOSED)
+
+    def record_failure(self, now: float, *, hard: bool = False) -> None:
+        """A soft failure counts toward the threshold; a hard one (dead
+        pool) opens immediately.  Any failure during a half-open probe
+        re-opens."""
+        self._probing = False
+        self._failures += 1
+        if (
+            hard
+            or self._state != CLOSED
+            or self._failures >= self.failure_threshold
+        ):
+            self._failures = 0
+            self._opened_at = now
+            self._transition(OPEN)
+
+    # ------------------------------------------------------------------
+    def _transition(self, state: int) -> None:
+        if state != self._state:
+            self._state = state
+            if self._on_transition is not None:
+                self._on_transition(state)

@@ -1,0 +1,229 @@
+"""Deterministic service-level fault injection (``repro serve --inject``).
+
+The simulator got seeded fault plans in PR 3 (:mod:`repro.faults`); the
+serving path gets the same treatment here, with three event kinds that
+cover the overload scenarios the bench and CI smoke replay:
+
+* :class:`WorkerKill` — SIGKILL one simulation pool worker after the
+  ``after``-th simulate dispatch (a process OOM-killed mid-request);
+  the next pool interaction surfaces ``BrokenProcessPool`` and trips
+  the circuit breaker, exactly the PR-3 detection path.
+* :class:`PoolStall` — the pool stops answering for ``duration``
+  seconds starting at the ``after``-th dispatch (a wedged worker
+  holding the queue); requests ride into their deadlines.
+* :class:`SlowDependency` — every dispatch inside the wall-time window
+  ``[at, at + duration)`` pays ``extra`` additional seconds (a
+  saturated disk under the design cache, a noisy co-tenant).
+
+Specs use the ``--inject`` grammar the simulator established —
+``kind:key=value,...`` — and :meth:`ServiceFaultPlan.generate` derives
+a randomized plan from a seed through ``numpy``'s PRNG, so every
+overload scenario in the tests and the bench is a pure function of its
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "WorkerKill",
+    "PoolStall",
+    "SlowDependency",
+    "ServiceFaultPlan",
+    "parse_service_inject",
+    "service_plan_from_specs",
+]
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """Kill one pool worker after the ``after``-th simulate dispatch."""
+
+    after: int = 1
+
+    kind = "workerkill"
+
+    def __post_init__(self) -> None:
+        if self.after < 0:
+            raise ValueError("workerkill after must be >= 0")
+
+
+@dataclass(frozen=True)
+class PoolStall:
+    """The pool hangs for ``duration`` s from the ``after``-th dispatch."""
+
+    after: int = 1
+    duration: float = 5.0
+
+    kind = "poolstall"
+
+    def __post_init__(self) -> None:
+        if self.after < 0:
+            raise ValueError("poolstall after must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("poolstall duration must be positive")
+
+
+@dataclass(frozen=True)
+class SlowDependency:
+    """Dispatches inside ``[at, at + duration)`` pay ``extra`` seconds."""
+
+    at: float = 0.0
+    duration: float = 1.0
+    extra: float = 0.25
+
+    kind = "slowdep"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("slowdep at must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("slowdep duration must be positive")
+        if self.extra <= 0:
+            raise ValueError("slowdep extra must be positive")
+
+
+ServiceFaultEvent = WorkerKill | PoolStall | SlowDependency
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """An immutable set of service fault events for one serving run."""
+
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for ev in self.events:
+            if not isinstance(ev, (WorkerKill, PoolStall, SlowDependency)):
+                raise TypeError(f"not a service fault event: {ev!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # -- queries the serving loop asks ---------------------------------
+    def kill_due(self, dispatches: int) -> bool:
+        """Is a worker kill due at the ``dispatches``-th simulate dispatch?"""
+        return any(
+            isinstance(ev, WorkerKill) and dispatches == ev.after
+            for ev in self.events
+        )
+
+    def stall_due(self, dispatches: int) -> float:
+        """Stall seconds owed at this dispatch (0.0 when none)."""
+        return sum(
+            ev.duration
+            for ev in self.events
+            if isinstance(ev, PoolStall) and dispatches == ev.after
+        )
+
+    def extra_latency(self, elapsed: float) -> float:
+        """Extra per-dispatch seconds at ``elapsed`` seconds since start
+        (overlapping slow-dependency windows add up)."""
+        return sum(
+            ev.extra
+            for ev in self.events
+            if isinstance(ev, SlowDependency)
+            and ev.at <= elapsed < ev.at + ev.duration
+        )
+
+    def describe(self) -> str:
+        if not self.events:
+            return "service fault plan: empty"
+        lines = [f"service fault plan: {len(self.events)} event(s)"]
+        for ev in sorted(self.events, key=repr):
+            if isinstance(ev, WorkerKill):
+                lines.append(f"  workerkill after dispatch {ev.after}")
+            elif isinstance(ev, PoolStall):
+                lines.append(
+                    f"  poolstall  after dispatch {ev.after}: {ev.duration:g}s"
+                )
+            else:
+                lines.append(
+                    f"  slowdep    in [{ev.at:g}, {ev.at + ev.duration:g})s: "
+                    f"+{ev.extra:g}s/dispatch"
+                )
+        return "\n".join(lines)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        span: float,
+        *,
+        kills: int = 1,
+        stalls: int = 0,
+        slowdeps: int = 1,
+    ) -> "ServiceFaultPlan":
+        """A seeded random plan over a ``span``-second serving window."""
+        if span <= 0:
+            raise ValueError("span must be positive")
+        rng = np.random.default_rng(seed)
+        events: list[ServiceFaultEvent] = []
+        for _ in range(kills):
+            events.append(WorkerKill(after=int(rng.integers(1, 6))))
+        for _ in range(stalls):
+            events.append(
+                PoolStall(
+                    after=int(rng.integers(1, 6)),
+                    duration=round(float(rng.uniform(0.1, 0.3) * span), 3),
+                )
+            )
+        for _ in range(slowdeps):
+            at = round(float(rng.uniform(0.0, 0.5) * span), 3)
+            events.append(
+                SlowDependency(
+                    at=at,
+                    duration=round(float(rng.uniform(0.2, 0.5) * span), 3),
+                    extra=round(float(rng.uniform(0.05, 0.5)), 3),
+                )
+            )
+        return cls(tuple(events))
+
+
+# ----------------------------------------------------------------------
+_SPEC_FIELDS: dict[str, tuple[type, tuple[str, ...]]] = {
+    "workerkill": (WorkerKill, ("after",)),
+    "poolstall": (PoolStall, ("after", "duration")),
+    "slowdep": (SlowDependency, ("at", "duration", "extra")),
+}
+
+
+def parse_service_inject(text: str) -> ServiceFaultEvent:
+    """Parse one service ``--inject`` spec, e.g. ``workerkill:after=2``.
+
+    Same grammar as the simulator's fault specs: ``kind:key=value,...``
+    with kinds ``workerkill`` (``after``), ``poolstall`` (``after,
+    duration``) and ``slowdep`` (``at, duration, extra``).  Every field
+    has a default, so ``workerkill`` alone is a valid spec.
+    """
+    kind, _sep, body = text.partition(":")
+    kind = kind.strip().lower()
+    if kind not in _SPEC_FIELDS:
+        raise ValueError(
+            f"unknown service fault kind {kind!r}; expected one of "
+            f"{', '.join(_SPEC_FIELDS)}"
+        )
+    cls, fields = _SPEC_FIELDS[kind]
+    kwargs: dict[str, float | int] = {}
+    for pair in filter(None, (p.strip() for p in body.split(","))):
+        key, eq, raw = pair.partition("=")
+        key = key.strip()
+        if not eq or key not in fields:
+            raise ValueError(
+                f"bad field {pair!r} in {kind} spec; expected {', '.join(fields)}"
+            )
+        try:
+            kwargs[key] = int(raw) if key == "after" else float(raw)
+        except ValueError:
+            raise ValueError(f"non-numeric value for {key!r}: {raw!r}") from None
+    return cls(**kwargs)  # field validation happens in __post_init__
+
+
+def service_plan_from_specs(specs: Iterable[str]) -> ServiceFaultPlan:
+    """Build a :class:`ServiceFaultPlan` from ``--inject`` spec strings."""
+    return ServiceFaultPlan(tuple(parse_service_inject(s) for s in specs))

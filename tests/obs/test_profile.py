@@ -23,6 +23,7 @@ from repro.obs.ledger import (
     ledger_path,
     make_entry,
     read_entries,
+    read_ledger,
     record_run,
     describe_entries,
 )
@@ -209,6 +210,64 @@ class TestLedger:
 
     def test_read_missing_file(self, tmp_path):
         assert read_entries(tmp_path / "absent.jsonl") == []
+
+    def test_truncated_last_line_is_skipped_and_counted(self, tmp_path):
+        """A crash mid-append leaves a torn final line; the reader must
+        keep every whole entry and report the damage instead of dying."""
+        record_run(tmp_path, app="FFT", platform="smp", lane="serial",
+                   config_hash="a", total_cycles=1.0)
+        record_run(tmp_path, app="LU", platform="cow", lane="serial",
+                   config_hash="b", total_cycles=2.0)
+        path = ledger_path(tmp_path)
+        path.write_bytes(path.read_bytes()[:-10])  # tear the last record
+
+        entries, malformed = read_ledger(path)
+        assert [e["app"] for e in entries] == ["FFT"]
+        assert malformed == 1
+
+    def test_torn_multibyte_utf8_is_malformed_not_a_crash(self, tmp_path):
+        path = ledger_path(tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        good = json.dumps(make_entry(
+            app="FFT", platform="smp", lane="serial",
+            config_hash="x", total_cycles=1.0,
+        )).encode("utf-8")
+        # A record holding non-ASCII text, torn mid-codepoint.
+        torn = json.dumps({"schema": "repro/run-ledger/1", "app": "café"})
+        torn_bytes = torn.encode("utf-8")[:-2]
+        path.write_bytes(good + b"\n" + torn_bytes)
+
+        entries, malformed = read_ledger(path)
+        assert len(entries) == 1 and malformed == 1
+
+    def test_malformed_count_distinguishes_garbage_from_foreign_schema(
+        self, tmp_path
+    ):
+        path = ledger_path(tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        good = json.dumps(make_entry(
+            app="FFT", platform="smp", lane="serial",
+            config_hash="x", total_cycles=1.0,
+        ))
+        path.write_text(
+            "not json at all\n"          # malformed
+            "[1, 2, 3]\n"                 # valid JSON, not an object: malformed
+            '{"schema": "someone-elses/9"}\n'  # foreign but well-formed: skipped quietly
+            + good + "\n"
+            + '{"torn": ',                # truncated tail: malformed
+            encoding="utf-8",
+        )
+        entries, malformed = read_ledger(path)
+        assert len(entries) == 1
+        assert malformed == 3
+
+    def test_describe_surfaces_the_malformed_count(self, tmp_path):
+        e = make_entry(app="FFT", platform="smp", lane="serial",
+                       config_hash="x", total_cycles=1.0)
+        assert "2 malformed lines skipped" in describe_entries([e], malformed=2)
+        assert "1 malformed line skipped" in describe_entries([], malformed=1)
+        assert "malformed" not in describe_entries([e])
+        assert "malformed" not in describe_entries([])
 
     def test_describe(self, tmp_path):
         assert "empty" in describe_entries([])

@@ -1,0 +1,94 @@
+"""Token buckets and the per-endpoint admission controller.
+
+Everything is clock-explicit, so these tests drive time by hand and the
+assertions are exact — no sleeps, no tolerance windows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.config import ServiceConfig
+
+
+class TestTokenBucket:
+    def test_burst_drains_then_refuses(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert [bucket.allow(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refill_is_proportional_to_elapsed_time(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.allow(0.0) and bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        # 0.5 s at 2 tokens/s refills exactly one token.
+        assert bucket.allow(0.5)
+        assert not bucket.allow(0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        bucket.allow(0.0)
+        # An hour idle still holds only `burst` tokens.
+        assert [bucket.allow(3600.0) for _ in range(3)] == [True, True, False]
+
+    def test_non_monotonic_clock_never_mints_tokens(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.allow(10.0)
+        assert not bucket.allow(5.0)  # clock went backwards: no refill
+
+    def test_sustained_rate_is_bounded(self):
+        bucket = TokenBucket(rate=10.0, burst=5.0)
+        admitted = sum(bucket.allow(i * 0.02) for i in range(500))  # 50 rps offered
+        # 10 s at 10 rps plus the burst, nothing more.
+        assert admitted <= 10 * 10 + 5
+        assert admitted >= 10 * 10 - 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+    def test_determinism(self):
+        a, b = TokenBucket(5.0, 3.0), TokenBucket(5.0, 3.0)
+        times = [0.0, 0.1, 0.1, 0.3, 0.35, 1.0, 1.0, 1.0, 2.5]
+        assert [a.allow(t) for t in times] == [b.allow(t) for t in times]
+
+
+class TestAdmissionController:
+    def _config(self, **sim):
+        cfg = ServiceConfig()
+        return cfg.with_policy("simulate", **sim) if sim else cfg
+
+    def test_bucket_refusal_reports_rate_limited(self):
+        ctl = AdmissionController(self._config(rate=1.0, burst=1.0))
+        assert ctl.try_admit("simulate", 0.0) is None
+        assert ctl.try_admit("simulate", 0.0) == "rate_limited"
+
+    def test_watermark_reports_queue_full(self):
+        ctl = AdmissionController(self._config(rate=1000.0, burst=1000.0, queue_depth=2))
+        assert ctl.try_admit("simulate", 0.0) is None
+        assert ctl.try_admit("simulate", 0.0) is None
+        assert ctl.try_admit("simulate", 0.0) == "queue_full"
+        ctl.release("simulate")
+        assert ctl.try_admit("simulate", 0.0) is None
+
+    def test_endpoints_are_independent(self):
+        ctl = AdmissionController(self._config(rate=1.0, burst=1.0))
+        assert ctl.try_admit("simulate", 0.0) is None
+        assert ctl.try_admit("simulate", 0.0) == "rate_limited"
+        assert ctl.try_admit("predict", 0.0) is None  # unaffected
+
+    def test_depth_tracks_admit_release_pairs(self):
+        ctl = AdmissionController(ServiceConfig())
+        assert ctl.depth("predict") == 0
+        ctl.try_admit("predict", 0.0)
+        ctl.try_admit("predict", 0.0)
+        assert ctl.depth("predict") == 2
+        ctl.release("predict")
+        assert ctl.depth("predict") == 1
+
+    def test_unbalanced_release_is_a_bug_not_a_shrug(self):
+        ctl = AdmissionController(ServiceConfig())
+        with pytest.raises(RuntimeError, match="release without admit"):
+            ctl.release("design")

@@ -1,0 +1,195 @@
+"""The pure query API: parsing, answer shapes, and the two exactness
+contracts the service advertises.
+
+* full-fidelity ``predict`` goes through the same batched evaluator
+  with the same knobs as ``repro predict`` (remote-rate adjustment on
+  clusters, sharing fractions from the workload, saturation -> inf);
+* ``predict_degraded`` is *exactly* ``zero_contention_amat`` — the
+  admissible bound, not an approximation of it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.amat import zero_contention_amat
+from repro.core.execution import e_instr_seconds
+from repro.service.api import (
+    KB,
+    NETWORKS,
+    WORKLOADS,
+    PredictRequest,
+    QueryAPI,
+    QueryError,
+    platform_from_obj,
+    workload_from_obj,
+)
+
+
+@pytest.fixture(scope="module")
+def api():
+    return QueryAPI(cache_dir=None)
+
+
+SHAPES = (
+    {"machines": 1, "procs_per_machine": 4},
+    {"machines": 4, "procs_per_machine": 1},
+    {"machines": 4, "procs_per_machine": 2, "network": "atm", "cache_kb": 512},
+)
+
+
+class TestParsing:
+    def test_named_workload(self):
+        assert workload_from_obj({"workload": "FFT"}) is WORKLOADS["FFT"]
+
+    def test_custom_workload(self):
+        w = workload_from_obj({"alpha": 1.8, "beta": 700, "gamma": 0.4})
+        assert (w.alpha, w.beta, w.gamma) == (1.8, 700.0, 0.4)
+
+    def test_unknown_workload_is_a_query_error(self):
+        with pytest.raises(QueryError, match="unknown workload"):
+            workload_from_obj({"workload": "nope"})
+
+    def test_missing_params_is_a_query_error(self):
+        with pytest.raises(QueryError, match="alpha"):
+            workload_from_obj({"alpha": 1.5})
+
+    def test_platform_defaults_and_units(self):
+        spec = platform_from_obj({})
+        assert (spec.N, spec.n) == (4, 1)
+        assert spec.cache_bytes == 256 * KB
+        assert spec.network is NETWORKS["ethernet100"]
+
+    def test_single_machine_drops_the_network(self):
+        spec = platform_from_obj(
+            {"machines": 1, "procs_per_machine": 2, "network": "atm"}
+        )
+        assert spec.network is None
+
+    def test_bad_platform_values(self):
+        with pytest.raises(QueryError, match="machines"):
+            platform_from_obj({"machines": 0})
+        with pytest.raises(QueryError, match="machines"):
+            platform_from_obj({"machines": 2.5})
+        with pytest.raises(QueryError, match="network"):
+            platform_from_obj({"network": "token-ring"})
+
+    def test_bad_mode_is_a_query_error(self):
+        with pytest.raises(QueryError, match="mode"):
+            PredictRequest(WORKLOADS["FFT"], platform_from_obj({}), mode="magic")
+
+
+class TestPredict:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("name", ["FFT", "TPC-C"])
+    def test_matches_the_model_with_cli_knobs(self, api, name, shape):
+        from repro.core.batch import BatchCase, e_instr_seconds_batch
+
+        workload = WORKLOADS[name]
+        spec = platform_from_obj(shape)
+        answer = api.predict(workload, spec)
+        expected = e_instr_seconds_batch(
+            [
+                BatchCase(
+                    spec,
+                    sharing_fraction=workload.sharing_at(spec.N),
+                    sharing_fresh_fraction=workload.sharing_fresh_fraction,
+                    remote_rate_adjustment=0.124 if spec.N > 1 else 0.0,
+                )
+            ],
+            workload.locality,
+            workload.gamma,
+            mode="throttled",
+            on_saturation="inf",
+        )[0]
+        assert answer.e_instr_seconds == float(expected)
+        assert answer.feasible == math.isfinite(float(expected))
+        assert not answer.degraded
+
+    def test_infeasible_serializes_as_null_not_inf(self, api):
+        # A tiny cache on a slow network saturates the throttled model.
+        workload = WORKLOADS["Radix"]
+        spec = platform_from_obj(
+            {"machines": 16, "cache_kb": 1, "memory_mb": 1, "network": "ethernet10"}
+        )
+        answer = api.predict(workload, spec)
+        if not answer.feasible:
+            assert answer.to_obj()["e_instr_seconds"] is None
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_degraded_is_exactly_zero_contention_amat(self, api, shape):
+        workload = WORKLOADS["LU"]
+        spec = platform_from_obj(shape)
+        answer = api.predict_degraded(workload, spec)
+        bound = zero_contention_amat(
+            spec.hierarchy(),
+            workload.locality,
+            workload.gamma,
+            remote_rate_adjustment=0.124 if spec.N > 1 else 0.0,
+            sharing_fraction=workload.sharing_at(spec.N),
+            sharing_fresh_fraction=workload.sharing_fresh_fraction,
+        )
+        assert answer.amat_cycles == bound
+        assert answer.e_instr_seconds == e_instr_seconds(
+            spec.total_processors, workload.gamma, bound, spec.cpu_hz
+        )
+        assert answer.degraded and answer.feasible
+        assert answer.to_obj()["degraded"] is True
+
+    def test_degraded_never_exceeds_the_full_answer(self, api):
+        # The zero-contention AMAT is an admissible lower bound.
+        for name in ("FFT", "LU", "EDGE"):
+            workload = WORKLOADS[name]
+            spec = platform_from_obj({"machines": 4, "procs_per_machine": 2})
+            full = api.predict(workload, spec)
+            floor = api.predict_degraded(workload, spec)
+            assert floor.e_instr_seconds <= full.e_instr_seconds
+
+
+class TestDesign:
+    def test_matches_design_search_directly(self, api):
+        from repro.cost.search import DesignQuery, DesignSearch
+
+        workload = WORKLOADS["FFT"]
+        answer = api.design(workload, 100_000.0)
+        (outcome,) = DesignSearch(jobs=1, lane="tensor").run(
+            [DesignQuery(workload, 100_000.0)]
+        )
+        assert answer.best == QueryAPI.config_payload(outcome.result.best)
+        assert answer.best["price"] <= 100_000.0
+        assert answer.stats["candidates"] == outcome.stats.candidates
+
+    def test_bad_budget_is_a_query_error(self, api):
+        with pytest.raises(QueryError, match="budget"):
+            api.design(WORKLOADS["FFT"], -5.0)
+
+
+class TestSimulate:
+    def test_unknown_app_rejected_before_any_worker(self, api):
+        with pytest.raises(QueryError, match="unknown application"):
+            api.simulate_args(
+                "NotAnApp",
+                platform_from_obj({"machines": 1, "procs_per_machine": 2}),
+            )
+
+    def test_submit_matches_the_runner(self, api):
+        from repro.experiments.runner import ExperimentRunner
+
+        spec = platform_from_obj(
+            {"machines": 1, "procs_per_machine": 2, "cache_kb": 64}
+        )
+        answer = api.simulate_submit(
+            "FFT", spec, seed=3, app_args={"points": 256}
+        )
+        runner = ExperimentRunner(
+            seed=3, jobs=1, lane="serial", app_kwargs={"FFT": {"points": 256}}
+        )
+        expected = runner.simulate("FFT", spec)
+        assert answer.total_cycles == float(expected.total_cycles)
+        assert answer.e_instr_seconds == float(expected.e_instr_seconds)
+        assert answer.seed == 3
+        obj = answer.to_obj()
+        assert isinstance(obj["total_cycles"], float)  # JSON-safe, not np
+        assert isinstance(obj["total_references"], int)

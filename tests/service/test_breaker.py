@@ -1,0 +1,87 @@
+"""The circuit breaker's state machine, transition by transition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker()
+        assert b.state(0.0) == CLOSED
+        assert b.allow(0.0)
+
+    def test_soft_failures_open_at_threshold(self):
+        b = CircuitBreaker(failure_threshold=3, recovery=5.0)
+        b.record_failure(0.0)
+        b.record_failure(0.1)
+        assert b.state(0.2) == CLOSED
+        b.record_failure(0.2)
+        assert b.state(0.3) == OPEN
+        assert not b.allow(0.3)
+
+    def test_success_resets_the_consecutive_count(self):
+        b = CircuitBreaker(failure_threshold=2)
+        b.record_failure(0.0)
+        b.record_success(0.1)
+        b.record_failure(0.2)
+        assert b.state(0.3) == CLOSED  # 1 consecutive, not 2
+
+    def test_hard_failure_opens_immediately(self):
+        b = CircuitBreaker(failure_threshold=100)
+        b.record_failure(0.0, hard=True)
+        assert b.state(0.0) == OPEN
+
+    def test_recovery_window_exposes_half_open(self):
+        b = CircuitBreaker(failure_threshold=1, recovery=5.0)
+        b.record_failure(10.0)
+        assert b.state(14.9) == OPEN
+        assert b.state(15.0) == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self):
+        b = CircuitBreaker(failure_threshold=1, recovery=5.0)
+        b.record_failure(0.0)
+        assert b.allow(5.0)  # the probe
+        assert not b.allow(5.0)  # everyone else keeps getting shed
+        assert not b.allow(5.1)
+
+    def test_probe_success_closes(self):
+        b = CircuitBreaker(failure_threshold=1, recovery=5.0)
+        b.record_failure(0.0)
+        assert b.allow(5.0)
+        b.record_success(5.2)
+        assert b.state(5.3) == CLOSED
+        assert b.allow(5.3)
+
+    def test_probe_failure_reopens_and_restarts_the_clock(self):
+        b = CircuitBreaker(failure_threshold=3, recovery=5.0)
+        b.record_failure(0.0, hard=True)
+        assert b.allow(5.0)
+        b.record_failure(5.2)  # one soft failure suffices mid-probe
+        assert b.state(5.3) == OPEN
+        assert b.state(9.9) == OPEN  # 5.2 + 5.0 > 9.9
+        assert b.state(10.5) == HALF_OPEN
+
+    def test_on_transition_fires_once_per_change(self):
+        seen: list[int] = []
+        b = CircuitBreaker(failure_threshold=1, recovery=1.0, on_transition=seen.append)
+        b.record_failure(0.0)
+        b.record_failure(0.1)  # already open: no duplicate callback
+        assert b.allow(1.5)  # half-open probe (0.1 restarted the clock)
+        b.record_success(1.6)
+        assert seen == [1, 2, 0]  # OPEN, HALF_OPEN, CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="recovery"):
+            CircuitBreaker(recovery=0.0)
+
+    def test_state_name(self):
+        b = CircuitBreaker(failure_threshold=1, recovery=2.0)
+        assert b.state_name(0.0) == "closed"
+        b.record_failure(0.0)
+        assert b.state_name(0.1) == "open"
+        assert b.state_name(2.0) == "half_open"

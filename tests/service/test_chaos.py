@@ -1,0 +1,98 @@
+"""Service fault plans: the --inject grammar and seeded generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.chaos import (
+    PoolStall,
+    ServiceFaultPlan,
+    SlowDependency,
+    WorkerKill,
+    parse_service_inject,
+    service_plan_from_specs,
+)
+
+
+class TestParsing:
+    def test_bare_kind_uses_defaults(self):
+        assert parse_service_inject("workerkill") == WorkerKill()
+        assert parse_service_inject("poolstall") == PoolStall()
+        assert parse_service_inject("slowdep") == SlowDependency()
+
+    def test_fields_parse(self):
+        assert parse_service_inject("workerkill:after=3") == WorkerKill(after=3)
+        assert parse_service_inject("poolstall:after=2,duration=1.5") == PoolStall(
+            after=2, duration=1.5
+        )
+        assert parse_service_inject(
+            "slowdep:at=1,duration=2,extra=0.1"
+        ) == SlowDependency(at=1.0, duration=2.0, extra=0.1)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown service fault kind"):
+            parse_service_inject("diskfire")
+
+    def test_unknown_field(self):
+        with pytest.raises(ValueError, match="bad field"):
+            parse_service_inject("workerkill:when=3")
+
+    def test_non_numeric_value(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_service_inject("workerkill:after=soon")
+
+    def test_field_validation_applies(self):
+        with pytest.raises(ValueError, match="duration"):
+            parse_service_inject("poolstall:duration=-1")
+
+    def test_plan_from_specs(self):
+        plan = service_plan_from_specs(["workerkill:after=2", "slowdep"])
+        assert len(plan.events) == 2
+        assert bool(plan)
+        assert not ServiceFaultPlan()
+
+
+class TestPlanQueries:
+    def test_kill_due_fires_on_the_exact_dispatch(self):
+        plan = ServiceFaultPlan((WorkerKill(after=3),))
+        assert [plan.kill_due(n) for n in (1, 2, 3, 4)] == [
+            False, False, True, False,
+        ]
+
+    def test_stall_due_sums_coincident_stalls(self):
+        plan = ServiceFaultPlan((PoolStall(after=2, duration=1.0),
+                                 PoolStall(after=2, duration=0.5)))
+        assert plan.stall_due(2) == 1.5
+        assert plan.stall_due(3) == 0.0
+
+    def test_extra_latency_window_is_half_open(self):
+        plan = ServiceFaultPlan((SlowDependency(at=1.0, duration=2.0, extra=0.25),))
+        assert plan.extra_latency(0.9) == 0.0
+        assert plan.extra_latency(1.0) == 0.25
+        assert plan.extra_latency(2.9) == 0.25
+        assert plan.extra_latency(3.0) == 0.0
+
+    def test_describe_names_every_event(self):
+        text = ServiceFaultPlan(
+            (WorkerKill(2), PoolStall(1, 3.0), SlowDependency(0.0, 1.0, 0.1))
+        ).describe()
+        assert "workerkill" in text and "poolstall" in text and "slowdep" in text
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        a = ServiceFaultPlan.generate(7, 30.0, kills=2, stalls=1, slowdeps=2)
+        b = ServiceFaultPlan.generate(7, 30.0, kills=2, stalls=1, slowdeps=2)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ServiceFaultPlan.generate(0, 30.0, kills=1, stalls=1, slowdeps=1)
+        b = ServiceFaultPlan.generate(1, 30.0, kills=1, stalls=1, slowdeps=1)
+        assert a != b
+
+    def test_events_land_inside_the_span(self):
+        plan = ServiceFaultPlan.generate(3, 20.0, kills=1, stalls=2, slowdeps=3)
+        for ev in plan.events:
+            if isinstance(ev, SlowDependency):
+                assert 0.0 <= ev.at <= 10.0  # at most half the span
+                assert ev.at + ev.duration <= 20.0

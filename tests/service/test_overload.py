@@ -1,0 +1,162 @@
+"""The overload acceptance property, replayed deterministically.
+
+A seeded Poisson stream drives the real :class:`ServiceCore` (real
+admission, real breaker, real coalescing, real ``QueryAPI`` answers) on
+a virtual clock, at 1x and at 5x estimated capacity with a worker-kill
+fault. The floors asserted here are the ISSUE's acceptance criteria:
+
+* no admitted request outlives its deadline — timeouts surface as
+  labeled 504-style sheds *at* the deadline, never as hangs;
+* p99 latency of admitted requests stays under the configured deadline
+  even at 5x;
+* goodput (delivered ok+degraded answers) at 5x holds at >= 70% of the
+  1x throughput — overload sheds load, it does not collapse service;
+* every shed and every degraded answer is explicitly labeled; nothing
+  fails silently;
+* the whole trajectory is a pure function of the seed: two replays
+  agree record for record, bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.api import PredictAnswer, QueryAPI
+from repro.service.chaos import ServiceFaultPlan, WorkerKill
+from repro.service.config import ServiceConfig
+from repro.service.loadgen import generate_stream, replay
+from repro.service.server import ServiceCore
+
+DURATION = 20.0
+RATE_1X = 15.0
+SEED = 2026
+
+#: One shared pure API: its design memo replays exact floats, so
+#: sharing it across replays changes wall-clock cost only, never answers.
+_API = QueryAPI(cache_dir=None)
+
+
+def _replay(rate: float, *, kill: bool):
+    chaos = ServiceFaultPlan((WorkerKill(after=2),)) if kill else None
+    core = ServiceCore(
+        _API, ServiceConfig(), chaos=chaos, metrics=MetricsRegistry()
+    )
+    stream = generate_stream(SEED, duration=DURATION, rate=rate)
+    return core, replay(core, stream, duration=DURATION)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _replay(RATE_1X, kill=False)
+
+
+@pytest.fixture(scope="module")
+def overloaded():
+    return _replay(5 * RATE_1X, kill=True)
+
+
+def _fingerprint(report):
+    out = []
+    for r in report.records:
+        answer = (
+            r.answer.e_instr_seconds
+            if isinstance(r.answer, PredictAnswer)
+            else None
+        )
+        out.append((r.endpoint, r.outcome, r.reason, r.latency, answer))
+    return out
+
+
+class TestBaseline:
+    def test_1x_delivers_everything_full_fidelity(self, baseline):
+        _, report = baseline
+        assert report.offered > 100
+        assert report.delivered == report.offered
+        assert report.degraded == 0
+        assert report.sheds() == {}
+
+
+class TestOverload:
+    def test_no_request_outlives_its_deadline(self, overloaded):
+        core, report = overloaded
+        for r in report.records:
+            deadline = core.config.policy(r.endpoint).deadline
+            assert r.latency <= deadline + 1e-9, (r.endpoint, r.outcome, r.latency)
+
+    def test_p99_of_admitted_stays_bounded(self, overloaded):
+        core, report = overloaded
+        bound = max(core.config.policy(ep).deadline for ep in ("predict", "design", "simulate"))
+        assert report.p99() <= bound
+        # The latency-sensitive endpoint individually too:
+        assert report.p99("predict") <= core.config.predict.deadline
+
+    def test_goodput_floor_holds_at_5x(self, baseline, overloaded):
+        _, base = baseline
+        _, over = overloaded
+        assert over.goodput >= 0.7 * base.goodput
+
+    def test_overload_is_shed_explicitly_not_silently(self, overloaded):
+        _, report = overloaded
+        sheds = report.sheds()
+        assert sum(sheds.values()) > 0  # 5x load genuinely shed something
+        assert set(sheds) <= {
+            "rate_limited", "queue_full", "breaker_open", "deadline", "timeout",
+        }
+        # Ledger closes: every offered request is accounted for exactly once.
+        outcomes = {}
+        for r in report.records:
+            outcomes[r.outcome] = outcomes.get(r.outcome, 0) + 1
+        assert sum(outcomes.values()) == report.offered
+        assert set(outcomes) <= {"ok", "degraded", "shed", "error"}
+        assert outcomes.get("error", 0) == 0  # synthetic streams are well-formed
+
+    def test_worker_kill_produces_labeled_degraded_answers(self, overloaded):
+        _, report = overloaded
+        degraded = [r for r in report.records if r.outcome == "degraded"]
+        assert degraded, "the worker kill must force degraded predicts"
+        for r in degraded:
+            assert r.endpoint == "predict"
+            assert isinstance(r.answer, PredictAnswer)
+            assert r.answer.degraded is True
+            assert r.answer.amat_cycles is not None  # auditable bound
+        assert any(r.reason == "breaker_open" for r in report.records), (
+            "simulate work must shed while the breaker is open"
+        )
+
+    def test_breaker_metrics_follow_the_trajectory(self, overloaded):
+        core, report = overloaded
+        shed = core.metrics.get("service_shed_total")
+        assert shed.labels(reason="breaker_open").value == report.sheds()["breaker_open"]
+        requests = core.metrics.get("service_requests_total")
+        delivered_predicts = sum(
+            1
+            for r in report.records
+            if r.endpoint == "predict" and r.outcome in ("ok", "degraded")
+        )
+        assert (
+            requests.labels(endpoint="predict", outcome="ok").value
+            + requests.labels(endpoint="predict", outcome="degraded").value
+            == delivered_predicts
+        )
+
+
+class TestDeterminism:
+    def test_two_replays_agree_record_for_record(self, overloaded):
+        _, first = overloaded
+        _, second = _replay(5 * RATE_1X, kill=True)
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_streams_are_pure_functions_of_the_seed(self):
+        a = generate_stream(5, duration=10.0, rate=20.0)
+        b = generate_stream(5, duration=10.0, rate=20.0)
+        c = generate_stream(6, duration=10.0, rate=20.0)
+        assert a == b
+        assert a != c
+
+    def test_stream_respects_rate_and_duration(self):
+        stream = generate_stream(1, duration=10.0, rate=50.0)
+        assert all(0.0 < q.t < 10.0 for q in stream)
+        assert 0.7 * 500 <= len(stream) <= 1.3 * 500
+        endpoints = {q.endpoint for q in stream}
+        assert endpoints == {"predict", "design", "simulate"}

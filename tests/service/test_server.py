@@ -1,0 +1,241 @@
+"""The real asyncio server, end to end over localhost sockets.
+
+Each test boots a :class:`QueryService` on an ephemeral port, drives it
+with the same minimal HTTP client ``repro query`` uses, and shuts it
+down. Simulation tests exercise the real worker pool (spawn context),
+including an actual SIGKILLed worker tripping the breaker into
+degraded mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.api import QueryAPI
+from repro.service.chaos import ServiceFaultPlan, WorkerKill
+from repro.service.config import ServiceConfig
+from repro.service.loadgen import http_request
+from repro.service.server import QueryService
+
+PLATFORM = {
+    "machines": 2,
+    "procs_per_machine": 2,
+    "cache_kb": 256,
+    "memory_mb": 64,
+    "network": "ethernet100",
+}
+SIM_BODY = {
+    "app": "FFT",
+    "app_args": {"points": 256},
+    "machines": 1,
+    "procs_per_machine": 2,
+    "cache_kb": 64,
+    "memory_mb": 64,
+}
+
+
+def drive(client, config=None, chaos=None):
+    """Boot a service, run ``client(request)`` in a worker thread, stop.
+
+    ``request(method, path, body=None)`` is a blocking single-request
+    HTTP client bound to the ephemeral port.
+    """
+
+    async def _main():
+        service = QueryService(
+            QueryAPI(cache_dir=None),
+            config or ServiceConfig(jobs=1),
+            chaos=chaos,
+            metrics=MetricsRegistry(),
+        )
+        await service.start(port=0)
+        loop = asyncio.get_running_loop()
+
+        def request(method, path, body=None, timeout=60.0):
+            return http_request(
+                "127.0.0.1", service.port, method, path, body, timeout=timeout
+            )
+
+        try:
+            return await loop.run_in_executor(
+                None, functools.partial(client, request, service)
+            )
+        finally:
+            await service.stop()
+
+    return asyncio.run(_main())
+
+
+class TestRoutes:
+    def test_predict_roundtrip_matches_the_pure_api(self):
+        def client(request, service):
+            return request("POST", "/v1/predict", {"workload": "FFT", **PLATFORM})
+
+        status, obj = drive(client)
+        assert status == 200
+        from repro.service.api import WORKLOADS, platform_from_obj
+
+        expected = QueryAPI(cache_dir=None).predict(
+            WORKLOADS["FFT"], platform_from_obj(PLATFORM)
+        )
+        assert obj["e_instr_seconds"] == expected.e_instr_seconds
+        assert obj["degraded"] is False
+
+    def test_design_roundtrip(self):
+        def client(request, service):
+            return request("POST", "/v1/design", {"workload": "LU", "budget": 50_000})
+
+        status, obj = drive(client)
+        assert status == 200
+        assert obj["best"]["price"] <= 50_000
+        assert set(obj["stats"]) == {
+            "candidates", "evaluated", "pruned", "memo_hits", "from_cache",
+        }
+
+    def test_bad_body_is_a_400_with_an_error_message(self):
+        def client(request, service):
+            return [
+                request("POST", "/v1/predict", {"workload": "nope"}),
+                request("POST", "/v1/design", {"workload": "FFT", "budget": -1}),
+                request("POST", "/v1/simulate", {"app": 42}),
+            ]
+
+        for status, obj in drive(client):
+            assert status == 400
+            assert "error" in obj
+
+    def test_unknown_route_and_method(self):
+        def client(request, service):
+            return [
+                request("GET", "/v1/elsewhere"),
+                request("PUT", "/v1/predict", {}),
+            ]
+
+        (s404, _), (s405, _) = drive(client)
+        assert (s404, s405) == (404, 405)
+
+    def test_healthz_reports_breaker_state(self):
+        def client(request, service):
+            return request("GET", "/healthz")
+
+        status, obj = drive(client)
+        assert status == 200
+        assert obj["ok"] is True
+        assert obj["breaker"] == "closed"
+
+    def test_metrics_endpoint_speaks_prometheus_text(self):
+        def client(request, service):
+            request("POST", "/v1/predict", {"workload": "FFT", **PLATFORM})
+            return request("GET", "/metrics")
+
+        status, text = drive(client)
+        assert status == 200
+        assert isinstance(text, str)
+        assert 'service_requests_total{endpoint="predict",outcome="ok"} 1' in text
+        assert "service_breaker_state 0" in text
+        assert "service_queue_depth" in text
+        assert "service_latency_seconds" in text
+
+
+class TestAdmission:
+    def test_rate_limit_answers_429_with_reason(self):
+        config = ServiceConfig(jobs=1).with_policy("predict", rate=1.0, burst=2.0)
+
+        def client(request, service):
+            return [
+                request("POST", "/v1/predict", {"workload": "FFT", **PLATFORM})
+                for _ in range(6)
+            ]
+
+        results = drive(client, config=config)
+        statuses = [s for s, _ in results]
+        assert statuses.count(200) >= 2
+        shed = [obj for s, obj in results if s == 429]
+        assert shed, "burst-exhausted requests must shed"
+        assert all(o == {"shed": True, "endpoint": "predict", "reason": "rate_limited"} for o in shed)
+
+    def test_coalesced_answers_match_direct_calls(self):
+        # A wide window guarantees concurrent requests ride one wave.
+        config = ServiceConfig(jobs=1).with_policy(
+            "predict", coalesce_window=0.25, max_batch=64
+        )
+        bodies = [
+            {"workload": name, **PLATFORM} for name in ("FFT", "LU", "Radix", "EDGE")
+        ]
+
+        def client(request, service):
+            import concurrent.futures
+
+            with concurrent.futures.ThreadPoolExecutor(len(bodies)) as pool:
+                futs = [
+                    pool.submit(request, "POST", "/v1/predict", body)
+                    for body in bodies
+                ]
+                results = [f.result() for f in futs]
+            batch_metric = service.core.metrics.get("service_batch_size")
+            return results, batch_metric.labels(endpoint="predict").sum
+
+        results, batched = drive(client, config=config)
+        api = QueryAPI(cache_dir=None)
+        from repro.service.api import WORKLOADS, platform_from_obj
+
+        for body, (status, obj) in zip(bodies, results):
+            assert status == 200
+            direct = api.predict(
+                WORKLOADS[body["workload"]], platform_from_obj(body)
+            )
+            assert obj["e_instr_seconds"] == direct.e_instr_seconds
+        assert batched == len(bodies), "requests must actually coalesce"
+
+
+class TestSimulatePath:
+    def test_simulate_roundtrip_through_the_worker_pool(self):
+        def client(request, service):
+            return request("POST", "/v1/simulate", SIM_BODY)
+
+        status, obj = drive(client, config=ServiceConfig(jobs=1))
+        assert status == 200
+        expected = QueryAPI(cache_dir=None).simulate_submit(
+            "FFT",
+            __import__("repro.service.api", fromlist=["platform_from_obj"]).platform_from_obj(SIM_BODY),
+            seed=0,
+            app_args={"points": 256},
+        )
+        assert obj["total_cycles"] == expected.total_cycles
+        assert obj["degraded"] is False
+
+    def test_killed_worker_trips_breaker_and_degrades_predicts(self):
+        chaos = ServiceFaultPlan((WorkerKill(after=1),))
+
+        def client(request, service):
+            sim = request("POST", "/v1/simulate", SIM_BODY)
+            predict = request("POST", "/v1/predict", {"workload": "FFT", **PLATFORM})
+            health = request("GET", "/healthz")
+            return sim, predict, health
+
+        (sim_status, sim_obj), (p_status, p_obj), (_, health) = drive(
+            client, config=ServiceConfig(jobs=1), chaos=chaos
+        )
+        # The dead pool surfaces as an explicit labeled shed...
+        assert sim_status == 503
+        assert sim_obj == {"shed": True, "endpoint": "simulate", "reason": "breaker_open"}
+        # ...opens the breaker...
+        assert health["breaker"] == "open"
+        # ...and predict falls back to the labeled zero-contention bound.
+        assert p_status == 200
+        assert p_obj["degraded"] is True
+        assert "amat_cycles" in p_obj
+
+    def test_client_deadline_is_enforced_with_a_504(self):
+        def client(request, service):
+            body = dict(SIM_BODY, deadline_s=0.001)
+            return request("POST", "/v1/simulate", body)
+
+        status, obj = drive(client, config=ServiceConfig(jobs=1))
+        assert status == 504
+        assert obj["reason"] in ("deadline", "timeout")
+        assert obj["shed"] is True

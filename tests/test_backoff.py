@@ -1,0 +1,95 @@
+"""Seeded jittered backoff and the retry budget (shared by the pool
+and the query service).
+
+The contract is reproducibility without correlation: two runs with one
+seed sleep for bit-identical durations, two tasks under one seed sleep
+for *different* durations, and the budget's invariant
+``granted <= floor + ratio * requests`` holds at every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backoff import RetryBudget, backoff_delay, jitter_fraction
+
+
+class TestJitterFraction:
+    def test_deterministic_for_seed_and_tokens(self):
+        assert jitter_fraction(7, "cell", 1) == jitter_fraction(7, "cell", 1)
+
+    def test_in_unit_interval(self):
+        for seed in range(50):
+            assert 0.0 <= jitter_fraction(seed, "x") < 1.0
+
+    def test_tokens_decorrelate(self):
+        fracs = {jitter_fraction(0, "cell", d) for d in range(20)}
+        assert len(fracs) == 20
+
+    def test_seed_decorrelates(self):
+        assert jitter_fraction(0, "cell") != jitter_fraction(1, "cell")
+
+
+class TestBackoffDelay:
+    def test_unseeded_is_plain_exponential(self):
+        assert backoff_delay(0.25, 1) == 0.25
+        assert backoff_delay(0.25, 2) == 0.5
+        assert backoff_delay(0.25, 3) == 1.0
+
+    def test_unseeded_caps(self):
+        assert backoff_delay(1.0, 10, cap=30.0) == 30.0
+
+    def test_seeded_stays_in_upper_half_window(self):
+        for attempt in (1, 2, 3):
+            window = 0.25 * 2 ** (attempt - 1)
+            for seed in range(20):
+                d = backoff_delay(0.25, attempt, seed=seed, tokens=("t",))
+                assert 0.5 * window <= d < window
+
+    def test_seeded_is_reproducible(self):
+        a = backoff_delay(0.1, 2, seed=42, tokens=("cell", "FFT"))
+        b = backoff_delay(0.1, 2, seed=42, tokens=("cell", "FFT"))
+        assert a == b
+
+    def test_seeded_differs_across_tasks(self):
+        delays = {
+            backoff_delay(0.1, 1, seed=0, tokens=("cell", d)) for d in range(10)
+        }
+        assert len(delays) == 10
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt"):
+            backoff_delay(0.1, 0)
+
+    def test_zero_base_sleeps_zero(self):
+        assert backoff_delay(0.0, 3, seed=1, tokens=("x",)) == 0.0
+
+
+class TestRetryBudget:
+    def test_floor_allows_cold_start_retries(self):
+        budget = RetryBudget(ratio=0.0, floor=2)
+        assert budget.allow_retry()
+        assert budget.allow_retry()
+        assert not budget.allow_retry()
+
+    def test_invariant_holds_under_hostile_sequence(self):
+        budget = RetryBudget(ratio=0.1, floor=3)
+        for step in range(500):
+            if step % 3 == 0:
+                budget.note_request()
+            budget.allow_retry()
+            assert budget.granted <= budget.floor + budget.ratio * budget.requests + 1
+        snap = budget.snapshot()
+        assert snap["granted"] + snap["denied"] == 500
+
+    def test_ratio_funds_retries_proportionally(self):
+        budget = RetryBudget(ratio=0.5, floor=0)
+        budget.note_request(10)
+        granted = sum(budget.allow_retry() for _ in range(100))
+        assert granted == 5  # 0 + 0.5 * 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ratio"):
+            RetryBudget(ratio=1.5)
+        with pytest.raises(ValueError, match="floor"):
+            RetryBudget(floor=-1)

@@ -25,6 +25,7 @@ DOC_PAGES = [
     "docs/MODEL.md",
     "docs/OBSERVABILITY.md",
     "docs/RESILIENCE.md",
+    "docs/SERVICE.md",
     "docs/SIMULATOR.md",
 ]
 
@@ -61,6 +62,13 @@ class TestCrossLinks:
         arch_refs = _md_references(ROOT / "docs" / "ARCHITECTURE.md")
         assert {"docs/MODEL.md", "docs/SIMULATOR.md", "docs/COST.md",
                 "docs/OBSERVABILITY.md", "docs/RESILIENCE.md"} <= arch_refs
+
+    def test_service_doc_is_connected_both_ways(self):
+        service_refs = _md_references(ROOT / "docs" / "SERVICE.md")
+        assert {"docs/COST.md", "docs/SIMULATOR.md",
+                "docs/OBSERVABILITY.md", "docs/RESILIENCE.md"} <= service_refs
+        resilience_refs = _md_references(ROOT / "docs" / "RESILIENCE.md")
+        assert "docs/SERVICE.md" in resilience_refs
 
 
 class TestDocsMatchCode:
@@ -109,6 +117,33 @@ class TestDocsMatchCode:
         assert PROFILE_SCHEMA in doc and LEDGER_SCHEMA in doc
         assert "BENCH_FLOORS" in doc
         assert "obs_overhead_pct" in BENCH_FLOORS
+
+    def test_service_doc_pins_endpoints_and_metrics(self):
+        doc = (ROOT / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+        server_src = (ROOT / "src/repro/service/server.py").read_text(
+            encoding="utf-8"
+        )
+        for route in ("/v1/predict", "/v1/design", "/v1/simulate",
+                      "/metrics", "/healthz"):
+            assert route in doc, f"SERVICE.md no longer documents {route}"
+            assert route in server_src, f"server.py no longer serves {route}"
+        for metric in ("service_requests_total", "service_shed_total",
+                       "service_latency_seconds", "service_queue_depth",
+                       "service_batch_size", "service_retries_total",
+                       "service_breaker_state"):
+            assert metric in doc, f"SERVICE.md no longer documents {metric}"
+            assert metric in server_src, (
+                f"server.py no longer registers {metric}"
+            )
+
+    def test_service_doc_shed_reasons_match_code(self):
+        from repro.service.server import SHED_STATUS
+
+        doc = (ROOT / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+        for reason in SHED_STATUS:
+            assert f"`{reason}`" in doc, (
+                f"SERVICE.md's shed taxonomy misses {reason!r}"
+            )
 
     def test_cost_doc_examples_name_real_api(self):
         import repro.cost as cost

@@ -1,0 +1,105 @@
+"""FaultTolerantPool under *repeated* worker deaths.
+
+PR 3 established single-crash degradation (tests/experiments/
+test_resilience.py); here the scenario is harsher: every pooled attempt
+dies. The contract under test is that the first BrokenProcessPool
+abandons the pool for the *rest of the batch* — the serial fallback is
+sticky, no second pool is spawned for the survivors — and the
+``repro_pool_degradations_total`` counter moves exactly once, not once
+per dead worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.pool import FaultTolerantPool
+
+
+def _die_in_workers(args):
+    """Crash hard in any pool worker; compute normally in-process.
+
+    ``os._exit`` skips interpreter cleanup, so from a pool worker it is
+    indistinguishable from an OOM kill; the serial fallback runs in the
+    main process, where ``parent_process()`` is None and the task just
+    succeeds.
+    """
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return args * 10
+
+
+def _square(args):
+    return args * args
+
+
+def _pool(metrics: MetricsRegistry, **kwargs) -> FaultTolerantPool:
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("retry_backoff", 0.0)
+    return FaultTolerantPool(
+        degradations=metrics.counter("repro_pool_degradations_total", "d"),
+        retries=metrics.counter("repro_cell_retries_total", "r"),
+        **kwargs,
+    )
+
+
+class TestRepeatedBrokenPool:
+    def test_every_worker_dying_degrades_once_and_stays_serial(self):
+        metrics = MetricsRegistry()
+        pool = _pool(metrics)
+        tasks = [(f"t{i}", i) for i in range(6)]
+        results: dict[int, int] = {}
+        pool.run(_die_in_workers, tasks, results.__setitem__)
+
+        # Every task completed — serially — with the right answer.
+        assert results == {i: i * 10 for i in range(6)}
+        # One degradation for the whole batch, not one per dead worker.
+        assert metrics.get("repro_pool_degradations_total").value == 1
+        # Sticky: the pool was abandoned after the first break; the
+        # remaining five tasks never got a second pool.
+        assert pool.pools_spawned == 1
+
+    def test_next_batch_starts_fresh_with_its_own_pool(self):
+        metrics = MetricsRegistry()
+        pool = _pool(metrics)
+        crashed: dict[int, int] = {}
+        pool.run(_die_in_workers, [(f"t{i}", i) for i in range(4)], crashed.__setitem__)
+        assert metrics.get("repro_pool_degradations_total").value == 1
+
+        # A healthy follow-up batch on the same object pools again and
+        # does not re-count the old degradation.
+        healthy: dict[int, int] = {}
+        pool.run(_square, [(f"s{i}", i) for i in range(4)], healthy.__setitem__)
+        assert healthy == {i: i * i for i in range(4)}
+        assert pool.pools_spawned == 2
+        assert metrics.get("repro_pool_degradations_total").value == 1
+
+    def test_crash_with_jobs_one_never_touches_a_pool(self):
+        metrics = MetricsRegistry()
+        pool = _pool(metrics, jobs=1)
+        results: dict[int, int] = {}
+        pool.run(_die_in_workers, [(f"t{i}", i) for i in range(3)], results.__setitem__)
+        assert results == {i: i * 10 for i in range(3)}
+        assert pool.pools_spawned == 0
+        assert metrics.get("repro_pool_degradations_total").value == 0
+
+
+class TestSeededPoolBackoff:
+    def test_jitter_seed_makes_backoff_reproducible_and_decorrelated(self):
+        a = FaultTolerantPool(jobs=1, retry_backoff=0.2, jitter_seed=11)
+        b = FaultTolerantPool(jobs=1, retry_backoff=0.2, jitter_seed=11)
+        c = FaultTolerantPool(jobs=1, retry_backoff=0.2, jitter_seed=12)
+        assert a.backoff_delay(1, "cellA") == b.backoff_delay(1, "cellA")
+        assert a.backoff_delay(1, "cellA") != a.backoff_delay(1, "cellB")
+        assert a.backoff_delay(1, "cellA") != c.backoff_delay(1, "cellA")
+        window = 0.2
+        assert 0.5 * window <= a.backoff_delay(1, "cellA") < window
+
+    def test_unseeded_pool_keeps_legacy_schedule(self):
+        pool = FaultTolerantPool(jobs=1, retry_backoff=0.25)
+        assert pool.backoff_delay(1) == 0.25
+        assert pool.backoff_delay(2) == 0.5
