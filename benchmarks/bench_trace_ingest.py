@@ -1,0 +1,228 @@
+"""Streaming ingestion throughput and memory-boundedness, held to floors.
+
+The out-of-core lane (``docs/TRACES.md``) makes two promises: it is
+*fast* (hundreds of thousands of records per second end to end,
+container decode included) and it is *bounded* (peak memory scales with
+the chunk, never the trace).  This benchmark holds both to numbers:
+
+1. generate a power-law address trace with a cheap vectorized
+   generator, write it as a zlib ``.rtc`` container;
+2. ingest it through the full pipeline (streaming distances,
+   incremental fit, workload registration), measuring records/s and
+   the resident-set growth across the ingest;
+3. optionally (``--memory-cap-mb``) clamp ``RLIMIT_AS`` to the current
+   address space plus the cap *for the duration of the ingest* -- an
+   ingest that tried to materialize the trace dies with MemoryError
+   instead of quietly passing;
+4. verify the streamed fit against the in-memory lane
+   (``fit_from_distances`` on the whole trace): bit-equal is expected,
+   a relative tolerance is enforced (``--fit-tolerance``).
+
+``--require-floors`` gates records/s and RSS growth at the
+:data:`repro.obs.ledger.BENCH_FLOORS` values CI enforces.  Results
+land in ``BENCH_trace.json`` (or ``--output``).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_trace_ingest.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import time
+
+import numpy as np
+
+from bench_engine_throughput import provenance
+from repro.obs.ledger import BENCH_FLOORS
+from repro.trace.ingest import ingest
+from repro.trace.stackdist import stack_distances
+from repro.trace.store import TraceStoreWriter
+from repro.workloads.fitting import fit_from_distances
+
+#: CI acceptance floors (shared with the run ledger).
+RECORDS_PER_SECOND_FLOOR = BENCH_FLOORS["trace_ingest_records_per_second"]
+RSS_GROWTH_CEILING_MB = BENCH_FLOORS["trace_rss_growth_mb"]
+
+
+def _rss_mb() -> float:
+    """Peak resident set of this process so far, in MiB (Linux: KiB units)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _address_space_bytes() -> int | None:
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmSize:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return None
+
+
+def generate_container(path, records: int, footprint: int, seed: int = 0,
+                       chunk_records: int = 65536) -> np.ndarray:
+    """Cheap vectorized power-law trace; returns the addresses written.
+
+    (``repro.workloads.synthetic`` draws reference-by-reference from the
+    fitted model -- faithful but far too slow to *generate* benchmark
+    input; a Zipf draw has the same qualitative locality.)
+    """
+    rng = np.random.default_rng(seed)
+    addrs = (rng.zipf(1.3, size=records) - 1) % footprint
+    with TraceStoreWriter(path, chunk_records=chunk_records) as w:
+        for start in range(0, records, chunk_records):
+            w.append(addrs[start : start + chunk_records], work=2)
+    return addrs
+
+
+def run_benchmark(records: int, footprint: int, chunk_records: int,
+                  memory_cap_mb: float | None, verify_fit: bool,
+                  workdir) -> dict:
+    container = workdir / "bench.rtc"
+    t0 = time.perf_counter()
+    addrs = generate_container(container, records, footprint,
+                               chunk_records=chunk_records)
+    gen_seconds = time.perf_counter() - t0
+
+    rss_before = _rss_mb()
+    cap_applied = None
+    if memory_cap_mb is not None:
+        vm = _address_space_bytes()
+        if vm is None:
+            print("note: /proc/self/status unavailable; memory cap skipped",
+                  file=sys.stderr)
+        else:
+            soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+            cap_applied = vm + int(memory_cap_mb * 1024 * 1024)
+            resource.setrlimit(resource.RLIMIT_AS, (cap_applied, hard))
+    try:
+        t0 = time.perf_counter()
+        result = ingest(container, name="bench",
+                        workload_dir=workdir / "wl",
+                        chunk_records=chunk_records)
+        ingest_seconds = time.perf_counter() - t0
+    finally:
+        if cap_applied is not None:
+            resource.setrlimit(resource.RLIMIT_AS, (soft, hard))
+    rss_after = _rss_mb()
+
+    payload = {
+        "benchmark": "trace_ingest",
+        "records": records,
+        "footprint_items": footprint,
+        "chunk_records": chunk_records,
+        "generate_seconds": round(gen_seconds, 4),
+        "ingest_seconds": round(ingest_seconds, 4),
+        "records_per_second": round(records / ingest_seconds, 1),
+        "container_bytes": result.bytes_read,
+        "rss_before_mb": round(rss_before, 1),
+        "rss_after_mb": round(rss_after, 1),
+        "rss_growth_mb": round(rss_after - rss_before, 1),
+        "memory_cap_mb": memory_cap_mb,
+        "peak_live_items": result.stream.peak_live_items,
+        "alpha": result.fit.alpha,
+        "beta": result.fit.beta,
+        "gamma": result.params.gamma,
+        "rmse": result.fit.rmse,
+        "converged": result.convergence.converged,
+        "floors": {
+            "records_per_second": RECORDS_PER_SECOND_FLOOR,
+            "rss_growth_mb": RSS_GROWTH_CEILING_MB,
+        },
+        "provenance": provenance(),
+    }
+
+    if verify_fit:
+        reference = fit_from_distances(stack_distances(addrs))
+        payload["fit_reference"] = {
+            "alpha": reference.alpha,
+            "beta": reference.beta,
+            "rmse": reference.rmse,
+        }
+        payload["fit_rel_error"] = {
+            "alpha": abs(result.fit.alpha - reference.alpha)
+            / abs(reference.alpha),
+            "beta": abs(result.fit.beta - reference.beta)
+            / abs(reference.beta),
+        }
+    return payload
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="200k records instead of 1.2M")
+    ap.add_argument("--records", type=int, default=None)
+    ap.add_argument("--footprint", type=int, default=50_000)
+    ap.add_argument("--chunk-records", type=int, default=65536)
+    ap.add_argument("--memory-cap-mb", type=float, default=None,
+                    help="clamp RLIMIT_AS to current VmSize + this many "
+                         "MiB for the duration of the ingest")
+    ap.add_argument("--no-verify-fit", action="store_true",
+                    help="skip the in-memory reference fit")
+    ap.add_argument("--fit-tolerance", type=float, default=1e-9,
+                    help="max relative (alpha, beta) error vs the "
+                         "in-memory fit (bit-equal expected)")
+    ap.add_argument("--require-floors", action="store_true",
+                    help="fail below the CI records/s floor or above "
+                         "the RSS-growth ceiling")
+    ap.add_argument("--output", default="BENCH_trace.json")
+    args = ap.parse_args(argv)
+
+    records = args.records or (200_000 if args.quick else 1_200_000)
+
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        payload = run_benchmark(
+            records, args.footprint, args.chunk_records,
+            args.memory_cap_mb, not args.no_verify_fit, Path(tmp),
+        )
+
+    from repro.ioutil import atomic_write_json
+
+    atomic_write_json(args.output, payload)
+
+    print(f"ingested {records:,} records in {payload['ingest_seconds']:.2f}s "
+          f"({payload['records_per_second']:,.0f} records/s)")
+    print(f"rss {payload['rss_before_mb']:.1f} -> {payload['rss_after_mb']:.1f} MiB "
+          f"(growth {payload['rss_growth_mb']:.1f} MiB"
+          + (f", hard cap +{args.memory_cap_mb:.0f} MiB held"
+             if args.memory_cap_mb is not None else "")
+          + ")")
+    print(f"fit alpha={payload['alpha']:.4f} beta={payload['beta']:.4f} "
+          f"rmse={payload['rmse']:.5f} converged={payload['converged']}")
+
+    failures = []
+    if "fit_rel_error" in payload:
+        err = max(payload["fit_rel_error"].values())
+        print(f"vs in-memory fit: max relative error {err:.2e}")
+        if err > args.fit_tolerance:
+            failures.append(
+                f"streamed fit deviates from the in-memory fit by {err:.2e} "
+                f"(> {args.fit_tolerance:.0e})"
+            )
+    if args.require_floors:
+        if payload["records_per_second"] < RECORDS_PER_SECOND_FLOOR:
+            failures.append(
+                f"{payload['records_per_second']:,.0f} records/s is below "
+                f"the {RECORDS_PER_SECOND_FLOOR:,.0f} floor"
+            )
+        if payload["rss_growth_mb"] > RSS_GROWTH_CEILING_MB:
+            failures.append(
+                f"RSS grew {payload['rss_growth_mb']:.1f} MiB, above the "
+                f"{RSS_GROWTH_CEILING_MB:.0f} MiB ceiling"
+            )
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,8 @@ from repro.apps.lu import LuApplication
 from repro.apps.radix import RadixApplication
 from repro.apps.tpcc import TpccApplication
 
-__all__ = ["APPLICATIONS", "make_application", "default_applications"]
+__all__ = ["APPLICATIONS", "make_application", "register_application",
+           "default_applications"]
 
 #: name -> factory(num_procs, seed) for the paper's four validation
 #: benchmarks plus the TPC-C stand-in, at default laptop-scale sizes.
@@ -46,6 +47,24 @@ APPLICATIONS: dict[str, Callable[..., SpmdApplication]] = {
 
 #: The four programs of the paper's Table 2, in its order.
 TABLE2_NAMES = ("FFT", "LU", "Radix", "EDGE")
+
+
+def register_application(
+    name: str,
+    factory: Callable[..., SpmdApplication],
+    replace: bool = False,
+) -> None:
+    """Add a constructor under ``name`` (e.g. an ingested-trace replay).
+
+    The built-in benchmarks cannot be overridden unless ``replace`` is
+    explicit -- a registered workload silently shadowing "LU" would
+    change every downstream answer.
+    """
+    if not name:
+        raise ValueError("application name must be non-empty")
+    if name in APPLICATIONS and not replace:
+        raise ValueError(f"application {name!r} already registered")
+    APPLICATIONS[name] = factory
 
 
 def make_application(name: str, num_procs: int = 1, seed: int = 0, **kwargs) -> SpmdApplication:

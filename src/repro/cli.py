@@ -186,27 +186,89 @@ def _platform_arg(text: str) -> PlatformSpec:
     )
 
 
+def _registered_workloads(args: argparse.Namespace) -> dict:
+    """Workloads ingested into ``--workload-dir`` (name -> RegisteredWorkload)."""
+    workload_dir = getattr(args, "workload_dir", None)
+    if not workload_dir:
+        return {}
+    from repro.workloads.registry import load_registry
+
+    try:
+        return load_registry(workload_dir)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def _workload_from(args: argparse.Namespace) -> WorkloadParams:
     if args.workload:
-        try:
+        if args.workload in _WORKLOADS:
             return _WORKLOADS[args.workload]
-        except KeyError:
-            raise SystemExit(
-                f"unknown workload {args.workload!r}; known: {', '.join(_WORKLOADS)}"
-            ) from None
+        registered = _registered_workloads(args)
+        if args.workload in registered:
+            return registered[args.workload].params
+        known = ", ".join([*_WORKLOADS, *sorted(registered)])
+        raise SystemExit(f"unknown workload {args.workload!r}; known: {known}")
     if args.alpha is None or args.beta is None or args.gamma is None:
         raise SystemExit("provide --workload NAME or all of --alpha/--beta/--gamma")
     return WorkloadParams("custom", alpha=args.alpha, beta=args.beta, gamma=args.gamma)
 
 
+def _resolve_app(args: argparse.Namespace) -> None:
+    """Make an ingested workload's replay app constructible by name.
+
+    Built-in applications win; otherwise a registered workload that
+    kept its trace container is installed as a
+    :class:`~repro.apps.replay.ReplayApplication` factory, so
+    ``simulate``/``profile``/``faults`` accept ingested workloads
+    exactly like the paper's benchmarks.
+    """
+    from repro.apps.registry import APPLICATIONS, register_application
+
+    name = getattr(args, "app", None)
+    if not name or name in APPLICATIONS:
+        return
+    registered = _registered_workloads(args)
+    workload = registered.get(name)
+    if workload is None or not workload.container:
+        known = sorted(APPLICATIONS) + sorted(
+            n for n, w in registered.items() if w.container and n not in APPLICATIONS
+        )
+        raise SystemExit(
+            f"unknown application {name!r}; known: {', '.join(known)}"
+        )
+    container = workload.container
+
+    def factory(num_procs=1, seed=0, **kw):
+        from repro.apps.replay import ReplayApplication
+
+        return ReplayApplication(
+            container, name=name, num_procs=num_procs, seed=seed, **kw
+        )
+
+    register_application(name, factory)
+
+
+def _add_workload_dir_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workload-dir", default=".repro_workloads", metavar="DIR",
+        help="registry of ingested workloads ('repro trace ingest'; "
+        "'' disables)",
+    )
+
+
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--workload", help="a Table 2 name: " + ", ".join(_WORKLOADS))
+    p.add_argument(
+        "--workload",
+        help="a Table 2 name (" + ", ".join(_WORKLOADS) + ") or an "
+        "ingested workload from --workload-dir",
+    )
     p.add_argument("--alpha", type=_positive_float, help="locality tail exponent (> 1)")
     p.add_argument("--beta", type=_positive_float, help="locality scale in 64-byte items")
     p.add_argument(
         "--gamma", type=_fraction,
         help="memory-referencing instruction fraction, in (0, 1]",
     )
+    _add_workload_dir_arg(p)
 
 
 def _add_platform_args(p: argparse.ArgumentParser) -> None:
@@ -600,6 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--app", required=True, help="FFT, LU, Radix, EDGE or TPC-C")
     p.add_argument("--procs", type=_positive_int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    _add_workload_dir_arg(p)
 
     p = sub.add_parser("report", help="run the full paper reproduction (slow)")
     _add_runner_args(p)
@@ -624,13 +687,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "simulate", help="simulate one application on one platform"
     )
-    p.add_argument("--app", required=True, help="FFT, LU, Radix, EDGE or TPC-C")
+    p.add_argument(
+        "--app", required=True,
+        help="FFT, LU, Radix, EDGE, TPC-C or an ingested workload "
+        "(replayed from its trace container)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--app-arg", action="append", default=[], metavar="KEY=VALUE",
         help="application constructor override, e.g. --app-arg points=1024 "
         "(repeatable)",
     )
+    _add_workload_dir_arg(p)
     _add_platform_args(p)
     _add_runner_args(p)
     p.add_argument(
@@ -651,6 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--app-arg", action="append", default=[], metavar="KEY=VALUE",
         help="application constructor override (repeatable)",
     )
+    _add_workload_dir_arg(p)
     p.add_argument(
         "--cause", action="append", default=[], choices=CAUSES, metavar="CAUSE",
         help="restrict the printed table to these causes (repeatable; "
@@ -689,6 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--app-arg", action="append", default=[], metavar="KEY=VALUE",
         help="application constructor override (repeatable)",
     )
+    _add_workload_dir_arg(p)
     p.add_argument(
         "--gen-seed", type=int, default=None, metavar="SEED",
         help="generate a seeded random fault plan sized to the clean run "
@@ -701,6 +771,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_platform_args(p)
     _add_runner_args(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace containers and streaming ingestion (docs/TRACES.md)",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser(
+        "ingest",
+        help="stream a raw trace, fit (alpha, beta, gamma) out of core, "
+        "register the result as a workload",
+    )
+    p.add_argument(
+        "source",
+        help="a trace container (*.rtc), a directory of containers, a "
+        "plain-text address stream (.txt/.addr) or a raw binary one "
+        "(.bin/.raw)",
+    )
+    p.add_argument(
+        "--name", default=None,
+        help="workload name to register (default: derived from the source)",
+    )
+    _add_workload_dir_arg(p)
+    p.add_argument(
+        "--chunk-records", type=_positive_int, default=65536, metavar="N",
+        help="records per streamed chunk -- the pipeline never holds more "
+        "than one chunk of the trace",
+    )
+    p.add_argument(
+        "--max-live-items", type=_positive_int, default=None, metavar="N",
+        help="bound the live-item table; overflow evicts the least-recent "
+        "items (distances stay exact below the bound; default unbounded)",
+    )
+    p.add_argument(
+        "--compression", choices=("none", "zlib", "lz4"), default="zlib",
+        help="container codec for imported sources (lz4 needs the lz4 "
+        "package)",
+    )
+    p.add_argument(
+        "--binary-dtype", default="<i8", metavar="DTYPE",
+        help="numpy dtype of raw binary address streams (default <i8)",
+    )
+    p.add_argument(
+        "--gamma", type=_fraction, default=None,
+        help="gamma override for address-only sources carrying no work "
+        "counts",
+    )
+    p.add_argument(
+        "--num-fit-points", type=_positive_int, default=64, metavar="N",
+        help="log-spaced CDF points per fit (matches the offline default)",
+    )
+    p.add_argument(
+        "--fit-every", type=_positive_int, default=1, metavar="N",
+        help="re-fit once per N chunks (the histogram still sees every "
+        "chunk)",
+    )
+    p.add_argument(
+        "--tol", type=_positive_float, default=0.01,
+        help="convergence threshold on the relative (alpha, beta, gamma) "
+        "deltas",
+    )
+    p.add_argument(
+        "--patience", type=_positive_int, default=3, metavar="N",
+        help="consecutive below-tol fits required to declare convergence",
+    )
+    p.add_argument(
+        "--stop-early", action="store_true",
+        help="stop streaming once the convergence rule holds",
+    )
+    p.add_argument(
+        "--convergence-out", type=_out_path, default=None, metavar="PATH",
+        help="write the per-chunk (alpha, beta, gamma) trajectory as JSON",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write trace_* metrics and ingest spans as JSON on exit",
+    )
+    p = trace_sub.add_parser(
+        "info", help="describe a trace container (header + frame scan)"
+    )
+    p.add_argument("container", type=_existing_file)
+    p = trace_sub.add_parser("list", help="list registered workloads")
+    _add_workload_dir_arg(p)
 
     p = sub.add_parser("obs", help="observability utilities")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
@@ -823,6 +975,85 @@ def _parse_app_args(pairs: Sequence[str]) -> dict[str, object]:
     return out
 
 
+def _trace_command(args: argparse.Namespace) -> int:
+    """Dispatch ``repro trace ingest|info|list``."""
+    if args.trace_command == "ingest":
+        from repro.trace.ingest import ingest
+
+        if not args.workload_dir:
+            raise SystemExit("trace ingest: --workload-dir must not be empty")
+        try:
+            result = ingest(
+                args.source,
+                name=args.name,
+                workload_dir=args.workload_dir,
+                chunk_records=args.chunk_records,
+                max_live_items=args.max_live_items,
+                compression=args.compression,
+                binary_dtype=args.binary_dtype,
+                gamma=args.gamma,
+                num_fit_points=args.num_fit_points,
+                fit_every=args.fit_every,
+                tol=args.tol,
+                patience=args.patience,
+                stop_early=args.stop_early,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"trace ingest: {exc}") from None
+        print(result.describe())
+        if args.convergence_out is not None:
+            result.convergence.export_json(args.convergence_out)
+            get_logger("repro.cli").info(
+                "wrote convergence trajectory", path=args.convergence_out
+            )
+        _finish_observability(args)
+        return 0
+
+    if args.trace_command == "info":
+        from repro.trace.store import TraceStoreReader
+
+        try:
+            reader = TraceStoreReader(args.container)
+            summary = reader.scan()
+        except ValueError as exc:
+            raise SystemExit(f"trace info: {exc}") from None
+        print(f"trace container {args.container}")
+        print(f"  format     : {reader.header['format']} "
+              f"(version {reader.header['version']}, "
+              f"{reader.header['address_width']}-bit addresses)")
+        print(f"  compression: {reader.compression} "
+              f"(chunk_records={reader.chunk_records})")
+        print(f"  records    : {summary['records']:,} in "
+              f"{summary['chunks']} chunks, {summary['barriers']} barriers")
+        print(f"  max address: {summary['max_address']:,} "
+              f"({summary['bytes']:,} bytes on disk)")
+        if not summary["clean_close"]:
+            print("  note       : header says unclean close "
+                  "(records counted by frame scan)")
+        if summary["torn_tail"]:
+            print("  WARNING    : torn tail -- the final frame is truncated")
+        return 0
+
+    assert args.trace_command == "list"
+    registered = _registered_workloads(args)
+    if not registered:
+        print(f"no registered workloads in {args.workload_dir!r}")
+        return 0
+    print(f"registered workloads in {args.workload_dir!r}:")
+    for name, wl in sorted(registered.items()):
+        p = wl.params
+        line = (
+            f"  {name:<20s} alpha={p.alpha:<8.4f} beta={p.beta:<12.4f} "
+            f"gamma={p.gamma:.4f}  {wl.records:>12,} records"
+        )
+        if wl.converged:
+            line += "  [converged]"
+        if wl.container:
+            line += f"  ({wl.container})"
+        print(line)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -914,6 +1145,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.apps.registry import make_application
         from repro.trace.analysis import characterize_run
 
+        _resolve_app(args)
         app = make_application(args.app, num_procs=args.procs, seed=args.seed)
         run = app.run()
         ch = characterize_run(run)
@@ -947,6 +1179,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "simulate":
+        _resolve_app(args)
         app_kwargs = _parse_app_args(args.app_arg)
         runner = _runner_from(
             args,
@@ -987,6 +1220,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "profile: provide --app NAME to profile a run, "
                 "or --diff A.json B.json to compare two saved profiles"
             )
+        _resolve_app(args)
         app_kwargs = _parse_app_args(args.app_arg)
         runner = _runner_from(
             args,
@@ -1020,6 +1254,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.faults.plan import FaultPlan, parse_inject_spec
         from repro.sim.engine import SimulationEngine
 
+        _resolve_app(args)
         app_kwargs = _parse_app_args(args.app_arg)
         runner = _runner_from(
             args,
@@ -1071,6 +1306,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(run_delay_propagation(runner, name=args.app, spec=spec).describe())
         _finish_observability(args, runner)
         return 0
+
+    if args.command == "trace":
+        return _trace_command(args)
 
     if args.command == "obs":
         if args.obs_command == "ledger":

@@ -52,6 +52,11 @@ BENCH_FLOORS = {
     "grid_speedup": 2.0,
     "wave_speedup": 1.3,
     "obs_overhead_pct": 10.0,
+    # streaming trace ingestion (benchmarks/bench_trace_ingest.py):
+    # end-to-end records/s floor and resident-set growth ceiling for a
+    # >= 200k-record ingest at the default 65,536-record chunk size.
+    "trace_ingest_records_per_second": 100_000.0,
+    "trace_rss_growth_mb": 256.0,
 }
 
 

@@ -36,6 +36,21 @@ _LAZY_MODULES = {
     "load_trace": "io",
     "save_run": "io",
     "load_run": "io",
+    # out-of-core ingestion pipeline (docs/TRACES.md)
+    "TraceStoreWriter": "store",
+    "TraceStoreReader": "store",
+    "TraceChunk": "store",
+    "write_trace": "store",
+    "read_trace": "store",
+    "import_address_text": "store",
+    "import_address_binary": "store",
+    "StreamingStackDistance": "streamdist",
+    "StreamStats": "streamdist",
+    "IncrementalFit": "fit",
+    "Convergence": "fit",
+    "ConvergenceStep": "fit",
+    "IngestResult": "ingest",
+    "ingest": "ingest",
 }
 
 
@@ -57,15 +72,27 @@ def __getattr__(name):
 __all__ = [
     "ArrayProfile",
     "COLD_DISTANCE",
+    "Convergence",
+    "ConvergenceStep",
+    "IncrementalFit",
+    "IngestResult",
     "RunProfile",
+    "StreamStats",
+    "StreamingStackDistance",
     "Trace",
     "TraceCharacterization",
+    "TraceChunk",
     "TraceCollector",
+    "TraceStoreReader",
+    "TraceStoreWriter",
     "analyze_addresses",
     "analyze_trace",
     "characterize_run",
     "concatenate_traces",
     "hit_ratio",
+    "import_address_binary",
+    "import_address_text",
+    "ingest",
     "load_run",
     "load_trace",
     "lru_hit_ratios",
@@ -73,8 +100,10 @@ __all__ = [
     "measure_sharing_fraction",
     "prev_occurrence",
     "profile_run",
+    "read_trace",
     "save_run",
     "save_trace",
     "stack_distances",
     "stack_distances_naive",
+    "write_trace",
 ]

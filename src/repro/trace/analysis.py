@@ -3,6 +3,20 @@
 Given a :class:`~repro.trace.events.Trace`, compute exact LRU stack
 distances, fit the power-law locality model, and measure gamma -- the
 complete workload characterization the analytical model consumes.
+
+>>> import numpy as np
+>>> addrs = np.arange(4000) % 37            # a 37-item loop nest
+>>> c = analyze_addresses(addrs, gamma=0.25, name="loop")
+>>> c.footprint_items, c.params.gamma
+(37, 0.25)
+>>> c.fit.rmse < 0.2 and 1.0 < c.params.alpha <= 64.0
+True
+>>> round(float(c.hit_ratio_curve(np.array([37.5]))[0]), 5)
+0.99075
+
+(The in-memory path above materializes every distance; traces larger
+than RAM go through :class:`repro.trace.fit.IncrementalFit`, which
+reaches bit-identical parameters chunk by chunk.)
 """
 
 from __future__ import annotations

@@ -6,6 +6,17 @@ that tool's core: kernels call :meth:`record_block` with whole numpy
 address blocks (vectorized -- one call per loop nest, not per reference)
 and :meth:`barrier` at synchronization points; :meth:`finalize` yields an
 immutable :class:`~repro.trace.events.Trace`.
+
+>>> import numpy as np
+>>> c = TraceCollector()
+>>> c.compute(10)                    # pure compute, attributed to the
+>>> c.record_block(np.array([4, 5, 4]), writes=True, work_per_access=2)
+>>> c.barrier()                      # ...first reference of the block
+>>> t = c.finalize()
+>>> t.addresses.tolist(), bool(t.is_write.all()), t.barriers.tolist()
+([4, 5, 4], True, [3])
+>>> t.work.tolist()                  # 10 pending + 2 per access
+[12, 2, 2]
 """
 
 from __future__ import annotations

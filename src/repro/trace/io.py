@@ -6,12 +6,29 @@ outlive the process that collected them.  Traces serialize to numpy
 ``.npz`` archives (compressed, self-describing); an
 :class:`~repro.apps.base.ApplicationRun` serializes to one archive
 holding every process's trace plus the address-space layout needed to
-rebuild home maps.
+rebuild home maps.  (Out-of-core traces use the chunked container in
+:mod:`repro.trace.store` instead -- see ``docs/TRACES.md``.)
+
+A truncated or corrupt archive fails with a :class:`ValueError` naming
+the path (``np.load`` would otherwise surface a bare pickle/EOF/zip
+error); pass ``quarantine=True`` for cache-adjacent paths to move the
+offender into a sibling ``quarantine/`` directory first, the
+``.repro_cache`` discipline.
+
+>>> import numpy as np, tempfile, os
+>>> from repro.trace.events import Trace
+>>> t = Trace(addresses=np.array([1, 2, 1]), is_write=np.zeros(3, bool),
+...           work=np.zeros(3, np.int64), barriers=np.zeros(0, np.int64))
+>>> path = os.path.join(tempfile.mkdtemp(), "t.npz")
+>>> save_trace(t, path)
+>>> load_trace(path).addresses.tolist()
+[1, 2, 1]
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -22,6 +39,41 @@ from repro.trace.events import Trace
 __all__ = ["save_trace", "load_trace", "save_run", "load_run"]
 
 _FORMAT_VERSION = 1
+
+
+def _quarantine(path: Path) -> None:
+    """Move a corrupt archive into a sibling ``quarantine/`` directory."""
+    qdir = path.parent / "quarantine"
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        os.replace(path, qdir / path.name)
+    except OSError:
+        try:
+            path.unlink()  # at minimum stop tripping over it
+        except OSError:
+            pass
+
+
+def _load_archive(path: Path, kind: str, quarantine: bool):
+    """``np.load`` with precise failure semantics.
+
+    numpy surfaces truncation and corruption as a grab-bag of
+    ``zipfile.BadZipFile`` / ``EOFError`` / ``pickle.UnpicklingError`` /
+    ``OSError`` -- none of which name the file.  Normalize all of them
+    to a :class:`ValueError` that does.
+    """
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # BadZipFile / EOFError / UnpicklingError / OSError
+        if quarantine:
+            _quarantine(path)
+        raise ValueError(
+            f"corrupt or truncated {kind} archive {path}: "
+            f"{type(exc).__name__}: {exc}"
+            + (" (moved to quarantine/)" if quarantine else "")
+        ) from exc
 
 
 def save_trace(trace: Trace, path: str | Path) -> None:
@@ -37,19 +89,38 @@ def save_trace(trace: Trace, path: str | Path) -> None:
     )
 
 
-def load_trace(path: str | Path) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
-    with np.load(Path(path)) as data:
-        version = int(data["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported trace format version {version}")
-        return Trace(
-            addresses=data["addresses"],
-            is_write=data["is_write"],
-            work=data["work"],
-            barriers=data["barriers"],
-            tail_work=int(data["tail_work"]),
-        )
+def load_trace(path: str | Path, *, quarantine: bool = False) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`ValueError` naming ``path`` if the archive is
+    truncated, corrupt, or missing required arrays; with
+    ``quarantine=True`` the offending file is first moved into a sibling
+    ``quarantine/`` directory (use for cache-adjacent paths).
+    """
+    path = Path(path)
+    with _load_archive(path, "trace", quarantine) as data:
+        try:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported trace format version {version} in {path}"
+                )
+            return Trace(
+                addresses=data["addresses"],
+                is_write=data["is_write"],
+                work=data["work"],
+                barriers=data["barriers"],
+                tail_work=int(data["tail_work"]),
+            )
+        except ValueError:
+            raise  # our own version-mismatch error already names the path
+        except Exception as exc:  # lazy decompression fails at key access
+            if quarantine:
+                _quarantine(path)
+            raise ValueError(
+                f"corrupt or truncated trace archive {path}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
 
 
 def save_run(run: ApplicationRun, path: str | Path) -> None:
@@ -102,25 +173,49 @@ class _FrozenHomeSpace(AddressSpace):
         return self._home
 
 
-def load_run(path: str | Path) -> ApplicationRun:
-    """Read an application run written by :func:`save_run`."""
-    with np.load(Path(path)) as data:
-        version = int(data["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported run format version {version}")
-        meta = json.loads(bytes(data["meta"]).decode())
-        home = data["home_map"]
-        traces = []
-        for i in range(meta["num_procs"]):
-            traces.append(
-                Trace(
-                    addresses=data[f"t{i}_addresses"],
-                    is_write=data[f"t{i}_is_write"],
-                    work=data[f"t{i}_work"],
-                    barriers=data[f"t{i}_barriers"],
-                    tail_work=int(data[f"t{i}_tail_work"]),
+def load_run(path: str | Path, *, quarantine: bool = False) -> ApplicationRun:
+    """Read an application run written by :func:`save_run`.
+
+    Same failure contract as :func:`load_trace`: truncation, corruption
+    or missing arrays raise :class:`ValueError` naming ``path``, and
+    ``quarantine=True`` moves the bad file aside first.
+    """
+    path = Path(path)
+    with _load_archive(path, "run", quarantine) as data:
+        try:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported run format version {version} in {path}"
                 )
-            )
+            meta = json.loads(bytes(data["meta"]).decode())
+            home = data["home_map"]
+            traces = []
+            for i in range(meta["num_procs"]):
+                traces.append(
+                    Trace(
+                        addresses=data[f"t{i}_addresses"],
+                        is_write=data[f"t{i}_is_write"],
+                        work=data[f"t{i}_work"],
+                        barriers=data[f"t{i}_barriers"],
+                        tail_work=int(data[f"t{i}_tail_work"]),
+                    )
+                )
+        except json.JSONDecodeError as exc:  # subclasses ValueError
+            if quarantine:
+                _quarantine(path)
+            raise ValueError(
+                f"corrupt or truncated run archive {path}: bad meta JSON"
+            ) from exc
+        except ValueError:
+            raise  # our own version-mismatch error already names the path
+        except Exception as exc:  # lazy decompression fails at key access
+            if quarantine:
+                _quarantine(path)
+            raise ValueError(
+                f"corrupt or truncated run archive {path}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
     space = _FrozenHomeSpace(meta["num_procs"], meta["total_items"], home)
     return ApplicationRun(
         name=meta["name"],

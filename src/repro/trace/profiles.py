@@ -8,6 +8,18 @@ that decide which hierarchy level each structure's traffic lands on.
 (The FFT's twiddle table and its data matrix have the same address-space
 size and utterly different coherence behaviour; this tool is how you
 see that from traces alone.)
+
+>>> from repro.apps.registry import make_application
+>>> run = make_application("EDGE", num_procs=2, height=16, width=16,
+...                        iterations=1).run()
+>>> profile = profile_run(run)
+>>> [a.name for a in profile.arrays[:2]]   # ordered by reference volume
+['image', 'blurred']
+>>> top = profile.arrays[0]
+>>> top.footprint_items <= top.region_items
+True
+>>> 0.0 <= top.remote_fraction <= 1.0
+True
 """
 
 from __future__ import annotations

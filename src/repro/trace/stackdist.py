@@ -30,6 +30,21 @@ Total cost is O(M log M) in numpy operations with O(M) peak memory --
 millions of references per second, versus microseconds per reference for
 the sequential Fenwick walk (kept as :func:`stack_distances_naive` for
 cross-validation in the test suite).
+
+>>> import numpy as np
+>>> from repro.trace.stackdist import (COLD_DISTANCE, hit_ratio,
+...                                    stack_distances, stack_distances_naive)
+>>> stream = np.array([1, 2, 1, 2, 3, 1])
+>>> stack_distances(stream).tolist()       # -1 marks a cold first touch
+[-1, -1, 1, 1, -1, 2]
+>>> np.array_equal(stack_distances(stream), stack_distances_naive(stream))
+True
+>>> hit_ratio(stack_distances(stream), 2)  # hits iff 0 <= distance < 2
+0.3333333333333333
+
+(Traces too large for memory stream through
+:class:`repro.trace.streamdist.StreamingStackDistance` instead, which
+reproduces these distances chunk by chunk -- see ``docs/TRACES.md``.)
 """
 
 from __future__ import annotations

@@ -4,9 +4,18 @@ The paper reduces an application to three numbers: the power-law
 stack-distance fit (alpha, beta) and the memory-referencing instruction
 fraction gamma (its Table 2).  This package holds the parameter type,
 the paper's published constants, the least-squares fitting procedure,
-and a synthetic trace generator that inverts it.
+a synthetic trace generator that inverts it, and the on-disk registry
+of workloads fitted from real traces (``repro trace ingest``, see
+``docs/TRACES.md``).
 """
 
+from repro.workloads.registry import (
+    DEFAULT_WORKLOAD_DIR,
+    RegisteredWorkload,
+    load_registry,
+    load_workload,
+    save_workload,
+)
 from repro.workloads.params import (
     PAPER_EDGE,
     PAPER_FFT,
@@ -21,9 +30,11 @@ from repro.workloads.synthetic import synthesize_trace
 from repro.workloads.mix import MixedLocality, MixedWorkload, mix_workloads
 
 __all__ = [
+    "DEFAULT_WORKLOAD_DIR",
     "FitResult",
     "MixedLocality",
     "MixedWorkload",
+    "RegisteredWorkload",
     "PAPER_EDGE",
     "PAPER_FFT",
     "PAPER_LU",
@@ -33,6 +44,9 @@ __all__ = [
     "WorkloadParams",
     "fit_from_distances",
     "fit_stack_distance_model",
+    "load_registry",
+    "load_workload",
     "mix_workloads",
+    "save_workload",
     "synthesize_trace",
 ]

@@ -1,0 +1,156 @@
+"""Registered workloads: fitted parameters persisted beside their trace.
+
+The paper ships four benchmark characterizations; ``repro trace ingest``
+grows that set by fitting (alpha, beta, gamma) from *measured* traces.
+A registered workload is one small JSON document in a workload
+directory (default ``.repro_workloads/``) holding the fitted
+:class:`~repro.workloads.params.WorkloadParams`, provenance (source,
+container path, record counts) and the convergence trajectory -- enough
+for ``predict``/``design`` to answer exactly as they do for the
+built-ins, and for ``simulate`` to find the container to replay.
+
+Files are written atomically (:mod:`repro.ioutil`), and a corrupt or
+truncated document fails with a precise :class:`ValueError` naming the
+path, matching the `.repro_cache` discipline.
+
+>>> import tempfile
+>>> from repro.workloads.params import PAPER_LU
+>>> wd = tempfile.mkdtemp()
+>>> reg = RegisteredWorkload(params=PAPER_LU, source="doctest")
+>>> path = save_workload(wd, reg)
+>>> load_registry(wd)["LU"].params.alpha == PAPER_LU.alpha
+True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ioutil import atomic_write_json
+from repro.workloads.params import WorkloadParams
+
+__all__ = [
+    "WORKLOAD_SCHEMA",
+    "DEFAULT_WORKLOAD_DIR",
+    "RegisteredWorkload",
+    "workload_path",
+    "save_workload",
+    "load_workload",
+    "load_registry",
+]
+
+#: Schema tag of every registered-workload document.
+WORKLOAD_SCHEMA = "repro-workload/1"
+#: Conventional registry directory, sibling of `.repro_cache`.
+DEFAULT_WORKLOAD_DIR = ".repro_workloads"
+_SUFFIX = ".workload.json"
+
+_PARAM_FIELDS = (
+    "name", "alpha", "beta", "gamma", "problem_size", "max_distance",
+    "sharing_fraction", "sharing_procs", "sharing_fresh_fraction",
+)
+
+
+@dataclass(frozen=True)
+class RegisteredWorkload:
+    """One ingested workload: fitted parameters plus provenance."""
+
+    params: WorkloadParams
+    source: str = ""  #: what was ingested (path or description)
+    container: str | None = None  #: trace container to replay, if kept
+    records: int = 0  #: references the fit consumed
+    chunks: int = 0  #: chunks the stream was processed in
+    rmse: float = 0.0  #: CDF residual of the final fit
+    cold_fraction: float = 0.0
+    converged: bool = False  #: incremental fit's stop rule held
+    convergence: dict | None = None  #: full trajectory (Convergence.to_obj)
+    extras: dict = field(default_factory=dict)
+
+    def to_obj(self) -> dict:
+        return {
+            "schema": WORKLOAD_SCHEMA,
+            "params": {f: getattr(self.params, f) for f in _PARAM_FIELDS},
+            "source": self.source,
+            "container": self.container,
+            "records": self.records,
+            "chunks": self.chunks,
+            "rmse": self.rmse,
+            "cold_fraction": self.cold_fraction,
+            "converged": self.converged,
+            "convergence": self.convergence,
+            "extras": self.extras,
+        }
+
+
+def workload_path(workload_dir: str | os.PathLike, name: str) -> Path:
+    """Document path for a workload name (one file per workload)."""
+    safe = "".join(c if (c.isalnum() or c in "-_.") else "_" for c in name)
+    return Path(workload_dir) / f"{safe}{_SUFFIX}"
+
+
+def save_workload(
+    workload_dir: str | os.PathLike, workload: RegisteredWorkload
+) -> Path:
+    """Persist one registered workload atomically; returns its path."""
+    path = workload_path(workload_dir, workload.params.name)
+    atomic_write_json(path, workload.to_obj())
+    return path
+
+
+def load_workload(path: str | os.PathLike) -> RegisteredWorkload:
+    """Read one document; raises ValueError naming the path on corruption."""
+    path = Path(path)
+    try:
+        obj = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read workload document {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"corrupt workload document {path}: not valid JSON ({exc})"
+        ) from exc
+    if not isinstance(obj, dict) or obj.get("schema") != WORKLOAD_SCHEMA:
+        raise ValueError(
+            f"corrupt workload document {path}: schema "
+            f"{obj.get('schema') if isinstance(obj, dict) else None!r} "
+            f"(expected {WORKLOAD_SCHEMA!r})"
+        )
+    try:
+        params = WorkloadParams(**obj["params"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"corrupt workload document {path}: bad params ({exc})"
+        ) from exc
+    return RegisteredWorkload(
+        params=params,
+        source=obj.get("source", ""),
+        container=obj.get("container"),
+        records=int(obj.get("records", 0)),
+        chunks=int(obj.get("chunks", 0)),
+        rmse=float(obj.get("rmse", 0.0)),
+        cold_fraction=float(obj.get("cold_fraction", 0.0)),
+        converged=bool(obj.get("converged", False)),
+        convergence=obj.get("convergence"),
+        extras=obj.get("extras", {}),
+    )
+
+
+def load_registry(
+    workload_dir: str | os.PathLike,
+) -> dict[str, RegisteredWorkload]:
+    """All registered workloads in a directory, keyed by name.
+
+    A missing directory is an empty registry; a corrupt document inside
+    an existing one raises (silently skipping measured workloads would
+    make answers depend on which files happen to parse).
+    """
+    root = Path(workload_dir)
+    if not root.is_dir():
+        return {}
+    registry: dict[str, RegisteredWorkload] = {}
+    for path in sorted(root.glob(f"*{_SUFFIX}")):
+        wl = load_workload(path)
+        registry[wl.params.name] = wl
+    return registry

@@ -27,6 +27,7 @@ DOC_PAGES = [
     "docs/RESILIENCE.md",
     "docs/SERVICE.md",
     "docs/SIMULATOR.md",
+    "docs/TRACES.md",
 ]
 
 _MD_LINK = re.compile(r"(?:docs/)?[A-Z][A-Z_]+\.md")
@@ -144,6 +145,86 @@ class TestDocsMatchCode:
             assert f"`{reason}`" in doc, (
                 f"SERVICE.md's shed taxonomy misses {reason!r}"
             )
+
+    def test_traces_doc_is_connected_both_ways(self):
+        traces_refs = _md_references(ROOT / "docs" / "TRACES.md")
+        assert "docs/OBSERVABILITY.md" in traces_refs
+        arch_refs = _md_references(ROOT / "docs" / "ARCHITECTURE.md")
+        assert "docs/TRACES.md" in arch_refs
+        model_refs = _md_references(ROOT / "docs" / "MODEL.md")
+        assert "docs/TRACES.md" in model_refs
+
+    def test_traces_doc_pins_container_schema(self):
+        from repro.trace.store import (
+            FRAME_MAGIC,
+            HEADER_BYTES,
+            STORE_FORMAT,
+            STORE_VERSION,
+        )
+
+        doc = (ROOT / "docs" / "TRACES.md").read_text(encoding="utf-8")
+        assert STORE_FORMAT == "repro-trace-store/1"
+        assert STORE_VERSION == 1
+        assert FRAME_MAGIC == b"RTC1"
+        assert STORE_FORMAT in doc
+        assert f"HEADER_BYTES = {HEADER_BYTES}" in doc
+        assert 'b"RTC1"' in doc
+        assert '"<4sBIII"' in doc
+        # Every documented header field is actually written by the store.
+        store_src = (ROOT / "src/repro/trace/store.py").read_text(
+            encoding="utf-8"
+        )
+        for field in ("format", "version", "address_width", "chunk_records",
+                      "compression", "records", "max_address", "barriers",
+                      "tail_work"):
+            assert f"`{field}`" in doc, f"TRACES.md misses header field {field}"
+            assert f'"{field}"' in store_src
+
+    def test_traces_doc_metric_names_exist_in_source(self):
+        doc = (ROOT / "docs" / "TRACES.md").read_text(encoding="utf-8")
+        ingest_src = (ROOT / "src/repro/trace/ingest.py").read_text(
+            encoding="utf-8"
+        )
+        for metric in (
+            "trace_ingest_records_total",
+            "trace_ingest_chunks_total",
+            "trace_ingest_bytes_total",
+            "trace_spill_events_total",
+            "trace_ingest_records_per_second",
+        ):
+            assert metric in doc, f"TRACES.md no longer documents {metric}"
+            assert metric in ingest_src, (
+                f"ingest.py no longer registers {metric}"
+            )
+
+    def test_traces_doc_cli_flags_exist_in_cli(self):
+        doc = (ROOT / "docs" / "TRACES.md").read_text(encoding="utf-8")
+        cli_src = (ROOT / "src/repro/cli.py").read_text(encoding="utf-8")
+        for flag in ("--chunk-records", "--max-live-items", "--fit-every",
+                     "--tol", "--patience", "--stop-early", "--workload-dir",
+                     "--convergence-out", "--gamma", "--compression",
+                     "--binary-dtype"):
+            assert flag in doc, f"TRACES.md no longer documents {flag}"
+            assert f'"{flag}"' in cli_src, f"cli.py no longer accepts {flag}"
+
+    def test_traces_doc_convergence_fields_match_dataclass(self):
+        import dataclasses
+
+        from repro.trace.fit import CONVERGENCE_SCHEMA, ConvergenceStep
+
+        doc = (ROOT / "docs" / "TRACES.md").read_text(encoding="utf-8")
+        assert CONVERGENCE_SCHEMA in doc
+        for field in dataclasses.fields(ConvergenceStep):
+            assert f"`{field.name}`" in doc, (
+                f"TRACES.md misses ConvergenceStep field {field.name!r}"
+            )
+
+    def test_traces_doc_workload_schema_matches_registry(self):
+        from repro.workloads.registry import WORKLOAD_SCHEMA
+
+        assert WORKLOAD_SCHEMA == "repro-workload/1"
+        doc = (ROOT / "docs" / "TRACES.md").read_text(encoding="utf-8")
+        assert ".workload.json" in doc
 
     def test_cost_doc_examples_name_real_api(self):
         import repro.cost as cost

@@ -38,6 +38,51 @@ class TestTraceRoundTrip:
             load_trace(path)
 
 
+class TestCorruptArchives:
+    """Truncated/corrupt files must raise ValueError naming the path."""
+
+    def test_truncated_trace_names_path(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(_trace(), path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(ValueError, match="trace.npz"):
+            load_trace(path)
+
+    def test_garbage_trace_names_path(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ValueError, match="garbage.npz"):
+            load_trace(path)
+
+    def test_missing_array_names_path(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, version=np.int64(1), addresses=np.zeros(3, np.int64))
+        with pytest.raises(ValueError, match="partial.npz"):
+            load_trace(path)
+
+    def test_truncated_run_names_path(self, tmp_path, edge_run_4):
+        path = tmp_path / "run.npz"
+        save_run(edge_run_4, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ValueError, match="run.npz"):
+            load_run(path)
+
+    def test_quarantine_moves_file_aside(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(_trace(), path)
+        path.write_bytes(path.read_bytes()[:32])
+        with pytest.raises(ValueError, match="quarantine"):
+            load_trace(path, quarantine=True)
+        assert not path.exists()
+        assert (tmp_path / "quarantine" / "trace.npz").exists()
+
+    def test_missing_file_still_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "never-written.npz")
+
+
 class TestRunRoundTrip:
     def test_round_trip_preserves_everything(self, tmp_path, edge_run_4):
         path = tmp_path / "run.npz"

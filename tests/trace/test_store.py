@@ -1,0 +1,165 @@
+"""Tests for the chunked trace container (docs/TRACES.md)."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.trace.events import Trace
+from repro.trace.store import (
+    FRAME_MAGIC,
+    HEADER_BYTES,
+    STORE_FORMAT,
+    TraceStoreReader,
+    TraceStoreWriter,
+    available_compressions,
+    import_address_binary,
+    import_address_text,
+    read_trace,
+    write_trace,
+)
+
+
+def _write(path, addresses, chunk_records=8, compression="zlib", **kw):
+    with TraceStoreWriter(
+        path, chunk_records=chunk_records, compression=compression
+    ) as w:
+        w.append(addresses, **kw)
+    return path
+
+
+class TestRoundTrip:
+    def test_records_survive_chunking(self, tmp_path):
+        addrs = np.arange(100) % 13
+        path = _write(tmp_path / "t.rtc", addrs, chunk_records=7)
+        r = TraceStoreReader(path)
+        got = np.concatenate([c.addresses for c in r.chunks()])
+        np.testing.assert_array_equal(got, addrs)
+        assert r.records == 100
+        assert r.clean_close and not r.torn_tail
+
+    @pytest.mark.parametrize("codec", available_compressions())
+    def test_every_available_codec(self, tmp_path, codec):
+        addrs = np.arange(50)
+        path = _write(tmp_path / "t.rtc", addrs, compression=codec)
+        r = TraceStoreReader(path)
+        np.testing.assert_array_equal(r.read_all().addresses, addrs)
+
+    def test_writes_work_and_barriers(self, tmp_path):
+        path = tmp_path / "t.rtc"
+        with TraceStoreWriter(path, chunk_records=4) as w:
+            w.append([1, 2, 3], is_write=True, work=2)
+            w.barrier()
+            w.append([4, 5], work=[7, 0])
+        r = TraceStoreReader(path)
+        t = r.read_all()
+        assert t.is_write.tolist() == [True, True, True, False, False]
+        assert t.work.tolist() == [2, 2, 2, 7, 0]
+        assert r.barriers.tolist() == [3]
+
+    def test_trace_round_trip(self, tmp_path):
+        t = Trace(
+            addresses=np.array([3, 1, 4, 1, 5], np.int64),
+            is_write=np.array([1, 0, 0, 1, 0], bool),
+            work=np.array([0, 2, 0, 1, 7], np.int64),
+            barriers=np.array([2, 5], np.int64),
+            tail_work=9,
+        )
+        path = tmp_path / "t.rtc"
+        write_trace(path, t, chunk_records=2)
+        u = read_trace(path)
+        np.testing.assert_array_equal(u.addresses, t.addresses)
+        np.testing.assert_array_equal(u.is_write, t.is_write)
+        np.testing.assert_array_equal(u.work, t.work)
+        np.testing.assert_array_equal(u.barriers, t.barriers)
+        assert u.tail_work == 9
+
+    def test_header_is_valid_json_of_fixed_width(self, tmp_path):
+        path = _write(tmp_path / "t.rtc", np.arange(10))
+        raw = path.read_bytes()[:HEADER_BYTES]
+        header = json.loads(raw)
+        assert header["format"] == STORE_FORMAT
+        assert header["records"] == 10
+        assert raw.endswith(b"\n")
+
+
+class TestTornTail:
+    def test_truncated_payload_reports_torn(self, tmp_path):
+        path = _write(tmp_path / "t.rtc", np.arange(64), chunk_records=16)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 11])
+        r = TraceStoreReader(path)
+        chunks = list(r.chunks())
+        assert r.torn_tail
+        # a readable prefix of whole chunks survives
+        assert sum(len(c) for c in chunks) in (16, 32, 48)
+
+    def test_unclean_close_counts_by_scanning(self, tmp_path):
+        path = tmp_path / "t.rtc"
+        w = TraceStoreWriter(path, chunk_records=8)
+        w.append(np.arange(16))
+        w._file.flush()  # frames on disk, header still says records=-1
+        r = TraceStoreReader(path)
+        assert not r.clean_close
+        assert r.scan()["records"] == 16
+        w.close()
+
+    def test_mid_file_corruption_raises_naming_path(self, tmp_path):
+        path = _write(tmp_path / "t.rtc", np.arange(64), chunk_records=8)
+        raw = bytearray(path.read_bytes())
+        # flip a byte inside the first frame's payload (after its header)
+        raw[HEADER_BYTES + struct.calcsize("<4sBIII") + 3] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        r = TraceStoreReader(path)
+        with pytest.raises(ValueError, match="t.rtc"):
+            list(r.chunks())
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = _write(tmp_path / "t.rtc", np.arange(8))
+        raw = bytearray(path.read_bytes())
+        raw[HEADER_BYTES : HEADER_BYTES + 4] = b"XXXX"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="t.rtc"):
+            list(TraceStoreReader(path).chunks())
+        assert FRAME_MAGIC == b"RTC1"
+
+    def test_wrong_format_refused(self, tmp_path):
+        path = _write(tmp_path / "t.rtc", np.arange(8))
+        raw = bytearray(path.read_bytes())
+        header = json.loads(bytes(raw[:HEADER_BYTES]))
+        header["format"] = "somebody-else/9"
+        enc = json.dumps(header).encode()
+        raw[:HEADER_BYTES] = enc + b" " * (HEADER_BYTES - 1 - len(enc)) + b"\n"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="format"):
+            TraceStoreReader(path)
+
+
+class TestImporters:
+    def test_text_import(self, tmp_path):
+        src = tmp_path / "a.trace"
+        src.write_text(
+            "# comment\n0x10 r 3\n0x11 w\n16\n\n0x10\n", encoding="utf-8"
+        )
+        dst = tmp_path / "a.rtc"
+        import_address_text(src, dst, chunk_records=2)
+        t = TraceStoreReader(dst).read_all()
+        assert t.addresses.tolist() == [16, 17, 16, 16]
+        assert t.is_write.tolist() == [False, True, False, False]
+        assert t.work.tolist() == [3, 0, 0, 0]
+
+    def test_binary_import(self, tmp_path):
+        addrs = np.arange(1000, dtype="<i8") % 37
+        src = tmp_path / "a.bin"
+        addrs.tofile(src)
+        dst = tmp_path / "a.rtc"
+        import_address_binary(src, dst, dtype="<i8", chunk_records=128)
+        got = TraceStoreReader(dst).read_all().addresses
+        np.testing.assert_array_equal(got, addrs)
+
+    def test_binary_import_rejects_float_dtype(self, tmp_path):
+        src = tmp_path / "a.bin"
+        np.zeros(4).tofile(src)
+        with pytest.raises(ValueError, match="integer"):
+            import_address_binary(src, tmp_path / "a.rtc", dtype="<f8")

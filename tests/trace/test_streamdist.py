@@ -1,0 +1,152 @@
+"""Property tests for the streaming stack-distance engine.
+
+The equivalence contract (docs/TRACES.md): on any trace and any
+chunking, unbounded streaming distances are bit-identical to the
+offline `stack_distances` (itself cross-validated against the naive
+LRU walk); bounded streaming never reports a wrong finite distance
+and only demotes to cold references whose true distance reached the
+bound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.stackdist import (
+    COLD_DISTANCE,
+    stack_distances,
+    stack_distances_naive,
+)
+from repro.trace.streamdist import StreamingStackDistance
+
+
+def _stream_in_chunks(addresses, sizes):
+    engine = StreamingStackDistance()
+    out = []
+    start = 0
+    for size in sizes:
+        out.append(engine.update(addresses[start : start + size]))
+        start += size
+    if start < len(addresses):
+        out.append(engine.update(addresses[start:]))
+    return np.concatenate(out) if out else np.zeros(0, np.int64), engine
+
+
+@st.composite
+def chunked_trace(draw):
+    n = draw(st.integers(min_value=0, max_value=400))
+    footprint = draw(st.integers(min_value=1, max_value=50))
+    addrs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=footprint * 100),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    sizes = []
+    left = n
+    while left > 0:
+        s = draw(st.integers(min_value=1, max_value=max(1, left)))
+        sizes.append(s)
+        left -= s
+    return np.asarray(addrs, dtype=np.int64), sizes
+
+
+class TestExactEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(chunked_trace())
+    def test_streaming_matches_offline_and_naive(self, case):
+        addrs, sizes = case
+        streamed, _ = _stream_in_chunks(addrs, sizes)
+        offline = stack_distances(addrs)
+        np.testing.assert_array_equal(streamed, offline)
+        np.testing.assert_array_equal(offline, stack_distances_naive(addrs))
+
+    def test_single_chunk_is_offline(self):
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 500, size=5000)
+        engine = StreamingStackDistance()
+        np.testing.assert_array_equal(
+            engine.update(addrs), stack_distances(addrs)
+        )
+
+    def test_many_tiny_chunks(self):
+        rng = np.random.default_rng(11)
+        addrs = rng.zipf(1.5, size=3000) % 997
+        streamed, engine = _stream_in_chunks(addrs, [1] * len(addrs))
+        np.testing.assert_array_equal(streamed, stack_distances(addrs))
+        assert engine.finalize().chunks == len(addrs)
+
+    def test_chunk_size_never_changes_distances(self):
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 200, size=4096)
+        reference = stack_distances(addrs)
+        for size in (1, 7, 64, 1000, 4096, 5000):
+            streamed, _ = _stream_in_chunks(
+                addrs, [size] * (len(addrs) // size + 1)
+            )
+            np.testing.assert_array_equal(streamed, reference)
+
+
+class TestBoundedTable:
+    @settings(max_examples=75, deadline=None)
+    @given(chunked_trace(), st.integers(min_value=1, max_value=40))
+    def test_bounded_contract(self, case, bound):
+        addrs, sizes = case
+        engine = StreamingStackDistance(max_live_items=bound)
+        out = []
+        start = 0
+        for size in sizes:
+            out.append(engine.update(addrs[start : start + size]))
+            # the bound holds between updates (peak_live_items is the
+            # pre-eviction high-water mark and may exceed it transiently)
+            assert engine.live_items <= bound
+            start += size
+        streamed = (
+            np.concatenate(out) if out else np.zeros(0, np.int64)
+        )
+        truth = stack_distances(addrs)
+        finite = streamed != COLD_DISTANCE
+        # finite answers are never wrong
+        np.testing.assert_array_equal(streamed[finite], truth[finite])
+        # demotions only happen at or beyond the bound (or truly cold)
+        demoted = (~finite) & (truth != COLD_DISTANCE)
+        assert np.all(truth[demoted] >= bound)
+        stats = engine.finalize()
+        assert stats.live_items <= bound
+        if demoted.any():
+            assert stats.spill_events > 0
+
+    def test_stats_accounting(self):
+        rng = np.random.default_rng(5)
+        addrs = rng.integers(0, 10_000, size=20_000)
+        engine = StreamingStackDistance(max_live_items=512)
+        for i in range(0, len(addrs), 2048):
+            engine.update(addrs[i : i + 2048])
+        stats = engine.finalize()
+        assert stats.references == 20_000
+        assert stats.chunks == 10
+        assert stats.peak_chunk_records == 2048
+        assert stats.live_items <= 512
+        assert stats.evicted_items > 0
+
+
+class TestEdgeCases:
+    def test_empty_chunk(self):
+        engine = StreamingStackDistance()
+        assert engine.update(np.zeros(0, np.int64)).size == 0
+        assert engine.update(np.array([1, 1])).tolist() == [COLD_DISTANCE, 0]
+
+    def test_negative_addresses_stream_exactly(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(-500, 500, size=3000)
+        engine = StreamingStackDistance()
+        out = np.concatenate(
+            [engine.update(addrs[i : i + 256]) for i in range(0, 3000, 256)]
+        )
+        np.testing.assert_array_equal(out, stack_distances(addrs))
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            StreamingStackDistance(max_live_items=0)

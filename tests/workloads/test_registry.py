@@ -1,0 +1,86 @@
+"""Tests for the registered-workload document store."""
+
+import json
+
+import pytest
+
+from repro.workloads.params import WorkloadParams
+from repro.workloads.registry import (
+    WORKLOAD_SCHEMA,
+    RegisteredWorkload,
+    load_registry,
+    load_workload,
+    save_workload,
+    workload_path,
+)
+
+
+def _workload(name="app"):
+    return RegisteredWorkload(
+        params=WorkloadParams(
+            name, alpha=1.6, beta=104.0, gamma=0.3,
+            problem_size="10,000 refs", max_distance=512.0,
+        ),
+        source="test.rtc",
+        container="test.rtc",
+        records=10_000,
+        chunks=3,
+        rmse=0.01,
+        cold_fraction=0.05,
+        converged=True,
+        convergence={"schema": "repro-trace-convergence/1", "steps": []},
+        extras={"torn_tail": False},
+    )
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        path = save_workload(tmp_path, _workload())
+        wl = load_workload(path)
+        assert wl.params.alpha == 1.6
+        assert wl.params.max_distance == 512.0
+        assert wl.records == 10_000
+        assert wl.converged
+        assert wl.extras["torn_tail"] is False
+
+    def test_document_carries_schema(self, tmp_path):
+        path = save_workload(tmp_path, _workload())
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == WORKLOAD_SCHEMA
+
+    def test_registry_lists_all(self, tmp_path):
+        save_workload(tmp_path, _workload("a"))
+        save_workload(tmp_path, _workload("b"))
+        registry = load_registry(tmp_path)
+        assert sorted(registry) == ["a", "b"]
+
+    def test_missing_dir_is_empty_registry(self, tmp_path):
+        assert load_registry(tmp_path / "nope") == {}
+
+    def test_name_sanitized_in_path(self, tmp_path):
+        p = workload_path(tmp_path, "weird/name me")
+        assert "/" not in p.name.replace(".workload.json", "")
+        assert p.parent == tmp_path
+
+
+class TestCorruption:
+    def test_corrupt_document_names_path(self, tmp_path):
+        path = save_workload(tmp_path, _workload())
+        path.write_text("{ not json")
+        with pytest.raises(ValueError, match=path.name):
+            load_workload(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = save_workload(tmp_path, _workload())
+        doc = json.loads(path.read_text())
+        doc["schema"] = "other/1"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="schema"):
+            load_workload(path)
+
+    def test_corrupt_entry_fails_registry_load(self, tmp_path):
+        save_workload(tmp_path, _workload("good"))
+        bad = tmp_path / "bad.workload.json"
+        bad.write_text("truncated")
+        with pytest.raises(ValueError, match="bad.workload.json"):
+            load_registry(tmp_path)
