@@ -186,6 +186,48 @@ def _platform_arg(text: str) -> PlatformSpec:
     )
 
 
+#: Placement policies ``repro schedule``/``repro predict`` accept
+#: (mirrors ``repro.scheduling.POLICIES``; the scheduling package is
+#: imported lazily like every other heavy dependency).
+_POLICY_CHOICES = ("round-robin", "speed", "memory-aware")
+
+
+def _hetero_platform_arg(text: str):
+    """Resolve ``schedule --platform``: a mixed built-in or a topology file.
+
+    Accepts the heterogeneous built-ins (mixed-cow, mixed-clump), the
+    homogeneous built-ins (a homogeneous tree is a legal scheduling
+    platform -- every policy returns the even split), or a topology
+    JSON/YAML file, which unlike ``--platform`` elsewhere may hold a
+    genuinely heterogeneous tree.
+    """
+    from pathlib import Path
+
+    from repro.scheduling import (
+        HeteroPlatform,
+        builtin_hetero_platform,
+        load_hetero_platform_file,
+    )
+    from repro.topology import BUILTIN_PLATFORMS, builtin_platform
+    from repro.topology.canned import BUILTIN_MIXED_TOPOLOGIES
+
+    if text in BUILTIN_MIXED_TOPOLOGIES:
+        return builtin_hetero_platform(text)
+    if text in BUILTIN_PLATFORMS:
+        return HeteroPlatform.from_spec(builtin_platform(text))
+    path = Path(text)
+    if path.exists() or path.suffix.lower() in (".json", ".yaml", ".yml"):
+        try:
+            return load_hetero_platform_file(path)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    known = ", ".join(sorted([*BUILTIN_MIXED_TOPOLOGIES, *BUILTIN_PLATFORMS]))
+    raise argparse.ArgumentTypeError(
+        f"{text!r} is neither a built-in platform ({known}) nor a "
+        "platform file (.json/.yaml/.yml)"
+    )
+
+
 def _registered_workloads(args: argparse.Namespace) -> dict:
     """Workloads ingested into ``--workload-dir`` (name -> RegisteredWorkload)."""
     workload_dir = getattr(args, "workload_dir", None)
@@ -624,6 +666,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(repeatable)",
     )
     p.add_argument(
+        "--mix", action="store_true",
+        help="rank heterogeneous machine mixes (two unlike node shapes, "
+        "scheduled memory-aware) instead of homogeneous platforms",
+    )
+    p.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit machine-readable JSON instead of text",
     )
@@ -651,6 +698,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=("open", "throttled", "mva"), default="throttled",
         help="contention treatment (open = the paper's formula, mva = exact "
         "closed-network MVA on SMPs)",
+    )
+    p.add_argument(
+        "--policy", choices=_POLICY_CHOICES, default=None,
+        help="route the prediction through the scheduling layer under this "
+        "placement policy (requires --mode open; per-process breakdown)",
+    )
+
+    p = sub.add_parser(
+        "schedule",
+        help="compare placement policies for a workload on a (mixed) platform",
+    )
+    _add_workload_args(p)
+    p.add_argument(
+        "--platform", type=_hetero_platform_arg, required=True,
+        metavar="NAME_OR_FILE",
+        help="built-in tree (mixed-cow, mixed-clump, clump-of-smps, "
+        "cow-of-racks) or a topology JSON/YAML file -- heterogeneous "
+        "trees welcome",
+    )
+    p.add_argument(
+        "--policy", action="append", choices=_POLICY_CHOICES, default=None,
+        help="policy to evaluate (repeatable; default: all of them)",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of text",
     )
 
     p = sub.add_parser("recommend", help="the Section 6 design rule for a workload")
@@ -1065,6 +1138,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     if level is not None:
         set_level(level)
 
+    if args.command == "design" and args.mix:
+        from repro.scheduling import design_mix
+
+        workload = _workload_from(args)
+        payloads = []
+        for budget in args.budget:
+            mixes = design_mix(
+                workload.locality, workload.gamma, budget,
+                top=args.top, remote_rate_adjustment=0.124,
+            )
+            if args.as_json:
+                payloads.append(
+                    {"budget": budget, "mixes": [m.as_dict() for m in mixes]}
+                )
+                continue
+            print(f"best machine mixes under ${budget:,.0f} (memory-aware):")
+            if not mixes:
+                print("  no feasible mix within budget")
+            for rank, mix in enumerate(mixes, 1):
+                print(
+                    f"  {rank}. {mix.name}: ${mix.cost:,.0f}, "
+                    f"E(Instr) = {mix.e_instr_seconds:.3e} s"
+                )
+        if args.as_json:
+            print(json.dumps(payloads, indent=2))
+        return 0
+
     if args.command == "design":
         from repro.cost.search import DesignQuery, DesignSearch
 
@@ -1118,6 +1218,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.describe(top=args.top))
         return 0
 
+    if args.command == "predict" and args.policy:
+        from repro.scheduling import HeteroPlatform, evaluate_hetero, resolve_policy
+
+        workload = _workload_from(args)
+        spec = _platform_from(args)
+        if args.mode != "open":
+            raise SystemExit(
+                "predict: --policy routes through the scheduling layer, which "
+                "supports --mode open only (the throttled/mva fixed points fold "
+                "the barrier inside their iteration; see docs/SCHEDULING.md)"
+            )
+        platform = HeteroPlatform.from_spec(spec)
+        kwargs = dict(
+            remote_rate_adjustment=0.124 if spec.N > 1 else 0.0,
+            on_saturation="inf",
+            sharing_fraction=workload.sharing_at(spec.N),
+            sharing_fresh_fraction=workload.sharing_fresh_fraction,
+        )
+        share = resolve_policy(args.policy)(
+            platform, workload.locality, workload.gamma, **kwargs
+        )
+        est = evaluate_hetero(
+            platform, workload.locality, workload.gamma, share, **kwargs
+        )
+        print(spec.describe())
+        print(est.describe())
+        return 0
+
     if args.command == "predict":
         workload = _workload_from(args)
         spec = _platform_from(args)
@@ -1134,6 +1262,44 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(spec.describe())
         print(est.amat.describe())
         print(f"E(Instr) = {est.e_instr_seconds:.3e} s/instruction")
+        return 0
+
+    if args.command == "schedule":
+        from repro.scheduling import compare_policies
+
+        workload = _workload_from(args)
+        platform = args.platform
+        policies = tuple(args.policy) if args.policy else None
+        # Pure capacity model (no DSM sharing term), like the policy
+        # experiment: sharing traffic hits every policy alike and would
+        # saturate the small built-in trees for all of them.
+        estimates = compare_policies(
+            platform,
+            workload.locality,
+            workload.gamma,
+            policies=policies,
+            remote_rate_adjustment=0.124 if platform.total_machines > 1 else 0.0,
+            on_saturation="inf",
+        )
+        if args.as_json:
+            print(json.dumps(
+                {name: est.as_dict() for name, est in estimates.items()}, indent=2
+            ))
+            return 0
+        print(platform.describe())
+        print()
+        for i, est in enumerate(estimates.values()):
+            if i:
+                print()
+            print(est.describe())
+        if "memory-aware" in estimates and "round-robin" in estimates:
+            best = estimates["memory-aware"]
+            rival = estimates["round-robin"]
+            if best.feasible and rival.feasible:
+                print(
+                    f"\nmemory-aware speedup over round-robin: "
+                    f"{best.speedup_over(rival):.2f}x"
+                )
         return 0
 
     if args.command == "recommend":

@@ -37,19 +37,27 @@ __all__ = [
 
 
 class PlatformKind(str, Enum):
-    """The three platform classes the paper models (Table 1)."""
+    """The three platform classes the paper models (Table 1), plus the
+    heterogeneous extension (unlike machines in one tree, outside the
+    paper's taxonomy -- see docs/SCHEDULING.md)."""
 
     SMP = "a single SMP"
     COW = "a cluster of workstations"
     CLUMP = "a cluster of SMPs"
+    HETEROGENEOUS = "a heterogeneous cluster"
 
 
 def additional_levels(kind: PlatformKind) -> tuple[str, ...]:
-    """Paper Table 1: the gray blocks each platform adds to Figure 1."""
+    """Paper Table 1: the gray blocks each platform adds to Figure 1.
+
+    A heterogeneous cluster can add any of them depending on the leaf
+    (an SMP leaf sees block A, any multi-machine tree sees B and C).
+    """
     return {
         PlatformKind.SMP: ("A",),
         PlatformKind.COW: ("B", "C"),
         PlatformKind.CLUMP: ("A", "B", "C"),
+        PlatformKind.HETEROGENEOUS: ("A", "B", "C"),
     }[kind]
 
 

@@ -137,7 +137,20 @@ class PlatformSpec:
                 "a topology-defined platform carries its interconnects in the "
                 "tree; leave network=None"
             )
+        if not t.is_homogeneous:
+            raise ValueError(
+                "PlatformSpec is homogeneous by construction (one n, one "
+                "cache/memory shape, one speed); this topology holds unlike "
+                "machines -- wrap it in repro.scheduling.HeteroPlatform and "
+                "evaluate it through the scheduling layer instead"
+            )
         m = t.machine
+        if m.speed != 1.0:
+            raise ValueError(
+                "per-machine speed is a scheduling-layer concept; "
+                f"machine speed {m.speed!r} != 1.0 -- wrap the tree in "
+                "repro.scheduling.HeteroPlatform instead of a PlatformSpec"
+            )
         if self.n != m.processors or self.N != t.total_machines:
             raise ValueError(
                 f"spec shape (n={self.n}, N={self.N}) disagrees with its topology "

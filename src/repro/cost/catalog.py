@@ -39,6 +39,11 @@ class PriceCatalog:
     smp_chassis_per_socket: float = 1_600.0
     #: Main memory, per megabyte.
     memory_per_mb: float = 1.0
+    #: Premium per processor per +1.0 of relative CPU speed (a
+    #: ``speed=2.0`` part costs one premium more than the baseline CPU
+    #: it replaces).  Only heterogeneous machine mixes pay this; the
+    #: homogeneous Eq. 5 paths never read it.
+    speed_premium_per_unit: float = 900.0
     #: Cache options: per-processor price by cache size in KB.
     cache_prices: dict = field(
         default_factory=lambda: {256: 80.0, 512: 200.0}

@@ -54,6 +54,16 @@ class CandidateSpace:
     #: platform) competing alongside the enumerated grid.  They must be
     #: priceable by the catalog.
     extra_platforms: tuple[PlatformSpec, ...] = ()
+    #: Relative CPU speed grades offered by the market.  More than one
+    #: grade turns on *machine-mix* enumeration: ``repro design --mix``
+    #: (:func:`repro.scheduling.mix.enumerate_mixed_configurations`)
+    #: combines unlike machines -- per-variant cache/memory/speed -- in
+    #: one cluster and prices the faster CPUs via the catalog's
+    #: ``speed_premium_per_unit``.
+    machine_speeds: tuple[float, ...] = (1.0, 2.0)
+    #: Machine-count ceiling for mixed clusters (the mix space is the
+    #: cross product of two variants' counts, so it gets its own bound).
+    mix_max_machines: int = 6
 
     def __post_init__(self) -> None:
         if self.max_machines < 1:
@@ -64,6 +74,10 @@ class CandidateSpace:
             raise ValueError("size_scale must be >= 1")
         if self.rack_sizes and min(self.rack_sizes) < 2:
             raise ValueError("rack sizes must be >= 2 machines")
+        if not self.machine_speeds or min(self.machine_speeds) <= 0:
+            raise ValueError("machine_speeds must be positive")
+        if self.mix_max_machines < 2:
+            raise ValueError("mix_max_machines must be >= 2")
 
 
 def enumerate_configurations(

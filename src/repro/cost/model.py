@@ -10,7 +10,13 @@ from __future__ import annotations
 from repro.core.platform import PlatformSpec
 from repro.cost.catalog import PriceCatalog
 
-__all__ = ["machine_cost", "network_cost", "cluster_cost", "assert_priceable"]
+__all__ = [
+    "machine_cost",
+    "network_cost",
+    "cluster_cost",
+    "hetero_cluster_cost",
+    "assert_priceable",
+]
 
 
 def machine_cost(
@@ -68,6 +74,35 @@ def cluster_cost(catalog: PriceCatalog, spec: PlatformSpec) -> float:
     if spec.topology is not None:
         return spec.N * per_machine + _topology_network_cost(catalog, spec)
     return spec.N * (per_machine + network_cost(catalog, spec))
+
+
+def _leaf_cost(catalog: PriceCatalog, leaf) -> float:
+    """Price one (possibly non-baseline-speed) machine leaf."""
+    from repro.sim.latencies import ITEM_BYTES
+
+    cache_kb = int(leaf.cache.capacity_items * ITEM_BYTES) // 1024
+    memory_mb = max(1, int(leaf.memory.capacity_items * ITEM_BYTES) // (1024 * 1024))
+    l2_kb = (
+        int(leaf.l2.capacity_items * ITEM_BYTES) // 1024 if leaf.l2 is not None else None
+    )
+    base = machine_cost(catalog, n=leaf.processors, cache_kb=cache_kb, memory_mb=memory_mb, l2_kb=l2_kb)
+    return base + leaf.processors * (leaf.speed - 1.0) * catalog.speed_premium_per_unit
+
+
+def hetero_cluster_cost(catalog: PriceCatalog, topology) -> float:
+    """Eq. 5 generalized to a (possibly mixed) topology tree.
+
+    Machines are priced leaf by leaf -- so unlike subtrees simply sum --
+    and every cluster node charges one network attachment per subtree it
+    joins, which reduces to ``N * C_net`` on a flat homogeneous cluster.
+    Faster-than-baseline CPUs pay the catalog's speed premium.
+    """
+    from repro.topology.ir import MachineNode
+
+    if isinstance(topology, MachineNode):
+        return _leaf_cost(catalog, topology)
+    attach = len(topology.subtrees) * catalog.network_price(topology.interconnect.network)
+    return attach + sum(hetero_cluster_cost(catalog, sub) for sub in topology.subtrees)
 
 
 def assert_priceable(catalog: PriceCatalog, spec: PlatformSpec) -> None:

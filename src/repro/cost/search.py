@@ -82,7 +82,11 @@ _log = get_logger("repro.cost.search")
 #: determines a search answer changes shape without changing the key.
 #: 2: candidate spaces can enumerate topology mutations (rack_sizes /
 #:    extra_platforms) and specs may carry a declarative topology tree.
-DESIGN_CACHE_VERSION = 2
+#: 3: candidate spaces grew machine-mix axes (machine_speeds,
+#:    mix_max_machines) and catalogs a speed premium, so a space or
+#:    catalog with non-default values no longer collides with an old
+#:    entry keyed before those fields existed.
+DESIGN_CACHE_VERSION = 3
 
 #: Lowest-bound candidates evaluated serially to seed shard incumbents.
 _PROBE = 32

@@ -67,7 +67,11 @@ __all__ = ["Calibration", "ExperimentRunner", "DEFAULT_CALIBRATION"]
 #: 6: SimulationResult grew a ``profile`` field (PR 7); the key covers
 #:    the profile flag so profiled and unprofiled cells never shadow
 #:    each other.
-SIM_CACHE_VERSION = 6
+#: 7: the engine accepts per-process compute-speed scales for
+#:    heterogeneous scheduling (PR 10).  Unscaled runs stay
+#:    bit-identical to version 6, but the bump cleanly separates
+#:    entries written by pre-scales builds.
+SIM_CACHE_VERSION = 7
 
 #: Grid execution lanes the runner can route uncached cells through.
 LANES = ("auto", "tensor", "pool", "serial")

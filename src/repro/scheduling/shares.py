@@ -1,0 +1,69 @@
+"""Work shares: how an SPMD phase's instructions split over processes.
+
+The paper's Eq. 4 divides work evenly -- every process executes ``1/P``
+of the instructions, which is only optimal when every processor is
+identical.  A :class:`WorkShare` generalizes the split: per-process
+positive weights, normalized on demand.  A placement policy
+(:mod:`repro.scheduling.policies`) is just a function from a platform
+(and optionally a workload) to a :class:`WorkShare`.
+
+Shares change how *long* each process computes between barriers, not
+how *fast* it issues memory references: a processor still issues
+``gamma`` references per instruction at its own rate, so the M/D/1
+contention terms are share-independent and the shares enter the model
+only through the barrier order statistic (docs/SCHEDULING.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["WorkShare"]
+
+
+@dataclass(frozen=True)
+class WorkShare:
+    """Per-process work weights for one platform (order = process rank).
+
+    Weights are relative: ``(2, 1)`` gives the first process two thirds
+    of the instructions.  Only ratios matter; policies normalize their
+    weights so a homogeneous platform yields exactly ``(1.0, ..., 1.0)``
+    (the bit-identity anchor for the homogeneous reduction).
+    """
+
+    weights: tuple[float, ...]
+    policy: str = "custom"  #: label of the policy that produced this share
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("a work share needs at least one weight")
+        object.__setattr__(self, "weights", tuple(float(w) for w in self.weights))
+        for w in self.weights:
+            if not (w > 0.0 and math.isfinite(w)):
+                raise ValueError(f"work weights must be positive and finite, got {w!r}")
+
+    @classmethod
+    def even(cls, num_processes: int, policy: str = "round-robin") -> "WorkShare":
+        """The paper's even split: weight 1.0 per process."""
+        if num_processes < 1:
+            raise ValueError(f"need >= 1 process, got {num_processes}")
+        return cls(weights=(1.0,) * num_processes, policy=policy)
+
+    @property
+    def num_processes(self) -> int:
+        return len(self.weights)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self.weights)
+
+    @property
+    def fractions(self) -> tuple[float, ...]:
+        """Weights normalized to sum (approximately) to one."""
+        total = self.total
+        return tuple(w / total for w in self.weights)
+
+    def describe(self) -> str:
+        fr = ", ".join(f"{f:.3f}" for f in self.fractions)
+        return f"{self.policy}: fractions [{fr}]"

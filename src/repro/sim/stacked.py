@@ -150,7 +150,12 @@ def derive_cell_seed(cell: "StackedCell | str", purpose: str = "") -> int:
 # ----------------------------------------------------------------------
 # The batched prefix-sum kernel
 # ----------------------------------------------------------------------
-def stacked_schedules(works: np.ndarray, steps: np.ndarray) -> np.ndarray:
+def stacked_schedules(
+    works: np.ndarray,
+    steps: np.ndarray,
+    scales: np.ndarray | None = None,
+    hits: np.ndarray | None = None,
+) -> np.ndarray:
     """All-hit clock schedules for a stack of traces, in one pass.
 
     ``works`` is a ``(rows, procs, max_len)`` float64 tensor of
@@ -161,9 +166,32 @@ def stacked_schedules(works: np.ndarray, steps: np.ndarray) -> np.ndarray:
     bit-identical to the engine's per-trace ``(work + step).cumsum()``
     because NumPy's ``cumsum`` accumulates strictly sequentially along
     the axis and padding only trails the live prefix.
+
+    ``scales`` -- a ``(rows, procs)`` array of per-process relative CPU
+    speeds (the scheduling layer's heterogeneous extension) -- switches
+    to the engine's scaled arithmetic: each step becomes the 2^-6-grid
+    quantization of ``(work + 1.0) / scale`` plus the row's ``hits``
+    (the bare ``t_hit``), matching ``SimulationEngine(...,
+    compute_scales=...)`` bit for bit.  ``steps`` is ignored for scaled
+    rows; ``hits`` is required alongside ``scales``.
     """
     if works.ndim != 3:
         raise ValueError(f"works must be (rows, procs, max_len), got {works.shape}")
+    if scales is not None:
+        scales = np.asarray(scales, dtype=np.float64)
+        if scales.shape != works.shape[:2]:
+            raise ValueError(
+                f"scales must be (rows, procs): {scales.shape} vs {works.shape}"
+            )
+        if hits is None:
+            raise ValueError("hits (per-row t_hit) is required with scales")
+        hits = np.asarray(hits, dtype=np.float64)
+        if hits.shape != (works.shape[0],):
+            raise ValueError(
+                f"hits must have one entry per row: {hits.shape} vs {works.shape}"
+            )
+        quantized = np.round(((works + 1.0) / scales[:, :, None]) * 64.0) / 64.0
+        return np.cumsum(quantized + hits[:, None, None], axis=-1)
     steps = np.asarray(steps, dtype=np.float64)
     if steps.shape != (works.shape[0],):
         raise ValueError(

@@ -15,9 +15,18 @@ arbitrary depth:
   levels only at the destination subtree (``procs-per-subtree + 1``);
 * the disk boundary aggregates over all machines, split into a local
   share ``1/M`` and one REMOTE_DISK level per interconnect.
+
+Heterogeneous trees have no single hierarchy: each machine sees its own
+cache/memory sizes and its own ancestor path.  :func:`leaf_hierarchies`
+folds the tree once per leaf -- on a homogeneous tree every leaf fold
+is value-identical to :func:`build_hierarchy` (the fold is literally
+the same code walking the same integers), which is what lets the
+heterogeneous model reduce bit-for-bit to the paper's.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.core.hierarchy import (
     LevelKind,
@@ -26,9 +35,15 @@ from repro.core.hierarchy import (
     PlatformKind,
     _effective_cache,
 )
-from repro.topology.ir import ClusterNode, Contention, MachineNode, Topology
+from repro.topology.ir import (
+    ClusterNode,
+    Contention,
+    InterconnectLevel,
+    MachineNode,
+    Topology,
+)
 
-__all__ = ["classify", "build_hierarchy"]
+__all__ = ["classify", "build_hierarchy", "leaf_hierarchy", "leaf_hierarchies"]
 
 
 def classify(topology: Topology) -> PlatformKind:
@@ -36,10 +51,13 @@ def classify(topology: Topology) -> PlatformKind:
 
     A lone machine is an SMP; a networked tree of uniprocessor machines
     is (a generalization of) a COW; a networked tree of SMP machines is
-    (a generalization of) a CLUMP.
+    (a generalization of) a CLUMP.  A tree holding unlike machines is
+    HETEROGENEOUS -- outside the paper's taxonomy (docs/SCHEDULING.md).
     """
     if isinstance(topology, MachineNode):
         return PlatformKind.SMP
+    if not topology.is_homogeneous:
+        return PlatformKind.HETEROGENEOUS
     return PlatformKind.COW if topology.procs_per_machine == 1 else PlatformKind.CLUMP
 
 
@@ -57,26 +75,50 @@ def _level_population(contention: Contention, procs_below: int, procs_per_child:
     return procs_per_child + 1
 
 
-def build_hierarchy(
-    topology: Topology,
-    include_peer_cache: bool = False,
-    remote_cached_fraction: float = 0.0,
-    cache_capacity_factor: float = 1.0,
+#: One ancestor interconnect on a leaf's path to the root, innermost
+#: first: (level, machines under the ancestor, processors under the
+#: ancestor, machines under the leaf-side subtree joined there,
+#: processors under that subtree).
+_PathEntry = "tuple[InterconnectLevel, int, int, int, int]"
+
+
+def _leaf_paths(topology: Topology) -> list[tuple[MachineNode, list]]:
+    """``(leaf, ancestor path)`` for every machine, left to right."""
+    if isinstance(topology, MachineNode):
+        return [(topology, [])]
+    out: list[tuple[MachineNode, list]] = []
+    for sub in topology.subtrees:
+        entry = (
+            topology.interconnect,
+            topology.total_machines,
+            topology.total_processors,
+            sub.total_machines,
+            sub.total_processors,
+        )
+        for leaf, path in _leaf_paths(sub):
+            out.append((leaf, path + [entry]))
+    return out
+
+
+def _fold_leaf(
+    machine: MachineNode,
+    path: list,
+    platform: PlatformKind,
+    total_machines: int,
+    total_processors: int,
+    aggregate_memory: float,
+    include_peer_cache: bool,
+    remote_cached_fraction: float,
+    cache_capacity_factor: float,
 ) -> MemoryHierarchy:
-    """Fold a topology tree into the paper's Eq. 7/11 level structure."""
-    if not isinstance(topology, (MachineNode, ClusterNode)):
-        raise ValueError(
-            f"cannot build a hierarchy from {type(topology).__name__!r}; "
-            "expected a MachineNode or ClusterNode topology"
-        )
-    if not (0.0 <= remote_cached_fraction <= 1.0):
-        raise ValueError(
-            f"remote_cached_fraction must be in [0, 1], got {remote_cached_fraction!r}"
-        )
-    machine = topology.machine
+    """Fold one leaf's view of the tree into the Eq. 7/11 level list.
+
+    On a homogeneous tree every quantity below -- populations, machine
+    counts, shares -- equals what the whole-tree fold computed before
+    this refactor, so the output is value-identical for every leaf.
+    """
     n = machine.processors
-    depth = topology.depth
-    total_machines = topology.total_machines
+    depth = len(path)
     cache_items = _effective_cache(machine.cache.capacity_items, cache_capacity_factor)
     memory_items = machine.memory.capacity_items
 
@@ -127,12 +169,11 @@ def build_hierarchy(
 
     # -- one remote-memory level per interconnect, innermost first ----
     remote_fraction = 1.0 - remote_cached_fraction
-    machines_prev = 1
-    for ic, machines_below in topology.interconnects:
-        population = _level_population(ic.contention, n * machines_below, n * machines_prev)
+    for ic, machines_below, procs_below, machines_inner, procs_inner in path:
+        population = _level_population(ic.contention, procs_below, procs_inner)
         # Share of remote traffic whose lowest common ancestor is this
         # level, under uniform home placement over the other machines.
-        share = (machines_below - machines_prev) / (total_machines - 1)
+        share = (machines_below - machines_inner) / (total_machines - 1)
         levels.append(
             ModelLevel(
                 name=(f"remote memory ({ic.label})" if n == 1
@@ -155,7 +196,6 @@ def build_hierarchy(
                     rate_fraction=share * remote_cached_fraction,
                 )
             )
-        machines_prev = machines_below
 
     # -- disks ---------------------------------------------------------
     if depth == 0:
@@ -169,7 +209,6 @@ def build_hierarchy(
             )
         )
     else:
-        aggregate_memory = total_machines * memory_items
         levels.append(
             ModelLevel(
                 name=("local disk" if n == 1 else "local disk (I/O bus)"),
@@ -180,9 +219,8 @@ def build_hierarchy(
                 rate_fraction=1.0 / total_machines,
             )
         )
-        machines_prev = 1
-        for ic, machines_below in topology.interconnects:
-            population = _level_population(ic.contention, n * machines_below, n * machines_prev)
+        for ic, machines_below, procs_below, machines_inner, procs_inner in path:
+            population = _level_population(ic.contention, procs_below, procs_inner)
             levels.append(
                 ModelLevel(
                     name=f"remote disks ({ic.label})",
@@ -190,16 +228,134 @@ def build_hierarchy(
                     boundary_items=aggregate_memory,
                     tau_cycles=machine.disk.tau_cycles + ic.remote_disk_extra_cycles,
                     population=population,
-                    rate_fraction=(machines_below - machines_prev) / total_machines,
+                    rate_fraction=(machines_below - machines_inner) / total_machines,
                 )
             )
-            machines_prev = machines_below
 
-    total = topology.total_processors
     return MemoryHierarchy(
-        platform=classify(topology),
+        platform=platform,
         base_cycles=machine.cache.tau_cycles,
         levels=tuple(levels),
-        barrier_population=total,
-        total_processes=total,
+        barrier_population=total_processors,
+        total_processes=total_processors,
     )
+
+
+def _aggregate_memory(topology: Topology) -> float:
+    """Total memory across all machines (the cluster disk boundary).
+
+    When every leaf holds the same capacity this is computed as the
+    exact product the homogeneous fold always used (``M * items``), so
+    the boundary is bit-identical; unlike capacities are summed.
+    """
+    leaves = topology.leaves
+    first = leaves[0].memory.capacity_items
+    if all(leaf.memory.capacity_items == first for leaf in leaves[1:]):
+        return topology.total_machines * first
+    return math.fsum(leaf.memory.capacity_items for leaf in leaves)
+
+
+def _check_fold_args(topology: Topology, remote_cached_fraction: float) -> None:
+    if not isinstance(topology, (MachineNode, ClusterNode)):
+        raise ValueError(
+            f"cannot build a hierarchy from {type(topology).__name__!r}; "
+            "expected a MachineNode or ClusterNode topology"
+        )
+    if not (0.0 <= remote_cached_fraction <= 1.0):
+        raise ValueError(
+            f"remote_cached_fraction must be in [0, 1], got {remote_cached_fraction!r}"
+        )
+
+
+def build_hierarchy(
+    topology: Topology,
+    include_peer_cache: bool = False,
+    remote_cached_fraction: float = 0.0,
+    cache_capacity_factor: float = 1.0,
+) -> MemoryHierarchy:
+    """Fold a homogeneous topology tree into the Eq. 7/11 level structure.
+
+    Every machine in a homogeneous tree sees the same hierarchy, so one
+    fold (of the first leaf's path) describes them all.  Heterogeneous
+    trees are rejected -- their machines genuinely differ; use
+    :func:`leaf_hierarchies` and the scheduling layer
+    (:mod:`repro.scheduling`) instead.
+    """
+    _check_fold_args(topology, remote_cached_fraction)
+    if not topology.is_homogeneous:
+        raise ValueError(
+            "cannot fold a heterogeneous topology into a single memory "
+            "hierarchy: its machines differ; use "
+            "repro.topology.build.leaf_hierarchies (one hierarchy per "
+            "machine) with repro.scheduling"
+        )
+    leaf, path = _leaf_paths(topology)[0]
+    return _fold_leaf(
+        leaf,
+        path,
+        platform=classify(topology),
+        total_machines=topology.total_machines,
+        total_processors=topology.total_processors,
+        aggregate_memory=_aggregate_memory(topology),
+        include_peer_cache=include_peer_cache,
+        remote_cached_fraction=remote_cached_fraction,
+        cache_capacity_factor=cache_capacity_factor,
+    )
+
+
+def leaf_hierarchies(
+    topology: Topology,
+    include_peer_cache: bool = False,
+    remote_cached_fraction: float = 0.0,
+    cache_capacity_factor: float = 1.0,
+) -> tuple[MemoryHierarchy, ...]:
+    """One :class:`MemoryHierarchy` per machine, left to right.
+
+    The heterogeneous generalization of :func:`build_hierarchy`: each
+    machine's view folds its *own* cache/L2/memory/disk sizes with its
+    *own* ancestor interconnect path (populations and remote shares are
+    per-path, so unlike siblings see unlike contention).  On a
+    homogeneous tree every entry is value-identical to
+    :func:`build_hierarchy`'s single answer.
+    """
+    _check_fold_args(topology, remote_cached_fraction)
+    platform = classify(topology)
+    total_machines = topology.total_machines
+    total_processors = topology.total_processors
+    aggregate = _aggregate_memory(topology)
+    return tuple(
+        _fold_leaf(
+            leaf,
+            path,
+            platform=platform,
+            total_machines=total_machines,
+            total_processors=total_processors,
+            aggregate_memory=aggregate,
+            include_peer_cache=include_peer_cache,
+            remote_cached_fraction=remote_cached_fraction,
+            cache_capacity_factor=cache_capacity_factor,
+        )
+        for leaf, path in _leaf_paths(topology)
+    )
+
+
+def leaf_hierarchy(
+    topology: Topology,
+    leaf_index: int,
+    include_peer_cache: bool = False,
+    remote_cached_fraction: float = 0.0,
+    cache_capacity_factor: float = 1.0,
+) -> MemoryHierarchy:
+    """The hierarchy seen by machine ``leaf_index`` (left-to-right order)."""
+    hierarchies = leaf_hierarchies(
+        topology,
+        include_peer_cache=include_peer_cache,
+        remote_cached_fraction=remote_cached_fraction,
+        cache_capacity_factor=cache_capacity_factor,
+    )
+    if not (0 <= leaf_index < len(hierarchies)):
+        raise ValueError(
+            f"leaf index {leaf_index} out of range for a tree of "
+            f"{len(hierarchies)} machine(s)"
+        )
+    return hierarchies[leaf_index]

@@ -41,6 +41,10 @@ __all__ = [
     "scaled_topology",
     "builtin_platform",
     "BUILTIN_PLATFORMS",
+    "mixed_cow_topology",
+    "mixed_clump_topology",
+    "builtin_mixed_topology",
+    "BUILTIN_MIXED_TOPOLOGIES",
 ]
 
 KB = 1024
@@ -75,6 +79,7 @@ def _machine(
     latencies: LatencyTable,
     ways: int = 2,
     l2_items: float | None = None,
+    speed: float = 1.0,
 ) -> MachineNode:
     return MachineNode(
         processors=processors,
@@ -94,6 +99,7 @@ def _machine(
             if l2_items is not None
             else None
         ),
+        speed=speed,
     )
 
 
@@ -207,6 +213,13 @@ def scaled_topology(topology: Topology, size_divisor: int) -> Topology:
     if size_divisor < 1:
         raise ValueError("size_divisor must be >= 1")
     if isinstance(topology, ClusterNode):
+        if topology.children:
+            return ClusterNode(
+                children=tuple(
+                    scaled_topology(kid, size_divisor) for kid in topology.children
+                ),
+                interconnect=topology.interconnect,
+            )
         return ClusterNode(
             count=topology.count,
             child=scaled_topology(topology.child, size_divisor),
@@ -232,6 +245,7 @@ def scaled_topology(topology: Topology, size_divisor: int) -> Topology:
         memory=MemoryLevel(capacity_items=memory_items, tau_cycles=m.memory.tau_cycles),
         disk=m.disk,
         l2=l2,
+        speed=m.speed,
     )
 
 
@@ -295,6 +309,76 @@ def deepen_spec(spec, rack_size: int, intra_network: NetworkKind = NetworkKind.A
     return PlatformSpec.from_topology(
         name, topo, cpu_hz=spec.cpu_hz, latencies=spec.latencies
     )
+
+
+# -- canned heterogeneous (mixed) trees --------------------------------
+def mixed_cow_topology(
+    fast_machines: int = 2,
+    large_machines: int = 2,
+    network: NetworkKind = NetworkKind.ETHERNET_100,
+    latencies: LatencyTable = PAPER_LATENCIES,
+) -> ClusterNode:
+    """A mixed cluster of workstations: fast-small vs. slow-large nodes.
+
+    The canonical scheduling testbed (docs/SCHEDULING.md): half the
+    machines have 2x CPUs but small caches/memories, half are baseline
+    CPUs with 8x the cache and 4x the memory.  Speed-proportional
+    placement overloads the fast machines' small hierarchies;
+    memory-aware placement sees both effects.
+    """
+    if fast_machines < 1 or large_machines < 1:
+        raise ValueError("the mixed COW needs >= 1 machine of each kind")
+    fast = _machine(1, 64 * KB / ITEM_BYTES, 8 * KB * KB / ITEM_BYTES, latencies, speed=2.0)
+    large = _machine(1, 512 * KB / ITEM_BYTES, 32 * KB * KB / ITEM_BYTES, latencies, speed=1.0)
+    return ClusterNode(
+        children=(fast,) * fast_machines + (large,) * large_machines,
+        interconnect=interconnect_for(network, smp_nodes=False),
+    )
+
+
+def mixed_clump_topology(
+    wide_machines: int = 2,
+    fast_machines: int = 2,
+    network: NetworkKind = NetworkKind.ATM_155,
+    latencies: LatencyTable = PAPER_LATENCIES,
+) -> ClusterNode:
+    """A mixed cluster of SMPs: wide-slow vs. narrow-fast nodes.
+
+    Half the nodes are 4-way SMPs at baseline speed with mid-size
+    hierarchies; half are 2-way SMPs at 2.5x speed with small ones.
+    The per-process memory pressure differs *within* the tree, which is
+    exactly what the memory-aware policy exploits.
+    """
+    if wide_machines < 1 or fast_machines < 1:
+        raise ValueError("the mixed CLUMP needs >= 1 machine of each kind")
+    wide = _machine(4, 512 * KB / ITEM_BYTES, 32 * KB * KB / ITEM_BYTES, latencies, speed=1.0)
+    fast = _machine(2, 256 * KB / ITEM_BYTES, 16 * KB * KB / ITEM_BYTES, latencies, speed=2.5)
+    return ClusterNode(
+        children=(wide,) * wide_machines + (fast,) * fast_machines,
+        interconnect=interconnect_for(network, smp_nodes=True),
+    )
+
+
+#: Built-in heterogeneous trees accepted by ``repro schedule --platform``
+#: (and anywhere a mixed tree is useful as a fixture).  These are raw
+#: :class:`~repro.topology.ir.Topology` factories, not PlatformSpecs --
+#: a heterogeneous tree cannot be a PlatformSpec by construction.
+BUILTIN_MIXED_TOPOLOGIES = {
+    "mixed-cow": lambda: mixed_cow_topology(),
+    "mixed-clump": lambda: mixed_clump_topology(),
+}
+
+
+def builtin_mixed_topology(name: str) -> ClusterNode:
+    """Look up a built-in mixed tree by name; ValueError when unknown."""
+    try:
+        factory = BUILTIN_MIXED_TOPOLOGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_MIXED_TOPOLOGIES))
+        raise ValueError(
+            f"unknown built-in mixed topology {name!r}; known: {known}"
+        ) from None
+    return factory()
 
 
 #: Built-in ``--platform`` names accepted by the CLI, sized to run in

@@ -21,7 +21,7 @@ from pathlib import Path
 
 from repro.topology.ir import topology_from_dict
 
-__all__ = ["platform_from_dict", "load_platform_file"]
+__all__ = ["platform_from_dict", "load_platform_file", "load_platform_payload"]
 
 
 def platform_from_dict(payload: dict):
@@ -55,7 +55,8 @@ def _parse_text(text: str, path: Path) -> dict:
         except ImportError:
             raise ValueError(
                 f"{path}: YAML platform files need PyYAML, which is not "
-                "installed; use JSON instead"
+                "installed (install it with 'pip install pyyaml'); "
+                "alternatively rewrite the file as JSON, which always works"
             ) from None
         try:
             return yaml.safe_load(text)
@@ -67,14 +68,25 @@ def _parse_text(text: str, path: Path) -> dict:
         raise ValueError(f"{path}: invalid JSON: {exc}") from None
 
 
-def load_platform_file(path: str | Path):
-    """Parse a platform file; raise ValueError on any problem."""
+def load_platform_payload(path: str | Path) -> dict:
+    """Read and parse a platform file into its raw document (no schema).
+
+    Shared by :func:`load_platform_file` (homogeneous ``PlatformSpec``)
+    and the scheduling layer's heterogeneous loader, so both give the
+    same pointed read/parse/PyYAML errors.
+    """
     path = Path(path)
     try:
         text = path.read_text(encoding="utf-8")
     except OSError as exc:
         raise ValueError(f"cannot read platform file {path}: {exc.strerror or exc}") from None
-    payload = _parse_text(text, path)
+    return _parse_text(text, path)
+
+
+def load_platform_file(path: str | Path):
+    """Parse a platform file; raise ValueError on any problem."""
+    path = Path(path)
+    payload = load_platform_payload(path)
     try:
         return platform_from_dict(payload)
     except ValueError as exc:

@@ -142,3 +142,106 @@ class TestBarrier:
     @given(c=st.integers(min_value=2, max_value=64))
     def test_wait_grows_with_population(self, c):
         assert barrier_wait_time(1.0, c + 1) > barrier_wait_time(1.0, c)
+
+
+class TestExpectedMaxExponential:
+    """The generalized barrier order statistic (heterogeneous barriers)."""
+
+    @given(lam=st.floats(min_value=1e-6, max_value=1e6),
+           pop=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_equal_rates_bit_identical_to_paper_form(self, lam, pop):
+        from repro.core.contention import expected_max_exponential
+
+        # Bitwise: the homogeneous path must dispatch, not approximate.
+        assert expected_max_exponential([lam] * pop) == barrier_cycle_time(lam, pop)
+        assert expected_max_exponential([lam], counts=[pop]) == barrier_cycle_time(
+            lam, pop
+        )
+
+    def test_two_rates_match_hand_inclusion_exclusion(self):
+        from repro.core.contention import expected_max_exponential
+
+        a, b = 1.0, 3.0
+        # E[max(Exp(a), Exp(b))] = 1/a + 1/b - 1/(a+b).
+        expect = 1 / a + 1 / b - 1 / (a + b)
+        assert expected_max_exponential([a, b]) == pytest.approx(expect, rel=1e-12)
+
+    def test_simpson_path_agrees_with_exact(self):
+        from fractions import Fraction
+        from itertools import product
+
+        from repro.core.contention import _EXACT_MAX_TERMS, expected_max_exponential
+
+        # 71 x 71 inclusion-exclusion terms blow the exact budget and
+        # force the quadrature path; re-derive the exact alternating
+        # sum here in Fraction arithmetic as the reference.
+        rates, counts = [1.0, 2.0], [70, 70]
+        assert (counts[0] + 1) * (counts[1] + 1) > _EXACT_MAX_TERMS
+        frs = [Fraction(r) for r in rates]
+        acc = Fraction(0)
+        for combo in product(*(range(m + 1) for m in counts)):
+            j = sum(combo)
+            if j == 0:
+                continue
+            coeff = 1
+            for m, k in zip(counts, combo):
+                coeff *= math.comb(m, k)
+            term = Fraction(coeff) / sum(f * k for f, k in zip(frs, combo))
+            acc += term if j % 2 else -term
+        simpson = expected_max_exponential(rates, counts)
+        assert simpson == pytest.approx(float(acc), rel=1e-12)
+
+    @given(rs=st.lists(st.sampled_from([0.5, 1.0, 2.0, 5.0]), min_size=1,
+                       max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_the_slowest_mean(self, rs):
+        from repro.core.contention import expected_max_exponential
+
+        # E[max] >= max of the individual means = 1/min(rates).
+        assert expected_max_exponential(rs) >= 1.0 / min(rs) - 1e-12
+
+    def test_adding_a_variable_never_decreases_the_max(self):
+        from repro.core.contention import expected_max_exponential
+
+        base = expected_max_exponential([1.0, 2.0])
+        assert expected_max_exponential([1.0, 2.0, 4.0]) > base
+
+    def test_rejects_bad_rates(self):
+        from repro.core.contention import expected_max_exponential
+
+        with pytest.raises(ValueError, match="positive"):
+            expected_max_exponential([1.0, 0.0])
+        with pytest.raises(ValueError, match="align"):
+            expected_max_exponential([1.0], counts=[1, 2])
+        with pytest.raises(ValueError, match="at least one"):
+            expected_max_exponential([])
+
+
+class TestGeneralizedBarrierTerms:
+    @given(lam=st.floats(min_value=1e-3, max_value=1e3),
+           pop=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_equal_rates_collapse_to_barrier_term(self, lam, pop):
+        from repro.core.contention import generalized_barrier_terms
+
+        out = generalized_barrier_terms([lam], counts=[pop])
+        assert out == (barrier_term(pop),)
+
+    @given(rs=st.lists(st.sampled_from([0.25, 1.0, 3.0, 8.0]), min_size=2,
+                       max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_nonnegative_and_faster_groups_wait_more(self, rs):
+        from repro.core.contention import generalized_barrier_terms
+
+        terms = generalized_barrier_terms(rs)
+        assert all(b >= 0.0 for b in terms)
+        # b_g = lam_g E[max] - 1 is monotone in lam_g: a faster group
+        # (higher barrier-arrival rate) strictly waits longer.
+        for (ra, ba), (rb, bb) in zip(zip(rs, terms), zip(rs[1:], terms[1:])):
+            if ra < rb:
+                assert ba <= bb
+            elif ra > rb:
+                assert ba >= bb
+            else:
+                assert ba == bb

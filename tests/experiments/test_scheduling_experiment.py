@@ -1,0 +1,70 @@
+"""The placement-policy comparison experiment (heterogeneous extension)."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.scheduling import (
+    PolicyCell,
+    SchedulingResult,
+    main,
+    run_policy_comparison,
+)
+from repro.workloads.params import PAPER_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_policy_comparison()
+
+
+class TestComparison:
+    def test_full_grid(self, result):
+        # 2 trees x 4 workloads x 3 policies.
+        assert len(result.cells) == 2 * len(PAPER_WORKLOADS) * 3
+        assert result.policies == ("round-robin", "speed", "memory-aware")
+
+    def test_dominance_holds(self, result):
+        """The acceptance criterion, at the experiment layer: the
+        memory-aware policy never loses a (tree, workload) cell."""
+        assert result.dominance_holds
+
+    def test_cell_lookup_and_speedup(self, result):
+        cell = result.cell("mixed-cow", "LU", "memory-aware")
+        assert isinstance(cell, PolicyCell) and cell.feasible
+        speedup = result.speedup("mixed-cow", "LU", "round-robin")
+        assert speedup == pytest.approx(2.0, abs=0.05)
+
+    def test_mean_speedup_is_meaningful(self, result):
+        mean = result.mean_speedup_over_round_robin
+        assert math.isfinite(mean) and mean > 1.0
+
+    def test_describe_renders_every_policy(self, result):
+        text = result.describe()
+        for policy in result.policies:
+            assert policy in text
+
+    def test_as_dict_round_trips_json(self, result):
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["dominance_holds"] is True
+        assert len(payload["cells"]) == len(result.cells)
+
+
+class TestMain:
+    def test_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "policies.json"
+        assert main(["--json", str(out), "--platforms", "mixed-cow"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["dominance_holds"] is True
+        assert "memory-aware" in capsys.readouterr().out
+
+    def test_unknown_platform_is_pointed(self):
+        with pytest.raises(ValueError, match="mixed-cow"):
+            main(["--platforms", "mixed-tower"])
+
+
+class TestResultConstruction:
+    def test_unknown_cell_raises(self, result):
+        with pytest.raises(KeyError):
+            result.cell("mixed-cow", "LU", "fastest-first")

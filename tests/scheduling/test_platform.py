@@ -1,0 +1,107 @@
+"""HeteroPlatform: wrapping, round-trip, loaders."""
+
+import json
+
+import pytest
+
+from repro.core.platform import PlatformKind, PlatformSpec
+from repro.scheduling import (
+    HeteroPlatform,
+    builtin_hetero_platform,
+    load_hetero_platform_file,
+)
+from repro.sim.latencies import NetworkKind
+
+KB, MB = 1024, 1024 * 1024
+
+
+class TestShape:
+    def test_mixed_cow_views(self):
+        platform = builtin_hetero_platform("mixed-cow")
+        assert platform.total_machines == 4
+        assert platform.total_processors == 4
+        assert not platform.is_homogeneous
+        assert platform.kind is PlatformKind.HETEROGENEOUS
+        assert platform.speeds == (2.0, 2.0, 1.0, 1.0)
+        assert platform.machine_of_process == (0, 1, 2, 3)
+        assert len(platform.hierarchies()) == 4
+
+    def test_mixed_clump_processes_follow_leaf_order(self):
+        platform = builtin_hetero_platform("mixed-clump")
+        # 2 wide 4-way nodes then 2 fast 2-way nodes.
+        assert platform.total_processors == 12
+        assert platform.machine_of_process == (0,) * 4 + (1,) * 4 + (2,) * 2 + (3,) * 2
+        assert platform.speeds == (1.0,) * 8 + (2.5,) * 4
+
+    def test_from_spec_is_homogeneous(self):
+        spec = PlatformSpec(
+            name="cow", n=1, N=4, cache_bytes=256 * KB,
+            memory_bytes=64 * MB, network=NetworkKind.ETHERNET_100,
+        )
+        platform = HeteroPlatform.from_spec(spec)
+        assert platform.is_homogeneous
+        assert platform.kind is PlatformKind.COW
+        assert platform.cpu_hz == spec.cpu_hz
+
+    def test_describe_lists_machines(self):
+        text = builtin_hetero_platform("mixed-cow").describe()
+        assert "heterogeneous" in text
+        assert "machine 3" in text
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_lossless(self):
+        platform = builtin_hetero_platform("mixed-cow")
+        clone = HeteroPlatform.from_dict(platform.to_dict())
+        assert clone == platform
+
+    def test_survives_json(self):
+        platform = builtin_hetero_platform("mixed-clump")
+        clone = HeteroPlatform.from_dict(
+            json.loads(json.dumps(platform.to_dict()))
+        )
+        assert clone == platform
+
+    def test_unknown_keys_rejected(self):
+        payload = builtin_hetero_platform("mixed-cow").to_dict()
+        payload["cpuhz"] = 1e8
+        with pytest.raises(ValueError, match="cpuhz"):
+            HeteroPlatform.from_dict(payload)
+
+    def test_needs_name_and_topology(self):
+        with pytest.raises(ValueError, match="name"):
+            HeteroPlatform.from_dict({"topology": {}})
+        with pytest.raises(ValueError, match="topology"):
+            HeteroPlatform.from_dict({"name": "x"})
+
+
+class TestValidation:
+    def test_needs_two_processors(self):
+        from repro.topology.canned import _machine
+        from repro.sim.latencies import PAPER_LATENCIES
+
+        leaf = _machine(1, 256.0, 4096.0, PAPER_LATENCIES)
+        with pytest.raises(ValueError, match="two processors"):
+            HeteroPlatform(name="solo", topology=leaf)
+
+    def test_rejects_non_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            HeteroPlatform(name="x", topology={"type": "machine"})
+
+    def test_builtin_unknown_name_is_pointed(self):
+        with pytest.raises(ValueError, match="mixed-clump"):
+            builtin_hetero_platform("mixed-tower")
+
+
+class TestFileLoader:
+    def test_round_trip_through_file(self, tmp_path):
+        platform = builtin_hetero_platform("mixed-cow")
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps(platform.to_dict()))
+        assert load_hetero_platform_file(path) == platform
+
+    def test_error_carries_the_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x"}))
+        with pytest.raises(ValueError, match="bad.json"):
+            load_hetero_platform_file(path)

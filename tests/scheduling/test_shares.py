@@ -1,0 +1,47 @@
+"""WorkShare: the work-split value object."""
+
+import math
+
+import pytest
+
+from repro.scheduling import WorkShare
+
+
+class TestValidation:
+    def test_needs_weights(self):
+        with pytest.raises(ValueError):
+            WorkShare(())
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_nonpositive_or_nonfinite(self, bad):
+        with pytest.raises(ValueError):
+            WorkShare((1.0, bad))
+
+    def test_coerces_to_floats(self):
+        share = WorkShare((1, 2))
+        assert share.weights == (1.0, 2.0)
+        assert all(isinstance(w, float) for w in share.weights)
+
+
+class TestSemantics:
+    def test_even_is_all_ones(self):
+        share = WorkShare.even(4)
+        assert share.weights == (1.0, 1.0, 1.0, 1.0)
+        assert share.num_processes == 4
+
+    def test_even_policy_label(self):
+        assert WorkShare.even(2, policy="round-robin").policy == "round-robin"
+
+    def test_fractions_sum_to_one(self):
+        share = WorkShare((3.0, 1.0, 4.0, 1.0, 5.0))
+        assert math.fsum(share.fractions) == pytest.approx(1.0, abs=0)
+        assert share.total == pytest.approx(14.0)
+
+    def test_even_total_is_exact_float_count(self):
+        # fsum of ones is exactly float(P): the homogeneous reduction
+        # divides by this, so it must be the same float evaluate() uses.
+        for p in (2, 3, 7, 16, 1000):
+            assert WorkShare.even(p).total == float(p)
+
+    def test_describe_mentions_policy(self):
+        assert "custom" in WorkShare((1.0, 2.0)).describe()

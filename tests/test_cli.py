@@ -124,3 +124,77 @@ class TestL2Flag:
             return float(text.split("E(Instr) = ")[1].split(" ")[0])
 
         assert t(with_l2) < t(base)
+
+
+class TestSchedule:
+    def test_builtin_mixed_tree(self, capsys):
+        assert main(
+            ["schedule", "--workload", "LU", "--platform", "mixed-cow"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "memory-aware" in out and "round-robin" in out
+        assert "speedup over round-robin" in out
+
+    def test_policy_subset(self, capsys):
+        assert main(
+            ["schedule", "--workload", "LU", "--platform", "mixed-cow",
+             "--policy", "speed"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speed" in out and "memory-aware" not in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(
+            ["schedule", "--workload", "LU", "--platform", "mixed-cow",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "memory-aware" in payload
+
+    def test_platform_file(self, capsys, tmp_path):
+        import json
+
+        from repro.scheduling import builtin_hetero_platform
+
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps(builtin_hetero_platform("mixed-cow").to_dict()))
+        assert main(
+            ["schedule", "--workload", "LU", "--platform", str(path)]
+        ) == 0
+        assert "heterogeneous" in capsys.readouterr().out
+
+    def test_unknown_platform_lists_builtins(self, capsys):
+        # argparse surfaces ArgumentTypeError on stderr and exits 2.
+        with pytest.raises(SystemExit):
+            main(["schedule", "--workload", "LU", "--platform", "mixed-tower"])
+        assert "mixed-clump" in capsys.readouterr().err
+
+
+class TestPredictPolicy:
+    def test_policy_on_homogeneous_cluster(self, capsys):
+        assert main(
+            ["predict", "--workload", "FFT", "--machines", "4",
+             "--network", "atm", "--policy", "memory-aware",
+             "--mode", "open"]
+        ) == 0
+        assert "E(Instr)" in capsys.readouterr().out
+
+    def test_policy_requires_open_mode(self):
+        with pytest.raises(SystemExit, match="open"):
+            main(
+                ["predict", "--workload", "FFT", "--machines", "4",
+                 "--network", "atm", "--policy", "speed",
+                 "--mode", "throttled"]
+            )
+
+
+class TestDesignMix:
+    def test_mix_enumerates_machine_mixes(self, capsys):
+        assert main(
+            ["design", "--workload", "LU", "--budget", "12000",
+             "--mix", "--top", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mix" in out and "$" in out

@@ -25,6 +25,7 @@ DOC_PAGES = [
     "docs/MODEL.md",
     "docs/OBSERVABILITY.md",
     "docs/RESILIENCE.md",
+    "docs/SCHEDULING.md",
     "docs/SERVICE.md",
     "docs/SIMULATOR.md",
     "docs/TRACES.md",
@@ -103,8 +104,9 @@ class TestDocsMatchCode:
 
         doc = (ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
         assert "DESIGN_CACHE_VERSION" in doc and "SIM_CACHE_VERSION" in doc
-        assert isinstance(DESIGN_CACHE_VERSION, int)
-        assert isinstance(SIM_CACHE_VERSION, int)
+        # The version table's "current" column tracks the constants.
+        assert f"`SIM_CACHE_VERSION` | `experiments/runner.py` | {SIM_CACHE_VERSION} |" in doc
+        assert f"`DESIGN_CACHE_VERSION` | `cost/search.py` | {DESIGN_CACHE_VERSION} |" in doc
 
     def test_observability_doc_covers_every_profile_cause(self):
         from repro.obs.ledger import BENCH_FLOORS, SCHEMA as LEDGER_SCHEMA
@@ -145,6 +147,38 @@ class TestDocsMatchCode:
             assert f"`{reason}`" in doc, (
                 f"SERVICE.md's shed taxonomy misses {reason!r}"
             )
+
+    def test_scheduling_doc_is_connected_both_ways(self):
+        refs = _md_references(ROOT / "docs" / "SCHEDULING.md")
+        assert {"docs/ARCHITECTURE.md", "docs/MODEL.md", "docs/COST.md",
+                "docs/SIMULATOR.md", "docs/TRACES.md",
+                "EXPERIMENTS.md"} <= refs
+        arch_refs = _md_references(ROOT / "docs" / "ARCHITECTURE.md")
+        assert "docs/SCHEDULING.md" in arch_refs
+        cost_refs = _md_references(ROOT / "docs" / "COST.md")
+        assert "docs/SCHEDULING.md" in cost_refs
+
+    def test_scheduling_doc_policy_names_match_code(self):
+        from repro.cli import _POLICY_CHOICES
+        from repro.scheduling import POLICIES
+
+        doc = (ROOT / "docs" / "SCHEDULING.md").read_text(encoding="utf-8")
+        assert set(_POLICY_CHOICES) == set(POLICIES)
+        for policy in POLICIES:
+            assert f"`{policy}`" in doc, (
+                f"SCHEDULING.md no longer documents policy {policy!r}"
+            )
+        # The knobs the doc teaches still exist in the source.
+        catalog_src = (ROOT / "src/repro/cost/catalog.py").read_text(
+            encoding="utf-8"
+        )
+        assert "speed_premium_per_unit" in catalog_src
+        space_src = (ROOT / "src/repro/cost/configspace.py").read_text(
+            encoding="utf-8"
+        )
+        for field in ("machine_speeds", "mix_max_machines"):
+            assert field in space_src, f"configspace.py lost {field}"
+            assert field in doc, f"SCHEDULING.md no longer documents {field}"
 
     def test_traces_doc_is_connected_both_ways(self):
         traces_refs = _md_references(ROOT / "docs" / "TRACES.md")

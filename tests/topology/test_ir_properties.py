@@ -1,0 +1,194 @@
+"""Property tests for the topology IR (hypothesis).
+
+The IR's contracts the rest of the stack leans on:
+
+* ``topology_from_dict(t.to_dict())`` is lossless for every tree the
+  constructors accept -- files, caches and the CLI all round-trip
+  through dicts;
+* homogeneous trees have exactly ONE representation: explicit all-equal
+  ``children`` canonicalize to the count+child sugar on construction,
+  so ``==`` and ``hash`` never depend on how a tree was spelled;
+* the structural queries agree with the leaf list;
+* ``classify`` calls a tree heterogeneous exactly when its machines
+  differ;
+* the strict schema rejects unknown keys with a pointed message.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.platform import PlatformKind
+from repro.sim.latencies import NetworkKind
+from repro.topology.build import classify
+from repro.topology.ir import (
+    CacheLevel,
+    ClusterNode,
+    Contention,
+    DiskLevel,
+    InterconnectLevel,
+    MachineNode,
+    MemoryLevel,
+    topology_from_dict,
+)
+
+# -- strategies --------------------------------------------------------
+# Capacities come from small menus (not raw floats) so that distinct
+# draws are often *equal* -- that is what exercises canonicalization.
+caches = st.builds(
+    CacheLevel,
+    capacity_items=st.sampled_from([64.0, 512.0, 4096.0]),
+    tau_cycles=st.sampled_from([1.0, 2.0]),
+    ways=st.sampled_from([1, 2, 4]),
+    peer_tau_cycles=st.sampled_from([10.0, 15.0]),
+)
+machines = st.builds(
+    lambda cache, mem_factor, procs, speed, disk_tau: MachineNode(
+        processors=procs,
+        cache=cache,
+        memory=MemoryLevel(capacity_items=cache.capacity_items * mem_factor),
+        disk=DiskLevel(tau_cycles=disk_tau),
+        speed=speed,
+    ),
+    cache=caches,
+    mem_factor=st.sampled_from([16.0, 256.0]),
+    procs=st.integers(min_value=1, max_value=8),
+    speed=st.sampled_from([1.0, 1.5, 2.0]),
+    disk_tau=st.sampled_from([1000.0, 2000.0]),
+)
+interconnects = st.builds(
+    InterconnectLevel,
+    network=st.sampled_from(list(NetworkKind)),
+    contention=st.sampled_from(list(Contention)),
+    remote_node_cycles=st.sampled_from([100.0, 400.0]),
+    remote_cached_cycles=st.sampled_from([120.0, 500.0]),
+    remote_disk_extra_cycles=st.sampled_from([0.0, 50.0]),
+    label=st.sampled_from(["net", "rack bus"]),
+)
+
+
+def _cluster(children):
+    return st.builds(
+        lambda kids, link: ClusterNode(children=tuple(kids), interconnect=link),
+        kids=st.lists(children, min_size=2, max_size=3),
+        link=interconnects,
+    )
+
+
+topologies = st.recursive(machines, _cluster, max_leaves=6)
+trees = topologies.filter(lambda t: t.total_processors >= 1)
+
+
+# -- properties --------------------------------------------------------
+class TestRoundTrip:
+    @given(tree=trees)
+    @settings(max_examples=120, deadline=None)
+    def test_to_dict_from_dict_is_lossless(self, tree):
+        assert topology_from_dict(tree.to_dict()) == tree
+
+    @given(tree=trees)
+    @settings(max_examples=60, deadline=None)
+    def test_survives_json(self, tree):
+        clone = topology_from_dict(json.loads(json.dumps(tree.to_dict())))
+        assert clone == tree
+        assert hash(clone) == hash(tree)
+
+    @given(machine=machines)
+    @settings(max_examples=40, deadline=None)
+    def test_unit_speed_is_omitted_from_the_dict(self, machine):
+        d = machine.to_dict()
+        assert ("speed" in d) == (machine.speed != 1.0)
+
+
+class TestCanonicalization:
+    @given(machine=machines, count=st.integers(min_value=2, max_value=5),
+           link=interconnects)
+    @settings(max_examples=80, deadline=None)
+    def test_equal_children_collapse_to_sugar(self, machine, count, link):
+        explicit = ClusterNode(children=(machine,) * count, interconnect=link)
+        sugar = ClusterNode(count=count, child=machine, interconnect=link)
+        assert explicit == sugar
+        assert hash(explicit) == hash(sugar)
+        assert explicit.children == () and explicit.child == machine
+        assert explicit.to_dict() == sugar.to_dict()
+
+    @given(subtree=trees, count=st.integers(min_value=2, max_value=4),
+           link=interconnects)
+    @settings(max_examples=60, deadline=None)
+    def test_collapse_works_for_whole_subtrees_too(self, subtree, count, link):
+        explicit = ClusterNode(children=(subtree,) * count, interconnect=link)
+        assert explicit.children == ()
+        assert explicit.count == count and explicit.child == subtree
+
+    @given(tree=trees)
+    @settings(max_examples=80, deadline=None)
+    def test_homogeneous_implies_all_leaves_equal(self, tree):
+        # One-way only: equal leaves at *different depths* still make a
+        # heterogeneous tree (each leaf sees a different hierarchy).
+        leaves = tree.leaves
+        if tree.is_homogeneous:
+            assert all(m == leaves[0] for m in leaves)
+        if any(m != leaves[0] for m in leaves):
+            assert not tree.is_homogeneous
+
+
+class TestStructuralQueries:
+    @given(tree=trees)
+    @settings(max_examples=80, deadline=None)
+    def test_counts_agree_with_the_leaf_list(self, tree):
+        leaves = tree.leaves
+        assert tree.total_machines == len(leaves)
+        assert tree.total_processors == sum(m.processors for m in leaves)
+        assert tree.machine == leaves[0]
+
+    @given(tree=trees)
+    @settings(max_examples=60, deadline=None)
+    def test_classify_marks_unequal_leaves_heterogeneous(self, tree):
+        kind = classify(tree)
+        if not tree.is_homogeneous:
+            assert kind is PlatformKind.HETEROGENEOUS
+        else:
+            assert kind is not PlatformKind.HETEROGENEOUS
+
+    @given(machine=machines, link=interconnects)
+    @settings(max_examples=30, deadline=None)
+    def test_hetero_trees_refuse_homogeneous_only_views(self, machine, link):
+        other = MachineNode(
+            processors=machine.processors + 1, cache=machine.cache,
+            memory=machine.memory, disk=machine.disk, speed=machine.speed,
+        )
+        tree = ClusterNode(children=(machine, other), interconnect=link)
+        with pytest.raises(ValueError, match="heterogeneous"):
+            tree.procs_per_machine
+        with pytest.raises(ValueError, match="homogeneous"):
+            tree.interconnects
+
+
+class TestStrictSchema:
+    @given(tree=trees, key=st.sampled_from(["cpus", "speedup", "links"]))
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_root_key_is_named_in_the_error(self, tree, key):
+        payload = tree.to_dict()
+        payload[key] = 1
+        with pytest.raises(ValueError, match=key):
+            topology_from_dict(payload)
+
+    @given(machine=machines)
+    @settings(max_examples=20, deadline=None)
+    def test_unknown_nested_key_rejected(self, machine):
+        payload = machine.to_dict()
+        payload["memory"]["latency_ns"] = 70
+        with pytest.raises(ValueError, match="latency_ns"):
+            topology_from_dict(payload)
+
+    def test_bad_speed_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="speed"):
+            MachineNode(
+                processors=1,
+                cache=CacheLevel(capacity_items=64.0),
+                memory=MemoryLevel(capacity_items=4096.0),
+                disk=DiskLevel(),
+                speed=0.0,
+            )
